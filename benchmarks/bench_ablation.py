@@ -1,0 +1,21 @@
+"""Bench ABLATION — the §5 design knobs (b, p, sink size, sink policy).
+
+Rows turn each HEAT-SINK knob with the rest fixed, on a saturated-bins
+workload (the mechanism's stress case) and a phase workload (the realistic
+case). The headline: removing the per-miss coin (p = 0) re-melts the
+saturated cache, confirming the sink is load-bearing and not decoration.
+"""
+
+from __future__ import annotations
+
+
+def test_ablation(experiment_bench):
+    table = experiment_bench("ABLATION")
+    saturated = table.where(lambda r: r["workload"] == "saturated")
+    baseline = next(r for r in saturated if r["knob"] == "baseline")
+    no_sink = next(r for r in saturated if r["variant"].startswith("p=0 "))
+    assert baseline["misses_post_warm"] < no_sink["misses_post_warm"]
+    # every heat-sink variant stays within the theorem's reference budget
+    for row in table:
+        if row["knob"] != "sink_policy":
+            assert row["ratio_vs_lru"] < 1.0, row["variant"]

@@ -1,0 +1,23 @@
+"""Bench ASSOC-SWEEP — miss rate vs associativity across cache designs.
+
+The intro's motivating comparison: for each design (d-LRU, d-RANDOM,
+set-/skewed-associative, cuckoo, victim, HEAT-SINK) and each d, the
+steady-state miss rate relative to fully-associative LRU. The rows show
+the convergence toward LRU as d grows and the design-dependent gap at
+small d.
+"""
+
+from __future__ import annotations
+
+
+def test_assoc_sweep(experiment_bench):
+    table = experiment_bench("ASSOC-SWEEP")
+    for workload, group in table.group_by("workload").items():
+        dlru = {r["d"]: r["vs_full_lru"] for r in group if r["design"] == "d-LRU"}
+        numeric_ds = sorted(d for d in dlru if isinstance(d, int))
+        # more associativity never hurts much: the largest d is within 10%
+        # of the best measured point for the family
+        assert dlru[numeric_ds[-1]] <= min(dlru[d] for d in numeric_ds) * 1.1 + 0.05
+        # OPT anchor is at least as good as LRU
+        opt = next(r for r in group if r["design"] == "OPT(full)")
+        assert opt["vs_full_lru"] <= 1.0 + 1e-9

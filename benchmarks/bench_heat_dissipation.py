@@ -1,0 +1,26 @@
+"""Bench HEAT-DISSIPATION — regenerates the Part-2 narrative / Lemma 7 series.
+
+Paper claim: under 2-RANDOM, bad placements are short-lived and good ones
+are forever, so contention cools over time and per-page miss counts decay
+geometrically; under 2-LRU the recency dance can pin contention in place.
+The timeline rows show windowed miss rate and eviction concentration for
+both policies; the tail rows show Pr[per-page misses > i].
+"""
+
+from __future__ import annotations
+
+
+def test_heat_dissipation(experiment_bench):
+    table = experiment_bench("HEAT-DISSIPATION")
+    timeline = [r for r in table if r["kind"] == "timeline"]
+    last_window = max(r["window"] for r in timeline)
+    final = {r["policy"]: r["miss_rate"] for r in timeline if r["window"] == last_window}
+    assert final["2-RANDOM"] < final["2-LRU"]
+
+    tails = {}
+    for r in table:
+        if r["kind"] == "miss_tail":
+            tails.setdefault(r["policy"], {})[r["i"]] = r["pr_misses_gt_i"]
+    i_max = max(tails["2-LRU"])
+    # 2-LRU retains perpetual missers at the far tail
+    assert tails["2-LRU"][i_max] > 0

@@ -1,0 +1,19 @@
+"""Bench L5-ORIENT — regenerates the Lemma 5 / Corollary 2 evidence.
+
+Paper claim: a random multigraph with n vertices and n/β edges (β > 2) is
+1-orientable with probability 1 − O(1/n) (Cor. 2: 1 − O(1/(βn))). The
+rows show the Monte-Carlo failure probability across (n, β), the scaled
+products whose flatness is the lemma shape, and the β < 2 control where
+orientability collapses.
+"""
+
+from __future__ import annotations
+
+
+def test_l5_orientability(experiment_bench):
+    table = experiment_bench("L5-ORIENT")
+    for row in table:
+        if row["in_lemma_regime"] and row["beta"] >= 2.5:
+            assert row["pr_orientable"] >= 0.9, row
+        if row["beta"] <= 1.6 and row["n"] >= 256:
+            assert row["pr_orientable"] <= 0.3, row

@@ -1,0 +1,22 @@
+"""Bench REARRANGE — the paper's no-rearrangement designs vs prior models.
+
+Rows: steady miss rate and internal data movement per design at equal
+capacity. The shape (§1.2's positioning made quantitative): BFS
+rearrangement buys the lowest miss rates on contention workloads but
+moves a page every ~2 accesses; HEAT-SINK LRU lands within a few percent
+of it with **zero** internal moves.
+"""
+
+from __future__ import annotations
+
+
+def test_rearrange(experiment_bench):
+    table = experiment_bench("REARRANGE")
+    for workload, group in table.group_by("workload").items():
+        rates = {r["design"]: r["steady_miss_rate"] for r in group}
+        moves = {r["design"]: r["moves_per_access"] for r in group}
+        # the paper-lane designs never move resident pages
+        assert moves["2-LRU"] == 0 and moves["HEAT-SINK"] == 0
+        # rearrangement's miss advantage over 2-LRU comes with real movement
+        if rates["REARRANGE(2,bfs64)"] < rates["2-LRU"] * 0.9:
+            assert moves["REARRANGE(2,bfs64)"] > 0.01

@@ -1,0 +1,26 @@
+"""Bench T2-LOWERBOUND — regenerates the Theorem 1/2 (Part 1) evidence.
+
+Paper claim: d-LRU with ``d = o(log n / log log n)`` is not
+``(O(1), O(1))``-competitive. The rows show d-LRU's persistent per-round
+misses on the §3 adversarial sequence vs OPT's constant cost, and the
+miss *ratio* growing with the number of rounds K.
+"""
+
+from __future__ import annotations
+
+
+def test_t2_lowerbound(experiment_bench):
+    table = experiment_bench("T2-LOWERBOUND")
+    for row in table:
+        # the melt: misses keep accruing every round, forever. The rate
+        # scales like (log n)^-O(d), so it is only reliably measurable at
+        # d = 2 for laptop-scale n; larger d rows report the (predicted)
+        # rapid weakening of the effect.
+        if row["d"] == 2:
+            assert row["late_misses_per_round"] > 0
+        # competitiveness would need this ratio bounded in K; it grows
+        ks = sorted(
+            int(k[len("ratio_at_K"):]) for k in row if k.startswith("ratio_at_K")
+        )
+        ratios = [row[f"ratio_at_K{k}"] for k in ks]
+        assert ratios == sorted(ratios)

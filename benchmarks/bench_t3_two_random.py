@@ -1,0 +1,22 @@
+"""Bench T3-TWORANDOM — regenerates the Theorem 3 (Part 2) evidence.
+
+Paper claim: 2-RANDOM is ``(O(1), O(1))``-competitive with OPT. The rows
+show bounded 2-RANDOM/OPT miss ratios across workloads, and — on the very
+sequence that melts 2-LRU — 2-RANDOM's per-round misses decaying toward
+zero (heat dissipation) while 2-LRU's persist.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def test_t3_two_random(experiment_bench):
+    table = experiment_bench("T3-TWORANDOM")
+    adversarial = [r for r in table if r["workload"].startswith("adversarial")]
+    assert adversarial
+    for row in adversarial:
+        assert row["late_misses_per_round_2random"] < row["late_misses_per_round_2lru"]
+    for row in table:
+        if not row["workload"].startswith("adversarial"):
+            assert row["ratio_2random_vs_opt"] < 3.0, row["workload"]

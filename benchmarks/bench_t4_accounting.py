@@ -1,0 +1,22 @@
+"""Bench T4-ACCOUNTING — Theorem 4's proof quantities on live runs.
+
+Rows: per-phase measurements of each lemma's subject (hot-page fraction
+for Lemma 11, cool-pages-to-sink over ε²n for Lemma 10, hot-page misses
+for Lemma 13) plus the bonus-point ledger and the end-to-end inequality.
+The shape: every lemma's quantity sits far inside its bound on every
+phase, and the TOTAL rows certify the theorem inequality.
+"""
+
+from __future__ import annotations
+
+
+def test_t4_accounting(experiment_bench):
+    table = experiment_bench("T4-ACCOUNTING")
+    totals = [r for r in table if r["row"] == "TOTAL"]
+    assert totals
+    for row in totals:
+        assert row["theorem_holds"], row
+        # Lemma 11: hot pages are a small fraction of the working set
+        assert row["max_hot_page_fraction"] < 0.25, row
+        # Lemma 10: distinct cool pages entering the sink stay O(eps^2 n)
+        assert row["max_cool_to_sink_over_eps2n"] < 8.0, row

@@ -1,0 +1,44 @@
+"""Simulator throughput benchmarks (engineering, not paper-reproduction).
+
+Times each policy's bulk ``run`` on a fixed Zipf trace so regressions in
+the simulation inner loops are visible. These are the only benches where
+the *timing* is the product; the ``bench_*`` experiment modules report
+rows and use timing only as bookkeeping.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+
+CAPACITY = 1_024
+LENGTH = 50_000
+TRACE = repro.zipf_trace(8 * CAPACITY, LENGTH, alpha=1.0, seed=1)
+
+POLICIES = {
+    "lru": lambda: repro.LRUCache(CAPACITY),
+    "fifo": lambda: repro.FIFOCache(CAPACITY),
+    "clock": lambda: repro.ClockCache(CAPACITY),
+    "lfu": lambda: repro.LFUCache(CAPACITY),
+    "arc": lambda: repro.ARCCache(CAPACITY),
+    "sieve": lambda: repro.SieveCache(CAPACITY),
+    "opt": lambda: repro.BeladyCache(CAPACITY),
+    "2-lru": lambda: repro.PLruCache(CAPACITY, d=2, seed=1),
+    "2-random": lambda: repro.DRandomCache(CAPACITY, d=2, seed=1),
+    "set-assoc": lambda: repro.SetAssociativeLRU(CAPACITY, d=8, seed=1),
+    "heatsink": lambda: repro.HeatSinkLRU.from_epsilon(CAPACITY, 0.25, seed=1),
+}
+
+
+@pytest.mark.parametrize("name", sorted(POLICIES))
+def test_policy_throughput(benchmark, name):
+    factory = POLICIES[name]
+
+    def run_once():
+        return factory().run(TRACE)
+
+    result = benchmark.pedantic(run_once, rounds=3, iterations=1, warmup_rounds=1)
+    assert result.num_accesses == LENGTH
+    benchmark.extra_info["accesses_per_second"] = LENGTH / benchmark.stats["mean"]
+    benchmark.extra_info["miss_rate"] = result.miss_rate

@@ -1,0 +1,51 @@
+"""Shared plumbing for the benchmark harness.
+
+Each ``bench_*.py`` regenerates one experiment's table (see DESIGN.md §5)
+under pytest-benchmark timing. Conventions:
+
+- scale defaults to ``smoke`` so ``pytest benchmarks/ --benchmark-only``
+  finishes in minutes; set ``REPRO_BENCH_SCALE=small`` (or ``full``) to
+  regenerate the EXPERIMENTS.md numbers;
+- every bench *prints* its rows to the live terminal (bypassing capture)
+  and writes them as CSV under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.registry import run_experiment
+from repro.sim.results import ResultsTable
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "smoke")
+
+
+@pytest.fixture
+def experiment_bench(benchmark, capsys):
+    """Run one experiment under the benchmark, print + persist its rows."""
+
+    def _run(experiment_id: str, *, seed: int = 0) -> ResultsTable:
+        scale = bench_scale()
+        table = benchmark.pedantic(
+            lambda: run_experiment(experiment_id, scale, seed=seed),
+            rounds=1,
+            iterations=1,
+        )
+        RESULTS_DIR.mkdir(exist_ok=True)
+        csv_path = RESULTS_DIR / f"{experiment_id.lower()}_{scale}.csv"
+        table.to_csv(csv_path)
+        with capsys.disabled():
+            print(f"\n== {experiment_id} (scale={scale}) ==")
+            print(table.to_markdown())
+            print(f"[rows saved to {csv_path}]")
+        assert len(table) > 0
+        return table
+
+    return _run

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Watch d-LRU melt: the Theorem-2 lower bound, live.
+
+Builds the §3 adversarial access sequence (populate the cache, then cycle
+``H, A, H, B``) and traces per-round miss counts for 2-LRU, 2-RANDOM, and
+offline OPT with β = 2 resource augmentation. The Theorem-2 signature:
+
+- 2-LRU's per-round misses plateau at a persistent positive level —
+  total misses grow linearly in the number of rounds *forever*;
+- 2-RANDOM's decay toward zero (Theorem 3's heat dissipation);
+- OPT pays only the one-time cold misses for A and B.
+
+Run:  python examples/adversarial_lowerbound.py [n]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+import repro
+from repro.traces.adversarial import find_happy_pairs
+
+
+def ascii_series(values: np.ndarray, width: int = 40) -> str:
+    """Tiny ASCII sparkline for a miss-count series."""
+    peak = float(values.max()) or 1.0
+    blocks = " .:-=+*#%@"
+    return "".join(blocks[min(9, int(9 * v / peak))] for v in values[:width])
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 4096
+    rounds = 60
+    seq = repro.build_theorem2_sequence(n, rounds=rounds, seed=7)
+    print(f"cache size n={n}")
+    print(
+        f"adversarial sequence: populate {seq.t0} pages, then {rounds} rounds of "
+        f"H({seq.heavy.size}), A({seq.light_a.size}), H, B({seq.light_b.size})"
+    )
+    print(f"post-populate working set: {seq.post_populate_working_set} pages "
+          f"({seq.post_populate_working_set / n:.2f}·n — OPT at n/2 holds it all)\n")
+
+    policies = {
+        "2-LRU": repro.PLruCache(n, d=2, seed=3),
+        "2-RANDOM": repro.DRandomCache(n, d=2, seed=3),
+    }
+    per_round_len = (len(seq.trace) - seq.t0) // rounds
+    print(f"{'policy':10s} {'rounds 1-5':>11s} {'last 10':>9s}  per-round misses over time")
+    for label, policy in policies.items():
+        result = policy.run(seq.trace)
+        misses = (~result.hits[seq.t0 :]).astype(np.int64)
+        per_round = misses[: per_round_len * rounds].reshape(rounds, per_round_len).sum(axis=1)
+        print(
+            f"{label:10s} {per_round[:5].mean():11.1f} {per_round[-10:].mean():9.1f}"
+            f"  [{ascii_series(per_round[1:])}]  (rounds 2+, scaled to own peak)"
+        )
+
+    opt = repro.BeladyCache(n // 2)
+    opt_misses_after = int((~opt.run(seq.trace).hits[seq.t0 :]).sum())
+    print(f"{'OPT(n/2)':10s} {'—':>11s} {'—':>9s}  total after populate: "
+          f"{opt_misses_after} (= cold misses on A∪B: {2 * seq.light_a.size})")
+
+    pairs = find_happy_pairs(seq, repro.PLruCache(n, d=2, seed=3))
+    print(f"\nliteral happy pairs found (paper's witnesses): {len(pairs)}")
+    print("(rare at laptop n — the persistent 2-LRU misses come from the same")
+    print(" contention mechanism acting through larger light-page clusters)")
+
+
+if __name__ == "__main__":
+    main()

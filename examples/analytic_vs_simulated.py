@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Three routes to a miss-rate curve: exact, sampled, and analytic.
+
+For an IRM Zipf workload, computes the LRU miss-rate curve via:
+
+1. **exact** single-pass stack distances (Mattson),
+2. **SHARDS** spatial sampling at 10% (fast path for long traces),
+3. the **Che approximation** (no trace at all — pure popularity math),
+
+plus FIFO's analytic curve against its simulation. The three LRU routes
+agree to ~1–2 % — the calibration that certifies both the simulator and
+the analytic layer before either is trusted on the paper's experiments.
+
+Run:  python examples/analytic_vs_simulated.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.analysis.mrc import exact_lru_mrc, sampled_lru_mrc
+from repro.theory import fifo_hit_rate_irm, lru_hit_rate_irm, zipf_probabilities
+
+NUM_PAGES = 16_384
+LENGTH = 400_000
+ALPHA = 0.9
+SIZES = [256, 512, 1024, 2048, 4096, 8192]
+SEED = 21
+
+
+def main() -> None:
+    # IRM trace: i.i.d. Zipf draws with identity rank->page mapping so the
+    # analytic popularity vector is exactly the sampling law
+    trace = repro.zipf_trace(NUM_PAGES, LENGTH, alpha=ALPHA, seed=SEED, shuffle_ranks=False)
+    probs = zipf_probabilities(NUM_PAGES, ALPHA)
+
+    exact = exact_lru_mrc(trace, SIZES)
+    shards = sampled_lru_mrc(trace, SIZES, rate=0.1, seed=SEED)
+    che = np.asarray([1.0 - lru_hit_rate_irm(probs, c)[0] for c in SIZES])
+    fifo_che = np.asarray([1.0 - fifo_hit_rate_irm(probs, c)[0] for c in SIZES])
+    fifo_sim = np.asarray(
+        [repro.FIFOCache(c).run(trace).miss_rate for c in SIZES]
+    )
+
+    print(f"LRU miss-rate curve, zipf({ALPHA}) over {NUM_PAGES:,} pages, {LENGTH:,} accesses")
+    print(f"{'size':>8s} {'exact':>9s} {'SHARDS@10%':>11s} {'Che':>9s}   "
+          f"{'FIFO sim':>9s} {'FIFO Che':>9s}")
+    for i, size in enumerate(SIZES):
+        print(f"{size:>8,d} {exact[i]:>9.4f} {shards[i]:>11.4f} {che[i]:>9.4f}   "
+              f"{fifo_sim[i]:>9.4f} {fifo_che[i]:>9.4f}")
+    gap_che = np.abs(exact - che).max()
+    gap_shards = np.abs(exact - shards).max()
+    print(f"\nmax |exact − Che| = {gap_che:.4f};  max |exact − SHARDS| = {gap_shards:.4f}")
+    print("(exact includes cold-start misses; Che models steady state — the small")
+    print(" residual shrinks with trace length. FIFO's Che fixed point also matches.)")
+
+
+if __name__ == "__main__":
+    main()

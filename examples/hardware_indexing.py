@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Hardware set-indexing pathologies: why the paper's model hashes.
+
+Real CPU caches index sets with low address bits (modulo). On a
+power-of-two strided walk — e.g. the column-major traversal of a
+row-major matrix — every touched line can land in the *same* set, and a
+d-way modulo-indexed cache misses 100% where a hashed cache of identical
+geometry sails at the fully-associative floor. This is the hardware
+motivation for the paper's (semi-)uniform hashed-position model and for
+skewed associativity [Seznec '93].
+
+Run:  python examples/hardware_indexing.py
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.core.assoc.hashdist import ModuloSetHashes, SetAssociativeHashes, SkewedHashes
+from repro.traces.addresses import matrix_traversal, pointer_chase, strided_walk
+from repro.viz import bar_chart
+
+N = 4096  # cache lines
+D = 8     # ways
+LINE = 64
+SEED = 9
+
+
+def policies():
+    return {
+        "modulo set-index (real HW)": repro.PLruCache(N, dist=ModuloSetHashes(N, D)),
+        "hashed set-index": repro.PLruCache(N, dist=SetAssociativeHashes(N, D, seed=SEED)),
+        "skewed (Seznec)": repro.PLruCache(N, dist=SkewedHashes(N, D, seed=SEED)),
+        "fully-assoc LRU": repro.LRUCache(N),
+    }
+
+
+def main() -> None:
+    num_sets = N // D
+    workloads = {
+        # stride of exactly num_sets lines: all accesses alias to one modulo set
+        "aligned stride (2^k)": strided_walk(
+            4 * D, stride_bytes=LINE * num_sets, repeats=200, line_bytes=LINE
+        ),
+        # column-major walk of a row-major matrix whose row is num_sets lines
+        "matrix column walk": matrix_traversal(
+            4 * D, num_sets * (LINE // 8), order="col", repeats=20, line_bytes=LINE
+        ),
+        # pointer chase: no spatial structure; index function is irrelevant
+        "pointer chase": pointer_chase(2 * N, 200_000, node_bytes=LINE, seed=SEED),
+    }
+    for wname, trace in workloads.items():
+        print(f"\n=== {wname}  ({len(trace):,} accesses, {trace.num_distinct:,} lines) ===")
+        rates = {}
+        for pname, policy in policies().items():
+            rates[pname] = policy.run(trace).miss_rate
+        print(bar_chart(rates, width=36))
+    print(
+        "\nreading: modulo indexing collapses on power-of-two strides while the"
+        "\nhashed variants track full LRU — the gap the paper's hashed model"
+        "\nbakes in from the start. On unstructured traffic all indexings tie."
+    )
+
+
+if __name__ == "__main__":
+    main()

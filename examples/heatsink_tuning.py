@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Tuning HEAT-SINK LRU: the §5 design knobs on a hostile workload.
+
+Uses the *saturated-bins* workload (uniform accesses over a working set
+sized exactly to the bin region) — the purest stress for the heat-sink
+mechanism: mean bin load equals the bin size ``b``, so without the sink
+roughly half the bins overflow and thrash forever. Sweeps:
+
+- the per-miss routing probability ``p`` (paper: ε²),
+- the heat-sink size (paper: εn),
+- the bin size ``b`` (paper: ε⁻³; footnote 3: ε⁻²·polylog works too).
+
+Run:  python examples/heatsink_tuning.py
+"""
+
+from __future__ import annotations
+
+import math
+
+import repro
+from repro.sim.results import ResultsTable
+from repro.traces.phases import working_set_trace
+
+N = 4096
+EPS = 0.25
+LENGTH = 400_000
+SEED = 11
+
+
+def build(bin_size: int, sink_size: int, sink_prob: float) -> repro.HeatSinkLRU:
+    num_bins = max(1, math.ceil(N / bin_size))
+    return repro.HeatSinkLRU(
+        capacity=num_bins * bin_size + sink_size,
+        bin_size=bin_size,
+        sink_size=sink_size,
+        sink_prob=sink_prob,
+        seed=SEED,
+    )
+
+
+def main() -> None:
+    b0 = int(math.ceil(EPS**-3))
+    sink0 = max(2, math.ceil(EPS * N))
+    p0 = EPS**2
+    reference = build(b0, sink0, p0)
+    trace = working_set_trace(
+        reference.main_size, LENGTH, locality=1.0, universe=reference.main_size, seed=SEED
+    )
+    warm = LENGTH // 4
+    print(f"workload: uniform over {reference.main_size} pages "
+          f"(= bin-region capacity; mean bin load = b)")
+    print(f"paper configuration: b={b0}, sink={sink0}, p={p0}\n")
+
+    table = ResultsTable()
+
+    def measure(label: str, knob: str, policy: repro.HeatSinkLRU) -> None:
+        result = policy.run(trace)
+        steady = float((~result.hits[warm:]).mean())
+        table.append(
+            knob=knob,
+            config=label,
+            bin_size=policy.bin_size,
+            sink_size=policy.sink_size,
+            sink_prob=policy.sink_prob,
+            steady_miss_rate=steady,
+            sink_occupancy=result.extra["sink_occupancy"],
+        )
+
+    measure("paper (b=eps^-3, s=eps·n, p=eps^2)", "baseline", build(b0, sink0, p0))
+    for p in (0.0, EPS**3, EPS**2, EPS, 2 * EPS):
+        measure(f"p={p:.4g}", "sink_prob", build(b0, sink0, min(1.0, p)))
+    for s_mult, s_label in ((0.25, "eps·n/4"), (0.5, "eps·n/2"), (1.0, "eps·n"), (2.0, "2·eps·n")):
+        measure(f"sink={s_label}", "sink_size", build(b0, max(2, int(sink0 * s_mult)), p0))
+    for b in (4, 16, b0, 2 * b0):
+        measure(f"b={b}", "bin_size", build(b, sink0, p0))
+
+    print(table.to_markdown())
+    print("\nreadings:")
+    print(" - p=0 rows show the thrash the sink exists to fix;")
+    print(" - tiny p drains hot bins too slowly; p in [eps^2, eps] is the sweet spot;")
+    print(" - shrinking the sink below the hot-overflow volume re-melts the cache.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Quickstart: compare cache-eviction policies on a Zipf workload.
+
+Demonstrates the three core public APIs in ~30 lines:
+
+1. generate a workload       (``repro.zipf_trace``)
+2. build policies            (``repro.make_policy`` / policy classes)
+3. run and compare           (``repro.sim.compare_policies``)
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.sim import compare_policies
+
+N_PAGES = 16_384  # distinct pages in the workload
+LENGTH = 300_000  # number of accesses
+CAPACITY = 2_048  # cache slots
+SEED = 42
+
+
+def main() -> None:
+    trace = repro.zipf_trace(N_PAGES, LENGTH, alpha=1.0, seed=SEED)
+    print(f"workload: {trace}")
+
+    policies = {
+        # fully-associative references
+        "LRU (full)": repro.LRUCache(CAPACITY),
+        "OPT (offline)": repro.BeladyCache(CAPACITY),
+        # the paper's low-associativity policies
+        "2-LRU": repro.PLruCache(CAPACITY, d=2, seed=SEED),
+        "2-RANDOM": repro.DRandomCache(CAPACITY, d=2, seed=SEED),
+        "HEAT-SINK LRU": repro.HeatSinkLRU.from_epsilon(CAPACITY, 0.25, seed=SEED),
+        # hardware baselines
+        "8-way set-assoc": repro.SetAssociativeLRU(CAPACITY, d=8, seed=SEED),
+        "2-way skewed": repro.SkewedAssociativeLRU(CAPACITY, d=2, seed=SEED),
+    }
+    table = compare_policies(policies, trace)
+    print()
+    print(table.to_markdown(columns=["label", "capacity", "miss_rate", "steady_miss_rate", "seconds"]))
+    print()
+    print("note: HEAT-SINK runs at (1+eps) * capacity by construction —")
+    print("      that extra space is exactly Theorem 4's resource augmentation.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,186 @@
+"""repro — low-associativity caching with a heat-sink.
+
+A production-quality reproduction of *"Don't Melt Your Cache:
+Low-Associativity with Heat-Sink"* (Bender et al., SPAA 2025):
+
+- every eviction policy the paper defines or compares against
+  (:mod:`repro.core`), including **d-LRU**, **2-RANDOM** and
+  **HEAT-SINK LRU**;
+- the constructive Theorem-2 adversarial workload plus a full synthetic
+  workload suite (:mod:`repro.traces`);
+- the random-graph substrate behind the paper's lemmas
+  (:mod:`repro.graphtools`);
+- competitive-ratio and heat analytics (:mod:`repro.analysis`);
+- a parallel sweep engine (:mod:`repro.sim`) and one registered
+  experiment per theorem/lemma (:mod:`repro.experiments`).
+
+Quickstart::
+
+    import repro
+
+    trace = repro.zipf_trace(num_pages=4096, length=200_000, alpha=1.0, seed=1)
+    lru = repro.LRUCache(capacity=1024)
+    hs = repro.HeatSinkLRU.from_epsilon(nominal_size=1024, epsilon=0.25, seed=1)
+    print(lru.run(trace).miss_rate, hs.run(trace).miss_rate)
+"""
+
+from repro._version import __version__
+from repro.errors import (
+    CapacityError,
+    ConfigurationError,
+    ExperimentError,
+    ReproError,
+    SimulationError,
+    TraceError,
+)
+from repro.core import (
+    CachePolicy,
+    OfflinePolicy,
+    SimResult,
+    available_policies,
+    make_policy,
+    register_policy,
+)
+from repro.core.assoc import (
+    AdaptiveHeatSinkLRU,
+    CompanionCache,
+    CuckooCache,
+    DBeladyCache,
+    DFifoCache,
+    DRandomCache,
+    ExplicitHashes,
+    HashDistribution,
+    HeatSinkLRU,
+    HotSpotHashes,
+    ModuloSetHashes,
+    OffsetHashes,
+    PLruCache,
+    RearrangingCache,
+    SetAssociativeHashes,
+    SetAssociativeLRU,
+    SkewedAssociativeLRU,
+    SkewedHashes,
+    TreePLRUCache,
+    UniformHashes,
+    VictimCache,
+)
+from repro.core.fully import (
+    ARCCache,
+    CountMinSketch,
+    LIRSCache,
+    SLRUCache,
+    TinyLFUCache,
+    BeladyCache,
+    ClockCache,
+    FIFOCache,
+    LFUCache,
+    LRUCache,
+    LRUKCache,
+    MarkingCache,
+    MRUCache,
+    RandomEvictCache,
+    SieveCache,
+    TwoQCache,
+    belady_miss_count,
+)
+from repro.traces import (
+    AdversarialSequence,
+    addresses_to_pages,
+    matrix_traversal,
+    pointer_chase,
+    strided_walk,
+    shards_lru_mrc,
+    spatial_sample,
+    Trace,
+    build_theorem2_sequence,
+    cyclic_scan_trace,
+    load_trace,
+    loop_mixture_trace,
+    phase_change_trace,
+    save_trace,
+    sawtooth_trace,
+    sequential_scan_trace,
+    stack_distance_trace,
+    uniform_trace,
+    working_set_trace,
+    zipf_trace,
+)
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError",
+    "ConfigurationError",
+    "CapacityError",
+    "TraceError",
+    "SimulationError",
+    "ExperimentError",
+    # core contract
+    "CachePolicy",
+    "OfflinePolicy",
+    "SimResult",
+    "make_policy",
+    "register_policy",
+    "available_policies",
+    # fully associative policies
+    "LRUCache",
+    "MRUCache",
+    "FIFOCache",
+    "ClockCache",
+    "LFUCache",
+    "RandomEvictCache",
+    "MarkingCache",
+    "SieveCache",
+    "ARCCache",
+    "TwoQCache",
+    "LRUKCache",
+    "LIRSCache",
+    "SLRUCache",
+    "TinyLFUCache",
+    "CountMinSketch",
+    "BeladyCache",
+    "belady_miss_count",
+    # low-associativity policies
+    "HashDistribution",
+    "UniformHashes",
+    "SetAssociativeHashes",
+    "SkewedHashes",
+    "OffsetHashes",
+    "HotSpotHashes",
+    "ModuloSetHashes",
+    "ExplicitHashes",
+    "PLruCache",
+    "DBeladyCache",
+    "DFifoCache",
+    "DRandomCache",
+    "SetAssociativeLRU",
+    "SkewedAssociativeLRU",
+    "TreePLRUCache",
+    "VictimCache",
+    "CuckooCache",
+    "RearrangingCache",
+    "CompanionCache",
+    "HeatSinkLRU",
+    "AdaptiveHeatSinkLRU",
+    # traces
+    "Trace",
+    "uniform_trace",
+    "zipf_trace",
+    "sequential_scan_trace",
+    "cyclic_scan_trace",
+    "sawtooth_trace",
+    "loop_mixture_trace",
+    "working_set_trace",
+    "phase_change_trace",
+    "stack_distance_trace",
+    "AdversarialSequence",
+    "build_theorem2_sequence",
+    "spatial_sample",
+    "shards_lru_mrc",
+    "addresses_to_pages",
+    "strided_walk",
+    "matrix_traversal",
+    "pointer_chase",
+    "save_trace",
+    "load_trace",
+]

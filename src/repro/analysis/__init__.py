@@ -1,0 +1,68 @@
+"""Analysis utilities: miss metrics, competitive ratios, heat diagnostics.
+
+- :mod:`repro.analysis.metrics` — miss counts, miss-rate curves, windows;
+- :mod:`repro.analysis.competitive` — empirical ``(α, β)``-competitiveness
+  exactly as §2 defines it (ALG at size ``n`` vs reference at ``n/β``),
+  plus OPT-phase decomposition;
+- :mod:`repro.analysis.heat` — per-slot/per-bin eviction-pressure metrics
+  (the "heat" the paper's mechanism dissipates);
+- :mod:`repro.analysis.stats` — seed aggregation and bootstrap CIs.
+"""
+
+from repro.analysis.metrics import (
+    miss_rate_curve,
+    steady_state_miss_rate,
+    warmup_split,
+)
+from repro.analysis.characterize import (
+    characterize,
+    fit_zipf_exponent,
+    footprint_curve,
+    reuse_distance_histogram,
+)
+from repro.analysis.competitive import (
+    CompetitiveReport,
+    competitive_report,
+    empirical_competitive_ratio,
+    opt_phases,
+)
+from repro.analysis.heat import (
+    eviction_gini,
+    heat_timeline,
+    hot_fraction,
+    slot_pressure,
+)
+from repro.analysis.mrc import exact_lru_mrc, mrc_gap, policy_mrc, sampled_lru_mrc
+from repro.analysis.prooftrace import (
+    PhaseAccount,
+    Theorem4Trace,
+    trace_theorem4_accounting,
+)
+from repro.analysis.stats import bootstrap_ci, summarize_runs
+
+__all__ = [
+    "miss_rate_curve",
+    "steady_state_miss_rate",
+    "warmup_split",
+    "characterize",
+    "footprint_curve",
+    "fit_zipf_exponent",
+    "reuse_distance_histogram",
+    "CompetitiveReport",
+    "competitive_report",
+    "empirical_competitive_ratio",
+    "opt_phases",
+    "slot_pressure",
+    "eviction_gini",
+    "hot_fraction",
+    "heat_timeline",
+    "exact_lru_mrc",
+    "policy_mrc",
+    "sampled_lru_mrc",
+    "mrc_gap",
+    "PhaseAccount",
+    "Theorem4Trace",
+    "trace_theorem4_accounting",
+    "bootstrap_ci",
+    "summarize_runs",
+]

@@ -1,0 +1,138 @@
+"""Workload characterization: the profile a cache designer reads first.
+
+Given a trace, produce the quantities that determine how *any* policy
+will fare on it, before simulating anything:
+
+- **footprint curve** — distinct pages touched per window (working-set
+  size over time; phase changes appear as jumps);
+- **popularity skew** — a maximum-likelihood-ish Zipf exponent fit
+  (log-log rank/frequency regression over the head);
+- **reuse-distance histogram** — the distribution whose tail *is* LRU's
+  miss-rate curve;
+- a one-call :func:`characterize` bundling these with
+  :func:`repro.traces.base.trace_stats` into a flat report dict.
+
+These feed experiment write-ups (EXPERIMENTS.md quotes them when
+describing workloads) and give library users a quick
+"what am I looking at" tool for their own traces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.traces.base import Trace, as_page_array, trace_stats
+from repro.traces.stackdist import measure_stack_distances
+
+__all__ = [
+    "footprint_curve",
+    "fit_zipf_exponent",
+    "reuse_distance_histogram",
+    "characterize",
+]
+
+
+def footprint_curve(trace: Trace | np.ndarray, *, window: int) -> np.ndarray:
+    """Distinct pages accessed in each consecutive window.
+
+    The discrete working-set curve of Denning: flat = stationary working
+    set; steps = phase changes; ≈window = streaming/scan behaviour.
+    """
+    if window <= 0:
+        raise ConfigurationError(f"window must be positive, got {window}")
+    pages = as_page_array(trace)
+    out = []
+    for start in range(0, pages.size, window):
+        chunk = pages[start : start + window]
+        if chunk.size:
+            out.append(np.unique(chunk).size)
+    return np.asarray(out, dtype=np.int64)
+
+
+def fit_zipf_exponent(
+    trace: Trace | np.ndarray, *, head_fraction: float = 0.5
+) -> tuple[float, float]:
+    """Least-squares Zipf exponent from the log-log rank/frequency head.
+
+    Returns ``(alpha_hat, r_squared)``. Only the most-popular
+    ``head_fraction`` of distinct pages enters the fit — the tail of a
+    finite trace is dominated by single-access pages that flatten any
+    slope. ``r_squared`` near 1 means "genuinely Zipf-like"; low values
+    mean the exponent should not be trusted (e.g. scans).
+    """
+    if not 0.0 < head_fraction <= 1.0:
+        raise ConfigurationError(f"head_fraction must be in (0,1], got {head_fraction}")
+    pages = as_page_array(trace)
+    if pages.size == 0:
+        raise ConfigurationError("cannot fit an empty trace")
+    _, counts = np.unique(pages, return_counts=True)
+    counts = np.sort(counts)[::-1].astype(np.float64)
+    head = max(2, int(round(head_fraction * counts.size)))
+    counts = counts[:head]
+    ranks = np.arange(1, counts.size + 1, dtype=np.float64)
+    x = np.log(ranks)
+    y = np.log(counts)
+    slope, intercept = np.polyfit(x, y, 1)
+    predicted = slope * x + intercept
+    ss_res = float(((y - predicted) ** 2).sum())
+    ss_tot = float(((y - y.mean()) ** 2).sum())
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return float(-slope), float(r2)
+
+
+def reuse_distance_histogram(
+    trace: Trace | np.ndarray, *, bin_edges: list[int] | None = None
+) -> dict[str, np.ndarray]:
+    """Histogram of LRU stack distances over power-of-two bins.
+
+    Returns ``{"edges": …, "counts": …, "cold": …}`` where ``counts[i]``
+    is the number of re-references with distance in
+    ``[edges[i], edges[i+1])`` and ``cold`` the first-access count. The
+    cumulative complement of this histogram is LRU's miss-rate curve.
+    """
+    pages = as_page_array(trace)
+    distances = measure_stack_distances(pages)
+    finite = distances[distances >= 0]
+    cold = int((distances < 0).sum())
+    if bin_edges is None:
+        top = int(finite.max()) + 1 if finite.size else 1
+        edges: list[int] = [0]
+        step = 1
+        while edges[-1] < top:
+            edges.append(edges[-1] + step if edges[-1] else 1)
+            step = edges[-1]
+        bin_edges = edges
+    counts, _ = np.histogram(finite, bins=np.asarray(bin_edges + [np.inf]))
+    return {
+        "edges": np.asarray(bin_edges, dtype=np.int64),
+        "counts": counts.astype(np.int64),
+        "cold": np.asarray([cold], dtype=np.int64),
+    }
+
+
+def characterize(trace: Trace | np.ndarray, *, windows: int = 20) -> dict[str, float]:
+    """One-call workload profile as a flat report dict."""
+    pages = as_page_array(trace)
+    if pages.size == 0:
+        raise ConfigurationError("cannot characterize an empty trace")
+    stats = trace_stats(pages)
+    window = max(1, pages.size // windows)
+    footprint = footprint_curve(pages, window=window)
+    alpha, r2 = fit_zipf_exponent(pages)
+    distances = measure_stack_distances(pages)
+    finite = distances[distances >= 0]
+    return {
+        "length": stats["length"],
+        "distinct": stats["distinct"],
+        "reuse_fraction": stats["reuse_fraction"],
+        "mean_reuse_gap": stats["mean_reuse_gap"],
+        "zipf_alpha_hat": alpha,
+        "zipf_fit_r2": r2,
+        "footprint_mean": float(footprint.mean()),
+        "footprint_max": int(footprint.max()),
+        "footprint_cv": float(footprint.std() / max(footprint.mean(), 1e-12)),
+        "median_reuse_distance": float(np.median(finite)) if finite.size else float("nan"),
+        "p90_reuse_distance": float(np.quantile(finite, 0.9)) if finite.size else float("nan"),
+        "cold_fraction": float((distances < 0).mean()),
+    }

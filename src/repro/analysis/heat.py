@@ -1,0 +1,116 @@
+"""Heat diagnostics: measuring contention the way the paper talks about it.
+
+"Heat" is sustained eviction pressure on a region of the cache: a *hot
+spot* is a slot (or bin) that many soon-to-be-accessed pages want. These
+metrics quantify it:
+
+- :func:`slot_pressure` — evictions per slot, normalized;
+- :func:`eviction_gini` — Gini coefficient of per-slot evictions: 0 means
+  perfectly even load (dissipated heat), → 1 means all evictions hammer a
+  few slots (melting);
+- :func:`hot_fraction` — fraction of load carried by the hottest slots;
+- :func:`heat_timeline` — per-window eviction concentration over time,
+  the series showing 2-RANDOM *cooling down* where d-LRU stays hot.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.core.base import CachePolicy
+from repro.errors import ConfigurationError
+from repro.traces.base import Trace, as_page_array
+
+__all__ = ["slot_pressure", "eviction_gini", "hot_fraction", "heat_timeline"]
+
+
+def slot_pressure(evictions: np.ndarray) -> np.ndarray:
+    """Per-slot share of all evictions (sums to 1; zeros if no evictions)."""
+    ev = np.asarray(evictions, dtype=np.float64)
+    total = ev.sum()
+    if total <= 0:
+        return np.zeros_like(ev)
+    return ev / total
+
+
+def eviction_gini(evictions: np.ndarray) -> float:
+    """Gini coefficient of the per-slot eviction distribution.
+
+    0 = evictions spread perfectly evenly across slots; values near 1 =
+    evictions concentrated on a vanishing fraction of slots. Computed with
+    the sorted-rank formula in O(n log n).
+    """
+    ev = np.sort(np.asarray(evictions, dtype=np.float64))
+    n = ev.size
+    if n == 0:
+        raise ConfigurationError("evictions array is empty")
+    total = ev.sum()
+    if total <= 0:
+        return 0.0
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    return float((2.0 * (ranks * ev).sum()) / (n * total) - (n + 1.0) / n)
+
+
+def hot_fraction(evictions: np.ndarray, top_fraction: float = 0.01) -> float:
+    """Share of all evictions absorbed by the hottest ``top_fraction`` slots.
+
+    E.g. ``hot_fraction(ev, 0.01) = 0.5`` means 1% of slots take half the
+    eviction traffic — a melting cache.
+    """
+    if not 0.0 < top_fraction <= 1.0:
+        raise ConfigurationError(f"top_fraction must be in (0,1], got {top_fraction}")
+    ev = np.sort(np.asarray(evictions, dtype=np.float64))[::-1]
+    total = ev.sum()
+    if total <= 0:
+        return 0.0
+    k = max(1, int(round(top_fraction * ev.size)))
+    return float(ev[:k].sum() / total)
+
+
+def heat_timeline(
+    policy_factory: Callable[[], CachePolicy],
+    trace: Trace | np.ndarray,
+    *,
+    window: int,
+) -> dict[str, np.ndarray]:
+    """Per-window heat metrics over the course of a run.
+
+    Runs a fresh policy over the trace in ``window``-sized chunks (state
+    carries across chunks), snapshotting per-slot eviction counters after
+    each chunk. The policy must expose ``eviction_counts()`` (all
+    :class:`~repro.core.assoc.slotted.SlottedCache` subclasses do).
+
+    Returns arrays aligned per window: ``miss_rate``, ``gini`` (eviction
+    concentration within the window), and ``hot1`` (share of the window's
+    evictions on the top 1% of slots).
+    """
+    if window <= 0:
+        raise ConfigurationError(f"window must be positive, got {window}")
+    pages = as_page_array(trace)
+    policy = policy_factory()
+    if not hasattr(policy, "eviction_counts"):
+        raise ConfigurationError(
+            f"{policy.name} does not expose eviction_counts(); "
+            "heat timelines need a slot-addressed policy"
+        )
+    policy.reset()
+    miss_rates: list[float] = []
+    ginis: list[float] = []
+    hot1s: list[float] = []
+    prev = np.zeros(policy.capacity, dtype=np.int64)
+    for start in range(0, pages.size, window):
+        chunk = pages[start : start + window]
+        result = policy.run(chunk, reset=False)
+        miss_rates.append(result.miss_rate)
+        now = policy.eviction_counts()
+        delta = now - prev
+        prev = now
+        ginis.append(eviction_gini(delta))
+        hot1s.append(hot_fraction(delta, 0.01))
+    return {
+        "miss_rate": np.asarray(miss_rates),
+        "gini": np.asarray(ginis),
+        "hot1": np.asarray(hot1s),
+    }

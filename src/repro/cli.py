@@ -1,0 +1,191 @@
+"""Command-line interface: experiments, ad-hoc simulation, MRCs.
+
+Usage::
+
+    repro-experiment list
+    repro-experiment run T4-HEATSINK --scale small --seed 0
+    repro-experiment run-all --scale smoke --out results/
+    repro-experiment simulate --trace t.npz --policy lru --capacity 1024
+    repro-experiment mrc --trace t.npz --sizes 256,1024,4096 [--shards 0.1]
+
+Experiment runs print their rows as markdown tables and can persist CSV;
+``simulate`` and ``mrc`` make the library usable as a one-shot trace
+analysis tool on saved ``.npz`` traces (see ``repro.save_trace``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments.registry import available_experiments, run_experiment
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment",
+        description="Run the paper-reproduction experiments of the repro library.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiment ids")
+
+    run_p = sub.add_parser("run", help="run one experiment")
+    run_p.add_argument("experiment", help="experiment id (see `list`)")
+    _add_run_args(run_p)
+
+    all_p = sub.add_parser("run-all", help="run every experiment")
+    _add_run_args(all_p)
+
+    sim_p = sub.add_parser("simulate", help="run one policy over a saved trace")
+    sim_p.add_argument("--trace", type=Path, required=True, help=".npz trace file")
+    sim_p.add_argument("--policy", required=True, help="registered policy name")
+    sim_p.add_argument("--capacity", type=int, required=True, help="cache slots")
+    sim_p.add_argument("--seed", type=int, default=0)
+    sim_p.add_argument(
+        "--window", type=int, default=None,
+        help="also print a windowed miss-rate sparkline with this window",
+    )
+
+    mrc_p = sub.add_parser("mrc", help="LRU miss-rate curve of a saved trace")
+    mrc_p.add_argument("--trace", type=Path, required=True, help=".npz trace file")
+    mrc_p.add_argument(
+        "--sizes", required=True, help="comma-separated cache sizes, e.g. 256,1024"
+    )
+    mrc_p.add_argument(
+        "--shards", type=float, default=None,
+        help="SHARDS sampling rate in (0,1] (default: exact computation)",
+    )
+    mrc_p.add_argument("--seed", type=int, default=0)
+
+    char_p = sub.add_parser(
+        "characterize", help="profile a saved trace (footprint, skew, reuse)"
+    )
+    char_p.add_argument("--trace", type=Path, required=True, help=".npz trace file")
+    char_p.add_argument("--windows", type=int, default=20)
+    return parser
+
+
+def _add_run_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale",
+        default="small",
+        choices=["smoke", "small", "full"],
+        help="experiment size (default: small)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="root seed (default: 0)")
+    parser.add_argument(
+        "--workers", type=int, default=None, help="process-pool size (default: serial)"
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None, help="directory to write CSV results into"
+    )
+
+
+def _run_one(experiment: str, args: argparse.Namespace) -> None:
+    start = time.perf_counter()
+    table = run_experiment(
+        experiment, args.scale, seed=args.seed, workers=args.workers
+    )
+    elapsed = time.perf_counter() - start
+    print(f"\n== {experiment} (scale={args.scale}, seed={args.seed}, {elapsed:.1f}s) ==")
+    print(table.to_markdown())
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+        path = args.out / f"{experiment.lower()}_{args.scale}.csv"
+        table.to_csv(path)
+        print(f"wrote {path}")
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.core.registry import make_policy
+    from repro.traces.io import load_trace
+
+    trace = load_trace(args.trace)
+    try:
+        policy = make_policy(args.policy, args.capacity, seed=args.seed)
+    except TypeError:
+        # deterministic policies (lru, fifo, ...) take no seed argument
+        policy = make_policy(args.policy, args.capacity)
+    start = time.perf_counter()
+    result = policy.run(trace)
+    elapsed = time.perf_counter() - start
+    print(f"trace    : {trace}")
+    print(f"policy   : {policy.name} (capacity {policy.capacity})")
+    print(f"accesses : {result.num_accesses}")
+    print(f"misses   : {result.num_misses}  (rate {result.miss_rate:.4f})")
+    print(f"seconds  : {elapsed:.2f}  ({result.num_accesses / max(elapsed, 1e-9):,.0f}/s)")
+    if args.window:
+        from repro.viz import sparkline
+
+        series = result.windowed_miss_rate(args.window)
+        print(f"windowed : [{sparkline(series, lo=0.0)}]  (window={args.window})")
+    return 0
+
+
+def _cmd_mrc(args: argparse.Namespace) -> int:
+    from repro.analysis.mrc import exact_lru_mrc, sampled_lru_mrc
+    from repro.errors import ConfigurationError
+    from repro.traces.io import load_trace
+
+    try:
+        sizes = [int(s) for s in args.sizes.split(",") if s.strip()]
+    except ValueError as exc:
+        raise ConfigurationError(f"bad --sizes value: {args.sizes!r}") from exc
+    trace = load_trace(args.trace)
+    if args.shards is not None:
+        curve = sampled_lru_mrc(trace, sizes, rate=args.shards, seed=args.seed)
+        kind = f"SHARDS rate={args.shards}"
+    else:
+        curve = exact_lru_mrc(trace, sizes)
+        kind = "exact"
+    print(f"LRU miss-rate curve ({kind}) for {trace}")
+    for size, rate in zip(sizes, curve.tolist()):
+        print(f"  size {size:>10,d} : {rate:.4f}")
+    return 0
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    from repro.analysis.characterize import characterize, footprint_curve
+    from repro.traces.io import load_trace
+    from repro.viz import sparkline
+
+    trace = load_trace(args.trace)
+    report = characterize(trace, windows=args.windows)
+    print(f"profile of {trace}")
+    for key, value in report.items():
+        print(f"  {key:24s} {value:,.4g}" if isinstance(value, float) else f"  {key:24s} {value:,}")
+    window = max(1, len(trace) // args.windows)
+    curve = footprint_curve(trace, window=window)
+    print(f"  footprint/window         [{sparkline(curve.astype(float), lo=0.0)}]")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for exp_id in available_experiments():
+            print(exp_id)
+        return 0
+    if args.command == "run":
+        _run_one(args.experiment, args)
+        return 0
+    if args.command == "run-all":
+        for exp_id in available_experiments():
+            _run_one(exp_id, args)
+        return 0
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "mrc":
+        return _cmd_mrc(args)
+    if args.command == "characterize":
+        return _cmd_characterize(args)
+    return 2  # pragma: no cover - argparse enforces choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,23 @@
+"""Cache policies: the paper's subject matter.
+
+- :mod:`repro.core.base` — the :class:`CachePolicy` contract and
+  :class:`SimResult`;
+- :mod:`repro.core.fully` — fully-associative policies (LRU, FIFO, CLOCK,
+  LFU, MRU, RANDOM, MARKING, SIEVE, ARC, 2Q, LRU-K, and offline Belady/OPT);
+- :mod:`repro.core.assoc` — low-associativity policies (`P`-LRU /
+  d-LRU, 2-RANDOM / d-RANDOM, d-FIFO, set-associative, skewed-associative,
+  victim caches, cuckoo caches, and HEAT-SINK LRU);
+- :mod:`repro.core.registry` — name-based policy construction for sweeps.
+"""
+
+from repro.core.base import CachePolicy, OfflinePolicy, SimResult
+from repro.core.registry import available_policies, make_policy, register_policy
+
+__all__ = [
+    "CachePolicy",
+    "OfflinePolicy",
+    "SimResult",
+    "available_policies",
+    "make_policy",
+    "register_policy",
+]

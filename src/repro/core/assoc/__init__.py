@@ -1,0 +1,57 @@
+"""Low-associativity cache policies — the paper's subject.
+
+A *d-associative* cache restricts each page ``x`` to positions
+``h_1(x) … h_d(x)`` drawn from a *hash distribution* ``P`` (§2). This
+package provides the hash distributions, the policies the paper analyzes
+(`P`-LRU, 2-RANDOM, HEAT-SINK LRU), and the practical designs it cites as
+baselines (set-associative, skewed-associative, victim caches,
+cuckoo-style rearrangement).
+"""
+
+from repro.core.assoc.hashdist import (
+    ExplicitHashes,
+    HashDistribution,
+    HotSpotHashes,
+    ModuloSetHashes,
+    OffsetHashes,
+    SetAssociativeHashes,
+    SkewedHashes,
+    UniformHashes,
+)
+from repro.core.assoc.d_belady import DBeladyCache
+from repro.core.assoc.d_lru import PLruCache
+from repro.core.assoc.d_fifo import DFifoCache
+from repro.core.assoc.d_random import DRandomCache
+from repro.core.assoc.set_assoc import SetAssociativeLRU
+from repro.core.assoc.skew_assoc import SkewedAssociativeLRU
+from repro.core.assoc.tree_plru import TreePLRUCache
+from repro.core.assoc.victim import VictimCache
+from repro.core.assoc.companion import CompanionCache
+from repro.core.assoc.cuckoo import CuckooCache
+from repro.core.assoc.rearrange import RearrangingCache
+from repro.core.assoc.heatsink import HeatSinkLRU
+from repro.core.assoc.heatsink_adaptive import AdaptiveHeatSinkLRU
+
+__all__ = [
+    "HashDistribution",
+    "UniformHashes",
+    "SetAssociativeHashes",
+    "SkewedHashes",
+    "ModuloSetHashes",
+    "OffsetHashes",
+    "HotSpotHashes",
+    "ExplicitHashes",
+    "PLruCache",
+    "DBeladyCache",
+    "DFifoCache",
+    "DRandomCache",
+    "SetAssociativeLRU",
+    "SkewedAssociativeLRU",
+    "TreePLRUCache",
+    "VictimCache",
+    "CuckooCache",
+    "RearrangingCache",
+    "CompanionCache",
+    "HeatSinkLRU",
+    "AdaptiveHeatSinkLRU",
+]

@@ -1,0 +1,135 @@
+"""Companion cache — set-associative main + fully-associative companion.
+
+The generalization of victim caches studied by the restricted-caching
+line the paper discusses ([5] Brehob et al., [15] Mendel–Seiden,
+[7] Buchbinder et al.): a *main* cache of ``num_sets`` sets × ``ways``
+plus a small fully-associative *companion* buffer, with pages allowed to
+move between their set and the companion (the "rearrangement" these
+models permit).
+
+Policy here: LRU within each set and within the companion; a page evicted
+from its set demotes into the companion; a companion hit promotes the
+page back into its set (swapping with the set's LRU way). Total
+associativity is ``ways + companion_size``.
+
+:class:`~repro.core.assoc.victim.VictimCache` is the ``ways = 1``
+special case (kept separate because Jouppi's victim cache is its own
+well-known baseline with slightly different promotion bookkeeping).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any
+
+from repro.core.base import CachePolicy
+from repro.errors import CapacityError, ConfigurationError
+from repro.hashing import hash_to_range
+from repro.rng import SeedLike, derive_seed
+
+__all__ = ["CompanionCache"]
+
+
+class CompanionCache(CachePolicy):
+    """Set-associative main cache with a fully-associative LRU companion.
+
+    Parameters
+    ----------
+    capacity:
+        Total page slots (main + companion).
+    ways:
+        Set associativity of the main cache.
+    companion_size:
+        Slots in the companion buffer.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        *,
+        ways: int = 2,
+        companion_size: int = 8,
+        seed: SeedLike = 0,
+    ):
+        super().__init__(capacity)
+        if ways < 1:
+            raise ConfigurationError(f"ways must be >= 1, got {ways}")
+        if companion_size < 1:
+            raise CapacityError(f"companion_size must be >= 1, got {companion_size}")
+        main_size = capacity - companion_size
+        if main_size < ways:
+            raise CapacityError(
+                f"capacity={capacity} with companion={companion_size} leaves "
+                f"less than one set of {ways} ways"
+            )
+        self.ways = int(ways)
+        self.num_sets = main_size // ways
+        self.main_size = self.num_sets * ways
+        # donate the division remainder to the companion (no wasted slots)
+        self.companion_size = capacity - self.main_size
+        self._salt = derive_seed(seed, "companion-set")
+        # per-set LRU orders (oldest -> newest) and the companion LRU
+        self._sets: list[OrderedDict[int, None]] = [
+            OrderedDict() for _ in range(self.num_sets)
+        ]
+        self._companion: OrderedDict[int, None] = OrderedDict()
+        self._promotions = 0
+        self._demotions = 0
+
+    @property
+    def name(self) -> str:
+        return f"companion(w={self.ways},c={self.companion_size})"
+
+    @property
+    def associativity(self) -> int:
+        """Eligible positions per page: its set's ways plus the companion."""
+        return self.ways + self.companion_size
+
+    def set_of(self, page: int) -> int:
+        return int(hash_to_range(page, self.num_sets, salt=self._salt))
+
+    def _demote(self, page: int) -> None:
+        if len(self._companion) >= self.companion_size:
+            self._companion.popitem(last=False)
+        self._companion[page] = None
+        self._demotions += 1
+
+    def access(self, page: int) -> bool:
+        home = self._sets[self.set_of(page)]
+        if page in home:
+            home.move_to_end(page)
+            return True
+        if page in self._companion:
+            # promote back into the set, swapping with the set's LRU way
+            del self._companion[page]
+            if len(home) >= self.ways:
+                victim, _ = home.popitem(last=False)
+                self._demote(victim)
+            home[page] = None
+            self._promotions += 1
+            return True
+        # miss: install in the home set, demoting its LRU way if full
+        if len(home) >= self.ways:
+            victim, _ = home.popitem(last=False)
+            self._demote(victim)
+        home[page] = None
+        return False
+
+    def reset(self) -> None:
+        for s in self._sets:
+            s.clear()
+        self._companion.clear()
+        self._promotions = 0
+        self._demotions = 0
+
+    def contents(self) -> frozenset[int]:
+        resident: set[int] = set(self._companion)
+        for s in self._sets:
+            resident.update(s)
+        return frozenset(resident)
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self._sets) + len(self._companion)
+
+    def _instrumentation(self) -> dict[str, Any]:
+        return {"promotions": self._promotions, "demotions": self._demotions}

@@ -1,0 +1,38 @@
+"""d-FIFO — FIFO restricted to the ``d`` eligible slots.
+
+Like `P`-LRU but the victim is the occupant *installed* longest ago
+rather than the one *accessed* longest ago. Hardware caches sometimes use
+FIFO per set because it needs no per-access metadata updates; comparing
+d-FIFO with d-LRU quantifies how much the recency signal is worth at a
+given associativity (on the Theorem-2 adversarial sequence both collapse,
+showing the lower bound is about the *topology*, not the tie-breaking
+signal).
+"""
+
+from __future__ import annotations
+
+from repro.core.assoc.slotted import EMPTY, SlottedCache
+
+__all__ = ["DFifoCache"]
+
+
+class DFifoCache(SlottedCache):
+    """FIFO among the ``d`` hashed positions."""
+
+    @property
+    def name(self) -> str:
+        return f"{self.dist.name}-FIFO"
+
+    def _choose_slot(self, page: int, positions: tuple[int, ...]) -> int:
+        slot_page = self._slot_page
+        slot_birth = self._slot_birth
+        best = -1
+        best_birth = None
+        for slot in positions:
+            if slot_page[slot] == EMPTY:
+                return slot
+            b = slot_birth[slot]
+            if best_birth is None or b < best_birth:
+                best_birth = b
+                best = slot
+        return best

@@ -1,0 +1,46 @@
+"""`P`-LRU — LRU restricted to a page's ``d`` eligible slots (§2, §3).
+
+This is the folklore low-associativity policy and the subject of the
+paper's lower bound: *"If, when x is brought into cache, all of x's hashes
+are occupied, then we evict the least recently accessed page out of the
+pages in those positions."* When the hash distribution is
+:class:`~repro.core.assoc.hashdist.UniformHashes` this is the paper's
+**d-LRU** (and **2-LRU** for ``d = 2``).
+
+Theorem 2 shows this policy is not ``(O(1), O(1))``-competitive for any
+semi-uniform distribution with ``d = o(log n / log log n)`` — the
+experiment ``T2-LOWERBOUND`` reproduces that empirically via
+:mod:`repro.traces.adversarial`.
+"""
+
+from __future__ import annotations
+
+from repro.core.assoc.slotted import EMPTY, SlottedCache
+
+__all__ = ["PLruCache"]
+
+
+class PLruCache(SlottedCache):
+    """LRU among the ``d`` hashed positions (the paper's `P`-LRU / d-LRU)."""
+
+    @property
+    def name(self) -> str:
+        return f"{self.dist.name}-LRU"
+
+    def _choose_slot(self, page: int, positions: tuple[int, ...]) -> int:
+        slot_page = self._slot_page
+        slot_time = self._slot_time
+        best = -1
+        best_time = None
+        for slot in positions:
+            if slot_page[slot] == EMPTY:
+                # an unoccupied hash is always preferred: filling it evicts
+                # nobody (first empty, for determinism)
+                return slot
+            t = slot_time[slot]
+            if best_time is None or t < best_time:
+                best_time = t
+                best = slot
+        # evict the least recently *accessed* occupant (paper's wording);
+        # duplicated positions in the tuple are harmless under the min scan
+        return best

@@ -1,0 +1,72 @@
+"""2-RANDOM / d-RANDOM — the paper's randomized eviction policy (§2, §4).
+
+On every miss, pick ``i ∈ {1…d}`` uniformly at random and place the page
+in ``h_i(x)``, evicting whatever was there — *without looking at the
+cache state at all*. Theorem 3 proves the ``d = 2`` instance is
+``(O(1), O(1))``-competitive with fully-associative OPT, powered by the
+heat-dissipation effect: placements into hot slots are quickly undone,
+placements into cold slots persist.
+
+Two deliberate fidelity choices:
+
+- **Paper-faithful default** (``occupancy_aware=False``): the random slot
+  is chosen even when another eligible slot is empty, exactly as §2
+  defines 2-RANDOM. This wastes capacity during warm-up but is what the
+  theorem analyzes (Lemma 7's mini-phase argument needs unconditional
+  uniform choices).
+- **Ablation variant** (``occupancy_aware=True``): prefer an empty
+  eligible slot, choosing uniformly among empties. Used by the ablation
+  experiment to show the guarantee is not an artifact of wasted slots.
+"""
+
+from __future__ import annotations
+
+from repro.core.assoc.hashdist import HashDistribution
+from repro.core.assoc.slotted import EMPTY, SlottedCache
+from repro.rng import SeedLike, derive_seed, make_rng
+
+__all__ = ["DRandomCache"]
+
+
+class DRandomCache(SlottedCache):
+    """Random-choice eviction among ``d`` hashed positions (2-RANDOM for d=2)."""
+
+    def __init__(
+        self,
+        capacity: int,
+        *,
+        dist: HashDistribution | None = None,
+        d: int = 2,
+        seed: SeedLike = 0,
+        occupancy_aware: bool = False,
+    ):
+        super().__init__(capacity, dist=dist, d=d, seed=seed)
+        self.occupancy_aware = bool(occupancy_aware)
+        # independent stream from the hash salt: the adversary of §3 is
+        # oblivious — it may know the hashes but never the eviction coins
+        self._rng = make_rng(None if seed is None else derive_seed(seed, "coins"))
+        # pre-drawn uniforms: one Generator call per miss costs more than
+        # the rest of the miss path combined (profile-driven)
+        self._coin_buf: list[float] = []
+        self._coin_idx = 0
+
+    def _next_uniform(self) -> float:
+        i = self._coin_idx
+        if i >= len(self._coin_buf):
+            self._coin_buf = self._rng.random(4096).tolist()
+            i = 0
+        self._coin_idx = i + 1
+        return self._coin_buf[i]
+
+    @property
+    def name(self) -> str:
+        base = f"{self.dist.name}-RANDOM"
+        return base + ("-aware" if self.occupancy_aware else "")
+
+    def _choose_slot(self, page: int, positions: tuple[int, ...]) -> int:
+        if self.occupancy_aware:
+            slot_page = self._slot_page
+            empties = [slot for slot in positions if slot_page[slot] == EMPTY]
+            if empties:
+                return empties[int(self._next_uniform() * len(empties))]
+        return positions[int(self._next_uniform() * len(positions))]

@@ -1,0 +1,321 @@
+"""Hash distributions for d-associative caches.
+
+A hash distribution ``P`` assigns every page ``x`` a tuple
+``(h_1(x), …, h_d(x)) ∈ [n]^d`` of eligible cache positions, drawn
+independently across pages (§2 of the paper). Distributions here are
+*deterministic functions of (salt, page)* rather than lazily-sampled
+random values, for two reasons:
+
+1. The Theorem-2 adversary is *oblivious*: it fixes the access sequence
+   knowing the distribution but not the coin flips. Our builder needs to
+   evaluate a policy's hashes without mutating any state.
+2. Vectorization: experiments hash millions of pages; every distribution
+   implements a batch path with no Python-level loop.
+
+Semi-uniformity (§3): ``P`` is semi-uniform if each marginal satisfies
+``Pr[h_j = i] ≤ polylog(n)/n``. :meth:`HashDistribution.is_semi_uniform`
+reports whether a distribution satisfies the bound by construction;
+:class:`HotSpotHashes` deliberately violates it (for experiments probing
+whether the lower bound needs the assumption — the paper's open question).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.hashing import hash_to_range, mix_pair
+from repro.rng import SeedLike, derive_seed
+
+__all__ = [
+    "HashDistribution",
+    "UniformHashes",
+    "SetAssociativeHashes",
+    "SkewedHashes",
+    "OffsetHashes",
+    "HotSpotHashes",
+    "ExplicitHashes",
+]
+
+
+class HashDistribution(abc.ABC):
+    """Maps pages to ``d``-tuples of positions in a cache of ``n`` slots."""
+
+    def __init__(self, n: int, d: int):
+        if n <= 0:
+            raise ConfigurationError(f"number of slots must be positive, got {n}")
+        if d <= 0:
+            raise ConfigurationError(f"associativity must be positive, got {d}")
+        if d > n:
+            raise ConfigurationError(f"associativity d={d} exceeds cache size n={n}")
+        self.n = int(n)
+        self.d = int(d)
+
+    @abc.abstractmethod
+    def positions_batch(self, pages: np.ndarray) -> np.ndarray:
+        """Positions for many pages at once; shape ``(len(pages), d)``."""
+
+    def positions(self, page: int) -> tuple[int, ...]:
+        """Positions of a single page as a ``d``-tuple."""
+        row = self.positions_batch(np.asarray([page], dtype=np.int64))[0]
+        return tuple(int(v) for v in row)
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+    #: True when the marginal of every h_j is within polylog(n)/n of uniform
+    #: *by construction*; see module docstring.
+    is_semi_uniform: bool = True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}(n={self.n}, d={self.d})"
+
+
+class UniformHashes(HashDistribution):
+    """``d`` independent, uniformly random positions — the paper's default.
+
+    With this distribution `P`-LRU is the paper's *d-LRU* and the
+    ``d = 2`` random-eviction policy is *2-RANDOM*.
+    """
+
+    def __init__(self, n: int, d: int, *, seed: SeedLike = 0):
+        super().__init__(n, d)
+        self._salts = np.asarray(
+            [derive_seed(seed, "uniform", j) for j in range(d)], dtype=np.uint64
+        )
+
+    @property
+    def name(self) -> str:
+        return f"uniform(d={self.d})"
+
+    def positions_batch(self, pages: np.ndarray) -> np.ndarray:
+        pages = np.asarray(pages, dtype=np.int64)
+        out = np.empty((pages.size, self.d), dtype=np.int64)
+        for j in range(self.d):
+            out[:, j] = hash_to_range(pages, self.n, salt=int(self._salts[j]))
+        return out
+
+
+class SetAssociativeHashes(HashDistribution):
+    """Classic hardware set-associativity: ``n/d`` disjoint sets of size ``d``.
+
+    Each page hashes to one set; its eligible positions are that set's
+    ``d`` consecutive slots (§1's second example of a low-associativity
+    flavour). ``n`` must be a multiple of ``d``.
+    """
+
+    def __init__(self, n: int, d: int, *, seed: SeedLike = 0):
+        super().__init__(n, d)
+        if n % d != 0:
+            raise ConfigurationError(
+                f"set-associative layout needs d | n, got n={n}, d={d}"
+            )
+        self.num_sets = n // d
+        self._salt = derive_seed(seed, "setassoc")
+
+    @property
+    def name(self) -> str:
+        return f"set_assoc(d={self.d})"
+
+    def positions_batch(self, pages: np.ndarray) -> np.ndarray:
+        pages = np.asarray(pages, dtype=np.int64)
+        sets = np.asarray(hash_to_range(pages, self.num_sets, salt=self._salt))
+        base = sets.astype(np.int64) * self.d
+        return base[:, None] + np.arange(self.d, dtype=np.int64)[None, :]
+
+
+class ModuloSetHashes(HashDistribution):
+    """Hardware-style modulo indexing: set = ``page mod (n/d)``, no hashing.
+
+    This is what real CPU caches do (the set index is low-order address
+    bits). It is *not* semi-uniform in the adversarial sense the theory
+    assumes — the mapping is fixed and known — but it is the deployed
+    baseline, and comparing it against hashed set-associativity shows why
+    the paper's model hashes at all: strided access patterns alias whole
+    set groups under modulo indexing.
+    """
+
+    is_semi_uniform = False  # deterministic mapping, not a random marginal
+
+    def __init__(self, n: int, d: int):
+        super().__init__(n, d)
+        if n % d != 0:
+            raise ConfigurationError(
+                f"modulo set layout needs d | n, got n={n}, d={d}"
+            )
+        self.num_sets = n // d
+
+    @property
+    def name(self) -> str:
+        return f"modulo_set(d={self.d})"
+
+    def positions_batch(self, pages: np.ndarray) -> np.ndarray:
+        pages = np.asarray(pages, dtype=np.int64)
+        base = (pages % self.num_sets) * self.d
+        return base[:, None] + np.arange(self.d, dtype=np.int64)[None, :]
+
+
+class SkewedHashes(HashDistribution):
+    """Skewed associativity (Seznec 1993): ``d`` banks, one hash per bank.
+
+    The cache is split into ``d`` banks of ``n/d`` slots; ``h_j`` maps
+    uniformly into bank ``j`` with an independent hash function. Distinct
+    pages conflict in one bank but rarely in all — the design that
+    motivated hashing-based associativity in hardware. ``n`` must be a
+    multiple of ``d``.
+    """
+
+    def __init__(self, n: int, d: int, *, seed: SeedLike = 0):
+        super().__init__(n, d)
+        if n % d != 0:
+            raise ConfigurationError(f"skewed layout needs d | n, got n={n}, d={d}")
+        self.bank_size = n // d
+        self._salts = np.asarray(
+            [derive_seed(seed, "skew", j) for j in range(d)], dtype=np.uint64
+        )
+
+    @property
+    def name(self) -> str:
+        return f"skewed(d={self.d})"
+
+    def positions_batch(self, pages: np.ndarray) -> np.ndarray:
+        pages = np.asarray(pages, dtype=np.int64)
+        out = np.empty((pages.size, self.d), dtype=np.int64)
+        for j in range(self.d):
+            within = np.asarray(
+                hash_to_range(pages, self.bank_size, salt=int(self._salts[j]))
+            )
+            out[:, j] = j * self.bank_size + within
+        return out
+
+
+class OffsetHashes(HashDistribution):
+    """Maximally dependent semi-uniform hashes: a sliding window.
+
+    ``h_1`` is uniform and ``h_j = (h_1 + (j-1)·stride) mod n``. Each
+    marginal is exactly uniform (so the distribution is semi-uniform), yet
+    the tuple is fully determined by ``h_1`` — the extreme of the
+    "arbitrary dependencies" Theorem 2 allows. Used to check that the
+    lower bound does not secretly rely on independent hashes.
+    """
+
+    def __init__(self, n: int, d: int, *, stride: int = 1, seed: SeedLike = 0):
+        super().__init__(n, d)
+        if stride <= 0:
+            raise ConfigurationError(f"stride must be positive, got {stride}")
+        self.stride = int(stride)
+        self._salt = derive_seed(seed, "offset")
+
+    @property
+    def name(self) -> str:
+        return f"offset(d={self.d},stride={self.stride})"
+
+    def positions_batch(self, pages: np.ndarray) -> np.ndarray:
+        pages = np.asarray(pages, dtype=np.int64)
+        h1 = np.asarray(hash_to_range(pages, self.n, salt=self._salt), dtype=np.int64)
+        offsets = (np.arange(self.d, dtype=np.int64) * self.stride)[None, :]
+        return (h1[:, None] + offsets) % self.n
+
+
+class HotSpotHashes(HashDistribution):
+    """A deliberately non-semi-uniform distribution.
+
+    With probability ``hot_prob`` a page's ``h_j`` lands uniformly in a
+    small hot region of ``hot_slots`` slots; otherwise it is uniform over
+    all ``n``. For ``hot_slots = o(n / polylog n)`` and constant
+    ``hot_prob`` the marginal density on hot slots is
+    ``ω(polylog(n)/n)``, violating semi-uniformity — the regime the
+    paper's open question asks about.
+    """
+
+    is_semi_uniform = False
+
+    def __init__(
+        self,
+        n: int,
+        d: int,
+        *,
+        hot_slots: int,
+        hot_prob: float = 0.5,
+        seed: SeedLike = 0,
+    ):
+        super().__init__(n, d)
+        if not 1 <= hot_slots <= n:
+            raise ConfigurationError(f"hot_slots must be in [1, n], got {hot_slots}")
+        if not 0.0 <= hot_prob <= 1.0:
+            raise ConfigurationError(f"hot_prob must be in [0,1], got {hot_prob}")
+        self.hot_slots = int(hot_slots)
+        self.hot_prob = float(hot_prob)
+        self._salts = np.asarray(
+            [derive_seed(seed, "hot", j) for j in range(d)], dtype=np.uint64
+        )
+        self._coin_salts = np.asarray(
+            [derive_seed(seed, "hotcoin", j) for j in range(d)], dtype=np.uint64
+        )
+
+    @property
+    def name(self) -> str:
+        return f"hotspot(d={self.d},hot={self.hot_slots})"
+
+    def positions_batch(self, pages: np.ndarray) -> np.ndarray:
+        pages = np.asarray(pages, dtype=np.int64)
+        out = np.empty((pages.size, self.d), dtype=np.int64)
+        # the coin itself must be a deterministic function of the page so the
+        # tuple is fixed per page (hash distributions are sampled per page once)
+        denom = float(2**32)
+        for j in range(self.d):
+            coin_words = np.asarray(
+                mix_pair(np.uint64(self._coin_salts[j]), pages.astype(np.uint64))
+            )
+            coin = (coin_words >> np.uint64(32)).astype(np.float64) / denom
+            hot = coin < self.hot_prob
+            full = np.asarray(hash_to_range(pages, self.n, salt=int(self._salts[j])))
+            small = np.asarray(
+                hash_to_range(pages, self.hot_slots, salt=int(self._salts[j]) ^ 0x5A5A)
+            )
+            out[:, j] = np.where(hot, small, full)
+        return out
+
+
+class ExplicitHashes(HashDistribution):
+    """Positions specified directly (tests and hand-built adversarial cases).
+
+    Pages missing from the table raise — explicit tables are closed-world.
+    """
+
+    def __init__(self, n: int, table: Mapping[int, Sequence[int]]):
+        if not table:
+            raise ConfigurationError("explicit hash table must be non-empty")
+        lengths = {len(v) for v in table.values()}
+        if len(lengths) != 1:
+            raise ConfigurationError("all pages must have the same number of hashes")
+        d = lengths.pop()
+        super().__init__(n, d)
+        self._table: dict[int, np.ndarray] = {}
+        for page, pos in table.items():
+            arr = np.asarray(pos, dtype=np.int64)
+            if arr.min() < 0 or arr.max() >= n:
+                raise ConfigurationError(
+                    f"positions of page {page} out of range [0,{n})"
+                )
+            self._table[int(page)] = arr
+
+    @property
+    def name(self) -> str:
+        return f"explicit(d={self.d})"
+
+    def positions_batch(self, pages: np.ndarray) -> np.ndarray:
+        pages = np.asarray(pages, dtype=np.int64)
+        out = np.empty((pages.size, self.d), dtype=np.int64)
+        for i, page in enumerate(pages.tolist()):
+            try:
+                out[i] = self._table[page]
+            except KeyError:
+                raise ConfigurationError(
+                    f"page {page} has no explicit hash assignment"
+                ) from None
+        return out

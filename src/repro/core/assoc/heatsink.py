@@ -1,0 +1,346 @@
+"""HEAT-SINK LRU — the paper's main algorithm (§5, Theorem 4).
+
+The cache is split into two regions:
+
+- **Bins**: ``n/b`` bins of ``b = ε⁻³`` slots each. A page ``x`` hashes to
+  one bin ``Bin(x)``; within a bin, eviction is LRU.
+- **Heat-sink**: a small extra region managed by 2-RANDOM (each page has
+  two uniform heat-sink positions).
+
+On a miss, a biased coin is flipped **per miss** (not per page): with
+probability ``p = ε²`` the page goes to the heat-sink, otherwise into
+``Bin(x)``. A page may therefore reside in any of its ``b`` bin slots or
+its 2 heat-sink slots — total associativity ``d = b + 2``.
+
+The mechanism's point (§1.1 Part 3): a bin that is "hot" (more live pages
+hash to it than it can hold) keeps missing; every miss gives its pages an
+independent ``ε²`` chance of migrating to the heat-sink, so sustained heat
+drains away at a rate proportional to how bad the bin is — a negative
+feedback loop. Theorem 4: with cache size ``(1+ε)n`` this policy is
+``(1+O(ε))``-competitive with fully-associative LRU at size ``(1-2ε)n``.
+
+Sizing note: the paper's §5 bullet list allocates "``n/d`` additional
+slots" to the heat-sink, but the proof of Lemma 12 applies Corollary 2 to
+a heat-sink of ``εn`` slots (holding ``O(ε²n)`` pages), and the phase
+accounting needs that larger sink. We follow the proof:
+:meth:`HeatSinkLRU.from_epsilon` sizes the sink at ``⌈εn⌉`` by default,
+and ``sink_size`` is an explicit knob the ablation experiment sweeps.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+import numpy as np
+
+from repro.core.base import CachePolicy
+from repro.errors import CapacityError, ConfigurationError
+from repro.hashing import hash_to_range
+from repro.rng import SeedLike, derive_seed, make_rng
+from repro.traces.base import Trace, as_page_array
+from repro.core.base import SimResult
+
+__all__ = ["HeatSinkLRU"]
+
+_EMPTY = -1
+
+
+class HeatSinkLRU(CachePolicy):
+    """Binned LRU with a 2-RANDOM heat-sink and per-miss routing coin.
+
+    Parameters
+    ----------
+    capacity:
+        Total slots (bins + heat-sink). The bin region is
+        ``capacity - sink_size`` rounded down to a multiple of
+        ``bin_size``; any remainder slots are donated to the sink so no
+        capacity is silently lost.
+    bin_size:
+        Slots per bin (the paper's ``b``).
+    sink_size:
+        Slots in the heat-sink region (``⌈εn⌉`` in the analysis).
+    sink_prob:
+        Per-miss probability of routing to the heat-sink (the paper's
+        ``p = ε²``).
+    sink_policy:
+        Eviction policy inside the heat-sink: ``"2-random"`` (the paper's
+        design, default) or ``"lru"`` (a fully-associative recency-managed
+        companion — the ablation isolating what randomness contributes
+        *inside* the sink; note it raises the effective associativity to
+        ``bin_size + sink_size``).
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        *,
+        bin_size: int,
+        sink_size: int,
+        sink_prob: float,
+        sink_policy: str = "2-random",
+        seed: SeedLike = 0,
+    ):
+        super().__init__(capacity)
+        if bin_size < 1:
+            raise ConfigurationError(f"bin_size must be >= 1, got {bin_size}")
+        if sink_size < 2:
+            raise CapacityError(
+                f"heat-sink needs >= 2 slots for 2-RANDOM, got {sink_size}"
+            )
+        if not 0.0 <= sink_prob <= 1.0:
+            raise ConfigurationError(f"sink_prob must be in [0,1], got {sink_prob}")
+        main_budget = capacity - sink_size
+        if main_budget < bin_size:
+            raise CapacityError(
+                f"capacity={capacity} with sink_size={sink_size} leaves no room "
+                f"for a bin of size {bin_size}"
+            )
+        self.bin_size = int(bin_size)
+        self.num_bins = main_budget // bin_size
+        self.main_size = self.num_bins * bin_size
+        # donate the rounding remainder to the sink rather than wasting it
+        self.sink_size = capacity - self.main_size
+        self.sink_prob = float(sink_prob)
+        if sink_policy not in ("2-random", "lru"):
+            raise ConfigurationError(
+                f"sink_policy must be '2-random' or 'lru', got {sink_policy!r}"
+            )
+        self.sink_policy = sink_policy
+
+        self._bin_salt = derive_seed(seed, "hs-bin")
+        self._sink_salts = (derive_seed(seed, "hs-sink", 0), derive_seed(seed, "hs-sink", 1))
+        self._rng = make_rng(None if seed is None else derive_seed(seed, "hs-coins"))
+        # pre-drawn uniforms (coin flips + sink-slot choices): per-miss
+        # Generator calls dominate the miss path otherwise
+        self._uniform_buf: list[float] = []
+        self._uniform_idx = 0
+
+        # bins[i] maps page -> last-access clock; insertion order is kept in
+        # sync with recency by re-inserting on hit (dict preserves order)
+        self._bins: list[dict[int, None]] = [dict() for _ in range(self.num_bins)]
+        self._sink_pages = np.full(self.sink_size, _EMPTY, dtype=np.int64)
+        # recency-ordered sink residents, used only when sink_policy == "lru"
+        # (the page -> location map then stores the sentinel -1)
+        self._sink_lru: dict[int, None] = {}
+        # page -> location: bin index if >= 0, else sink position -(loc+1)
+        self._loc: dict[int, int] = {}
+        self._hash_cache: dict[int, tuple[int, int, int]] = {}
+
+        # instrumentation
+        self._sink_routings = 0
+        self._bin_routings = 0
+        self._sink_evictions = 0
+        self._bin_evictions = np.zeros(self.num_bins, dtype=np.int64)
+        self._bin_misses = np.zeros(self.num_bins, dtype=np.int64)
+        #: optional per-access recorder (see `attach_recorder`); appends one
+        #: code per access: 1 = hit, 0 = miss routed to a bin, -1 = miss
+        #: routed to the heat-sink
+        self._recorder: list[int] | None = None
+
+    # -- construction helpers -------------------------------------------------
+    @classmethod
+    def from_epsilon(
+        cls,
+        nominal_size: int,
+        epsilon: float,
+        *,
+        bin_size: int | None = None,
+        seed: SeedLike = 0,
+    ) -> "HeatSinkLRU":
+        """Build the Theorem-4 configuration for a nominal cache size ``n``.
+
+        Uses total capacity ``(1+ε)n`` (``⌈n/b⌉`` bins of ``b = ⌈ε⁻³⌉``
+        plus a ``⌈εn⌉``-slot heat-sink) and coin probability ``ε²``.
+        ``bin_size`` may override ``b`` — footnote 3 of the paper notes
+        ``b = ε⁻² polylog(ε⁻¹)`` also suffices, and experiments sweep it.
+        """
+        if not 0.0 < epsilon < 1.0:
+            raise ConfigurationError(f"epsilon must be in (0,1), got {epsilon}")
+        if nominal_size <= 0:
+            raise ConfigurationError(f"nominal_size must be positive, got {nominal_size}")
+        b = int(math.ceil(epsilon**-3)) if bin_size is None else int(bin_size)
+        num_bins = max(1, math.ceil(nominal_size / b))
+        sink = max(2, math.ceil(epsilon * nominal_size))
+        return cls(
+            capacity=num_bins * b + sink,
+            bin_size=b,
+            sink_size=sink,
+            sink_prob=epsilon**2,
+            seed=seed,
+        )
+
+    @property
+    def name(self) -> str:
+        suffix = ",lru-sink" if self.sink_policy == "lru" else ""
+        return (
+            f"HEAT-SINK(b={self.bin_size},s={self.sink_size},"
+            f"p={self.sink_prob:.3g}{suffix})"
+        )
+
+    @property
+    def associativity(self) -> int:
+        """Eligible positions per page: the bin plus the sink positions
+        (2 hashed slots under 2-RANDOM; the whole sink under the LRU
+        ablation variant)."""
+        if self.sink_policy == "lru":
+            return self.bin_size + self.sink_size
+        return self.bin_size + 2
+
+    # -- hashing --------------------------------------------------------------
+    def _hashes(self, page: int) -> tuple[int, int, int]:
+        cached = self._hash_cache.get(page)
+        if cached is None:
+            cached = (
+                int(hash_to_range(page, self.num_bins, salt=self._bin_salt)),
+                int(hash_to_range(page, self.sink_size, salt=self._sink_salts[0])),
+                int(hash_to_range(page, self.sink_size, salt=self._sink_salts[1])),
+            )
+            self._hash_cache[page] = cached
+        return cached
+
+    def prefetch_hashes(self, trace: Trace | np.ndarray) -> None:
+        """Vectorized hash precomputation for all distinct pages of a trace."""
+        pages = np.unique(as_page_array(trace))
+        missing = np.asarray(
+            [p for p in pages.tolist() if p not in self._hash_cache], dtype=np.int64
+        )
+        if missing.size == 0:
+            return
+        bins = np.asarray(hash_to_range(missing, self.num_bins, salt=self._bin_salt))
+        s1 = np.asarray(hash_to_range(missing, self.sink_size, salt=self._sink_salts[0]))
+        s2 = np.asarray(hash_to_range(missing, self.sink_size, salt=self._sink_salts[1]))
+        for i, page in enumerate(missing.tolist()):
+            self._hash_cache[page] = (int(bins[i]), int(s1[i]), int(s2[i]))
+
+    def bin_of(self, page: int) -> int:
+        """The bin ``Bin(x)`` a page hashes to."""
+        return self._hashes(page)[0]
+
+    # -- the policy -----------------------------------------------------------
+    def _next_uniform(self) -> float:
+        """One value from the buffered uniform stream (shared by subclasses)."""
+        i = self._uniform_idx
+        if i >= len(self._uniform_buf):
+            self._uniform_buf = self._rng.random(4096).tolist()
+            i = 0
+        self._uniform_idx = i + 1
+        return self._uniform_buf[i]
+
+    def _route_to_sink(self, page: int, bin_idx: int) -> bool:
+        """The per-miss routing coin (overridable; see the adaptive variant)."""
+        return self._next_uniform() < self.sink_prob
+
+    def attach_recorder(self, sink: list[int] | None) -> None:
+        """Attach (or detach with ``None``) a per-access routing recorder.
+
+        While attached, every access appends one code to the list:
+        ``1`` = hit, ``0`` = miss routed to a bin, ``-1`` = miss routed to
+        the heat-sink. Used by the Theorem-4 proof tracer
+        (:mod:`repro.analysis.prooftrace`).
+        """
+        self._recorder = sink
+
+    def access(self, page: int) -> bool:
+        loc = self._loc.get(page)
+        if loc is not None:
+            if loc >= 0:
+                # refresh recency: dicts preserve insertion order, so
+                # delete+reinsert moves the page to the MRU end
+                b = self._bins[loc]
+                del b[page]
+                b[page] = None
+            elif self.sink_policy == "lru":
+                sink = self._sink_lru
+                del sink[page]
+                sink[page] = None
+            # 2-RANDOM sink residents have no recency state to refresh
+            if self._recorder is not None:
+                self._recorder.append(1)
+            return True
+
+        bin_idx, s1, s2 = self._hashes(page)
+        route_to_sink = self._route_to_sink(page, bin_idx)
+        if self._recorder is not None:
+            self._recorder.append(-1 if route_to_sink else 0)
+        if route_to_sink and self.sink_policy == "lru":
+            self._sink_routings += 1
+            sink = self._sink_lru
+            if len(sink) >= self.sink_size:
+                victim = next(iter(sink))
+                del sink[victim]
+                del self._loc[victim]
+                self._sink_evictions += 1
+            sink[page] = None
+            self._loc[page] = -1
+        elif route_to_sink:
+            self._sink_routings += 1
+            pos = s1 if self._next_uniform() < 0.5 else s2
+            victim = int(self._sink_pages[pos])
+            if victim != _EMPTY:
+                del self._loc[victim]
+                self._sink_evictions += 1
+            self._sink_pages[pos] = page
+            self._loc[page] = -(pos + 1)
+        else:
+            self._bin_routings += 1
+            self._bin_misses[bin_idx] += 1
+            b = self._bins[bin_idx]
+            if len(b) >= self.bin_size:
+                victim = next(iter(b))  # oldest insertion = LRU within bin
+                del b[victim]
+                del self._loc[victim]
+                self._bin_evictions[bin_idx] += 1
+            b[page] = None
+            self._loc[page] = bin_idx
+        return False
+
+    def run(self, trace: Trace | np.ndarray, *, reset: bool = True) -> SimResult:
+        if reset:
+            self.reset()
+        self.prefetch_hashes(trace)
+        return super().run(trace, reset=False)
+
+    def reset(self) -> None:
+        for b in self._bins:
+            b.clear()
+        self._sink_pages.fill(_EMPTY)
+        self._sink_lru.clear()
+        self._loc.clear()
+        self._sink_routings = 0
+        self._bin_routings = 0
+        self._sink_evictions = 0
+        self._bin_evictions.fill(0)
+        self._bin_misses.fill(0)
+        # hash cache kept: hashes are per-page constants
+
+    def contents(self) -> frozenset[int]:
+        return frozenset(self._loc)
+
+    def __len__(self) -> int:
+        return len(self._loc)
+
+    # -- diagnostics ------------------------------------------------------------
+    def bin_loads(self) -> np.ndarray:
+        """Current number of resident pages per bin."""
+        return np.asarray([len(b) for b in self._bins], dtype=np.int64)
+
+    def sink_occupancy(self) -> float:
+        """Fraction of heat-sink slots currently occupied."""
+        if self.sink_policy == "lru":
+            return len(self._sink_lru) / self.sink_size
+        return float((self._sink_pages != _EMPTY).mean())
+
+    def bin_eviction_counts(self) -> np.ndarray:
+        """Evictions per bin since the last reset (the heat signal)."""
+        return self._bin_evictions.copy()
+
+    def _instrumentation(self) -> dict[str, Any]:
+        return {
+            "sink_routings": self._sink_routings,
+            "bin_routings": self._bin_routings,
+            "sink_evictions": self._sink_evictions,
+            "bin_evictions": self._bin_evictions.copy(),
+            "bin_misses": self._bin_misses.copy(),
+            "sink_occupancy": self.sink_occupancy(),
+        }

@@ -1,0 +1,165 @@
+"""Rearranging cache — the prior-work model with free internal moves.
+
+The related work the paper positions itself against ([16] Peserico,
+[7] Buchbinder–Chen–Naor, and the companion-cache line [5, 15]) allows
+the cache to *rearrange* resident pages among their eligible slots for
+free (or cheaply) — the knob the paper deliberately does without.
+
+:class:`RearrangingCache` implements the natural online algorithm in that
+model: on a miss, search the *kick graph* breadth-first (a slot occupied
+by ``y`` can forward to ``y``'s other eligible slots) for
+
+1. a reachable **empty** slot — shift pages one hop each along the BFS
+   path and place the new page with **no eviction**; otherwise
+2. the reachable slot whose occupant is **least recently used** — evict
+   it, shift along the path, place the new page.
+
+With unbounded search this holds exactly the set of pages an offline
+orientation could hold (it maintains a maximal 1-orientation online —
+classic cuckoo-hashing BFS insertion); ``max_bfs_nodes`` bounds per-miss
+work, degrading gracefully toward plain `P`-LRU as the budget shrinks.
+Comparing it against HEAT-SINK LRU at equal capacity quantifies what the
+paper's *no-rearrangement* stance costs — and what it saves in data
+movement (the ``total_moves`` instrumentation).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.core.assoc.hashdist import HashDistribution
+from repro.core.assoc.slotted import EMPTY, SlottedCache
+from repro.errors import ConfigurationError
+from repro.rng import SeedLike
+
+__all__ = ["RearrangingCache"]
+
+
+class RearrangingCache(SlottedCache):
+    """d-associative cache with BFS rearrangement on misses."""
+
+    def __init__(
+        self,
+        capacity: int,
+        *,
+        dist: HashDistribution | None = None,
+        d: int = 2,
+        seed: SeedLike = 0,
+        max_bfs_nodes: int = 64,
+    ):
+        super().__init__(capacity, dist=dist, d=d, seed=seed)
+        if max_bfs_nodes < 1:
+            raise ConfigurationError(f"max_bfs_nodes must be >= 1, got {max_bfs_nodes}")
+        self.max_bfs_nodes = int(max_bfs_nodes)
+        self._total_moves = 0
+        self._bfs_truncations = 0
+
+    @property
+    def name(self) -> str:
+        return f"{self.dist.name}-REARRANGE(k={self.max_bfs_nodes})"
+
+    def _choose_slot(self, page: int, positions: tuple[int, ...]) -> int:
+        raise NotImplementedError  # pragma: no cover - access() is overridden
+
+    # -- BFS over the kick graph ------------------------------------------
+    def _bfs(self, roots: tuple[int, ...]) -> tuple[dict[int, int], int | None, list[int]]:
+        """Explore slots reachable by kicks from ``roots``.
+
+        Returns ``(parents, empty_slot, visited_order)`` where ``parents``
+        maps each visited slot to its predecessor (-1 for roots),
+        ``empty_slot`` is the first empty slot found (or None), and
+        ``visited_order`` lists visited slots in BFS order.
+        """
+        parents: dict[int, int] = {}
+        order: list[int] = []
+        queue: deque[int] = deque()
+        for slot in positions_unique(roots):
+            if slot not in parents:
+                parents[slot] = -1
+                queue.append(slot)
+        while queue:
+            slot = queue.popleft()
+            order.append(slot)
+            occupant = self._slot_page[slot]
+            if occupant == EMPTY:
+                return parents, slot, order
+            if len(parents) >= self.max_bfs_nodes:
+                continue  # stop expanding, but drain queued slots
+            for nxt in self._positions(occupant):
+                if nxt not in parents:
+                    parents[nxt] = slot
+                    queue.append(nxt)
+        return parents, None, order
+
+    def _shift_chain(self, parents: dict[int, int], target: int) -> int:
+        """Shift occupants one hop each along the BFS path ending at ``target``.
+
+        After the shift the path's *root* slot is free; returns that slot.
+        Each hop moves the predecessor slot's occupant into its successor
+        slot — legal because BFS reached the successor *via* that occupant's
+        own eligible positions.
+        """
+        # reconstruct path root -> ... -> target
+        path = [target]
+        while parents[path[-1]] != -1:
+            path.append(parents[path[-1]])
+        path.reverse()  # [root, ..., target]
+        # walk backwards, pulling each occupant forward
+        for i in range(len(path) - 1, 0, -1):
+            src, dst = path[i - 1], path[i]
+            mover = self._slot_page[src]
+            assert mover != EMPTY  # interior of a BFS path is occupied
+            self._slot_page[dst] = mover
+            self._pos_of[mover] = dst
+            # rearrangement is free: moving does not refresh recency
+            self._slot_time[dst] = self._slot_time[src]
+            self._slot_birth[dst] = self._slot_birth[src]
+            self._total_moves += 1
+        return path[0]
+
+    def access(self, page: int) -> bool:
+        self._clock += 1
+        pos = self._pos_of.get(page)
+        if pos is not None:
+            self._slot_time[pos] = self._clock
+            return True
+        positions = self._positions(page)
+        parents, empty_slot, order = self._bfs(positions)
+        if empty_slot is not None:
+            slot = self._shift_chain(parents, empty_slot)
+        else:
+            if len(parents) >= self.max_bfs_nodes:
+                self._bfs_truncations += 1
+            # evict the least recently used occupant among reachable slots
+            slot_time = self._slot_time
+            victim_slot = min(order, key=lambda slot: slot_time[slot])
+            victim = self._slot_page[victim_slot]
+            del self._pos_of[victim]
+            self._evictions[victim_slot] += 1
+            self._slot_page[victim_slot] = EMPTY
+            slot = self._shift_chain(parents, victim_slot)
+        self._slot_page[slot] = page
+        self._pos_of[page] = slot
+        self._slot_time[slot] = self._clock
+        self._slot_birth[slot] = self._clock
+        return False
+
+    def reset(self) -> None:
+        super().reset()
+        self._total_moves = 0
+        self._bfs_truncations = 0
+
+    def _instrumentation(self) -> dict[str, Any]:
+        data = super()._instrumentation()
+        data["total_moves"] = self._total_moves
+        data["bfs_truncations"] = self._bfs_truncations
+        return data
+
+
+def positions_unique(positions: tuple[int, ...]) -> list[int]:
+    """Order-preserving de-duplication of a position tuple."""
+    seen: dict[int, None] = {}
+    for p in positions:
+        seen.setdefault(p, None)
+    return list(seen)

@@ -1,0 +1,29 @@
+"""Set-associative LRU — the classic hardware cache organization.
+
+``n/d`` disjoint sets of ``d`` ways; a page hashes to one set and LRU runs
+within it. This is `P`-LRU instantiated with
+:class:`~repro.core.assoc.hashdist.SetAssociativeHashes`, provided as a
+named class because it is *the* baseline the architecture literature means
+by "a d-way cache", and because the related work ([4], Bender et al. 2023)
+proves a sharp associativity threshold for exactly this organization:
+competitive for ``d = ω(log n)``, not competitive for ``d = o(log n)``.
+"""
+
+from __future__ import annotations
+
+from repro.core.assoc.d_lru import PLruCache
+from repro.core.assoc.hashdist import SetAssociativeHashes
+from repro.rng import SeedLike
+
+__all__ = ["SetAssociativeLRU"]
+
+
+class SetAssociativeLRU(PLruCache):
+    """LRU within hardware-style disjoint sets of ``d`` ways."""
+
+    def __init__(self, capacity: int, *, d: int = 8, seed: SeedLike = 0):
+        super().__init__(capacity, dist=SetAssociativeHashes(capacity, d, seed=seed))
+
+    @property
+    def num_sets(self) -> int:
+        return self.capacity // self.d

@@ -1,0 +1,29 @@
+"""Skewed-associative LRU (Seznec, ISCA 1993 — paper's reference [17]).
+
+``d`` banks, each with its own hash function; a page's eligible positions
+are one slot per bank. Compared to set-associativity, two pages that
+conflict in one bank almost never conflict in all banks, which removes
+pathological set conflicts. The paper cites skewed-associative caches as
+one of the designs whose eviction rule is folklore d-LRU — making this
+class a direct subject of the Theorem-2 lower bound (its hashes are
+semi-uniform).
+"""
+
+from __future__ import annotations
+
+from repro.core.assoc.d_lru import PLruCache
+from repro.core.assoc.hashdist import SkewedHashes
+from repro.rng import SeedLike
+
+__all__ = ["SkewedAssociativeLRU"]
+
+
+class SkewedAssociativeLRU(PLruCache):
+    """LRU among one hashed slot per bank (skewed associativity)."""
+
+    def __init__(self, capacity: int, *, d: int = 2, seed: SeedLike = 0):
+        super().__init__(capacity, dist=SkewedHashes(capacity, d, seed=seed))
+
+    @property
+    def bank_size(self) -> int:
+        return self.capacity // self.d

@@ -1,0 +1,110 @@
+"""Victim cache (Jouppi, ISCA 1990 — paper's reference [12]).
+
+A direct-mapped main cache backed by a small fully-associative LRU
+"victim" buffer that catches pages evicted from the main array. The
+companion-cache literature the paper discusses ([5, 7, 15]) generalizes
+exactly this design. It is the historical answer to the hot-spot problem
+HEAT-SINK LRU addresses — the comparison of the two (a recency-managed
+companion vs. a 2-RANDOM-managed heat sink) is one of this repo's
+ablation experiments.
+
+Associativity accounting: a page may reside in its direct-mapped slot or
+anywhere in the victim buffer, so ``d = 1 + victim_size`` eligible
+positions (the victim buffer is tiny, keeping ``d`` small).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any
+
+import numpy as np
+
+from repro.core.base import CachePolicy
+from repro.errors import CapacityError
+from repro.hashing import hash_to_range
+from repro.rng import SeedLike, derive_seed
+
+__all__ = ["VictimCache"]
+
+_EMPTY = -1
+
+
+class VictimCache(CachePolicy):
+    """Direct-mapped cache with a fully-associative LRU victim buffer.
+
+    Parameters
+    ----------
+    capacity:
+        Total number of page slots (main array + victim buffer).
+    victim_size:
+        Slots reserved for the victim buffer (must leave >= 1 main slot).
+    """
+
+    def __init__(self, capacity: int, *, victim_size: int = 4, seed: SeedLike = 0):
+        super().__init__(capacity)
+        if victim_size < 1:
+            raise CapacityError(f"victim_size must be >= 1, got {victim_size}")
+        if victim_size >= capacity:
+            raise CapacityError(
+                f"victim_size={victim_size} leaves no main cache (capacity={capacity})"
+            )
+        self.victim_size = int(victim_size)
+        self.main_size = capacity - victim_size
+        self._salt = derive_seed(seed, "victim-main")
+        self._main = np.full(self.main_size, _EMPTY, dtype=np.int64)
+        self._main_slot_of: dict[int, int] = {}
+        self._victim: OrderedDict[int, None] = OrderedDict()  # LRU -> MRU
+        self._promotions = 0  # victim hits (diagnostic)
+
+    @property
+    def name(self) -> str:
+        return f"victim(v={self.victim_size})"
+
+    def _main_slot(self, page: int) -> int:
+        return int(hash_to_range(page, self.main_size, salt=self._salt))
+
+    def _demote(self, page: int) -> None:
+        """Push an evicted main-array page into the victim buffer."""
+        if len(self._victim) >= self.victim_size:
+            self._victim.popitem(last=False)
+        self._victim[page] = None
+
+    def access(self, page: int) -> bool:
+        slot = self._main_slot(page)
+        if int(self._main[slot]) == page:
+            return True
+        if page in self._victim:
+            # swap with the direct-mapped occupant (Jouppi's promotion rule)
+            del self._victim[page]
+            old = int(self._main[slot])
+            self._main[slot] = page
+            self._main_slot_of[page] = slot
+            if old != _EMPTY:
+                del self._main_slot_of[old]
+                self._demote(old)
+            self._promotions += 1
+            return True
+        # full miss: install in the direct-mapped slot, demote the occupant
+        old = int(self._main[slot])
+        self._main[slot] = page
+        self._main_slot_of[page] = slot
+        if old != _EMPTY:
+            del self._main_slot_of[old]
+            self._demote(old)
+        return False
+
+    def reset(self) -> None:
+        self._main.fill(_EMPTY)
+        self._main_slot_of.clear()
+        self._victim.clear()
+        self._promotions = 0
+
+    def contents(self) -> frozenset[int]:
+        return frozenset(self._main_slot_of) | frozenset(self._victim)
+
+    def __len__(self) -> int:
+        return len(self._main_slot_of) + len(self._victim)
+
+    def _instrumentation(self) -> dict[str, Any]:
+        return {"victim_promotions": self._promotions}

@@ -1,0 +1,44 @@
+"""Fully-associative eviction policies.
+
+LRU is the paper's reference point (Sleator–Tarjan: 2-competitive with
+resource augmentation 2); the rest of the zoo provides the baselines real
+systems derive from LRU (§1: "the LRU policy remains the baseline policy on
+which almost all real-world cache-eviction policies are based") plus the
+classic randomized MARKING algorithm and the offline optimum (Belady).
+"""
+
+from repro.core.fully.lru import LRUCache, MRUCache
+from repro.core.fully.fifo import FIFOCache
+from repro.core.fully.clock import ClockCache
+from repro.core.fully.lfu import LFUCache
+from repro.core.fully.random_evict import RandomEvictCache
+from repro.core.fully.marking import MarkingCache
+from repro.core.fully.sieve import SieveCache
+from repro.core.fully.arc import ARCCache
+from repro.core.fully.two_q import TwoQCache
+from repro.core.fully.lru_k import LRUKCache
+from repro.core.fully.lirs import LIRSCache
+from repro.core.fully.slru import SLRUCache
+from repro.core.fully.sketch import CountMinSketch
+from repro.core.fully.tinylfu import TinyLFUCache
+from repro.core.fully.belady import BeladyCache, belady_miss_count
+
+__all__ = [
+    "LRUCache",
+    "MRUCache",
+    "FIFOCache",
+    "ClockCache",
+    "LFUCache",
+    "RandomEvictCache",
+    "MarkingCache",
+    "SieveCache",
+    "ARCCache",
+    "TwoQCache",
+    "LRUKCache",
+    "LIRSCache",
+    "SLRUCache",
+    "CountMinSketch",
+    "TinyLFUCache",
+    "BeladyCache",
+    "belady_miss_count",
+]

@@ -1,0 +1,106 @@
+"""ARC — Adaptive Replacement Cache (Megiddo & Modha, FAST 2003).
+
+ARC splits the cache into a recency list T1 and a frequency list T2, with
+ghost lists B1/B2 remembering recently evicted pages. A hit in a ghost
+list adapts the target size ``p`` of T1, letting the cache slide between
+LRU-like and LFU-like behaviour. It is the canonical *adaptive*
+fully-associative baseline; including it bounds how much of the gap
+between a low-associativity design and full LRU could instead be closed
+by a smarter fully-associative policy.
+
+Implementation follows the FAST '03 pseudocode (Fig. 4) exactly.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.core.base import CachePolicy
+
+__all__ = ["ARCCache"]
+
+
+class ARCCache(CachePolicy):
+    """Adaptive Replacement Cache on a fully associative cache."""
+
+    def __init__(self, capacity: int):
+        super().__init__(capacity)
+        # All four lists ordered LRU (oldest) -> MRU (newest).
+        self._t1: OrderedDict[int, None] = OrderedDict()  # recent, in cache
+        self._t2: OrderedDict[int, None] = OrderedDict()  # frequent, in cache
+        self._b1: OrderedDict[int, None] = OrderedDict()  # ghost of t1
+        self._b2: OrderedDict[int, None] = OrderedDict()  # ghost of t2
+        self._p = 0.0  # adaptive target size of t1
+
+    @property
+    def name(self) -> str:
+        return "ARC"
+
+    @property
+    def target_t1(self) -> float:
+        """Current adaptive target size of the recency list (diagnostic)."""
+        return self._p
+
+    def _replace(self, page_in_b2: bool) -> None:
+        """Evict from t1 or t2 into the matching ghost list (paper's REPLACE)."""
+        t1_len = len(self._t1)
+        if t1_len >= 1 and (
+            (page_in_b2 and t1_len == int(self._p)) or t1_len > int(self._p)
+        ):
+            victim, _ = self._t1.popitem(last=False)
+            self._b1[victim] = None
+        else:
+            victim, _ = self._t2.popitem(last=False)
+            self._b2[victim] = None
+
+    def access(self, page: int) -> bool:
+        c = self.capacity
+        if page in self._t1:  # Case I: hit in t1 -> promote to t2
+            del self._t1[page]
+            self._t2[page] = None
+            return True
+        if page in self._t2:  # Case I: hit in t2 -> refresh
+            self._t2.move_to_end(page)
+            return True
+        if page in self._b1:  # Case II: ghost hit favouring recency
+            delta = 1.0 if len(self._b1) >= len(self._b2) else len(self._b2) / len(self._b1)
+            self._p = min(self._p + delta, float(c))
+            self._replace(page_in_b2=False)
+            del self._b1[page]
+            self._t2[page] = None
+            return False
+        if page in self._b2:  # Case III: ghost hit favouring frequency
+            delta = 1.0 if len(self._b2) >= len(self._b1) else len(self._b1) / len(self._b2)
+            self._p = max(self._p - delta, 0.0)
+            self._replace(page_in_b2=True)
+            del self._b2[page]
+            self._t2[page] = None
+            return False
+        # Case IV: complete miss
+        l1 = len(self._t1) + len(self._b1)
+        l2 = len(self._t2) + len(self._b2)
+        if l1 == c:
+            if len(self._t1) < c:
+                self._b1.popitem(last=False)
+                self._replace(page_in_b2=False)
+            else:
+                self._t1.popitem(last=False)
+        elif l1 < c and l1 + l2 >= c:
+            if l1 + l2 == 2 * c:
+                self._b2.popitem(last=False)
+            self._replace(page_in_b2=False)
+        self._t1[page] = None
+        return False
+
+    def reset(self) -> None:
+        self._t1.clear()
+        self._t2.clear()
+        self._b1.clear()
+        self._b2.clear()
+        self._p = 0.0
+
+    def contents(self) -> frozenset[int]:
+        return frozenset(self._t1) | frozenset(self._t2)
+
+    def __len__(self) -> int:
+        return len(self._t1) + len(self._t2)

@@ -1,0 +1,109 @@
+"""Belady's MIN — the offline optimal policy (the paper's OPT).
+
+On each miss, evict the resident page whose *next use* lies furthest in
+the future (never-used-again pages first). Belady's MIN minimizes misses
+among all demand-paging algorithms, and demand paging is without loss of
+generality for the fully-associative offline problem, so this is exactly
+the OPT in the paper's ``(α, β)``-competitiveness definition.
+
+Implementation notes (per the HPC guides — vectorize the O(ℓ) part,
+keep the per-access part O(log n)):
+
+- next-use indices are computed for the whole trace in one vectorized
+  pass (stable argsort + neighbour comparison);
+- the eviction victim is found with a lazy max-heap keyed by next use;
+  stale heap entries (page re-accessed or evicted since push) are skipped
+  at pop time. Each access pushes O(1) entries, so total work is
+  O(ℓ log ℓ).
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.core.base import OfflinePolicy, SimResult
+from repro.traces.base import Trace, as_page_array
+
+__all__ = ["BeladyCache", "belady_miss_count", "compute_next_use"]
+
+
+def compute_next_use(pages: np.ndarray) -> np.ndarray:
+    """For each access, the index of the next access to the same page.
+
+    Returns an ``int64`` array ``nxt`` with ``nxt[i] = min{j > i :
+    pages[j] == pages[i]}``, or ``len(pages)`` when the page never recurs
+    ("infinity"). Fully vectorized: stable-sort by page, then consecutive
+    entries with equal pages are (occurrence, next-occurrence) pairs.
+    """
+    length = pages.size
+    nxt = np.full(length, length, dtype=np.int64)
+    if length == 0:
+        return nxt
+    order = np.argsort(pages, kind="stable")
+    sorted_pages = pages[order]
+    same = sorted_pages[1:] == sorted_pages[:-1]
+    nxt[order[:-1][same]] = order[1:][same]
+    return nxt
+
+
+class BeladyCache(OfflinePolicy):
+    """Offline optimal (Belady's MIN / the paper's OPT)."""
+
+    @property
+    def name(self) -> str:
+        return "OPT"
+
+    def __init__(self, capacity: int):
+        super().__init__(capacity)
+        self._resident: dict[int, int] = {}  # page -> its current next-use time
+
+    def reset(self) -> None:
+        self._resident.clear()
+
+    def contents(self) -> frozenset[int]:
+        return frozenset(self._resident)
+
+    def __len__(self) -> int:
+        return len(self._resident)
+
+    def run(self, trace: Trace | np.ndarray, *, reset: bool = True) -> SimResult:
+        if reset:
+            self.reset()
+        pages = as_page_array(trace)
+        length = pages.size
+        next_use = compute_next_use(pages)
+        hits = np.empty(length, dtype=bool)
+
+        resident = self._resident
+        capacity = self.capacity
+        # max-heap of (-next_use, page); entries are validated lazily against
+        # `resident`, which always holds the authoritative next-use time
+        heap: list[tuple[int, int]] = []
+
+        pages_list = pages.tolist()
+        next_list = next_use.tolist()
+        for i in range(length):
+            page = pages_list[i]
+            nu = next_list[i]
+            if page in resident:
+                hits[i] = True
+                resident[page] = nu
+                heapq.heappush(heap, (-nu, page))
+                continue
+            hits[i] = False
+            if len(resident) >= capacity:
+                while True:
+                    neg_nu, victim = heapq.heappop(heap)
+                    if resident.get(victim) == -neg_nu:
+                        del resident[victim]
+                        break
+            resident[page] = nu
+            heapq.heappush(heap, (-nu, page))
+        return SimResult(hits=hits, policy=self.name, capacity=capacity)
+
+
+def belady_miss_count(trace: Trace | np.ndarray, capacity: int) -> int:
+    """Number of misses OPT incurs on ``trace`` with a cache of ``capacity``."""
+    return BeladyCache(capacity).run(trace).num_misses

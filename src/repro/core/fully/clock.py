@@ -1,0 +1,66 @@
+"""CLOCK (second-chance) eviction.
+
+CLOCK approximates LRU with one reference bit per frame and a rotating
+hand: on eviction the hand skips (and clears) referenced frames and evicts
+the first unreferenced one. It is what most OS page caches actually run, so
+it anchors the "hardware-realistic fully-associative" end of the baseline
+spectrum, just as set-associative LRU anchors the hardware-realistic
+low-associativity end.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import CachePolicy
+
+__all__ = ["ClockCache"]
+
+
+class ClockCache(CachePolicy):
+    """Second-chance / CLOCK eviction on a fully associative cache."""
+
+    def __init__(self, capacity: int):
+        super().__init__(capacity)
+        self._frames: list[int] = []  # page per frame, in ring order
+        self._refbit: list[bool] = []
+        self._index: dict[int, int] = {}  # page -> frame
+        self._hand = 0
+
+    @property
+    def name(self) -> str:
+        return "CLOCK"
+
+    def access(self, page: int) -> bool:
+        frame = self._index.get(page)
+        if frame is not None:
+            self._refbit[frame] = True
+            return True
+        if len(self._frames) < self.capacity:
+            self._index[page] = len(self._frames)
+            self._frames.append(page)
+            self._refbit.append(False)
+            return False
+        # rotate the hand to the first frame with a clear reference bit
+        frames, refbit = self._frames, self._refbit
+        hand = self._hand
+        while refbit[hand]:
+            refbit[hand] = False
+            hand = (hand + 1) % len(frames)
+        victim = frames[hand]
+        del self._index[victim]
+        frames[hand] = page
+        refbit[hand] = False
+        self._index[page] = hand
+        self._hand = (hand + 1) % len(frames)
+        return False
+
+    def reset(self) -> None:
+        self._frames.clear()
+        self._refbit.clear()
+        self._index.clear()
+        self._hand = 0
+
+    def contents(self) -> frozenset[int]:
+        return frozenset(self._index)
+
+    def __len__(self) -> int:
+        return len(self._index)

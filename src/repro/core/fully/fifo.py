@@ -1,0 +1,48 @@
+"""Fully-associative FIFO eviction.
+
+FIFO evicts the page that *entered* cache longest ago, ignoring reuse.
+It is k-competitive like LRU in the classical analysis but measurably
+worse on workloads with stable hot sets (hot pages get cycled out); the
+gap between FIFO and LRU is a standard yardstick when reporting how much
+recency information buys — relevant here because d-LRU's whole premise is
+that recency information is worth preserving under associativity limits.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.core.base import CachePolicy
+
+__all__ = ["FIFOCache"]
+
+
+class FIFOCache(CachePolicy):
+    """First-in-first-out eviction on a fully associative cache."""
+
+    def __init__(self, capacity: int):
+        super().__init__(capacity)
+        # insertion order only; hits do not reorder
+        self._queue: OrderedDict[int, None] = OrderedDict()
+
+    @property
+    def name(self) -> str:
+        return "FIFO"
+
+    def access(self, page: int) -> bool:
+        queue = self._queue
+        if page in queue:
+            return True
+        if len(queue) >= self.capacity:
+            queue.popitem(last=False)
+        queue[page] = None
+        return False
+
+    def reset(self) -> None:
+        self._queue.clear()
+
+    def contents(self) -> frozenset[int]:
+        return frozenset(self._queue)
+
+    def __len__(self) -> int:
+        return len(self._queue)

@@ -1,0 +1,114 @@
+"""LFU — least-frequently-used eviction.
+
+In-cache LFU with LRU tie-breaking, implemented with the O(1)
+frequency-bucket structure (Ketan Shah et al. 2010): a doubly linked list
+of frequency nodes, each holding an ordered dict of pages at that
+frequency. Frequencies reset on eviction (no "perfect LFU" history), which
+is the variant real systems implement and the one that exhibits LFU's
+characteristic failure mode — stale hot pages squatting in cache after the
+workload shifts. That failure mode is the frequency-domain analogue of the
+"hot bin" problem HEAT-SINK LRU addresses in the placement domain.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.core.base import CachePolicy
+
+__all__ = ["LFUCache"]
+
+
+class _FreqNode:
+    __slots__ = ("freq", "pages", "prev", "next")
+
+    def __init__(self, freq: int):
+        self.freq = freq
+        self.pages: OrderedDict[int, None] = OrderedDict()
+        self.prev: "_FreqNode | None" = None
+        self.next: "_FreqNode | None" = None
+
+
+class LFUCache(CachePolicy):
+    """Least-frequently-used eviction with LRU tie-breaking."""
+
+    def __init__(self, capacity: int):
+        super().__init__(capacity)
+        self._node_of: dict[int, _FreqNode] = {}
+        self._head: _FreqNode | None = None  # lowest frequency
+
+    @property
+    def name(self) -> str:
+        return "LFU"
+
+    # -- linked-list helpers -------------------------------------------------
+    def _insert_after(self, node: _FreqNode, anchor: _FreqNode | None) -> None:
+        if anchor is None:  # becomes new head
+            node.next = self._head
+            node.prev = None
+            if self._head is not None:
+                self._head.prev = node
+            self._head = node
+        else:
+            node.prev = anchor
+            node.next = anchor.next
+            if anchor.next is not None:
+                anchor.next.prev = node
+            anchor.next = node
+
+    def _unlink_if_empty(self, node: _FreqNode) -> None:
+        if node.pages:
+            return
+        if node.prev is not None:
+            node.prev.next = node.next
+        else:
+            self._head = node.next
+        if node.next is not None:
+            node.next.prev = node.prev
+
+    def _bump(self, page: int) -> None:
+        node = self._node_of[page]
+        del node.pages[page]
+        nxt = node.next
+        if nxt is None or nxt.freq != node.freq + 1:
+            newnode = _FreqNode(node.freq + 1)
+            self._insert_after(newnode, node)
+            nxt = newnode
+        nxt.pages[page] = None
+        self._node_of[page] = nxt
+        self._unlink_if_empty(node)
+
+    # -- policy interface ----------------------------------------------------
+    def access(self, page: int) -> bool:
+        if page in self._node_of:
+            self._bump(page)
+            return True
+        if len(self._node_of) >= self.capacity:
+            head = self._head
+            assert head is not None  # non-empty cache has a head bucket
+            victim, _ = head.pages.popitem(last=False)
+            del self._node_of[victim]
+            self._unlink_if_empty(head)
+        head = self._head
+        if head is None or head.freq != 1:
+            node = _FreqNode(1)
+            self._insert_after(node, None)
+            head = node
+        head.pages[page] = None
+        self._node_of[page] = head
+        return False
+
+    def reset(self) -> None:
+        self._node_of.clear()
+        self._head = None
+
+    def contents(self) -> frozenset[int]:
+        return frozenset(self._node_of)
+
+    def __len__(self) -> int:
+        return len(self._node_of)
+
+    def frequency_of(self, page: int) -> int | None:
+        """Current in-cache use count of ``page`` (``None`` if absent)."""
+        node = self._node_of.get(page)
+        return None if node is None else node.freq

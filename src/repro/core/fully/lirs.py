@@ -1,0 +1,188 @@
+"""LIRS — Low Inter-reference Recency Set (Jiang & Zhang, SIGMETRICS 2002).
+
+LIRS partitions resident pages into LIR ("low inter-reference recency",
+the protected hot set) and HIR (probationary) classes using *reuse
+distance* rather than raw recency. Structures:
+
+- stack ``S``: recency-ordered entries (LIR, resident HIR, and
+  non-resident HIR "ghosts") whose bottom is always LIR;
+- queue ``Q``: resident HIR pages, the eviction pool.
+
+A HIR page that gets re-referenced while still in ``S`` has, by
+definition, a reuse distance shorter than the oldest LIR page — it swaps
+roles with the stack-bottom LIR page. The design delivers LRU-like
+behaviour on friendly workloads and strong scan/loop resistance, which is
+why it completes this library's fully-associative baseline zoo.
+
+Ghost entries are bounded at ``ghost_factor × capacity`` (standard
+practice; the original paper leaves the stack unbounded).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.core.base import CachePolicy
+from repro.errors import ConfigurationError
+
+__all__ = ["LIRSCache"]
+
+# stack-entry states
+_LIR = 0
+_HIR_RES = 1
+_HIR_GHOST = 2
+
+
+class LIRSCache(CachePolicy):
+    """LIRS eviction on a fully associative cache.
+
+    Parameters
+    ----------
+    capacity:
+        Total resident pages (LIR + resident HIR).
+    hir_fraction:
+        Fraction of capacity reserved for resident HIR pages (the paper
+        suggests ~1%; simulator-scale caches default to 10% so the HIR
+        pool is non-trivial at small sizes).
+    ghost_factor:
+        Stack-size bound as a multiple of capacity; oldest ghosts beyond
+        it are dropped.
+    """
+
+    def __init__(self, capacity: int, *, hir_fraction: float = 0.1, ghost_factor: float = 2.0):
+        super().__init__(capacity)
+        if not 0.0 < hir_fraction < 1.0:
+            raise ConfigurationError(f"hir_fraction must be in (0,1), got {hir_fraction}")
+        if ghost_factor < 1.0:
+            raise ConfigurationError(f"ghost_factor must be >= 1, got {ghost_factor}")
+        self.hir_capacity = max(1, int(round(hir_fraction * capacity)))
+        if self.hir_capacity >= capacity:
+            self.hir_capacity = max(1, capacity - 1)
+        self.lir_capacity = capacity - self.hir_capacity
+        self.ghost_limit = int(ghost_factor * capacity)
+        self._stack: OrderedDict[int, int] = OrderedDict()  # page -> state
+        self._queue: OrderedDict[int, None] = OrderedDict()  # resident HIR
+        self._lir_count = 0
+
+    @property
+    def name(self) -> str:
+        return "LIRS"
+
+    # -- helpers ----------------------------------------------------------
+    def _resident(self, page: int) -> bool:
+        state = self._stack.get(page)
+        if state == _LIR or state == _HIR_RES:
+            return True
+        return page in self._queue
+
+    def _stack_prune(self) -> None:
+        """Pop non-LIR entries off the stack bottom (invariant: bottom is LIR)."""
+        stack = self._stack
+        while stack:
+            page, state = next(iter(stack.items()))
+            if state == _LIR:
+                return
+            del stack[page]
+
+    def _bound_ghosts(self) -> None:
+        if len(self._stack) <= self.ghost_limit:
+            return
+        # drop to 90% of the limit so the O(|stack|) scan amortizes over
+        # many subsequent insertions instead of re-firing every access
+        target = max(1, int(0.9 * self.ghost_limit))
+        excess = len(self._stack) - target
+        drop = [
+            page
+            for page, state in self._stack.items()
+            if state == _HIR_GHOST
+        ]
+        for page in drop[:excess]:
+            del self._stack[page]
+
+    def _demote_bottom_lir(self) -> None:
+        """Stack-bottom LIR page becomes a resident HIR page (tail of Q)."""
+        page, _ = next(iter(self._stack.items()))
+        del self._stack[page]
+        self._lir_count -= 1
+        self._queue[page] = None
+        self._stack_prune()
+
+    def _evict_hir(self) -> None:
+        victim, _ = self._queue.popitem(last=False)
+        # if the victim is still on the stack it becomes a ghost
+        if self._stack.get(victim) == _HIR_RES:
+            self._stack[victim] = _HIR_GHOST
+
+    def _count_resident(self) -> int:
+        return self._lir_count + len(self._queue)
+
+    # -- the policy --------------------------------------------------------
+    def access(self, page: int) -> bool:
+        stack = self._stack
+        state = stack.get(page)
+
+        if state == _LIR:
+            stack.move_to_end(page)
+            self._stack_prune()
+            return True
+
+        if state == _HIR_RES:
+            # reuse distance beat the oldest LIR page: promote
+            del stack[page]
+            stack[page] = _LIR
+            self._lir_count += 1
+            if page in self._queue:
+                del self._queue[page]
+            if self._lir_count > self.lir_capacity:
+                self._demote_bottom_lir()
+            return True
+
+        if state is None and page in self._queue:
+            # resident HIR not on the stack: stays HIR, re-enters the stack
+            self._queue.move_to_end(page)
+            stack[page] = _HIR_RES
+            self._bound_ghosts()
+            return True
+
+        # ---- miss ----
+        if self._count_resident() >= self.capacity:
+            if self._queue:
+                self._evict_hir()
+            else:
+                self._demote_bottom_lir()
+                self._evict_hir()
+
+        if state == _HIR_GHOST:
+            # ghost hit: short reuse distance -> enters as LIR
+            del stack[page]
+            stack[page] = _LIR
+            self._lir_count += 1
+            if self._lir_count > self.lir_capacity:
+                self._demote_bottom_lir()
+        elif self._lir_count < self.lir_capacity:
+            # cold start: fill the LIR set first (paper's initialization)
+            stack[page] = _LIR
+            self._lir_count += 1
+        else:
+            stack[page] = _HIR_RES
+            self._queue[page] = None
+        self._bound_ghosts()
+        return False
+
+    def reset(self) -> None:
+        self._stack.clear()
+        self._queue.clear()
+        self._lir_count = 0
+
+    def contents(self) -> frozenset[int]:
+        resident = {p for p, s in self._stack.items() if s in (_LIR, _HIR_RES)}
+        resident.update(self._queue)
+        return frozenset(resident)
+
+    def __len__(self) -> int:
+        return len(self.contents())
+
+    # -- diagnostics --------------------------------------------------------
+    def lir_pages(self) -> frozenset[int]:
+        """The current protected (LIR) set."""
+        return frozenset(p for p, s in self._stack.items() if s == _LIR)

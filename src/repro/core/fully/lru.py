@@ -1,0 +1,93 @@
+"""Fully-associative LRU and MRU.
+
+LRU ("evict the least recently accessed page") is the policy whose
+competitive guarantee (Sleator & Tarjan 1985) anchors the whole paper:
+HEAT-SINK LRU's Theorem 4 is a ``(1+ε, 1+ε)``-competitiveness statement
+*against this policy*. The implementation is the textbook O(1)-per-access
+ordered-dict recency list.
+
+MRU (evict the *most* recently used) is included because it is optimal for
+cyclic scans — the workload family where LRU degenerates — making the pair
+a useful bracketing baseline.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.core.base import CachePolicy
+
+__all__ = ["LRUCache", "MRUCache"]
+
+
+class LRUCache(CachePolicy):
+    """Least-recently-used eviction on a fully associative cache."""
+
+    def __init__(self, capacity: int):
+        super().__init__(capacity)
+        # OrderedDict ordered oldest -> newest access
+        self._recency: OrderedDict[int, None] = OrderedDict()
+
+    @property
+    def name(self) -> str:
+        return "LRU"
+
+    def access(self, page: int) -> bool:
+        recency = self._recency
+        if page in recency:
+            recency.move_to_end(page)
+            return True
+        if len(recency) >= self.capacity:
+            recency.popitem(last=False)
+        recency[page] = None
+        return False
+
+    def reset(self) -> None:
+        self._recency.clear()
+
+    def contents(self) -> frozenset[int]:
+        return frozenset(self._recency)
+
+    def __len__(self) -> int:
+        return len(self._recency)
+
+    def recency_order(self) -> list[int]:
+        """Pages ordered least- to most-recently used (for tests/diagnostics)."""
+        return list(self._recency)
+
+    def victim(self) -> int | None:
+        """The page LRU would evict on the next miss (``None`` if not full)."""
+        if len(self._recency) < self.capacity or not self._recency:
+            return None
+        return next(iter(self._recency))
+
+
+class MRUCache(CachePolicy):
+    """Most-recently-used eviction (anti-LRU; optimal on cyclic scans)."""
+
+    def __init__(self, capacity: int):
+        super().__init__(capacity)
+        self._recency: OrderedDict[int, None] = OrderedDict()
+
+    @property
+    def name(self) -> str:
+        return "MRU"
+
+    def access(self, page: int) -> bool:
+        recency = self._recency
+        if page in recency:
+            recency.move_to_end(page)
+            return True
+        if len(recency) >= self.capacity:
+            recency.popitem(last=True)
+        recency[page] = None
+        return False
+
+    def reset(self) -> None:
+        self._recency.clear()
+
+    def contents(self) -> frozenset[int]:
+        return frozenset(self._recency)
+
+    def __len__(self) -> int:
+        return len(self._recency)

@@ -1,0 +1,85 @@
+"""LRU-K eviction (O'Neil, O'Neil & Weikum, SIGMOD 1993).
+
+LRU-K evicts the page whose K-th most recent reference is oldest
+(pages with fewer than K references are treated as infinitely old and
+evicted first, oldest last-reference first). K = 2 is the standard
+instantiation: it distinguishes one-shot accesses from genuinely reused
+pages using exactly one extra timestamp — a minimal-state ancestor of the
+frequency/recency hybrids in the baseline zoo.
+
+Implemented with a lazy max-heap over (K-th reference time) entries;
+stale heap entries are skipped at pop time, giving amortized
+O(log n) evictions.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+
+from repro.core.base import CachePolicy
+from repro.errors import ConfigurationError
+
+__all__ = ["LRUKCache"]
+
+#: stand-in timestamp for "fewer than K references so far"
+_NEVER = -1
+
+
+class LRUKCache(CachePolicy):
+    """LRU-K eviction on a fully associative cache (default K = 2)."""
+
+    def __init__(self, capacity: int, *, k: int = 2):
+        super().__init__(capacity)
+        if k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {k}")
+        self.k = int(k)
+        self._clock = 0
+        # page -> deque of its last <= k reference times (left = oldest)
+        self._history: dict[int, deque[int]] = {}
+        # min-heap over (kth_time, last_time, page); lazily invalidated
+        self._heap: list[tuple[int, int, int]] = []
+
+    @property
+    def name(self) -> str:
+        return f"LRU-{self.k}"
+
+    def _priority(self, page: int) -> tuple[int, int, int]:
+        hist = self._history[page]
+        kth = hist[0] if len(hist) >= self.k else _NEVER
+        return (kth, hist[-1], page)
+
+    def _touch(self, page: int) -> None:
+        self._clock += 1
+        hist = self._history.setdefault(page, deque(maxlen=self.k))
+        hist.append(self._clock)
+        heapq.heappush(self._heap, self._priority(page))
+
+    def _evict(self) -> None:
+        while True:
+            kth, last, page = heapq.heappop(self._heap)
+            hist = self._history.get(page)
+            if hist is None:
+                continue  # page already evicted; stale entry
+            if self._priority(page) != (kth, last, page):
+                continue  # page touched since this entry was pushed
+            del self._history[page]
+            return
+
+    def access(self, page: int) -> bool:
+        hit = page in self._history
+        if not hit and len(self._history) >= self.capacity:
+            self._evict()
+        self._touch(page)
+        return hit
+
+    def reset(self) -> None:
+        self._clock = 0
+        self._history.clear()
+        self._heap.clear()
+
+    def contents(self) -> frozenset[int]:
+        return frozenset(self._history)
+
+    def __len__(self) -> int:
+        return len(self._history)

@@ -1,0 +1,85 @@
+"""The randomized MARKING algorithm.
+
+MARKING (Fiat et al. 1991) is the canonical randomized paging algorithm:
+it is ``2·H_n``-competitive against an oblivious adversary without any
+resource augmentation — the best possible up to constants. Pages are
+*marked* when accessed; on a miss with all resident pages marked, a new
+phase begins and all marks clear; the eviction victim is a uniformly
+random *unmarked* resident page.
+
+It matters here as the strongest classical evidence that randomization
+helps paging — the paper's 2-RANDOM result extends that moral to the
+low-associativity world.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import CachePolicy
+from repro.rng import SeedLike, make_rng
+
+__all__ = ["MarkingCache"]
+
+
+class MarkingCache(CachePolicy):
+    """Randomized marking eviction on a fully associative cache."""
+
+    def __init__(self, capacity: int, *, seed: SeedLike = None):
+        super().__init__(capacity)
+        self._rng = make_rng(seed)
+        self._marked: set[int] = set()
+        self._unmarked_list: list[int] = []  # dense array for O(1) sampling
+        self._unmarked_pos: dict[int, int] = {}
+        self._phase = 0
+
+    @property
+    def name(self) -> str:
+        return "MARKING"
+
+    @property
+    def phase(self) -> int:
+        """Number of completed mark phases (diagnostic)."""
+        return self._phase
+
+    def _remove_unmarked(self, page: int) -> None:
+        idx = self._unmarked_pos.pop(page)
+        last = self._unmarked_list.pop()
+        if idx < len(self._unmarked_list):  # page was not the tail: swap-fill
+            self._unmarked_list[idx] = last
+            self._unmarked_pos[last] = idx
+
+    def _mark(self, page: int) -> None:
+        if page in self._unmarked_pos:
+            self._remove_unmarked(page)
+        self._marked.add(page)
+
+    def access(self, page: int) -> bool:
+        if page in self._marked:
+            return True
+        if page in self._unmarked_pos:
+            self._mark(page)
+            return True
+        # miss
+        if len(self._marked) + len(self._unmarked_list) >= self.capacity:
+            if not self._unmarked_list:
+                # all resident pages marked: new phase, everything unmarks
+                self._phase += 1
+                self._unmarked_list = list(self._marked)
+                self._unmarked_pos = {p: i for i, p in enumerate(self._unmarked_list)}
+                self._marked.clear()
+            victim_idx = int(self._rng.integers(len(self._unmarked_list)))
+            victim = self._unmarked_list[victim_idx]
+            self._remove_unmarked(victim)
+        self._marked.add(page)
+        return False
+
+    def reset(self) -> None:
+        self._marked.clear()
+        self._unmarked_list.clear()
+        self._unmarked_pos.clear()
+        self._phase = 0
+
+    def contents(self) -> frozenset[int]:
+        return frozenset(self._marked) | frozenset(self._unmarked_pos)
+
+    def __len__(self) -> int:
+        return len(self._marked) + len(self._unmarked_list)

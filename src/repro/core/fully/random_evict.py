@@ -1,0 +1,56 @@
+"""Fully-associative uniform-random eviction.
+
+Evicts a uniformly random resident page on each miss. This is the
+fully-associative analogue of the paper's 2-RANDOM: comparing the two
+isolates how much of 2-RANDOM's behaviour comes from randomness itself
+versus from the 2-choice hashed topology. Implemented with the classic
+array + index-map trick for O(1) sampling and deletion.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import CachePolicy
+from repro.rng import SeedLike, make_rng
+
+__all__ = ["RandomEvictCache"]
+
+
+class RandomEvictCache(CachePolicy):
+    """Uniform-random eviction on a fully associative cache."""
+
+    def __init__(self, capacity: int, *, seed: SeedLike = None):
+        super().__init__(capacity)
+        self._rng = make_rng(seed)
+        self._pages: list[int] = []  # dense array of resident pages
+        self._slot_of: dict[int, int] = {}  # page -> index in _pages
+
+    @property
+    def name(self) -> str:
+        return "RANDOM"
+
+    def access(self, page: int) -> bool:
+        if page in self._slot_of:
+            return True
+        pages, slot_of = self._pages, self._slot_of
+        if len(pages) >= self.capacity:
+            victim_idx = int(self._rng.integers(len(pages)))
+            victim = pages[victim_idx]
+            last = pages[-1]
+            # swap-remove keeps the array dense for O(1) future sampling
+            pages[victim_idx] = last
+            slot_of[last] = victim_idx
+            pages.pop()
+            del slot_of[victim]
+        slot_of[page] = len(pages)
+        pages.append(page)
+        return False
+
+    def reset(self) -> None:
+        self._pages.clear()
+        self._slot_of.clear()
+
+    def contents(self) -> frozenset[int]:
+        return frozenset(self._slot_of)
+
+    def __len__(self) -> int:
+        return len(self._pages)

@@ -1,0 +1,93 @@
+"""SIEVE eviction (Zhang et al., NSDI 2024).
+
+SIEVE keeps pages in a FIFO-ordered list with a one-bit "visited" flag and
+a *hand* that sweeps from tail (oldest) to head: on eviction the hand
+clears visited flags until it finds an unvisited page, which it evicts.
+Unlike CLOCK, newly inserted pages go to the head while the hand keeps its
+position, which makes SIEVE behave as a quick-demotion filter. It is the
+strongest *simple* modern baseline and — like the paper's designs — gets
+its power from lazy, cheap decisions rather than full recency ordering.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import CachePolicy
+
+__all__ = ["SieveCache"]
+
+
+class _Node:
+    __slots__ = ("page", "visited", "prev", "next")
+
+    def __init__(self, page: int):
+        self.page = page
+        self.visited = False
+        self.prev: "_Node | None" = None
+        self.next: "_Node | None" = None
+
+
+class SieveCache(CachePolicy):
+    """SIEVE eviction on a fully associative cache."""
+
+    def __init__(self, capacity: int):
+        super().__init__(capacity)
+        self._nodes: dict[int, _Node] = {}
+        self._head: _Node | None = None  # newest
+        self._tail: _Node | None = None  # oldest
+        self._hand: _Node | None = None
+
+    @property
+    def name(self) -> str:
+        return "SIEVE"
+
+    def _remove(self, node: _Node) -> None:
+        if node.prev is not None:
+            node.prev.next = node.next
+        else:
+            self._head = node.next
+        if node.next is not None:
+            node.next.prev = node.prev
+        else:
+            self._tail = node.prev
+
+    def _push_head(self, node: _Node) -> None:
+        node.prev = None
+        node.next = self._head
+        if self._head is not None:
+            self._head.prev = node
+        self._head = node
+        if self._tail is None:
+            self._tail = node
+
+    def _evict(self) -> None:
+        hand = self._hand if self._hand is not None else self._tail
+        assert hand is not None  # called only on a non-empty cache
+        while hand.visited:
+            hand.visited = False
+            hand = hand.prev if hand.prev is not None else self._tail
+            assert hand is not None
+        self._hand = hand.prev  # may be None -> wraps to tail next time
+        self._remove(hand)
+        del self._nodes[hand.page]
+
+    def access(self, page: int) -> bool:
+        node = self._nodes.get(page)
+        if node is not None:
+            node.visited = True
+            return True
+        if len(self._nodes) >= self.capacity:
+            self._evict()
+        node = _Node(page)
+        self._nodes[page] = node
+        self._push_head(node)
+        return False
+
+    def reset(self) -> None:
+        self._nodes.clear()
+        self._head = self._tail = self._hand = None
+
+    def contents(self) -> frozenset[int]:
+        return frozenset(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)

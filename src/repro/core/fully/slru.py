@@ -1,0 +1,84 @@
+"""SLRU — segmented LRU (Karedla, Love & Wherry 1994).
+
+Two LRU segments: a *probationary* segment receives new pages; a hit in
+probation promotes the page to the *protected* segment; protected
+overflow demotes back to probation's MRU end (not out of the cache).
+A single re-reference thus shields a page from scan traffic — the same
+second-chance moral as 2Q but with demotion instead of ghosts, which is
+why it serves as W-TinyLFU's main region.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.core.base import CachePolicy
+from repro.errors import ConfigurationError
+
+__all__ = ["SLRUCache"]
+
+
+class SLRUCache(CachePolicy):
+    """Segmented LRU with a configurable protected fraction."""
+
+    def __init__(self, capacity: int, *, protected_fraction: float = 0.8):
+        super().__init__(capacity)
+        if not 0.0 <= protected_fraction < 1.0:
+            raise ConfigurationError(
+                f"protected_fraction must be in [0,1), got {protected_fraction}"
+            )
+        self.protected_capacity = int(protected_fraction * capacity)
+        if self.protected_capacity >= capacity:
+            self.protected_capacity = capacity - 1
+        # both segments ordered LRU (oldest) -> MRU (newest)
+        self._probation: OrderedDict[int, None] = OrderedDict()
+        self._protected: OrderedDict[int, None] = OrderedDict()
+
+    @property
+    def name(self) -> str:
+        return "SLRU"
+
+    def _demote_protected_overflow(self) -> None:
+        while len(self._protected) > self.protected_capacity:
+            page, _ = self._protected.popitem(last=False)
+            self._probation[page] = None  # re-enters probation as MRU
+
+    def access(self, page: int) -> bool:
+        if page in self._protected:
+            self._protected.move_to_end(page)
+            return True
+        if page in self._probation:
+            # promotion on re-reference
+            del self._probation[page]
+            self._protected[page] = None
+            self._demote_protected_overflow()
+            return True
+        # miss: insert into probation, evicting its LRU when full overall
+        if len(self._probation) + len(self._protected) >= self.capacity:
+            if self._probation:
+                self._probation.popitem(last=False)
+            else:  # pathological: everything protected
+                self._protected.popitem(last=False)
+        self._probation[page] = None
+        return False
+
+    def __contains__(self, page: int) -> bool:
+        return page in self._probation or page in self._protected
+
+    def victim(self) -> int | None:
+        """The page the next miss would evict (``None`` if not full)."""
+        if len(self) < self.capacity:
+            return None
+        if self._probation:
+            return next(iter(self._probation))
+        return next(iter(self._protected))
+
+    def reset(self) -> None:
+        self._probation.clear()
+        self._protected.clear()
+
+    def contents(self) -> frozenset[int]:
+        return frozenset(self._probation) | frozenset(self._protected)
+
+    def __len__(self) -> int:
+        return len(self._probation) + len(self._protected)

@@ -1,0 +1,114 @@
+"""W-TinyLFU — windowed TinyLFU admission (Einziger, Friedman & Manes 2017).
+
+The state-of-the-art fully-associative baseline (Caffeine's default):
+
+- a small **window** LRU (≈1 % of capacity) absorbs arrivals, giving new
+  pages time to accumulate frequency;
+- the **main** region is an SLRU;
+- on window overflow, the evicted *candidate* faces the main region's
+  *victim* at an admission gate: the Count–Min-sketch frequency estimates
+  are compared and the loser is discarded. A one-shot scan page loses to
+  any warm victim — TinyLFU's scan immunity.
+
+Included for the same reason as ARC/LIRS/SIEVE: the paper frames LRU as
+the root of "almost all real-world cache-eviction policies", and the
+experiments should show where the low-associativity designs stand
+against the strongest modern fully-associative competition.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any
+
+from repro.core.base import CachePolicy
+from repro.core.fully.sketch import CountMinSketch
+from repro.core.fully.slru import SLRUCache
+from repro.errors import ConfigurationError
+from repro.rng import SeedLike
+
+__all__ = ["TinyLFUCache"]
+
+
+class TinyLFUCache(CachePolicy):
+    """W-TinyLFU: window LRU + SLRU main + sketch-gated admission."""
+
+    def __init__(
+        self,
+        capacity: int,
+        *,
+        window_fraction: float = 0.01,
+        protected_fraction: float = 0.8,
+        sketch_width: int | None = None,
+        seed: SeedLike = 0,
+    ):
+        super().__init__(capacity)
+        if not 0.0 < window_fraction < 1.0:
+            raise ConfigurationError(
+                f"window_fraction must be in (0,1), got {window_fraction}"
+            )
+        self.window_capacity = max(1, int(round(window_fraction * capacity)))
+        main_capacity = capacity - self.window_capacity
+        if main_capacity < 1:
+            self.window_capacity = capacity - 1
+            main_capacity = 1
+        self.main_capacity = main_capacity
+        self._window: OrderedDict[int, None] = OrderedDict()
+        self._main = SLRUCache(main_capacity, protected_fraction=protected_fraction)
+        width = sketch_width if sketch_width is not None else max(64, 4 * capacity)
+        self._sketch = CountMinSketch(width, aging_window=10 * capacity, seed=seed)
+        self._admitted = 0
+        self._rejected = 0
+
+    @property
+    def name(self) -> str:
+        return "W-TinyLFU"
+
+    def _admit(self, candidate: int) -> None:
+        """Candidate evicted from the window faces the main region's victim."""
+        victim = self._main.victim()
+        if victim is None:
+            self._main.access(candidate)  # main has room: no contest
+            self._admitted += 1
+            return
+        if self._sketch.estimate(candidate) > self._sketch.estimate(victim):
+            self._main.access(candidate)  # SLRU insert evicts its victim
+            self._admitted += 1
+        else:
+            self._rejected += 1  # candidate is discarded
+
+    def access(self, page: int) -> bool:
+        self._sketch.increment(page)
+        if page in self._window:
+            self._window.move_to_end(page)
+            return True
+        # a hit inside the SLRU main (without inserting on miss)
+        if page in self._main:
+            self._main.access(page)
+            return True
+        # miss: into the window; its overflow faces the admission gate
+        self._window[page] = None
+        if len(self._window) > self.window_capacity:
+            candidate, _ = self._window.popitem(last=False)
+            self._admit(candidate)
+        return False
+
+    def reset(self) -> None:
+        self._window.clear()
+        self._main.reset()
+        self._sketch.reset()
+        self._admitted = 0
+        self._rejected = 0
+
+    def contents(self) -> frozenset[int]:
+        return frozenset(self._window) | self._main.contents()
+
+    def __len__(self) -> int:
+        return len(self._window) + len(self._main)
+
+    def _instrumentation(self) -> dict[str, Any]:
+        return {
+            "admitted": self._admitted,
+            "rejected": self._rejected,
+            "sketch_agings": self._sketch.agings,
+        }

@@ -1,0 +1,85 @@
+"""2Q eviction (Johnson & Shasha, VLDB 1994) — the simplified variant.
+
+2Q guards the main LRU list (``Am``) behind a small FIFO probation queue
+(``A1in``) plus a ghost queue of recently demoted pages (``A1out``): a
+page is promoted into ``Am`` only when re-referenced after leaving
+``A1in``. This "second reference" filter kills scan pollution — the same
+failure mode driving the paper's observation that pure recency can be the
+wrong signal.
+
+Standard tuning: ``Kin = capacity/4`` and ``Kout = capacity/2``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.core.base import CachePolicy
+from repro.errors import ConfigurationError
+
+__all__ = ["TwoQCache"]
+
+
+class TwoQCache(CachePolicy):
+    """Simplified 2Q eviction on a fully associative cache."""
+
+    def __init__(
+        self,
+        capacity: int,
+        *,
+        kin_fraction: float = 0.25,
+        kout_fraction: float = 0.5,
+    ):
+        super().__init__(capacity)
+        if not 0.0 < kin_fraction < 1.0:
+            raise ConfigurationError(f"kin_fraction must be in (0,1), got {kin_fraction}")
+        if kout_fraction <= 0.0:
+            raise ConfigurationError(f"kout_fraction must be positive, got {kout_fraction}")
+        self._kin = max(1, int(round(kin_fraction * capacity)))
+        if self._kin >= capacity:
+            self._kin = max(1, capacity - 1) if capacity > 1 else 1
+        self._kout = max(1, int(round(kout_fraction * capacity)))
+        self._a1in: OrderedDict[int, None] = OrderedDict()  # FIFO, resident
+        self._a1out: OrderedDict[int, None] = OrderedDict()  # FIFO, ghosts
+        self._am: OrderedDict[int, None] = OrderedDict()  # LRU, resident
+
+    @property
+    def name(self) -> str:
+        return "2Q"
+
+    def _reclaim(self) -> None:
+        """Free one resident slot, following the paper's 'reclaimfor' rule."""
+        if len(self._a1in) > self._kin or not self._am:
+            victim, _ = self._a1in.popitem(last=False)
+            self._a1out[victim] = None
+            if len(self._a1out) > self._kout:
+                self._a1out.popitem(last=False)
+        else:
+            self._am.popitem(last=False)
+
+    def access(self, page: int) -> bool:
+        if page in self._am:
+            self._am.move_to_end(page)
+            return True
+        if page in self._a1in:
+            # simplified 2Q: hits inside A1in do not reorder (FIFO residency)
+            return True
+        if len(self._a1in) + len(self._am) >= self.capacity:
+            self._reclaim()
+        if page in self._a1out:
+            del self._a1out[page]
+            self._am[page] = None
+        else:
+            self._a1in[page] = None
+        return False
+
+    def reset(self) -> None:
+        self._a1in.clear()
+        self._a1out.clear()
+        self._am.clear()
+
+    def contents(self) -> frozenset[int]:
+        return frozenset(self._a1in) | frozenset(self._am)
+
+    def __len__(self) -> int:
+        return len(self._a1in) + len(self._am)

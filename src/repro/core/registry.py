@@ -1,0 +1,136 @@
+"""Name-based policy construction.
+
+Sweeps, the CLI, and the examples refer to policies by short string names
+(``"lru"``, ``"2-random"``, ``"heatsink"``, …). The registry maps each
+name to a factory ``f(capacity, **kwargs) -> CachePolicy``. Users can add
+their own policies with :func:`register_policy` and they become available
+to every sweep/experiment without further plumbing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.base import CachePolicy
+from repro.errors import ConfigurationError
+
+__all__ = ["register_policy", "make_policy", "available_policies"]
+
+PolicyFactory = Callable[..., CachePolicy]
+
+_REGISTRY: dict[str, PolicyFactory] = {}
+
+
+def register_policy(name: str, factory: PolicyFactory, *, overwrite: bool = False) -> None:
+    """Register ``factory`` under ``name`` (case-insensitive).
+
+    Raises :class:`~repro.errors.ConfigurationError` on duplicate names
+    unless ``overwrite`` is set.
+    """
+    key = name.lower()
+    if key in _REGISTRY and not overwrite:
+        raise ConfigurationError(f"policy name {name!r} already registered")
+    _REGISTRY[key] = factory
+
+
+def make_policy(name: str, capacity: int, **kwargs) -> CachePolicy:
+    """Instantiate a registered policy by name."""
+    key = name.lower()
+    try:
+        factory = _REGISTRY[key]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ConfigurationError(f"unknown policy {name!r}; known: {known}") from None
+    return factory(capacity, **kwargs)
+
+
+def available_policies() -> list[str]:
+    """Sorted list of registered policy names."""
+    return sorted(_REGISTRY)
+
+
+def _register_builtins() -> None:
+    # imported here to avoid import cycles (policies import core.base)
+    from repro.core.assoc import (
+        AdaptiveHeatSinkLRU,
+        CompanionCache,
+        CuckooCache,
+        DBeladyCache,
+        DFifoCache,
+        DRandomCache,
+        HeatSinkLRU,
+        PLruCache,
+        RearrangingCache,
+        SetAssociativeLRU,
+        SkewedAssociativeLRU,
+        TreePLRUCache,
+        VictimCache,
+    )
+    from repro.core.fully import (
+        ARCCache,
+        BeladyCache,
+        ClockCache,
+        FIFOCache,
+        LFUCache,
+        LIRSCache,
+        LRUCache,
+        LRUKCache,
+        MarkingCache,
+        MRUCache,
+        RandomEvictCache,
+        SieveCache,
+        SLRUCache,
+        TinyLFUCache,
+        TwoQCache,
+    )
+
+    register_policy("lru", lambda capacity, **kw: LRUCache(capacity, **kw))
+    register_policy("mru", lambda capacity, **kw: MRUCache(capacity, **kw))
+    register_policy("fifo", lambda capacity, **kw: FIFOCache(capacity, **kw))
+    register_policy("clock", lambda capacity, **kw: ClockCache(capacity, **kw))
+    register_policy("lfu", lambda capacity, **kw: LFUCache(capacity, **kw))
+    register_policy("random", lambda capacity, **kw: RandomEvictCache(capacity, **kw))
+    register_policy("marking", lambda capacity, **kw: MarkingCache(capacity, **kw))
+    register_policy("sieve", lambda capacity, **kw: SieveCache(capacity, **kw))
+    register_policy("arc", lambda capacity, **kw: ARCCache(capacity, **kw))
+    register_policy("2q", lambda capacity, **kw: TwoQCache(capacity, **kw))
+    register_policy("lru-k", lambda capacity, **kw: LRUKCache(capacity, **kw))
+    register_policy("lirs", lambda capacity, **kw: LIRSCache(capacity, **kw))
+    register_policy("slru", lambda capacity, **kw: SLRUCache(capacity, **kw))
+    register_policy("tinylfu", lambda capacity, **kw: TinyLFUCache(capacity, **kw))
+    register_policy("opt", lambda capacity, **kw: BeladyCache(capacity, **kw))
+
+    register_policy("d-lru", lambda capacity, **kw: PLruCache(capacity, **kw))
+    register_policy("2-lru", lambda capacity, **kw: PLruCache(capacity, d=2, **kw))
+    register_policy("d-fifo", lambda capacity, **kw: DFifoCache(capacity, **kw))
+    register_policy("d-random", lambda capacity, **kw: DRandomCache(capacity, **kw))
+    register_policy("2-random", lambda capacity, **kw: DRandomCache(capacity, d=2, **kw))
+    register_policy("set-assoc", lambda capacity, **kw: SetAssociativeLRU(capacity, **kw))
+    register_policy("skew-assoc", lambda capacity, **kw: SkewedAssociativeLRU(capacity, **kw))
+    register_policy("tree-plru", lambda capacity, **kw: TreePLRUCache(capacity, **kw))
+    register_policy("victim", lambda capacity, **kw: VictimCache(capacity, **kw))
+    register_policy("cuckoo", lambda capacity, **kw: CuckooCache(capacity, **kw))
+    register_policy("rearrange", lambda capacity, **kw: RearrangingCache(capacity, **kw))
+    register_policy("companion", lambda capacity, **kw: CompanionCache(capacity, **kw))
+    def _heatsink_defaults(capacity: int, kw: dict) -> dict:
+        # usable from the CLI with just a capacity: a 1/8 sink, 16-slot
+        # bins, and a 5% coin unless the caller specifies otherwise
+        kw.setdefault("sink_size", max(2, capacity // 8))
+        kw.setdefault("bin_size", max(1, min(16, capacity - kw["sink_size"])))
+        kw.setdefault("sink_prob", 0.05)
+        return kw
+
+    register_policy(
+        "heatsink",
+        lambda capacity, **kw: HeatSinkLRU(capacity, **_heatsink_defaults(capacity, kw)),
+    )
+    register_policy(
+        "adaptive-heatsink",
+        lambda capacity, **kw: AdaptiveHeatSinkLRU(
+            capacity, **_heatsink_defaults(capacity, kw)
+        ),
+    )
+    register_policy("d-belady", lambda capacity, **kw: DBeladyCache(capacity, **kw))
+
+
+_register_builtins()

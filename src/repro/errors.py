@@ -1,0 +1,39 @@
+"""Exception hierarchy for :mod:`repro`.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without masking unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A policy, trace generator, or experiment was constructed with
+    invalid parameters (e.g. non-positive capacity, associativity larger
+    than the cache, probabilities outside ``[0, 1]``)."""
+
+
+class CapacityError(ConfigurationError):
+    """A cache capacity or region size is invalid for the requested
+    configuration (e.g. heat-sink larger than the cache)."""
+
+
+class TraceError(ReproError, ValueError):
+    """An access trace is malformed: wrong dtype, negative page ids,
+    or an empty trace passed where accesses are required."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """An internal invariant of the simulation state machine was violated.
+
+    This indicates a bug in a policy implementation rather than bad user
+    input; tests assert these are never raised on valid inputs.
+    """
+
+
+class ExperimentError(ReproError, RuntimeError):
+    """An experiment could not be run (unknown id, bad scale, etc.)."""

@@ -1,0 +1,30 @@
+"""Shared plumbing for experiment modules.
+
+Every experiment supports three *scales*:
+
+- ``smoke`` — seconds; used by the test suite to assert directional claims;
+- ``small`` — tens of seconds; the default for benches and the CLI;
+- ``full``  — minutes; the configuration EXPERIMENTS.md records.
+
+Scale tables are plain dicts so modules stay declarative about what each
+scale means.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.errors import ExperimentError
+
+__all__ = ["pick_scale", "SCALES"]
+
+SCALES = ("smoke", "small", "full")
+
+
+def pick_scale(table: Mapping[str, Mapping[str, Any]], scale: str) -> dict[str, Any]:
+    """Select a scale configuration, with a helpful error for typos."""
+    if scale not in table:
+        raise ExperimentError(
+            f"unknown scale {scale!r}; available: {', '.join(sorted(table))}"
+        )
+    return dict(table[scale])

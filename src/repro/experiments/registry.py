@@ -1,0 +1,76 @@
+"""Experiment registry: stable ids → runners.
+
+The ids here are the ones DESIGN.md's per-experiment index, the CLI, and
+the benchmark modules use. Each runner has signature
+``run(scale="small", *, seed=0, workers=None) -> ResultsTable``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+from repro.errors import ExperimentError
+from repro.sim.results import ResultsTable
+
+
+class ExperimentRunner(Protocol):  # pragma: no cover - typing aid
+    def __call__(
+        self, scale: str = ..., *, seed=..., workers=...
+    ) -> ResultsTable: ...
+
+
+def _runners() -> dict[str, Callable]:
+    from repro.experiments import (
+        e_ablation,
+        e_indexing,
+        e_rearrange,
+        e_scaling,
+        e_assoc_sweep,
+        e_heat_dissipation,
+        e_l5_orientability,
+        e_l6_components,
+        e_semi_uniform,
+        e_t2_lru_lowerbound,
+        e_t3_two_random,
+        e_t4_accounting,
+        e_t4_heatsink,
+    )
+
+    return {
+        e_t2_lru_lowerbound.EXPERIMENT_ID: e_t2_lru_lowerbound.run,
+        e_semi_uniform.EXPERIMENT_ID: e_semi_uniform.run,
+        e_t3_two_random.EXPERIMENT_ID: e_t3_two_random.run,
+        e_t4_heatsink.EXPERIMENT_ID: e_t4_heatsink.run,
+        e_l5_orientability.EXPERIMENT_ID: e_l5_orientability.run,
+        e_l6_components.EXPERIMENT_ID: e_l6_components.run,
+        e_heat_dissipation.EXPERIMENT_ID: e_heat_dissipation.run,
+        e_assoc_sweep.EXPERIMENT_ID: e_assoc_sweep.run,
+        e_ablation.EXPERIMENT_ID: e_ablation.run,
+        e_scaling.EXPERIMENT_ID: e_scaling.run,
+        e_indexing.EXPERIMENT_ID: e_indexing.run,
+        e_rearrange.EXPERIMENT_ID: e_rearrange.run,
+        e_t4_accounting.EXPERIMENT_ID: e_t4_accounting.run,
+    }
+
+
+def available_experiments() -> list[str]:
+    """Sorted list of experiment ids."""
+    return sorted(_runners())
+
+
+def get_experiment(experiment_id: str) -> Callable:
+    """Look up a runner by id (case-insensitive)."""
+    runners = _runners()
+    for key, runner in runners.items():
+        if key.lower() == experiment_id.lower():
+            return runner
+    raise ExperimentError(
+        f"unknown experiment {experiment_id!r}; available: {', '.join(sorted(runners))}"
+    )
+
+
+def run_experiment(
+    experiment_id: str, scale: str = "small", *, seed=0, workers: int | None = None
+) -> ResultsTable:
+    """Run an experiment by id."""
+    return get_experiment(experiment_id)(scale, seed=seed, workers=workers)

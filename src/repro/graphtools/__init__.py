@@ -1,0 +1,53 @@
+"""Random-graph machinery behind the paper's lemmas.
+
+2-choice hashing induces the *cuckoo graph*: vertices are cache slots,
+and each page contributes the edge ``{h_1(x), h_2(x)}``. The paper's
+analysis of 2-RANDOM rests on two properties of this graph:
+
+- **Lemma 5 / Corollary 2** — with ``n/β`` random edges on ``n`` vertices
+  (``β > 2``), the graph is *1-orientable* (every edge can be assigned to
+  one endpoint, each vertex receiving ≤ 1 edge) with probability
+  ``1 - O(1/(βn))``: the pages can all reside in cache simultaneously.
+- **Lemma 6** — component sizes have geometric tails with ratio < 1/4 at
+  load ``1/(4e²)``: the "blast radius" of any page's contention is O(1)
+  in expectation.
+
+This package implements the substrate from scratch: an array-based DSU
+(:mod:`~repro.graphtools.unionfind`), uniform multigraph sampling
+(:mod:`~repro.graphtools.random_graph`), the pseudoforest orientability
+criterion with witness construction (:mod:`~repro.graphtools.orientation`),
+Hopcroft–Karp matching as an independent verification path
+(:mod:`~repro.graphtools.matching`), and component-size analytics
+(:mod:`~repro.graphtools.components`).
+"""
+
+from repro.graphtools.unionfind import UnionFind
+from repro.graphtools.random_graph import (
+    cuckoo_graph_from_pages,
+    sample_random_multigraph,
+)
+from repro.graphtools.orientation import (
+    is_one_orientable,
+    one_orientation,
+    orientability_probability,
+)
+from repro.graphtools.matching import hopcroft_karp, maximum_matching_size
+from repro.graphtools.components import (
+    component_of_edge,
+    component_sizes,
+    component_size_tail,
+)
+
+__all__ = [
+    "UnionFind",
+    "sample_random_multigraph",
+    "cuckoo_graph_from_pages",
+    "is_one_orientable",
+    "one_orientation",
+    "orientability_probability",
+    "hopcroft_karp",
+    "maximum_matching_size",
+    "component_sizes",
+    "component_of_edge",
+    "component_size_tail",
+]

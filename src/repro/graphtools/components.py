@@ -1,0 +1,74 @@
+"""Connected-component analytics — Lemma 6 of the paper.
+
+Lemma 6: in the cuckoo graph with ``n/(4e²)`` edges on ``n`` vertices,
+the component containing a given page's edge has
+``Pr[|C| ≥ i] ≤ 4^-(i-2)`` for ``i ≥ 3``. The geometric tail (with ratio
+strictly below 1/2) is what makes ``E[2^|C|] = O(1)`` — and hence the
+O(1) expected misses per page — in Lemma 8. The ``L6-COMPONENTS``
+experiment measures this tail and plots it against the bound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.graphtools.unionfind import UnionFind
+
+__all__ = ["component_sizes", "component_of_edge", "component_size_tail"]
+
+
+def _build_uf(n: int, edges: np.ndarray) -> UnionFind:
+    edges = np.asarray(edges, dtype=np.int64)
+    if edges.ndim != 2 or edges.shape[1] != 2:
+        raise ConfigurationError(f"edges must have shape (m, 2), got {edges.shape}")
+    if edges.size and (edges.min() < 0 or edges.max() >= n):
+        raise ConfigurationError("edge endpoints out of range")
+    uf = UnionFind(n)
+    for u, v in edges.tolist():
+        uf.add_edge(u, v)
+    return uf
+
+
+def component_sizes(n: int, edges: np.ndarray) -> np.ndarray:
+    """Vertex counts of all components that contain at least one edge.
+
+    Isolated vertices are excluded: the lemma concerns the component of a
+    *page's edge*, and edge-free vertices never interact with any page.
+    """
+    uf = _build_uf(n, edges)
+    sizes, counts = uf.component_table()
+    return np.sort(sizes[counts > 0])[::-1]
+
+
+def component_of_edge(n: int, edges: np.ndarray) -> np.ndarray:
+    """Per-edge component size: ``out[i] = |C|`` for edge ``i``'s component.
+
+    This is the edge-centric view Lemma 6 states ("the connected component
+    that contains the edge {h_1(x), h_2(x)}"); note it differs from the
+    plain size distribution because big components contain more edges
+    (size-biased sampling).
+    """
+    uf = _build_uf(n, np.asarray(edges, dtype=np.int64))
+    edges = np.asarray(edges, dtype=np.int64)
+    return np.asarray(
+        [uf.component_size(int(u)) for u in edges[:, 0].tolist()], dtype=np.int64
+    )
+
+
+def component_size_tail(
+    per_edge_sizes: np.ndarray, max_size: int
+) -> np.ndarray:
+    """Empirical ``Pr[|C_x| ≥ i]`` for ``i = 1 … max_size``.
+
+    ``per_edge_sizes`` is the output of :func:`component_of_edge`
+    (possibly concatenated over many trials); the tail is comparable
+    directly to Lemma 6's ``4^-(i-2)`` bound.
+    """
+    if max_size < 1:
+        raise ConfigurationError(f"max_size must be >= 1, got {max_size}")
+    sizes = np.asarray(per_edge_sizes, dtype=np.int64)
+    if sizes.size == 0:
+        return np.zeros(max_size)
+    thresholds = np.arange(1, max_size + 1)
+    return (sizes[None, :] >= thresholds[:, None]).mean(axis=1)

@@ -1,0 +1,132 @@
+"""Hopcroft–Karp bipartite matching.
+
+Independent verification path for the orientability criterion: assigning
+each edge to a distinct endpoint is a perfect matching of the bipartite
+*incidence* graph (left = edges, right = vertices, an edge-node connected
+to its ≤ 2 endpoints). Hopcroft–Karp finds a maximum matching in
+``O(E√V)``; the test suite checks that the union-find criterion of
+:mod:`repro.graphtools.orientation` agrees with "matching size == m" on
+thousands of random instances.
+
+The implementation is the standard BFS-layering + DFS-augmentation one,
+written iteratively (no recursion limits) over flat adjacency lists.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["hopcroft_karp", "maximum_matching_size"]
+
+_INF = float("inf")
+
+
+def hopcroft_karp(
+    num_left: int, num_right: int, adjacency: Sequence[Sequence[int]]
+) -> tuple[int, np.ndarray, np.ndarray]:
+    """Maximum matching of a bipartite graph.
+
+    Parameters
+    ----------
+    num_left, num_right:
+        Sizes of the two vertex classes.
+    adjacency:
+        ``adjacency[u]`` lists the right-vertices adjacent to left-vertex
+        ``u``.
+
+    Returns
+    -------
+    (size, match_left, match_right):
+        Matching size plus partner arrays (``-1`` = unmatched).
+    """
+    if num_left < 0 or num_right < 0:
+        raise ConfigurationError("vertex-class sizes must be non-negative")
+    if len(adjacency) != num_left:
+        raise ConfigurationError(
+            f"adjacency has {len(adjacency)} rows, expected {num_left}"
+        )
+    match_l = np.full(num_left, -1, dtype=np.int64)
+    match_r = np.full(num_right, -1, dtype=np.int64)
+    dist = np.zeros(num_left, dtype=np.float64)
+
+    def bfs() -> bool:
+        queue: deque[int] = deque()
+        for u in range(num_left):
+            if match_l[u] == -1:
+                dist[u] = 0.0
+                queue.append(u)
+            else:
+                dist[u] = _INF
+        found_free = False
+        while queue:
+            u = queue.popleft()
+            for v in adjacency[u]:
+                w = match_r[v]
+                if w == -1:
+                    found_free = True
+                elif dist[w] == _INF:
+                    dist[w] = dist[u] + 1.0
+                    queue.append(int(w))
+        return found_free
+
+    def dfs(root: int) -> bool:
+        # Iterative translation of the classic layered DFS. Each stack frame
+        # holds a left vertex, its neighbour iterator, and the right vertex
+        # currently being tried; on success the whole frame stack is the
+        # augmenting path and is flipped in one pass.
+        frame_u: list[int] = [root]
+        frame_iter = [iter(adjacency[root])]
+        frame_choice: list[int] = [-1]
+        while frame_u:
+            u = frame_u[-1]
+            pushed = False
+            for v in frame_iter[-1]:
+                w = match_r[v]
+                if w == -1:
+                    frame_choice[-1] = v
+                    for i in range(len(frame_u)):
+                        match_l[frame_u[i]] = frame_choice[i]
+                        match_r[frame_choice[i]] = frame_u[i]
+                    return True
+                if dist[w] == dist[u] + 1.0:
+                    frame_choice[-1] = v
+                    frame_u.append(int(w))
+                    frame_iter.append(iter(adjacency[int(w)]))
+                    frame_choice.append(-1)
+                    pushed = True
+                    break
+            if not pushed:
+                dist[u] = _INF  # dead end: prune from this phase
+                frame_u.pop()
+                frame_iter.pop()
+                frame_choice.pop()
+        return False
+
+    size = 0
+    while bfs():
+        for u in range(num_left):
+            if match_l[u] == -1 and dfs(u):
+                size += 1
+    return size, match_l, match_r
+
+
+def maximum_matching_size(n: int, edges: np.ndarray) -> int:
+    """Maximum number of edges assignable to distinct endpoints.
+
+    Builds the incidence bipartite graph (left = hyperedge index, right =
+    vertex) and returns its maximum matching size. Equals ``m`` exactly
+    when the edge set is 1-orientable.
+    """
+    edges = np.asarray(edges, dtype=np.int64)
+    if edges.ndim != 2 or edges.shape[1] < 1:
+        raise ConfigurationError(f"edges must have shape (m, k>=1), got {edges.shape}")
+    if edges.size and (edges.min() < 0 or edges.max() >= n):
+        raise ConfigurationError("edge endpoints out of range")
+    adjacency = [sorted(set(row)) for row in edges.tolist()]
+    size, _, _ = hopcroft_karp(edges.shape[0], n, adjacency)
+    return size

@@ -1,0 +1,49 @@
+"""Sampling the random (multi)graphs of Lemmas 5 and 6.
+
+The model is exactly the paper's: each of ``m`` edges picks its two
+endpoints independently and uniformly from ``n`` vertices (so self-loops
+and parallel edges occur, as in a 2-uniform-hash cuckoo graph).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.rng import SeedLike, make_rng
+
+__all__ = ["sample_random_multigraph", "cuckoo_graph_from_pages"]
+
+
+def sample_random_multigraph(
+    n: int, m: int, *, seed: SeedLike = None
+) -> np.ndarray:
+    """``m`` uniform random edges on ``n`` vertices; shape ``(m, 2)`` int64.
+
+    Each endpoint is independent and uniform, matching the graph induced by
+    pages with two independent uniform hashes (§4's Lemma 5/6 model).
+    """
+    if n <= 0:
+        raise ConfigurationError(f"number of vertices must be positive, got {n}")
+    if m < 0:
+        raise ConfigurationError(f"number of edges must be non-negative, got {m}")
+    rng = make_rng(seed)
+    return rng.integers(0, n, size=(m, 2), dtype=np.int64)
+
+
+def cuckoo_graph_from_pages(
+    pages: np.ndarray, dist
+) -> np.ndarray:
+    """Edges ``(h_1(x), h_2(x))`` for each page under a 2-hash distribution.
+
+    ``dist`` is a :class:`~repro.core.assoc.hashdist.HashDistribution`
+    with ``d = 2``; the result is the cuckoo graph the 2-RANDOM analysis
+    reasons about, for the *actual* hash functions a cache instance uses
+    (rather than idealized fresh randomness).
+    """
+    if dist.d != 2:
+        raise ConfigurationError(
+            f"cuckoo graph needs a 2-hash distribution, got d={dist.d}"
+        )
+    pages = np.asarray(pages, dtype=np.int64)
+    return dist.positions_batch(pages)

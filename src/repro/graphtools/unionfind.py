@@ -1,0 +1,95 @@
+"""Array-based disjoint-set union (union-find).
+
+Tracks, per component, both vertex count and *edge* count — the pair that
+decides 1-orientability (a component is orientable iff edges ≤ vertices,
+i.e. it is a pseudotree). Path compression + union by size give the usual
+near-constant amortized operations; storage is three flat int64 arrays,
+keeping million-vertex instances cheap (per the HPC guides: flat arrays
+over object graphs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["UnionFind"]
+
+
+class UnionFind:
+    """Disjoint sets over vertices ``0 … n-1`` with per-component edge counts."""
+
+    def __init__(self, n: int):
+        if n <= 0:
+            raise ConfigurationError(f"number of vertices must be positive, got {n}")
+        self.n = int(n)
+        self._parent = np.arange(n, dtype=np.int64)
+        self._size = np.ones(n, dtype=np.int64)
+        self._edges = np.zeros(n, dtype=np.int64)  # valid at roots only
+        self.num_components = int(n)
+
+    def find(self, v: int) -> int:
+        """Root of ``v``'s component (with full path compression)."""
+        parent = self._parent
+        root = v
+        while parent[root] != root:
+            root = parent[root]
+        while parent[v] != root:
+            parent[v], v = root, parent[v]
+        return int(root)
+
+    def add_edge(self, u: int, v: int) -> bool:
+        """Record edge ``{u, v}`` (self-loops allowed), merging components.
+
+        Returns ``True`` if the edge merged two components, ``False`` if it
+        closed a cycle (including self-loops). Either way the edge is
+        counted toward its component's edge total.
+        """
+        ru, rv = self.find(u), self.find(v)
+        if ru == rv:
+            self._edges[ru] += 1
+            return False
+        if self._size[ru] < self._size[rv]:
+            ru, rv = rv, ru
+        self._parent[rv] = ru
+        self._size[ru] += self._size[rv]
+        self._edges[ru] += self._edges[rv] + 1
+        self.num_components -= 1
+        return True
+
+    def connected(self, u: int, v: int) -> bool:
+        return self.find(u) == self.find(v)
+
+    def component_size(self, v: int) -> int:
+        """Number of vertices in ``v``'s component."""
+        return int(self._size[self.find(v)])
+
+    def component_edges(self, v: int) -> int:
+        """Number of edges recorded in ``v``'s component."""
+        return int(self._edges[self.find(v)])
+
+    def component_is_orientable(self, v: int) -> bool:
+        """True iff ``v``'s component satisfies edges ≤ vertices.
+
+        This is exactly the per-component condition under which every edge
+        can be assigned to a distinct endpoint (Hall's condition for the
+        edge-vertex incidence system; the cuckoo-hashing criterion).
+        """
+        root = self.find(v)
+        return bool(self._edges[root] <= self._size[root])
+
+    def roots(self) -> np.ndarray:
+        """Array of all component roots (one per component)."""
+        # compress everything first so parent[v] == root for all v
+        for v in range(self.n):
+            self.find(v)
+        return np.flatnonzero(self._parent == np.arange(self.n))
+
+    def component_table(self) -> tuple[np.ndarray, np.ndarray]:
+        """Vertex counts and edge counts for every component.
+
+        Returns ``(sizes, edges)`` aligned arrays, one entry per component.
+        """
+        roots = self.roots()
+        return self._size[roots].copy(), self._edges[roots].copy()

@@ -1,0 +1,130 @@
+"""Deterministic, vectorized hashing primitives.
+
+Low-associativity policies need, for every page ``x``, a tuple of positions
+``h_1(x) … h_d(x)``. Two requirements shape this module:
+
+1. **Obliviousness of the adversary.** The Theorem-2 lower-bound builder
+   must *predict* the hashes a policy will use without running the policy.
+   Hashes are therefore pure functions of ``(salt, index, page)`` rather
+   than lazily drawn random values.
+2. **Vectorization.** Experiments evaluate hashes for millions of pages;
+   all primitives below accept NumPy arrays and operate element-wise with
+   no Python-level loop (per the HPC guides: vectorize the hot path).
+
+The mixer is splitmix64 (Steele, Lea & Flood 2014), a full-period 64-bit
+finalizer whose output passes BigCrush; it is the standard choice for
+deriving independent streams from consecutive counters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "splitmix64",
+    "mix_pair",
+    "hash_to_range",
+    "tabulation_hash",
+    "TabulationHasher",
+]
+
+_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+_MIX1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX2 = np.uint64(0x94D049BB133111EB)
+
+
+def splitmix64(x: np.ndarray | int) -> np.ndarray | np.uint64:
+    """Apply the splitmix64 finalizer element-wise.
+
+    Accepts any integer array (copied to ``uint64``) or a scalar; returns
+    the mixed value(s) as ``uint64``. The function is a bijection on 64-bit
+    words, so distinct inputs never collide at this stage.
+    """
+    z = np.asarray(x).astype(np.uint64, copy=True)
+    z += _GOLDEN
+    z ^= z >> np.uint64(30)
+    z *= _MIX1
+    z ^= z >> np.uint64(27)
+    z *= _MIX2
+    z ^= z >> np.uint64(31)
+    if np.isscalar(x) or z.ndim == 0:
+        return np.uint64(z)
+    return z
+
+
+def mix_pair(a: np.ndarray | int, b: np.ndarray | int) -> np.ndarray | np.uint64:
+    """Mix two integer words into one 64-bit hash.
+
+    Used to combine a salt with a page id (or a page id with a hash index)
+    while keeping the combined function far from linear.
+    """
+    a64 = np.asarray(a).astype(np.uint64)
+    b64 = np.asarray(b).astype(np.uint64)
+    return splitmix64(splitmix64(a64) ^ (b64 * _GOLDEN))
+
+
+def hash_to_range(x: np.ndarray | int, n: int, *, salt: int = 0) -> np.ndarray | int:
+    """Hash integer(s) ``x`` to the range ``[0, n)``.
+
+    Uses Lemire's multiply-shift reduction on the mixed word, which is
+    unbiased to within ``2^-64`` and avoids the modulo's low-bit weakness.
+    """
+    if n <= 0:
+        raise ValueError(f"range size must be positive, got {n}")
+    h = mix_pair(np.uint64(salt), x)
+    # (h * n) >> 64 without 128-bit ints: split h into high/low 32-bit halves.
+    h = np.asarray(h, dtype=np.uint64)
+    hi = h >> np.uint64(32)
+    lo = h & np.uint64(0xFFFFFFFF)
+    n64 = np.uint64(n)
+    # floor(h * n / 2^64) = floor((hi*n + floor(lo*n / 2^32)) / 2^32)
+    out = (hi * n64 + ((lo * n64) >> np.uint64(32))) >> np.uint64(32)
+    out = out.astype(np.int64)
+    if np.isscalar(x) or out.ndim == 0:
+        return int(out)
+    return out
+
+
+class TabulationHasher:
+    """Simple (per-byte) tabulation hashing over 64-bit keys.
+
+    Tabulation hashing is 3-independent and behaves like a truly random
+    function in all balls-and-bins analyses relevant to this paper
+    (Pătraşcu & Thorup 2012). It is provided as an alternative hash family
+    for experiments probing sensitivity to the hash function; the default
+    library hash is :func:`hash_to_range`.
+    """
+
+    #: number of 8-bit characters in a 64-bit key
+    _CHARS = 8
+
+    def __init__(self, n: int, *, seed: int = 0):
+        if n <= 0:
+            raise ValueError(f"range size must be positive, got {n}")
+        self.n = int(n)
+        rng = np.random.Generator(np.random.PCG64(np.random.SeedSequence(seed)))
+        self._tables = rng.integers(
+            0, 2**63, size=(self._CHARS, 256), dtype=np.uint64
+        )
+
+    def __call__(self, x: np.ndarray | int) -> np.ndarray | int:
+        keys = np.asarray(x, dtype=np.uint64)
+        scalar = keys.ndim == 0
+        keys = np.atleast_1d(keys)
+        acc = np.zeros(keys.shape, dtype=np.uint64)
+        for c in range(self._CHARS):
+            byte = ((keys >> np.uint64(8 * c)) & np.uint64(0xFF)).astype(np.intp)
+            acc ^= self._tables[c][byte]
+        out = (acc % np.uint64(self.n)).astype(np.int64)
+        if scalar:
+            return int(out[0])
+        return out
+
+
+def tabulation_hash(x: np.ndarray | int, n: int, *, seed: int = 0) -> np.ndarray | int:
+    """One-shot convenience wrapper around :class:`TabulationHasher`.
+
+    Prefer constructing a :class:`TabulationHasher` once when hashing many
+    batches — table construction dominates single-call cost.
+    """
+    return TabulationHasher(n, seed=seed)(x)

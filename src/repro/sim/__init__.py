@@ -1,0 +1,22 @@
+"""Simulation drivers: single runs, parameter sweeps, parallel execution.
+
+- :mod:`repro.sim.engine` — run/compare policies on one trace;
+- :mod:`repro.sim.results` — row-oriented results tables (CSV/markdown);
+- :mod:`repro.sim.sweep` — cartesian parameter grids with per-point seeds;
+- :mod:`repro.sim.parallel` — process-pool execution of sweeps (SPMD
+  fan-out with independent seed streams, gathered by the parent).
+"""
+
+from repro.sim.engine import compare_policies, run_policy
+from repro.sim.results import ResultsTable
+from repro.sim.sweep import ParameterGrid, run_sweep
+from repro.sim.parallel import parallel_map
+
+__all__ = [
+    "run_policy",
+    "compare_policies",
+    "ResultsTable",
+    "ParameterGrid",
+    "run_sweep",
+    "parallel_map",
+]

@@ -1,0 +1,67 @@
+"""Single-trace simulation drivers.
+
+:func:`run_policy` is a light wrapper adding wall-clock timing and
+optional warm-up splitting; :func:`compare_policies` runs a dictionary of
+policies over the same trace and assembles a :class:`ResultsTable` — the
+workhorse behind the examples and the ASSOC-SWEEP experiment.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.analysis.metrics import warmup_split
+from repro.core.base import CachePolicy, SimResult
+from repro.sim.results import ResultsTable
+from repro.traces.base import Trace, as_page_array
+
+__all__ = ["run_policy", "compare_policies"]
+
+
+def run_policy(
+    policy: CachePolicy,
+    trace: Trace | np.ndarray,
+    *,
+    warmup_fraction: float = 0.25,
+) -> dict:
+    """Run one policy, returning a flat row of headline metrics."""
+    pages = as_page_array(trace)
+    start = time.perf_counter()
+    result = policy.run(pages)
+    elapsed = time.perf_counter() - start
+    warm_rate, steady_rate = warmup_split(result, warmup_fraction)
+    return {
+        "policy": policy.name,
+        "capacity": policy.capacity,
+        "accesses": result.num_accesses,
+        "misses": result.num_misses,
+        "miss_rate": result.miss_rate,
+        "steady_miss_rate": steady_rate,
+        "warmup_miss_rate": warm_rate,
+        "seconds": elapsed,
+    }
+
+
+def compare_policies(
+    policies: Mapping[str, CachePolicy | Callable[[], CachePolicy]],
+    trace: Trace | np.ndarray,
+    *,
+    warmup_fraction: float = 0.25,
+) -> ResultsTable:
+    """Run several policies over one trace; one table row per policy.
+
+    Values may be policy instances or zero-argument factories (factories
+    let callers defer construction, e.g. for policies whose parameters
+    depend on the trace).
+    """
+    pages = as_page_array(trace)
+    table = ResultsTable()
+    for label, entry in policies.items():
+        policy = entry() if callable(entry) and not isinstance(entry, CachePolicy) else entry
+        row = run_policy(policy, pages, warmup_fraction=warmup_fraction)
+        row["label"] = label
+        table.append(**row)
+    return table

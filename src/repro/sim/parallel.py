@@ -1,0 +1,53 @@
+"""Process-pool execution for sweeps.
+
+The fan-out follows the SPMD structure of the mpi4py patterns in the HPC
+guides, with :class:`concurrent.futures.ProcessPoolExecutor` in place of
+``mpiexec``: no shared mutable state, per-task seed streams spawned ahead
+of time by the parent, results gathered in submission order. Workers are
+regular forked/spawned Python processes, so task callables and arguments
+must be picklable (module-level functions, plain data).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from repro.errors import ConfigurationError
+
+__all__ = ["parallel_map", "default_workers"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def default_workers() -> int:
+    """A safe default worker count: physical parallelism minus one, >= 1."""
+    return max(1, (os.cpu_count() or 2) - 1)
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    *,
+    workers: int | None = None,
+    chunksize: int | None = None,
+) -> list[R]:
+    """Apply ``fn`` to every item across a process pool; ordered results.
+
+    Serial fallback when ``workers`` resolves to 1 or there is at most one
+    item — keeps small sweeps free of pool start-up cost and makes the
+    code path identical for debugging.
+    """
+    if workers is None:
+        workers = default_workers()
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    items = list(items)
+    if workers == 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    if chunksize is None:
+        chunksize = max(1, len(items) // (workers * 4))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(fn, items, chunksize=chunksize))

@@ -1,0 +1,111 @@
+"""Parameter-grid sweeps with per-point independent seeds.
+
+A sweep evaluates a *task function* over the cartesian product of a
+parameter grid, repeated across ``repetitions`` independent seeds. Task
+functions take ``(params: dict, seed: SeedSequence)`` and return a flat
+row dict; the sweep attaches the parameters and repetition index to each
+row. Execution is serial by default or fanned out across processes via
+:mod:`repro.sim.parallel` (the task must then be a picklable module-level
+callable — the same constraint as any SPMD fan-out).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.rng import SeedLike, as_seed_sequence
+from repro.sim.results import ResultsTable
+
+__all__ = ["ParameterGrid", "run_sweep"]
+
+TaskFn = Callable[[dict, np.random.SeedSequence], Mapping[str, Any]]
+
+
+class ParameterGrid:
+    """Cartesian product of named parameter values.
+
+    >>> grid = ParameterGrid(d=[2, 4], n=[1024])
+    >>> [p for p in grid]
+    [{'d': 2, 'n': 1024}, {'d': 4, 'n': 1024}]
+    """
+
+    def __init__(self, **axes: Sequence[Any]):
+        if not axes:
+            raise ConfigurationError("parameter grid needs at least one axis")
+        for name, values in axes.items():
+            if not isinstance(values, (list, tuple, np.ndarray)) or len(values) == 0:
+                raise ConfigurationError(
+                    f"axis {name!r} must be a non-empty sequence"
+                )
+        self.axes = {name: list(values) for name, values in axes.items()}
+
+    def __len__(self) -> int:
+        size = 1
+        for values in self.axes.values():
+            size *= len(values)
+        return size
+
+    def __iter__(self) -> Iterator[dict]:
+        names = list(self.axes)
+        for combo in itertools.product(*(self.axes[n] for n in names)):
+            yield dict(zip(names, combo))
+
+
+def run_sweep(
+    task: TaskFn,
+    grid: ParameterGrid | Sequence[dict],
+    *,
+    repetitions: int = 1,
+    seed: SeedLike = 0,
+    workers: int | None = None,
+) -> ResultsTable:
+    """Evaluate ``task`` on every (grid point × repetition).
+
+    Each repetition of each point receives an independent child
+    ``SeedSequence`` spawned from ``seed``, so results are reproducible
+    regardless of execution order or parallelism.
+
+    Parameters
+    ----------
+    workers:
+        ``None``/``0``/``1`` → serial. ``> 1`` → a process pool with that
+        many workers (requires ``task`` to be picklable).
+    """
+    if repetitions <= 0:
+        raise ConfigurationError(f"repetitions must be positive, got {repetitions}")
+    points = list(grid)
+    if not points:
+        raise ConfigurationError("empty parameter grid")
+    seeds = as_seed_sequence(seed).spawn(len(points) * repetitions)
+    jobs = []
+    for i, params in enumerate(points):
+        for rep in range(repetitions):
+            jobs.append((params, rep, seeds[i * repetitions + rep]))
+
+    table = ResultsTable()
+    if workers is not None and workers > 1:
+        from repro.sim.parallel import parallel_map
+
+        rows = parallel_map(
+            _run_one_job, [(task, params, rep, s) for params, rep, s in jobs], workers=workers
+        )
+        for row in rows:
+            table.append(**row)
+    else:
+        for params, rep, child_seed in jobs:
+            table.append(**_run_one_job((task, params, rep, child_seed)))
+    return table
+
+
+def _run_one_job(job: tuple) -> dict:
+    """Execute one (task, params, repetition, seed) job; module-level for pickling."""
+    task, params, rep, child_seed = job
+    row = dict(task(dict(params), child_seed))
+    for key, value in params.items():
+        row.setdefault(key, value)
+    row.setdefault("rep", rep)
+    return row

@@ -1,0 +1,43 @@
+"""Closed-form predictions to set beside the measurements.
+
+Three analytic substrates the experiments compare against:
+
+- :mod:`repro.theory.che` — the Che approximation: LRU (and FIFO/RANDOM)
+  hit rates under the independent reference model, the standard analytic
+  tool for cache sizing;
+- :mod:`repro.theory.ballsbins` — Poisson/binomial bin-overflow formulas
+  behind Lemma 11's "hot bins are rare" and the heat-sink sizing;
+- :mod:`repro.theory.cuckoo` — Borel branching-process tails for the
+  cuckoo-graph components of Lemma 6, and the analytic ``E[2^|C|]`` of
+  Lemma 8.
+"""
+
+from repro.theory.che import (
+    che_characteristic_time,
+    fifo_hit_rate_irm,
+    lru_hit_rate_irm,
+    zipf_probabilities,
+)
+from repro.theory.ballsbins import (
+    expected_hot_bins,
+    expected_overflow_pages,
+    poisson_tail,
+)
+from repro.theory.cuckoo import (
+    borel_pmf,
+    edge_component_tail,
+    mean_two_pow_component,
+)
+
+__all__ = [
+    "zipf_probabilities",
+    "che_characteristic_time",
+    "lru_hit_rate_irm",
+    "fifo_hit_rate_irm",
+    "poisson_tail",
+    "expected_hot_bins",
+    "expected_overflow_pages",
+    "borel_pmf",
+    "edge_component_tail",
+    "mean_two_pow_component",
+]

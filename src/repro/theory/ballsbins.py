@@ -1,0 +1,71 @@
+"""Balls-in-bins overflow formulas — the math behind Lemma 11.
+
+HEAT-SINK's bins receive the phase working set ``A ∪ B`` as balls into
+``n/b`` bins; a bin is *hot* when it receives more than ``b``. With
+``m`` balls and ``K`` bins, the load of one bin is Binomial(m, 1/K) ≈
+Poisson(m/K), so
+
+- ``Pr[hot] = Pr[Poisson(μ) > b]``  (Lemma 11's per-bin event),
+- ``E[#hot bins] = K · Pr[hot]``,
+- ``E[overflow] = K · E[(L − b)⁺]`` — the volume of pages that structurally
+  cannot fit in their bins and must live in the sink: the quantity that
+  sizes the heat-sink.
+
+Implemented with plain ``math`` (no scipy dependency in library code);
+pmfs are summed directly, which is exact and fast for the ``b ≤ a few
+hundred`` regime these caches live in.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+
+__all__ = ["poisson_tail", "expected_hot_bins", "expected_overflow_pages"]
+
+
+def _poisson_pmfs(mu: float, upto: int) -> list[float]:
+    """``[P(X=0) … P(X=upto)]`` for ``X ~ Poisson(mu)`` (stable recurrence)."""
+    pmf = [math.exp(-mu)]
+    for k in range(1, upto + 1):
+        pmf.append(pmf[-1] * mu / k)
+    return pmf
+
+
+def poisson_tail(mu: float, k: int) -> float:
+    """``P(Poisson(mu) > k)`` (strictly greater)."""
+    if mu < 0:
+        raise ConfigurationError(f"mu must be non-negative, got {mu}")
+    if k < 0:
+        return 1.0
+    head = sum(_poisson_pmfs(mu, k))
+    return max(0.0, 1.0 - head)
+
+
+def expected_hot_bins(num_balls: int, num_bins: int, bin_size: int) -> float:
+    """Expected number of bins receiving more than ``bin_size`` balls."""
+    if num_bins <= 0 or bin_size < 0 or num_balls < 0:
+        raise ConfigurationError("num_balls, num_bins, bin_size must be sensible")
+    mu = num_balls / num_bins
+    return num_bins * poisson_tail(mu, bin_size)
+
+
+def expected_overflow_pages(num_balls: int, num_bins: int, bin_size: int) -> float:
+    """Expected total overflow ``Σ_bins E[(load − bin_size)⁺]``.
+
+    The analytic demand on the heat-sink: pages whose bins cannot hold
+    them even at perfect intra-bin packing. Uses the identity
+    ``E[(L−b)⁺] = Σ_{k>b} (k−b)·P(L=k) = μ·P(L ≥ b) − b·P(L > b)``
+    computed by direct summation with a tail cutoff at negligible mass.
+    """
+    if num_bins <= 0 or bin_size < 0 or num_balls < 0:
+        raise ConfigurationError("num_balls, num_bins, bin_size must be sensible")
+    mu = num_balls / num_bins
+    if mu == 0:
+        return 0.0
+    # sum until the residual pmf mass is negligible
+    upto = int(mu + 12 * math.sqrt(mu) + bin_size + 20)
+    pmf = _poisson_pmfs(mu, upto)
+    overflow = sum((k - bin_size) * pmf[k] for k in range(bin_size + 1, upto + 1))
+    return num_bins * overflow

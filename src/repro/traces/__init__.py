@@ -1,0 +1,75 @@
+"""Workload (access-trace) generation and handling.
+
+A *trace* is a sequence of page accesses ``x_1, x_2, …, x_ℓ`` — the input
+to the paging problem of §1 of the paper. This package provides:
+
+- :mod:`repro.traces.base` — the :class:`Trace` container and validation;
+- :mod:`repro.traces.synthetic` — classical synthetic families (uniform,
+  Zipf, scans, loops, mixtures);
+- :mod:`repro.traces.phases` — working-set phase-change workloads;
+- :mod:`repro.traces.stackdist` — traces synthesized from a target LRU
+  stack-distance distribution;
+- :mod:`repro.traces.adversarial` — the constructive lower-bound sequence
+  of Theorem 2;
+- :mod:`repro.traces.io` — persistence (npz / CSV / MSR-style).
+"""
+
+from repro.traces.base import Trace, as_page_array, concat_traces, trace_stats
+from repro.traces.synthetic import (
+    cyclic_scan_trace,
+    interleave_traces,
+    loop_mixture_trace,
+    sawtooth_trace,
+    sequential_scan_trace,
+    uniform_trace,
+    zipf_trace,
+)
+from repro.traces.phases import phase_change_trace, working_set_trace
+from repro.traces.stackdist import stack_distance_trace, measure_stack_distances
+from repro.traces.adversarial import (
+    AdversarialSequence,
+    build_theorem2_sequence,
+)
+from repro.traces.addresses import (
+    addresses_to_pages,
+    matrix_traversal,
+    pointer_chase,
+    strided_walk,
+)
+from repro.traces.sampling import shards_lru_mrc, spatial_sample
+from repro.traces.io import (
+    load_trace,
+    save_trace,
+    read_msr_csv,
+    write_msr_csv,
+)
+
+__all__ = [
+    "Trace",
+    "as_page_array",
+    "concat_traces",
+    "trace_stats",
+    "uniform_trace",
+    "zipf_trace",
+    "sequential_scan_trace",
+    "cyclic_scan_trace",
+    "sawtooth_trace",
+    "loop_mixture_trace",
+    "interleave_traces",
+    "phase_change_trace",
+    "working_set_trace",
+    "stack_distance_trace",
+    "measure_stack_distances",
+    "AdversarialSequence",
+    "build_theorem2_sequence",
+    "addresses_to_pages",
+    "strided_walk",
+    "matrix_traversal",
+    "pointer_chase",
+    "spatial_sample",
+    "shards_lru_mrc",
+    "load_trace",
+    "save_trace",
+    "read_msr_csv",
+    "write_msr_csv",
+]

@@ -1,0 +1,150 @@
+"""Hardware-style address streams and their page/line traces.
+
+The paper's motivating caches are *hardware* caches, where the input is a
+stream of byte addresses and the cache indexes by address bits. This
+module provides:
+
+- :func:`addresses_to_pages` — byte addresses → cache-line (or page) ids;
+- generators for the classic architecture access kernels whose behaviour
+  under different set-index functions is textbook material:
+
+  - :func:`strided_walk` — array sweep with a fixed stride (a power-of-two
+    stride aliases entire set groups under modulo indexing — the
+    pathology that motivated Seznec's skewing and, ultimately, hashed
+    low-associativity designs);
+  - :func:`matrix_traversal` — row-/column-major walks over a 2-D array;
+  - :func:`pointer_chase` — a random permutation cycle (dependent loads,
+    no spatial locality).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.rng import SeedLike, make_rng
+from repro.traces.base import Trace
+
+__all__ = [
+    "addresses_to_pages",
+    "strided_walk",
+    "matrix_traversal",
+    "pointer_chase",
+]
+
+
+def addresses_to_pages(
+    addresses: np.ndarray, *, line_bytes: int = 64, dedup_consecutive: bool = False
+) -> Trace:
+    """Map byte addresses to cache-line ids (``addr // line_bytes``).
+
+    ``dedup_consecutive`` collapses runs of accesses to the same line into
+    one access — the standard preprocessing when modelling a cache behind
+    a processor that merges same-line accesses.
+    """
+    if line_bytes <= 0:
+        raise ConfigurationError(f"line_bytes must be positive, got {line_bytes}")
+    addr = np.asarray(addresses, dtype=np.int64)
+    if addr.ndim != 1:
+        raise ConfigurationError(f"addresses must be 1-D, got shape {addr.shape}")
+    if addr.size and addr.min() < 0:
+        raise ConfigurationError("addresses must be non-negative")
+    lines = addr // line_bytes
+    if dedup_consecutive and lines.size:
+        keep = np.empty(lines.size, dtype=bool)
+        keep[0] = True
+        keep[1:] = lines[1:] != lines[:-1]
+        lines = lines[keep]
+    return Trace(lines, name="addresses", params={"line_bytes": line_bytes})
+
+
+def strided_walk(
+    num_elements: int,
+    *,
+    stride_bytes: int,
+    element_bytes: int = 8,
+    repeats: int = 1,
+    line_bytes: int = 64,
+    base_address: int = 0,
+) -> Trace:
+    """Repeated sweep over an array touching every ``stride_bytes``-th slot.
+
+    With a power-of-two stride that is a multiple of ``line_bytes × S``
+    (``S`` = number of sets), *every* touched line maps to the same set of
+    a modulo-indexed cache — the classic conflict-miss pathology. Hashed
+    index functions spread the same stream uniformly.
+    """
+    if num_elements <= 0 or repeats <= 0:
+        raise ConfigurationError("num_elements and repeats must be positive")
+    if stride_bytes <= 0 or element_bytes <= 0:
+        raise ConfigurationError("strides and element sizes must be positive")
+    offsets = (np.arange(num_elements, dtype=np.int64) * stride_bytes) + base_address
+    addresses = np.tile(offsets, repeats)
+    trace = addresses_to_pages(addresses, line_bytes=line_bytes)
+    return trace.with_name(
+        "strided_walk",
+        stride_bytes=stride_bytes,
+        num_elements=num_elements,
+        repeats=repeats,
+    )
+
+
+def matrix_traversal(
+    rows: int,
+    cols: int,
+    *,
+    order: str = "row",
+    element_bytes: int = 8,
+    repeats: int = 1,
+    line_bytes: int = 64,
+) -> Trace:
+    """Walk a row-major ``rows × cols`` matrix in row- or column-major order.
+
+    Column-major traversal of a row-major matrix is a strided walk with
+    stride ``cols × element_bytes`` — the motivating example for why cache
+    analyses care about index functions at all (cf. the HPC guides'
+    "beware of cache effects").
+    """
+    if rows <= 0 or cols <= 0 or repeats <= 0:
+        raise ConfigurationError("rows, cols, repeats must be positive")
+    if order not in ("row", "col"):
+        raise ConfigurationError(f"order must be 'row' or 'col', got {order!r}")
+    r = np.arange(rows, dtype=np.int64)
+    c = np.arange(cols, dtype=np.int64)
+    if order == "row":
+        index = (r[:, None] * cols + c[None, :]).ravel()
+    else:
+        index = (r[None, :] * cols + c[:, None]).ravel()
+    addresses = np.tile(index * element_bytes, repeats)
+    trace = addresses_to_pages(addresses, line_bytes=line_bytes)
+    return trace.with_name(
+        "matrix_traversal", rows=rows, cols=cols, order=order, repeats=repeats
+    )
+
+
+def pointer_chase(
+    num_nodes: int,
+    length: int,
+    *,
+    node_bytes: int = 64,
+    line_bytes: int = 64,
+    seed: SeedLike = None,
+) -> Trace:
+    """Follow a random Hamiltonian cycle over ``num_nodes`` heap nodes.
+
+    Every node is visited once per lap in a fixed random order — no
+    spatial locality, perfect temporal regularity: the memory-latency
+    benchmark pattern (and an LRU adversary when the cycle exceeds the
+    cache).
+    """
+    if num_nodes <= 0 or length <= 0:
+        raise ConfigurationError("num_nodes and length must be positive")
+    if node_bytes <= 0:
+        raise ConfigurationError("node_bytes must be positive")
+    rng = make_rng(seed)
+    cycle = rng.permutation(num_nodes).astype(np.int64)
+    laps = -(-length // num_nodes)  # ceil
+    visits = np.tile(cycle, laps)[:length]
+    addresses = visits * node_bytes
+    trace = addresses_to_pages(addresses, line_bytes=line_bytes)
+    return trace.with_name("pointer_chase", num_nodes=num_nodes, length=length)

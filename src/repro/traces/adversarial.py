@@ -1,0 +1,272 @@
+"""The Theorem-2 lower-bound access sequence (§3 of the paper).
+
+The construction is *oblivious*: it depends on the hash distribution ``P``
+but not on any coin flips. It proceeds in two stages:
+
+1. **Populate** the cache by accessing ``l = populate_factor · n``
+   distinct pages ``a_1 … a_l``. Lemma 1: afterwards, a fresh page has all
+   ``d`` hashes landing on occupied slots with probability ≥ 0.99.
+   (The paper uses the deliberately huge ``l = 10⁶ n`` to make the
+   Markov argument trivial; empirically occupancy saturates by
+   ``l ≈ 10n`` — the builder exposes the factor and the test suite
+   verifies the ≥ 99% saturation property at the default.)
+2. Choose a **heavy** set ``H`` (each populate page kept independently
+   with probability ``heavy_rate``, the paper's ``1/log^γ n``) and two
+   disjoint fresh **light** sets ``A``, ``B`` of ``light_size`` pages
+   (the paper's ``n/log^γ n``), then access ``H, A, H, B`` for ``rounds``
+   repetitions.
+
+Why it hurts `P`-LRU: a *happy pair* ``(a ∈ A, b ∈ B)`` shares its first
+hash slot while its remaining hashed slots hold heavy pages, which the
+``H`` passes keep maximally recent. Every access to ``a`` then evicts
+``b`` from the shared slot and vice versa — each happy pair converts to
+two misses per round, forever. OPT simply keeps the (small) set
+``H ∪ A ∪ B`` resident and pays ``O(n)`` total.
+
+:func:`find_happy_pairs` implements the paper's definitions of
+*promising* pages and *happy pairs* literally, so experiments can report
+the predicted number of perpetual missers next to the measured miss rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Mapping
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.rng import SeedLike, make_rng
+from repro.traces.base import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.assoc.hashdist import HashDistribution
+    from repro.core.assoc.slotted import SlottedCache
+
+__all__ = ["AdversarialSequence", "build_theorem2_sequence", "find_happy_pairs"]
+
+
+@dataclass(frozen=True)
+class AdversarialSequence:
+    """A built Theorem-2 sequence plus the sets that define it.
+
+    Attributes
+    ----------
+    trace:
+        The full access sequence (populate prefix + round-robin suffix).
+    populate:
+        The pages ``a_1 … a_l`` of the populate stage, in access order.
+    heavy / light_a / light_b:
+        The sets ``H``, ``A``, ``B`` (as arrays, in their access order).
+    t0:
+        Index into ``trace`` of the first post-populate access — the
+        paper's time ``t_0``.
+    rounds:
+        Number of ``H, A, H, B`` repetitions.
+    """
+
+    trace: Trace
+    populate: np.ndarray
+    heavy: np.ndarray
+    light_a: np.ndarray
+    light_b: np.ndarray
+    t0: int
+    rounds: int
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def post_populate_working_set(self) -> int:
+        """``|H ∪ A ∪ B|`` — what OPT must hold to never miss after t0."""
+        return int(self.heavy.size + self.light_a.size + self.light_b.size)
+
+    def suffix_slice(self) -> slice:
+        """Slice of ``trace`` covering everything after populate."""
+        return slice(self.t0, len(self.trace))
+
+
+def build_theorem2_sequence(
+    n: int,
+    *,
+    populate_factor: int = 6,
+    heavy_rate: float | None = None,
+    light_size: int | None = None,
+    rounds: int = 50,
+    seed: SeedLike = 0,
+) -> AdversarialSequence:
+    """Construct the §3 adversarial sequence for a cache of ``n`` slots.
+
+    The sequence is oblivious — it never looks at hashes — so one build
+    works against *any* policy/distribution at cache size ``n`` (the
+    happy-pair *count* depends on the distribution, but the sequence does
+    not, exactly as in the paper).
+
+    Parameters
+    ----------
+    populate_factor:
+        ``l / n``: how many distinct populate pages per cache slot.
+    heavy_rate:
+        Sampling probability of the heavy set (paper: ``1/log^γ n``).
+        Defaults to ``1 / (6 · populate_factor)`` so that
+        ``E|H| = n/6`` — in the paper's regime ``|H| ≪ n`` while keeping
+        enough contention for the pathology to be measurable at finite
+        ``n``. With the defaults, ``|H| + |A| + |B| ≈ n/2``, so OPT with
+        ``β = 2`` resource augmentation holds everything after ``t_0``
+        (its post-``t_0`` misses are exactly the ``2·light_size`` cold
+        misses on ``A ∪ B``), while `P`-LRU sustains a persistent
+        per-round miss count — the Theorem-2 separation.
+    light_size:
+        ``|A| = |B|`` (paper: ``n / log^γ n``); default ``max(4, n // 6)``.
+    rounds:
+        Repetitions ``K`` of the ``H, A, H, B`` pattern.
+    """
+    if n <= 0:
+        raise ConfigurationError(f"n must be positive, got {n}")
+    if populate_factor < 1:
+        raise ConfigurationError(f"populate_factor must be >= 1, got {populate_factor}")
+    if heavy_rate is None:
+        heavy_rate = 1.0 / (6.0 * populate_factor)
+    if not 0.0 < heavy_rate <= 1.0:
+        raise ConfigurationError(f"heavy_rate must be in (0,1], got {heavy_rate}")
+    if rounds < 1:
+        raise ConfigurationError(f"rounds must be >= 1, got {rounds}")
+    if light_size is None:
+        light_size = max(4, n // 6)
+    if light_size < 1:
+        raise ConfigurationError(f"light_size must be >= 1, got {light_size}")
+
+    rng = make_rng(seed)
+    num_populate = populate_factor * n
+    populate = np.arange(num_populate, dtype=np.int64)
+
+    heavy_mask = rng.random(num_populate) < heavy_rate
+    heavy = populate[heavy_mask]
+    # light pages are fresh ids, disjoint from the populate set
+    light_a = np.arange(num_populate, num_populate + light_size, dtype=np.int64)
+    light_b = np.arange(
+        num_populate + light_size, num_populate + 2 * light_size, dtype=np.int64
+    )
+
+    round_pattern = np.concatenate([heavy, light_a, heavy, light_b])
+    pages = np.concatenate([populate, np.tile(round_pattern, rounds)])
+    trace = Trace(
+        pages,
+        name="theorem2_adversarial",
+        params={
+            "n": n,
+            "populate_factor": populate_factor,
+            "heavy_rate": heavy_rate,
+            "light_size": light_size,
+            "rounds": rounds,
+            "heavy_size": int(heavy.size),
+        },
+    )
+    return AdversarialSequence(
+        trace=trace,
+        populate=populate,
+        heavy=heavy,
+        light_a=light_a,
+        light_b=light_b,
+        t0=int(num_populate),
+        rounds=rounds,
+        params=dict(trace.params),
+    )
+
+
+def find_happy_pairs(
+    seq: AdversarialSequence,
+    cache: "SlottedCache",
+) -> list[tuple[int, int]]:
+    """Identify the happy pairs of §3 for a concrete cache instance.
+
+    Implements the paper's definitions literally:
+
+    - a page ``x ∈ A ∪ B`` is **promising** if (1) all of its hashes are
+      occupied at ``t_0``, (2) the occupants of ``h_2(x) … h_d(x)`` at
+      ``t_0`` are all heavy, and (3) every heavy page either is one of
+      those occupants or has hashes disjoint from ``x``'s;
+    - ``(a ∈ A, b ∈ B)`` is a **happy pair** if both are promising,
+      ``h_1(a) = h_1(b)``, and no other light page's hashes intersect
+      theirs.
+
+    The function *mutates* ``cache``: it resets it and replays the populate
+    prefix to obtain the paper's state ``S(t_0)``. Pass a fresh instance
+    (or one you are done with).
+
+    Returns the list of pairs ``(a, b)``. Every returned pair is predicted
+    to miss on each of its accesses after ``t_0``; experiments check this
+    prediction against the simulated miss pattern.
+    """
+    from repro.core.assoc.slotted import EMPTY  # local: avoid import cycle
+
+    cache.reset()
+    populate_trace = seq.trace[: seq.t0]
+    cache.run(populate_trace, reset=False)
+
+    dist = cache.dist
+    d = dist.d
+    heavy_set = set(seq.heavy.tolist())
+    lights = np.concatenate([seq.light_a, seq.light_b])
+    light_hashes = dist.positions_batch(lights)
+    heavy_hashes = dist.positions_batch(seq.heavy)
+
+    # slot -> heavy pages hashing to it (for promising condition 3)
+    heavy_by_slot: dict[int, list[int]] = {}
+    for idx, page in enumerate(seq.heavy.tolist()):
+        for slot in heavy_hashes[idx].tolist():
+            heavy_by_slot.setdefault(slot, []).append(page)
+
+    slot_page = cache.slot_pages()  # S(t_0) occupancy snapshot
+
+    def promising(row: np.ndarray) -> bool:
+        occupants = slot_page[row]
+        if np.any(occupants == EMPTY):
+            return False  # condition 1
+        y_x = set(int(p) for p in occupants[1:].tolist())
+        if not y_x <= heavy_set:
+            return False  # condition 2
+        for slot in row.tolist():  # condition 3
+            for z in heavy_by_slot.get(slot, ()):
+                if z not in y_x:
+                    return False
+        return True
+
+    promising_mask = np.fromiter(
+        (promising(light_hashes[i]) for i in range(lights.size)),
+        dtype=bool,
+        count=lights.size,
+    )
+
+    # slot -> light pages whose hash tuple touches it (for pair condition 3)
+    light_by_slot: dict[int, list[int]] = {}
+    for idx, page in enumerate(lights.tolist()):
+        for slot in set(light_hashes[idx].tolist()):
+            light_by_slot.setdefault(slot, []).append(page)
+
+    na = seq.light_a.size
+    first_hash_b: dict[int, list[int]] = {}
+    for j in range(na, lights.size):
+        if promising_mask[j]:
+            first_hash_b.setdefault(int(light_hashes[j, 0]), []).append(j)
+
+    pairs: list[tuple[int, int]] = []
+    used: set[int] = set()
+    for i in range(na):
+        if not promising_mask[i]:
+            continue
+        candidates = first_hash_b.get(int(light_hashes[i, 0]), ())
+        for j in candidates:
+            a_page, b_page = int(lights[i]), int(lights[j])
+            if a_page in used or b_page in used:
+                continue
+            touched = set(light_hashes[i].tolist()) | set(light_hashes[j].tolist())
+            clean = all(
+                other in (a_page, b_page)
+                for slot in touched
+                for other in light_by_slot.get(slot, ())
+            )
+            if clean:
+                pairs.append((a_page, b_page))
+                used.add(a_page)
+                used.add(b_page)
+                break
+    return pairs

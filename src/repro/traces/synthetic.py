@@ -1,0 +1,192 @@
+"""Classical synthetic workload families.
+
+These are the standard access-pattern generators of the caching literature
+the paper builds on: uniform random, Zipf-distributed popularity, sequential
+and cyclic scans (the canonical LRU adversary), sawtooth patterns, and loop
+mixtures. All generators are fully vectorized and deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.rng import SeedLike, make_rng
+from repro.traces.base import Trace
+
+__all__ = [
+    "uniform_trace",
+    "zipf_trace",
+    "sequential_scan_trace",
+    "cyclic_scan_trace",
+    "sawtooth_trace",
+    "loop_mixture_trace",
+    "interleave_traces",
+]
+
+
+def _check_positive(**values: int) -> None:
+    for name, value in values.items():
+        if value <= 0:
+            raise ConfigurationError(f"{name} must be positive, got {value}")
+
+
+def uniform_trace(num_pages: int, length: int, *, seed: SeedLike = None) -> Trace:
+    """Accesses drawn i.i.d. uniformly from ``num_pages`` pages.
+
+    Uniform traffic has no temporal locality: under it, every demand-paging
+    policy converges to the same miss rate ``max(0, 1 - n/num_pages)``,
+    which makes it the standard *null workload* for sanity checks.
+    """
+    _check_positive(num_pages=num_pages, length=length)
+    rng = make_rng(seed)
+    pages = rng.integers(0, num_pages, size=length, dtype=np.int64)
+    return Trace(pages, name="uniform", params={"num_pages": num_pages, "length": length})
+
+
+def zipf_trace(
+    num_pages: int,
+    length: int,
+    *,
+    alpha: float = 1.0,
+    seed: SeedLike = None,
+    shuffle_ranks: bool = True,
+) -> Trace:
+    """Accesses with Zipf(``alpha``) popularity over ``num_pages`` pages.
+
+    Page of popularity rank ``r`` is accessed with probability proportional
+    to ``(r+1)^-alpha``. ``alpha ≈ 0.8–1.2`` matches measured web/storage
+    workloads. With ``shuffle_ranks`` the rank→page-id mapping is random so
+    popular pages are not clustered in id space (id clustering would
+    correlate with set-index bits in set-associative configurations and bias
+    low-associativity results).
+    """
+    _check_positive(num_pages=num_pages, length=length)
+    if alpha < 0:
+        raise ConfigurationError(f"alpha must be non-negative, got {alpha}")
+    rng = make_rng(seed)
+    weights = (np.arange(1, num_pages + 1, dtype=np.float64)) ** (-alpha)
+    cdf = np.cumsum(weights)
+    cdf /= cdf[-1]
+    ranks = np.searchsorted(cdf, rng.random(length), side="left").astype(np.int64)
+    if shuffle_ranks:
+        perm = rng.permutation(num_pages).astype(np.int64)
+        pages = perm[ranks]
+    else:
+        pages = ranks
+    return Trace(
+        pages,
+        name="zipf",
+        params={"num_pages": num_pages, "length": length, "alpha": alpha},
+    )
+
+
+def sequential_scan_trace(num_pages: int, *, repeats: int = 1) -> Trace:
+    """``0, 1, …, num_pages-1`` repeated ``repeats`` times.
+
+    A single pass touches every page once (pure cold misses); repeated
+    passes over a set larger than the cache are the classic worst case for
+    LRU (it evicts exactly the page needed furthest in the future's inverse).
+    """
+    _check_positive(num_pages=num_pages, repeats=repeats)
+    pages = np.tile(np.arange(num_pages, dtype=np.int64), repeats)
+    return Trace(pages, name="scan", params={"num_pages": num_pages, "repeats": repeats})
+
+
+def cyclic_scan_trace(num_pages: int, length: int, *, offset: int = 0) -> Trace:
+    """A cyclic scan of exactly ``length`` accesses starting at ``offset``."""
+    _check_positive(num_pages=num_pages, length=length)
+    pages = (np.arange(length, dtype=np.int64) + offset) % num_pages
+    return Trace(
+        pages, name="cyclic", params={"num_pages": num_pages, "length": length}
+    )
+
+
+def sawtooth_trace(num_pages: int, *, repeats: int = 1) -> Trace:
+    """Forward scan followed by backward scan, repeated.
+
+    Sawtooth access exhibits maximal reuse at the turning points and is a
+    favourable case for LRU — useful as the *opposite pole* from cyclic
+    scans when mapping out where policies win and lose.
+    """
+    _check_positive(num_pages=num_pages, repeats=repeats)
+    forward = np.arange(num_pages, dtype=np.int64)
+    backward = forward[::-1][1:-1] if num_pages > 2 else np.empty(0, dtype=np.int64)
+    tooth = np.concatenate([forward, backward])
+    pages = np.tile(tooth, repeats)
+    return Trace(pages, name="sawtooth", params={"num_pages": num_pages, "repeats": repeats})
+
+
+def loop_mixture_trace(
+    loop_sizes: Sequence[int],
+    length: int,
+    *,
+    weights: Sequence[float] | None = None,
+    seed: SeedLike = None,
+) -> Trace:
+    """Interleaved loops of different sizes over disjoint page ranges.
+
+    Each access first picks a loop (by ``weights``), then emits the next
+    page of that loop's cycle. Mixed loop sizes around the cache size create
+    the partial-fit regime where eviction-policy quality matters most.
+    """
+    _check_positive(length=length)
+    if not loop_sizes:
+        raise ConfigurationError("loop_sizes must be non-empty")
+    for size in loop_sizes:
+        _check_positive(loop_size=size)
+    k = len(loop_sizes)
+    if weights is None:
+        prob = np.full(k, 1.0 / k)
+    else:
+        if len(weights) != k:
+            raise ConfigurationError("weights must match loop_sizes in length")
+        prob = np.asarray(weights, dtype=np.float64)
+        if np.any(prob < 0) or prob.sum() <= 0:
+            raise ConfigurationError("weights must be non-negative and sum to > 0")
+        prob = prob / prob.sum()
+    rng = make_rng(seed)
+    choices = rng.choice(k, size=length, p=prob)
+    # position within each loop advances only when that loop is chosen
+    offsets = np.concatenate([[0], np.cumsum(np.asarray(loop_sizes, dtype=np.int64))[:-1]])
+    sizes = np.asarray(loop_sizes, dtype=np.int64)
+    pages = np.empty(length, dtype=np.int64)
+    for i in range(k):
+        mask = choices == i
+        count = int(mask.sum())
+        pages[mask] = offsets[i] + (np.arange(count, dtype=np.int64) % sizes[i])
+    return Trace(
+        pages,
+        name="loop_mixture",
+        params={"loop_sizes": list(loop_sizes), "length": length},
+    )
+
+
+def interleave_traces(traces: Sequence[Trace], *, seed: SeedLike = None) -> Trace:
+    """Randomly interleave several traces, preserving each one's order.
+
+    Page-id spaces are shifted to be disjoint so the interleaved workloads
+    do not accidentally share pages.
+    """
+    if not traces:
+        raise ConfigurationError("need at least one trace to interleave")
+    rng = make_rng(seed)
+    shifted: list[np.ndarray] = []
+    base = 0
+    for t in traces:
+        shifted.append(t.pages + base)
+        base += t.max_page + 1
+    lengths = np.array([len(t) for t in traces], dtype=np.int64)
+    total = int(lengths.sum())
+    # random order that respects per-trace sequencing: shuffle a multiset of
+    # trace indices, then emit each trace's next element when its index comes up
+    owner = np.repeat(np.arange(len(traces)), lengths)
+    rng.shuffle(owner)
+    cursors = np.zeros(len(traces), dtype=np.int64)
+    pages = np.empty(total, dtype=np.int64)
+    for pos, tr_idx in enumerate(owner):
+        pages[pos] = shifted[tr_idx][cursors[tr_idx]]
+        cursors[tr_idx] += 1
+    return Trace(pages, name="interleave", params={"parts": [t.name for t in traces]})

@@ -1,0 +1,130 @@
+"""Terminal (ASCII) visualizations for simulation results.
+
+The experiments run in headless environments, so the library ships
+plotting that degrades to plain text: sparklines for time series (miss
+rates per window), horizontal bar charts for policy comparisons, and heat
+strips for per-slot/per-bin pressure. All functions return strings — the
+caller decides where they go.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["sparkline", "bar_chart", "heat_strip", "histogram"]
+
+_SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+_HEAT_BLOCKS = " ░▒▓█"
+
+
+def _as_array(values: Sequence[float] | np.ndarray, name: str) -> np.ndarray:
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ConfigurationError(f"{name} must be a non-empty 1-D sequence")
+    return arr
+
+
+def sparkline(
+    values: Sequence[float] | np.ndarray,
+    *,
+    lo: float | None = None,
+    hi: float | None = None,
+) -> str:
+    """One-line unicode sparkline of a series.
+
+    Values are scaled into ``[lo, hi]`` (defaults: the series' own range);
+    NaNs render as spaces.
+    """
+    arr = _as_array(values, "values")
+    finite = arr[np.isfinite(arr)]
+    lo = float(finite.min()) if lo is None and finite.size else (lo or 0.0)
+    hi = float(finite.max()) if hi is None and finite.size else (hi or 1.0)
+    span = hi - lo
+    chars = []
+    for v in arr.tolist():
+        if not np.isfinite(v):
+            chars.append(" ")
+            continue
+        frac = 0.0 if span <= 0 else (v - lo) / span
+        idx = int(round(frac * (len(_SPARK_BLOCKS) - 1)))
+        chars.append(_SPARK_BLOCKS[min(len(_SPARK_BLOCKS) - 1, max(0, idx))])
+    return "".join(chars)
+
+
+def bar_chart(
+    entries: Mapping[str, float],
+    *,
+    width: int = 40,
+    fmt: str = "{:.4f}",
+) -> str:
+    """Horizontal bar chart, one labeled row per entry.
+
+    Bars are scaled to the maximum value; zero/negative values get an
+    empty bar (the numeric column still shows the value).
+    """
+    if not entries:
+        raise ConfigurationError("bar_chart needs at least one entry")
+    if width < 1:
+        raise ConfigurationError(f"width must be >= 1, got {width}")
+    label_w = max(len(k) for k in entries)
+    peak = max(max(entries.values()), 0.0)
+    lines = []
+    for label, value in entries.items():
+        filled = 0 if peak <= 0 or value <= 0 else max(1, int(round(width * value / peak)))
+        bar = "█" * filled + " " * (width - filled)
+        lines.append(f"{label.ljust(label_w)} |{bar}| " + fmt.format(value))
+    return "\n".join(lines)
+
+
+def heat_strip(
+    values: Sequence[float] | np.ndarray,
+    *,
+    buckets: int = 64,
+    hi: float | None = None,
+) -> str:
+    """Compress a per-slot intensity array into a fixed-width heat strip.
+
+    Slots are grouped into ``buckets`` contiguous groups (mean intensity
+    per group) and rendered with density blocks — hot regions read as
+    dark bands. ``hi`` pins the scale for comparable strips across time.
+    """
+    arr = _as_array(values, "values")
+    if buckets < 1:
+        raise ConfigurationError(f"buckets must be >= 1, got {buckets}")
+    buckets = min(buckets, arr.size)
+    edges = np.linspace(0, arr.size, buckets + 1).astype(np.int64)
+    means = np.asarray(
+        [arr[edges[i] : edges[i + 1]].mean() for i in range(buckets)]
+    )
+    top = float(hi) if hi is not None else float(means.max())
+    chars = []
+    for v in means.tolist():
+        frac = 0.0 if top <= 0 else min(1.0, v / top)
+        chars.append(_HEAT_BLOCKS[int(round(frac * (len(_HEAT_BLOCKS) - 1)))])
+    return "".join(chars)
+
+
+def histogram(
+    values: Sequence[float] | np.ndarray,
+    *,
+    bins: int = 10,
+    width: int = 40,
+) -> str:
+    """Text histogram: one row per bin with count bars."""
+    arr = _as_array(values, "values")
+    if bins < 1:
+        raise ConfigurationError(f"bins must be >= 1, got {bins}")
+    counts, edges = np.histogram(arr, bins=bins)
+    peak = counts.max() if counts.size else 1
+    lines = []
+    for i, count in enumerate(counts.tolist()):
+        filled = 0 if peak == 0 else int(round(width * count / peak))
+        lines.append(
+            f"[{edges[i]:>10.4g}, {edges[i+1]:>10.4g}) "
+            f"|{'█' * filled}{' ' * (width - filled)}| {count}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,104 @@
+"""Tests for repro.analysis.characterize — workload profiling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.characterize import (
+    characterize,
+    fit_zipf_exponent,
+    footprint_curve,
+    reuse_distance_histogram,
+)
+from repro.errors import ConfigurationError
+from repro.traces.phases import phase_change_trace
+from repro.traces.synthetic import cyclic_scan_trace, zipf_trace
+
+
+class TestFootprint:
+    def test_stationary_working_set_flat(self):
+        trace = zipf_trace(64, 20_000, alpha=0.0, seed=1)
+        curve = footprint_curve(trace, window=2_000)
+        assert curve.max() <= 64
+        assert curve.min() >= 60  # every window sees ~the whole set
+
+    def test_phase_changes_visible(self):
+        trace = phase_change_trace(100, 5_000, 4, overlap=0.0, seed=2)
+        curve = footprint_curve(trace, window=5_000)
+        assert curve.shape == (4,)
+        assert np.all(curve <= 100)
+
+    def test_scan_footprint_equals_window(self):
+        trace = cyclic_scan_trace(100_000, 20_000)
+        curve = footprint_curve(trace, window=5_000)
+        assert np.all(curve == 5_000)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            footprint_curve(np.array([1, 2]), window=0)
+
+
+class TestZipfFit:
+    @pytest.mark.parametrize("alpha", [0.6, 1.0, 1.4])
+    def test_recovers_exponent(self, alpha):
+        trace = zipf_trace(4096, 400_000, alpha=alpha, seed=3)
+        alpha_hat, r2 = fit_zipf_exponent(trace)
+        assert alpha_hat == pytest.approx(alpha, abs=0.15)
+        assert r2 > 0.95
+
+    def test_uniform_fits_near_zero(self):
+        trace = zipf_trace(256, 100_000, alpha=0.0, seed=4)
+        alpha_hat, _ = fit_zipf_exponent(trace)
+        assert abs(alpha_hat) < 0.1
+
+    def test_scan_flagged_by_r2_or_flat(self):
+        trace = cyclic_scan_trace(1000, 10_000)
+        alpha_hat, r2 = fit_zipf_exponent(trace)
+        # every page accessed equally often: exponent ~0
+        assert abs(alpha_hat) < 0.05
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            fit_zipf_exponent(np.empty(0, dtype=np.int64))
+        with pytest.raises(ConfigurationError):
+            fit_zipf_exponent(np.array([1, 2]), head_fraction=0.0)
+
+
+class TestReuseHistogram:
+    def test_counts_partition_rereferences(self):
+        trace = zipf_trace(128, 10_000, alpha=1.0, seed=5)
+        hist = reuse_distance_histogram(trace)
+        total = int(hist["counts"].sum()) + int(hist["cold"][0])
+        assert total == 10_000
+
+    def test_cold_only_scan(self):
+        hist = reuse_distance_histogram(np.arange(100))
+        assert hist["cold"][0] == 100
+        assert hist["counts"].sum() == 0
+
+    def test_custom_edges(self):
+        trace = np.array([1, 1, 2, 1])
+        hist = reuse_distance_histogram(trace, bin_edges=[0, 1, 4])
+        # distances: 1@1->0, 1@3->1; both re-references binned
+        assert hist["counts"].sum() == 2
+
+
+class TestCharacterize:
+    def test_zipf_profile(self):
+        trace = zipf_trace(1024, 60_000, alpha=1.0, seed=6)
+        report = characterize(trace)
+        assert report["length"] == 60_000
+        assert report["zipf_alpha_hat"] == pytest.approx(1.0, abs=0.2)
+        assert 0 < report["reuse_fraction"] <= 1
+        assert report["footprint_cv"] < 0.3  # stationary
+
+    def test_phase_workload_high_footprint_cv_or_jumps(self):
+        trace = phase_change_trace(200, 4_000, 6, overlap=0.0, seed=7)
+        report = characterize(trace, windows=12)
+        assert report["distinct"] >= 6 * 100
+        assert report["footprint_max"] <= 200
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            characterize(np.empty(0, dtype=np.int64))

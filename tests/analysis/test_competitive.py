@@ -1,0 +1,108 @@
+"""Tests for repro.analysis.competitive — §2's competitiveness machinery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.competitive import (
+    CompetitiveReport,
+    competitive_report,
+    empirical_competitive_ratio,
+    opt_phases,
+)
+from repro.core.base import SimResult
+from repro.core.fully.belady import BeladyCache
+from repro.core.fully.lru import LRUCache
+from repro.errors import ConfigurationError
+from repro.traces.synthetic import zipf_trace
+
+
+def _result(hits, capacity=8):
+    return SimResult(hits=np.asarray(hits, dtype=bool), policy="p", capacity=capacity)
+
+
+class TestReport:
+    def test_ratio(self):
+        r = CompetitiveReport(alg_misses=30, ref_misses=10, n=8, beta=2, trace_length=100)
+        assert r.ratio == 3.0
+        assert r.excess_misses == 20
+        assert r.additive_scale == pytest.approx(12.5)
+
+    def test_zero_reference(self):
+        r = CompetitiveReport(alg_misses=5, ref_misses=0, n=8, beta=2, trace_length=10)
+        assert r.ratio == float("inf")
+        r2 = CompetitiveReport(alg_misses=0, ref_misses=0, n=8, beta=2, trace_length=10)
+        assert r2.ratio == 1.0
+
+    def test_from_results(self):
+        alg = _result([False] * 4)
+        ref = _result([False, True, True, True], capacity=4)
+        report = competitive_report(alg, ref, beta=2)
+        assert report.alg_misses == 4
+        assert report.ref_misses == 1
+        assert report.n == 8
+
+    def test_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            competitive_report(_result([True]), _result([True, False]), beta=2)
+
+
+class TestEmpiricalRatio:
+    def test_lru_vs_opt_sleator_tarjan_shape(self):
+        """LRU at size n vs OPT at n/2 — the classic result promises a
+        ratio <= 2 (+ additive slack) on any trace."""
+        trace = zipf_trace(512, 40_000, alpha=0.8, seed=3)
+        report = empirical_competitive_ratio(
+            lambda c: LRUCache(c), lambda c: BeladyCache(c), trace, n=256, beta=2
+        )
+        assert report.ratio <= 2.0 + report.additive_scale / max(1, report.ref_misses) + 0.2
+
+    def test_self_comparison_is_one(self):
+        trace = zipf_trace(64, 5_000, alpha=1.0, seed=4)
+        report = empirical_competitive_ratio(
+            lambda c: LRUCache(c), lambda c: LRUCache(c), trace, n=32, beta=1
+        )
+        assert report.ratio == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            empirical_competitive_ratio(
+                lambda c: LRUCache(c), lambda c: LRUCache(c), np.array([1]), n=0
+            )
+        with pytest.raises(ConfigurationError):
+            empirical_competitive_ratio(
+                lambda c: LRUCache(c), lambda c: LRUCache(c), np.array([1]), n=4, beta=0.5
+            )
+
+
+class TestOptPhases:
+    def test_phases_cover_trace(self):
+        ref = _result([False, True, False, True, False, True])
+        phases = opt_phases(ref, misses_per_phase=1)
+        assert phases[0].start == 0
+        assert phases[-1].stop == 6
+        for a, b in zip(phases, phases[1:]):
+            assert a.stop == b.start
+
+    def test_each_phase_has_expected_misses(self):
+        rng = np.random.Generator(np.random.PCG64(5))
+        hits = rng.random(500) < 0.7
+        ref = _result(hits.tolist())
+        k = 10
+        phases = opt_phases(ref, misses_per_phase=k)
+        miss_flags = ~ref.hits
+        for phase in phases[:-1]:
+            assert int(miss_flags[phase].sum()) == k
+        assert int(miss_flags[phases[-1]].sum()) <= k
+
+    def test_no_misses_single_phase(self):
+        ref = _result([True, True, True])
+        assert opt_phases(ref, 5) == [slice(0, 3)]
+
+    def test_empty_trace(self):
+        assert opt_phases(_result([]), 5) == []
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            opt_phases(_result([True]), 0)

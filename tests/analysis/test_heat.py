@@ -1,0 +1,91 @@
+"""Tests for repro.analysis.heat — contention metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.heat import eviction_gini, heat_timeline, hot_fraction, slot_pressure
+from repro.core.assoc.d_lru import PLruCache
+from repro.core.fully.lru import LRUCache
+from repro.errors import ConfigurationError
+from repro.traces.synthetic import zipf_trace
+
+
+class TestSlotPressure:
+    def test_normalizes(self):
+        out = slot_pressure(np.array([1, 3, 0]))
+        assert out.sum() == pytest.approx(1.0)
+        assert out.tolist() == pytest.approx([0.25, 0.75, 0.0])
+
+    def test_zero_evictions(self):
+        assert slot_pressure(np.zeros(3)).tolist() == [0, 0, 0]
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert eviction_gini(np.full(100, 7)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_concentrated_near_one(self):
+        ev = np.zeros(1000)
+        ev[0] = 500
+        assert eviction_gini(ev) > 0.99
+
+    def test_known_value(self):
+        # two slots, all load on one: Gini = 1/2 for n=2
+        assert eviction_gini(np.array([0, 10])) == pytest.approx(0.5)
+
+    def test_scale_invariant(self):
+        ev = np.array([1.0, 2.0, 3.0, 4.0])
+        assert eviction_gini(ev) == pytest.approx(eviction_gini(ev * 100))
+
+    def test_no_evictions(self):
+        assert eviction_gini(np.zeros(5)) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            eviction_gini(np.array([]))
+
+
+class TestHotFraction:
+    def test_all_on_one_slot(self):
+        ev = np.zeros(100)
+        ev[3] = 42
+        assert hot_fraction(ev, 0.01) == 1.0
+
+    def test_uniform(self):
+        assert hot_fraction(np.ones(100), 0.1) == pytest.approx(0.1)
+
+    def test_zero_evictions(self):
+        assert hot_fraction(np.zeros(10), 0.5) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            hot_fraction(np.ones(4), 0.0)
+        with pytest.raises(ConfigurationError):
+            hot_fraction(np.ones(4), 1.5)
+
+
+class TestHeatTimeline:
+    def test_windows_and_keys(self):
+        trace = zipf_trace(512, 8_000, alpha=1.0, seed=1)
+        out = heat_timeline(
+            lambda: PLruCache(64, d=2, seed=2), trace, window=2_000
+        )
+        assert set(out) == {"miss_rate", "gini", "hot1"}
+        assert out["miss_rate"].shape == (4,)
+        assert np.all((out["gini"] >= 0) & (out["gini"] <= 1))
+
+    def test_state_carries_across_windows(self):
+        """Miss rate must drop after the first window (no reset between)."""
+        trace = np.tile(np.arange(32, dtype=np.int64), 100)
+        out = heat_timeline(lambda: PLruCache(64, d=2, seed=3), trace, window=800)
+        assert out["miss_rate"][0] > out["miss_rate"][-1]
+
+    def test_rejects_policies_without_counters(self):
+        with pytest.raises(ConfigurationError):
+            heat_timeline(lambda: LRUCache(8), np.arange(10), window=5)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            heat_timeline(lambda: PLruCache(8, d=2), np.arange(10), window=0)

@@ -1,0 +1,65 @@
+"""Tests for repro.analysis.metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import miss_rate_curve, steady_state_miss_rate, warmup_split
+from repro.core.base import SimResult
+from repro.core.fully.lru import LRUCache
+from repro.errors import ConfigurationError
+from repro.traces.synthetic import zipf_trace
+
+
+def _result(hits):
+    return SimResult(hits=np.asarray(hits, dtype=bool), policy="p", capacity=4)
+
+
+class TestWarmupSplit:
+    def test_split_point(self):
+        r = _result([False, False, True, True])
+        head, tail = warmup_split(r, 0.5)
+        assert head == 1.0
+        assert tail == 0.0
+
+    def test_zero_warmup(self):
+        r = _result([False, True])
+        head, tail = warmup_split(r, 0.0)
+        assert np.isnan(head)
+        assert tail == 0.5
+
+    def test_empty(self):
+        head, tail = warmup_split(_result([]), 0.25)
+        assert np.isnan(head) and np.isnan(tail)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            warmup_split(_result([True]), 1.0)
+
+    def test_steady_state_wrapper(self):
+        r = _result([False, False, True, True])
+        assert steady_state_miss_rate(r, 0.5) == 0.0
+
+
+class TestMissRateCurve:
+    def test_monotone_for_lru(self):
+        trace = zipf_trace(256, 20_000, alpha=1.0, seed=1)
+        sizes = [8, 16, 32, 64, 128]
+        rates = miss_rate_curve(lambda c: LRUCache(c), trace, sizes)
+        assert rates.shape == (5,)
+        assert np.all(np.diff(rates) <= 0)
+
+    def test_empty_sizes(self):
+        with pytest.raises(ConfigurationError):
+            miss_rate_curve(lambda c: LRUCache(c), np.array([1, 2]), [])
+
+    def test_fresh_instance_per_size(self):
+        calls = []
+
+        def factory(c):
+            calls.append(c)
+            return LRUCache(c)
+
+        miss_rate_curve(factory, np.array([1, 2, 1]), [1, 2])
+        assert calls == [1, 2]

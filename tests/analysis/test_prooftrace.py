@@ -1,0 +1,97 @@
+"""Tests for the Theorem-4 proof tracer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.prooftrace import trace_theorem4_accounting
+from repro.core.assoc.heatsink import HeatSinkLRU
+from repro.errors import ConfigurationError
+from repro.traces.synthetic import zipf_trace
+
+
+@pytest.fixture(scope="module")
+def acct():
+    trace = zipf_trace(4096, 40_000, alpha=0.9, seed=3)
+    return trace_theorem4_accounting(trace, nominal_size=512, epsilon=0.3, seed=4)
+
+
+class TestStructure:
+    def test_phases_partition_trace(self, acct):
+        assert acct.phases[0].start == 0
+        assert acct.phases[-1].stop == acct.trace_length
+        for a, b in zip(acct.phases, acct.phases[1:]):
+            assert a.stop == b.start
+
+    def test_phase_lru_miss_budget(self, acct):
+        expected = max(1, int(round(0.3 * 512)))
+        for phase in acct.phases[:-1]:
+            assert phase.lru_misses == expected
+        assert acct.phases[-1].lru_misses <= expected
+
+    def test_totals_match_phase_sums(self, acct):
+        assert acct.lru_total_misses == sum(p.lru_misses for p in acct.phases)
+        assert acct.hs_total_misses == sum(p.hs_misses for p in acct.phases)
+        assert acct.c10 == sum(p.c10 for p in acct.phases)
+        assert acct.c00 == sum(p.c00 for p in acct.phases)
+
+    def test_miss_split_consistent(self, acct):
+        for phase in acct.phases:
+            assert phase.hs_misses == phase.hs_misses_on_hot + phase.hs_misses_on_cool
+            assert phase.hs_misses == phase.c00 + phase.c01
+            assert phase.sink_routed_misses <= phase.hs_misses
+
+    def test_working_set_bound(self, acct):
+        """|A ∪ B| <= (1-2eps)n + eps*n = (1-eps)n — the Lemma 11 input."""
+        bound = (1 - 0.3) * 512 + 1
+        for phase in acct.phases:
+            assert phase.working_pages <= bound
+
+
+class TestLemmaShapes:
+    def test_lemma11_hot_pages_minority(self, acct):
+        for phase in acct.phases:
+            assert phase.hot_page_fraction < 0.5
+
+    def test_lemma10_cool_sink_entrants_bounded(self, acct):
+        eps2n = 0.09 * 512
+        for phase in acct.phases:
+            assert phase.distinct_cool_to_sink <= 8 * eps2n
+
+    def test_theorem_inequality(self, acct):
+        assert acct.theorem_inequality_satisfied()
+
+    def test_bonus_ledger(self, acct):
+        assert acct.bonus_points == acct.c10 + acct.sink_routed_misses
+
+
+class TestApi:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            trace_theorem4_accounting(np.array([1, 2]), nominal_size=16, epsilon=0.5)
+        with pytest.raises(ConfigurationError):
+            trace_theorem4_accounting(
+                np.empty(0, dtype=np.int64), nominal_size=16, epsilon=0.2
+            )
+
+    def test_custom_heatsink_instance(self):
+        trace = zipf_trace(512, 5_000, alpha=1.0, seed=5)
+        hs = HeatSinkLRU.from_epsilon(128, 0.3, seed=6)
+        acct = trace_theorem4_accounting(
+            trace, nominal_size=128, epsilon=0.3, heatsink=hs
+        )
+        assert acct.hs_total_misses > 0
+
+    def test_recorder_detached_after_use(self):
+        trace = zipf_trace(256, 2_000, alpha=1.0, seed=7)
+        hs = HeatSinkLRU.from_epsilon(64, 0.3, seed=8)
+        trace_theorem4_accounting(trace, nominal_size=64, epsilon=0.3, heatsink=hs)
+        assert hs._recorder is None
+
+    def test_deterministic(self):
+        trace = zipf_trace(512, 5_000, alpha=1.0, seed=9)
+        a = trace_theorem4_accounting(trace, nominal_size=128, epsilon=0.2, seed=1)
+        b = trace_theorem4_accounting(trace, nominal_size=128, epsilon=0.2, seed=1)
+        assert a.hs_total_misses == b.hs_total_misses
+        assert a.c10 == b.c10

@@ -1,0 +1,84 @@
+"""Tests for repro.analysis.stats — bootstrap CIs and run aggregation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import bootstrap_ci, summarize_runs
+from repro.errors import ConfigurationError
+
+
+class TestBootstrap:
+    def test_point_estimate(self):
+        point, lo, hi = bootstrap_ci([1.0, 2.0, 3.0], seed=1)
+        assert point == pytest.approx(2.0)
+        assert lo <= point <= hi
+
+    def test_single_sample_degenerate(self):
+        point, lo, hi = bootstrap_ci([5.0], seed=1)
+        assert point == lo == hi == 5.0
+
+    def test_median_statistic(self):
+        point, _, _ = bootstrap_ci([1.0, 2.0, 100.0], statistic="median", seed=1)
+        assert point == 2.0
+
+    def test_interval_narrows_with_more_data(self):
+        rng = np.random.Generator(np.random.PCG64(2))
+        small = rng.normal(0, 1, size=10)
+        large = rng.normal(0, 1, size=1000)
+        _, lo_s, hi_s = bootstrap_ci(small, seed=3)
+        _, lo_l, hi_l = bootstrap_ci(large, seed=3)
+        assert (hi_l - lo_l) < (hi_s - lo_s)
+
+    def test_interval_covers_truth_mostly(self):
+        rng = np.random.Generator(np.random.PCG64(4))
+        covered = 0
+        for trial in range(50):
+            data = rng.normal(10.0, 2.0, size=40)
+            _, lo, hi = bootstrap_ci(data, confidence=0.95, seed=trial)
+            covered += lo <= 10.0 <= hi
+        assert covered >= 40  # ~95% nominal, generous slack
+
+    def test_reproducible(self):
+        data = [1.0, 4.0, 2.0, 8.0]
+        assert bootstrap_ci(data, seed=7) == bootstrap_ci(data, seed=7)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            bootstrap_ci([])
+        with pytest.raises(ConfigurationError):
+            bootstrap_ci([1.0], confidence=1.5)
+        with pytest.raises(ConfigurationError):
+            bootstrap_ci([1.0], num_resamples=0)
+        with pytest.raises(ConfigurationError):
+            bootstrap_ci([1.0], statistic="mode")
+
+
+class TestSummarizeRuns:
+    RUNS = [{"miss_rate": 0.1, "x": 1.0}, {"miss_rate": 0.3, "x": 2.0}]
+
+    def test_summary_fields(self):
+        out = summarize_runs(self.RUNS, ["miss_rate"], seed=1)
+        s = out["miss_rate"]
+        assert s["mean"] == pytest.approx(0.2)
+        assert s["min"] == 0.1
+        assert s["max"] == 0.3
+        assert s["std"] == pytest.approx(np.std([0.1, 0.3], ddof=1))
+        assert s["ci_lo"] <= s["mean"] <= s["ci_hi"]
+
+    def test_multiple_keys(self):
+        out = summarize_runs(self.RUNS, ["miss_rate", "x"], seed=1)
+        assert set(out) == {"miss_rate", "x"}
+
+    def test_missing_key_raises(self):
+        with pytest.raises(ConfigurationError):
+            summarize_runs(self.RUNS, ["absent"])
+
+    def test_empty_runs(self):
+        with pytest.raises(ConfigurationError):
+            summarize_runs([], ["a"])
+
+    def test_single_run_zero_std(self):
+        out = summarize_runs([{"a": 2.0}], ["a"], seed=1)
+        assert out["a"]["std"] == 0.0

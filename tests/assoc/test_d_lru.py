@@ -1,0 +1,149 @@
+"""Tests for P-LRU / d-LRU — §2 semantics, equivalences, and the slotted base."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.assoc.d_lru import PLruCache
+from repro.core.assoc.hashdist import ExplicitHashes, SetAssociativeHashes, UniformHashes
+from repro.core.fully.lru import LRUCache
+from repro.errors import ConfigurationError
+
+
+def full_assoc_dist(n: int) -> ExplicitHashes:
+    """d = n distribution where every page may sit anywhere."""
+    table = {page: list(range(n)) for page in range(64)}
+    return ExplicitHashes(n, table)
+
+
+class TestPaperSemantics:
+    def test_prefers_empty_hash_slot(self):
+        dist = ExplicitHashes(4, {1: [0, 1], 2: [1, 2], 3: [0, 2]})
+        cache = PLruCache(4, dist=dist)
+        cache.access(1)  # takes slot 0 (first of its hashes)
+        cache.access(2)  # takes slot 1? slot 1 empty -> yes
+        assert cache.slot_of(1) == 0
+        assert cache.slot_of(2) == 1
+        cache.access(3)  # hashes {0, 2}: slot 2 empty -> no eviction
+        assert cache.slot_of(3) == 2
+        assert len(cache) == 3
+
+    def test_evicts_least_recently_accessed_among_hashes(self):
+        dist = ExplicitHashes(3, {1: [0, 0], 2: [1, 1], 3: [0, 1]})
+        cache = PLruCache(3, dist=dist)
+        cache.access(1)  # slot 0 @ t1
+        cache.access(2)  # slot 1 @ t2
+        cache.access(1)  # slot 0 @ t3 (refresh)
+        cache.access(3)  # hashes {0,1}: LRU among occupants is 2 (t2)
+        assert cache.slot_of(3) == 1
+        assert 2 not in cache.contents()
+        assert 1 in cache.contents()
+
+    def test_hit_refreshes_recency(self):
+        dist = ExplicitHashes(2, {1: [0, 0], 2: [1, 1], 3: [0, 1]})
+        cache = PLruCache(2, dist=dist)
+        cache.access(1)
+        cache.access(2)
+        cache.access(1)  # hit refresh
+        cache.access(3)  # evicts 2, the least recently accessed of {1, 2}
+        assert cache.contents() == {1, 3}
+
+    def test_duplicate_hashes_fine(self):
+        dist = ExplicitHashes(2, {5: [1, 1]})
+        cache = PLruCache(2, dist=dist)
+        cache.access(5)
+        assert cache.slot_of(5) == 1
+
+
+class TestEquivalences:
+    def test_full_associativity_equals_lru(self):
+        """d = n with all-slots hashes: P-LRU must replicate full LRU."""
+        rng = np.random.Generator(np.random.PCG64(1))
+        pages = rng.integers(0, 64, size=2000, dtype=np.int64)
+        n = 8
+        plru = PLruCache(n, dist=full_assoc_dist(n))
+        lru = LRUCache(n)
+        assert np.array_equal(plru.run(pages).hits, lru.run(pages).hits)
+
+    def test_single_set_setassoc_equals_lru(self):
+        rng = np.random.Generator(np.random.PCG64(2))
+        pages = rng.integers(0, 50, size=1500, dtype=np.int64)
+        n = 8
+        plru = PLruCache(n, dist=SetAssociativeHashes(n, n, seed=1))
+        lru = LRUCache(n)
+        assert np.array_equal(plru.run(pages).hits, lru.run(pages).hits)
+
+    def test_d1_is_direct_mapped(self):
+        cache = PLruCache(16, d=1, seed=3)
+        rng = np.random.Generator(np.random.PCG64(4))
+        for p in rng.integers(0, 100, size=500).tolist():
+            cache.access(int(p))
+            pos = cache.slot_of(int(p))
+            assert pos == cache.dist.positions(int(p))[0]
+
+
+class TestSlottedMechanics:
+    def test_capacity_dist_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            PLruCache(16, dist=UniformHashes(8, 2))
+
+    def test_page_always_in_own_hash_slots(self):
+        cache = PLruCache(32, d=2, seed=5)
+        rng = np.random.Generator(np.random.PCG64(6))
+        for p in rng.integers(0, 200, size=2000).tolist():
+            cache.access(int(p))
+            assert cache.slot_of(int(p)) in cache.dist.positions(int(p))
+
+    def test_eviction_counts_accumulate(self):
+        cache = PLruCache(4, d=2, seed=7)
+        for p in range(100):
+            cache.access(p)
+        counts = cache.eviction_counts()
+        assert counts.sum() > 0
+        assert counts.shape == (4,)
+
+    def test_reset_keeps_hash_cache_but_clears_state(self):
+        cache = PLruCache(8, d=2, seed=8)
+        cache.access(1)
+        pos_before = cache.dist.positions(1)
+        cache.reset()
+        assert len(cache) == 0
+        assert cache.eviction_counts().sum() == 0
+        cache.access(1)
+        assert cache.slot_of(1) in pos_before
+
+    def test_prefetch_equivalent_to_lazy(self):
+        rng = np.random.Generator(np.random.PCG64(9))
+        pages = rng.integers(0, 64, size=800, dtype=np.int64)
+        eager = PLruCache(16, d=2, seed=10)
+        eager.prefetch_hashes(pages)
+        lazy = PLruCache(16, d=2, seed=10)
+        assert np.array_equal(eager.run(pages).hits, lazy.run(pages).hits)
+
+    def test_occupancy(self):
+        cache = PLruCache(8, d=2, seed=11)
+        assert cache.occupancy() == 0.0
+        cache.access(1)
+        assert cache.occupancy() == pytest.approx(1 / 8)
+
+    def test_instrumentation_attached_to_result(self):
+        cache = PLruCache(8, d=2, seed=12)
+        result = cache.run(np.arange(50, dtype=np.int64))
+        assert "slot_evictions" in result.extra
+        assert result.extra["slot_evictions"].shape == (8,)
+
+    @given(st.lists(st.integers(0, 30), min_size=1, max_size=150))
+    @settings(max_examples=25)
+    def test_property_occupancy_monotone_until_full(self, pages):
+        """Distinct-page insertions never decrease occupancy."""
+        cache = PLruCache(8, d=2, seed=13)
+        prev = 0
+        for p in pages:
+            cache.access(p)
+            now = len(cache)
+            # a miss fills an empty slot (+1) or replaces 1-for-1 (+0)
+            assert now >= prev
+            prev = now

@@ -1,0 +1,175 @@
+"""Tests for repro.core.assoc.hashdist — hash distributions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.assoc.hashdist import (
+    ExplicitHashes,
+    HotSpotHashes,
+    OffsetHashes,
+    SetAssociativeHashes,
+    SkewedHashes,
+    UniformHashes,
+)
+from repro.errors import ConfigurationError
+
+
+ALL_DIST_FACTORIES = [
+    ("uniform", lambda n, d: UniformHashes(n, d, seed=1)),
+    ("offset", lambda n, d: OffsetHashes(n, d, seed=1)),
+    ("skewed", lambda n, d: SkewedHashes(n, d, seed=1)),
+    ("setassoc", lambda n, d: SetAssociativeHashes(n, d, seed=1)),
+    ("hotspot", lambda n, d: HotSpotHashes(n, d, hot_slots=max(1, n // 8), seed=1)),
+]
+
+
+@pytest.mark.parametrize("label,factory", ALL_DIST_FACTORIES)
+class TestCommonContract:
+    N, D = 64, 4
+
+    def test_shape_and_range(self, label, factory):
+        dist = factory(self.N, self.D)
+        pages = np.arange(200, dtype=np.int64)
+        out = dist.positions_batch(pages)
+        assert out.shape == (200, self.D)
+        assert out.min() >= 0 and out.max() < self.N
+
+    def test_deterministic_per_page(self, label, factory):
+        dist = factory(self.N, self.D)
+        a = dist.positions_batch(np.arange(50, dtype=np.int64))
+        b = dist.positions_batch(np.arange(50, dtype=np.int64))
+        assert np.array_equal(a, b)
+
+    def test_scalar_matches_batch(self, label, factory):
+        dist = factory(self.N, self.D)
+        batch = dist.positions_batch(np.arange(20, dtype=np.int64))
+        for page in range(20):
+            assert dist.positions(page) == tuple(batch[page].tolist())
+
+    def test_independent_instances_agree(self, label, factory):
+        """Hashes are pure functions of (seed, page): two instances with
+        the same seed agree — required for the oblivious adversary."""
+        a = factory(self.N, self.D).positions_batch(np.arange(100, dtype=np.int64))
+        b = factory(self.N, self.D).positions_batch(np.arange(100, dtype=np.int64))
+        assert np.array_equal(a, b)
+
+    def test_validation(self, label, factory):
+        with pytest.raises(ConfigurationError):
+            factory(0, 2)
+        with pytest.raises(ConfigurationError):
+            factory(8, 0)
+        with pytest.raises(ConfigurationError):
+            factory(2, 8)
+
+
+class TestUniform:
+    def test_marginals_roughly_uniform(self):
+        dist = UniformHashes(32, 3, seed=2)
+        out = dist.positions_batch(np.arange(100_000, dtype=np.int64))
+        for j in range(3):
+            counts = np.bincount(out[:, j], minlength=32)
+            assert counts.max() < 1.25 * counts.min()
+
+    def test_hash_indices_independent(self):
+        dist = UniformHashes(1024, 2, seed=3)
+        out = dist.positions_batch(np.arange(50_000, dtype=np.int64))
+        collisions = float((out[:, 0] == out[:, 1]).mean())
+        assert abs(collisions - 1 / 1024) < 5e-3
+
+    def test_semi_uniform_flag(self):
+        assert UniformHashes(8, 2).is_semi_uniform
+
+
+class TestSetAssociative:
+    def test_positions_form_aligned_sets(self):
+        dist = SetAssociativeHashes(64, 4, seed=4)
+        out = dist.positions_batch(np.arange(500, dtype=np.int64))
+        assert np.all(out[:, 0] % 4 == 0)
+        for j in range(4):
+            assert np.all(out[:, j] == out[:, 0] + j)
+
+    def test_requires_divisibility(self):
+        with pytest.raises(ConfigurationError):
+            SetAssociativeHashes(10, 4)
+
+    def test_num_sets(self):
+        assert SetAssociativeHashes(64, 4).num_sets == 16
+
+
+class TestSkewed:
+    def test_one_position_per_bank(self):
+        dist = SkewedHashes(64, 4, seed=5)
+        out = dist.positions_batch(np.arange(500, dtype=np.int64))
+        for j in range(4):
+            bank = out[:, j] // 16
+            assert np.all(bank == j)
+
+    def test_requires_divisibility(self):
+        with pytest.raises(ConfigurationError):
+            SkewedHashes(10, 4)
+
+
+class TestOffset:
+    def test_window_structure(self):
+        dist = OffsetHashes(32, 3, stride=2, seed=6)
+        out = dist.positions_batch(np.arange(100, dtype=np.int64))
+        assert np.all(out[:, 1] == (out[:, 0] + 2) % 32)
+        assert np.all(out[:, 2] == (out[:, 0] + 4) % 32)
+
+    def test_marginals_uniform(self):
+        """Fully dependent but each marginal exactly uniform in law."""
+        dist = OffsetHashes(16, 2, seed=7)
+        out = dist.positions_batch(np.arange(80_000, dtype=np.int64))
+        counts = np.bincount(out[:, 1], minlength=16)
+        assert counts.max() < 1.2 * counts.min()
+
+    def test_invalid_stride(self):
+        with pytest.raises(ConfigurationError):
+            OffsetHashes(16, 2, stride=0)
+
+
+class TestHotSpot:
+    def test_violates_semi_uniformity_flag(self):
+        assert not HotSpotHashes(64, 2, hot_slots=4).is_semi_uniform
+
+    def test_hot_region_overloaded(self):
+        n, hot = 1024, 16
+        dist = HotSpotHashes(n, 2, hot_slots=hot, hot_prob=0.5, seed=8)
+        out = dist.positions_batch(np.arange(100_000, dtype=np.int64))
+        hot_share = float((out[:, 0] < hot).mean())
+        # ~50% hot + (16/1024) background ≫ uniform share
+        assert hot_share > 0.4
+
+    def test_hot_prob_zero_is_uniformish(self):
+        dist = HotSpotHashes(64, 2, hot_slots=4, hot_prob=0.0, seed=9)
+        out = dist.positions_batch(np.arange(50_000, dtype=np.int64))
+        counts = np.bincount(out[:, 0], minlength=64)
+        assert counts.max() < 1.3 * counts.min()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            HotSpotHashes(16, 2, hot_slots=0)
+        with pytest.raises(ConfigurationError):
+            HotSpotHashes(16, 2, hot_slots=4, hot_prob=1.5)
+
+
+class TestExplicit:
+    def test_lookup(self):
+        dist = ExplicitHashes(8, {1: [0, 3], 2: [4, 5]})
+        assert dist.positions(1) == (0, 3)
+        assert dist.positions_batch(np.array([2, 1])).tolist() == [[4, 5], [0, 3]]
+
+    def test_unknown_page_raises(self):
+        dist = ExplicitHashes(8, {1: [0, 1]})
+        with pytest.raises(ConfigurationError):
+            dist.positions(2)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ExplicitHashes(8, {})
+        with pytest.raises(ConfigurationError):
+            ExplicitHashes(8, {1: [0, 1], 2: [0]})  # inconsistent d
+        with pytest.raises(ConfigurationError):
+            ExplicitHashes(8, {1: [0, 9]})  # out of range

@@ -1,0 +1,103 @@
+"""Tests for the adaptive HEAT-SINK variant."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.assoc.heatsink import HeatSinkLRU
+from repro.core.assoc.heatsink_adaptive import AdaptiveHeatSinkLRU
+from repro.errors import ConfigurationError
+from repro.traces.phases import working_set_trace
+
+
+def mk(gain=0.5, **kw) -> AdaptiveHeatSinkLRU:
+    defaults = dict(capacity=128, bin_size=4, sink_size=16, sink_prob=0.05, seed=1)
+    defaults.update(kw)
+    return AdaptiveHeatSinkLRU(**defaults, gain=gain)
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            mk(gain=-1.0)
+        with pytest.raises(ConfigurationError):
+            mk(max_prob=0.0)
+        with pytest.raises(ConfigurationError):
+            mk(decay=1.0)
+
+    def test_from_epsilon_matches_base_sizing(self):
+        base = HeatSinkLRU.from_epsilon(500, 0.25, seed=2)
+        adaptive = AdaptiveHeatSinkLRU.from_epsilon(500, 0.25, seed=2)
+        assert adaptive.capacity == base.capacity
+        assert adaptive.bin_size == base.bin_size
+        assert adaptive.sink_size == base.sink_size
+        assert adaptive.sink_prob == base.sink_prob
+
+
+class TestAdaptivity:
+    def test_cool_bins_route_at_base_rate(self):
+        hs = mk()
+        for b in range(hs.num_bins):
+            assert hs.bin_probability(b) == pytest.approx(hs.sink_prob)
+
+    def test_pressure_raises_probability(self):
+        hs = mk(gain=1.0)
+        hs._pressure[3] = 5.0
+        assert hs.bin_probability(3) > hs.sink_prob
+
+    def test_probability_clipped(self):
+        hs = mk(gain=100.0, max_prob=0.4)
+        hs._pressure[0] = 1000.0
+        assert hs.bin_probability(0) == pytest.approx(0.4)
+
+    def test_zero_gain_reduces_to_fixed(self):
+        """gain = 0 must reproduce the fixed-coin policy exactly (the coin
+        stream and routing logic are shared)."""
+        rng = np.random.Generator(np.random.PCG64(3))
+        pages = rng.integers(0, 600, size=5000, dtype=np.int64)
+        fixed = HeatSinkLRU(128, bin_size=4, sink_size=16, sink_prob=0.05, seed=7)
+        adaptive = mk(gain=0.0, seed=7)
+        assert np.array_equal(fixed.run(pages).hits, adaptive.run(pages).hits)
+
+    def test_pressure_decays(self):
+        hs = mk(decay=0.5)
+        hs._pressure[0] = 8.0
+        # a miss on an empty bin decays pressure without adding
+        hs._route_to_sink(page=0, bin_idx=0)
+        assert hs._pressure[0] == pytest.approx(4.0)
+
+    def test_reset_clears_pressure(self):
+        hs = mk()
+        hs._pressure[:] = 3.0
+        hs.reset()
+        assert hs._pressure.sum() == 0.0
+
+    def test_instrumentation(self):
+        hs = mk()
+        result = hs.run(np.arange(2000, dtype=np.int64))
+        assert "adaptive_routings" in result.extra
+        assert "max_bin_pressure" in result.extra
+
+
+class TestBehaviour:
+    def test_drains_saturated_bins_at_least_as_fast_as_fixed(self):
+        """On the saturated-bin workload adaptivity should not be worse
+        than the fixed coin (usually better: it targets the hot bins)."""
+        n = 512
+        eps = 0.25
+        b = int(math.ceil(eps**-3))
+        sink = max(2, math.ceil(eps * n))
+        nb = math.ceil(n / b)
+        cap = nb * b + sink
+        trace = working_set_trace(nb * b, 100_000, locality=1.0, universe=nb * b, seed=4)
+        warm = 50_000
+        fixed = HeatSinkLRU(cap, bin_size=b, sink_size=sink, sink_prob=eps**2, seed=5)
+        adaptive = AdaptiveHeatSinkLRU(
+            cap, bin_size=b, sink_size=sink, sink_prob=eps**2, gain=0.5, seed=5
+        )
+        m_fixed = int((~fixed.run(trace).hits[warm:]).sum())
+        m_adaptive = int((~adaptive.run(trace).hits[warm:]).sum())
+        assert m_adaptive <= m_fixed * 1.5 + 50

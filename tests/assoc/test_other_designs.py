@@ -1,0 +1,170 @@
+"""Tests for d-FIFO, set-/skew-associative LRU, victim, and cuckoo caches."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.assoc.cuckoo import CuckooCache
+from repro.core.assoc.d_fifo import DFifoCache
+from repro.core.assoc.hashdist import ExplicitHashes
+from repro.core.assoc.set_assoc import SetAssociativeLRU
+from repro.core.assoc.skew_assoc import SkewedAssociativeLRU
+from repro.core.assoc.victim import VictimCache
+from repro.errors import CapacityError
+
+
+class TestDFifo:
+    def test_evicts_oldest_installed_not_oldest_accessed(self):
+        dist = ExplicitHashes(2, {1: [0, 0], 2: [1, 1], 3: [0, 1]})
+        cache = DFifoCache(2, dist=dist)
+        cache.access(1)  # installed first
+        cache.access(2)
+        cache.access(1)  # refresh ACCESS time only; install time unchanged
+        cache.access(3)  # d-FIFO evicts 1 (oldest install); d-LRU would evict 2
+        assert cache.contents() == {2, 3}
+
+    def test_prefers_empty(self):
+        dist = ExplicitHashes(3, {1: [0, 1], 2: [0, 2]})
+        cache = DFifoCache(3, dist=dist)
+        cache.access(1)
+        cache.access(2)
+        assert len(cache) == 2
+
+
+class TestSetAssociative:
+    def test_pages_stay_in_their_set(self):
+        cache = SetAssociativeLRU(32, d=4, seed=1)
+        rng = np.random.Generator(np.random.PCG64(2))
+        for p in rng.integers(0, 200, size=1000).tolist():
+            cache.access(int(p))
+            slot = cache.slot_of(int(p))
+            expected_set = cache.dist.positions(int(p))[0] // 4
+            assert slot // 4 == expected_set
+
+    def test_num_sets(self):
+        assert SetAssociativeLRU(32, d=4, seed=1).num_sets == 8
+
+    def test_per_set_lru(self):
+        """Within one set the eviction order is exactly LRU."""
+        cache = SetAssociativeLRU(8, d=2, seed=3)
+        # find 3 pages in the same set
+        pages_by_set: dict[int, list[int]] = {}
+        p = 0
+        while True:
+            s = cache.dist.positions(p)[0] // 2
+            pages_by_set.setdefault(s, []).append(p)
+            if len(pages_by_set[s]) == 3:
+                a, b, c = pages_by_set[s]
+                break
+            p += 1
+        cache.access(a)
+        cache.access(b)
+        cache.access(a)  # refresh a
+        cache.access(c)  # evicts b
+        assert cache.contents() >= {a, c}
+        assert b not in cache.contents()
+
+
+class TestSkewedAssociative:
+    def test_one_slot_per_bank(self):
+        cache = SkewedAssociativeLRU(32, d=4, seed=4)
+        assert cache.bank_size == 8
+        for p in range(100):
+            positions = cache.dist.positions(p)
+            banks = {pos // 8 for pos in positions}
+            assert banks == {0, 1, 2, 3}
+
+
+class TestVictimCache:
+    def test_victim_catches_conflict_evictions(self):
+        cache = VictimCache(8, victim_size=4, seed=5)
+        # find two pages with the same direct-mapped slot
+        a, b = None, None
+        for p in range(1000):
+            for q in range(p + 1, 1000):
+                if cache._main_slot(p) == cache._main_slot(q):
+                    a, b = p, q
+                    break
+            if a is not None:
+                break
+        cache.access(a)
+        cache.access(b)  # a demoted into victim buffer
+        assert a in cache.contents()
+        assert cache.access(a) is True  # victim hit, swaps back
+        assert cache._main[cache._main_slot(a)] == a
+
+    def test_promotion_swaps_occupant(self):
+        cache = VictimCache(8, victim_size=4, seed=5)
+        a, b = None, None
+        for p in range(1000):
+            for q in range(p + 1, 1000):
+                if cache._main_slot(p) == cache._main_slot(q):
+                    a, b = p, q
+                    break
+            if a is not None:
+                break
+        cache.access(a)
+        cache.access(b)
+        cache.access(a)  # promote a, demote b to victim
+        assert b in cache.contents()
+
+    def test_lru_within_victim(self):
+        cache = VictimCache(4, victim_size=2, seed=6)
+        rng = np.random.Generator(np.random.PCG64(7))
+        for p in rng.integers(0, 50, size=500).tolist():
+            cache.access(int(p))
+            assert len(cache) <= 4
+
+    def test_validation(self):
+        with pytest.raises(CapacityError):
+            VictimCache(4, victim_size=0)
+        with pytest.raises(CapacityError):
+            VictimCache(4, victim_size=4)
+
+    def test_promotions_instrumented(self):
+        cache = VictimCache(8, victim_size=4, seed=8)
+        result = cache.run(np.arange(100, dtype=np.int64))
+        assert "victim_promotions" in result.extra
+
+
+class TestCuckoo:
+    def test_relocation_preserves_all_pages_when_space_exists(self):
+        """With plenty of slack, cuckoo inserts should almost never drop
+        resident pages (relocations resolve conflicts)."""
+        cache = CuckooCache(64, d=2, seed=9, max_kicks=16)
+        pages = np.arange(20, dtype=np.int64)
+        cache.run(pages)
+        assert len(cache) == 20  # everything placed, nothing evicted
+
+    def test_zero_kicks_still_valid(self):
+        cache = CuckooCache(16, d=2, seed=10, max_kicks=0)
+        rng = np.random.Generator(np.random.PCG64(11))
+        for p in rng.integers(0, 60, size=500).tolist():
+            cache.access(int(p))
+            assert int(p) in cache.contents()
+            assert len(cache) <= 16
+
+    def test_accessed_page_survives_own_chain(self):
+        """Regression: a kick chain must never end with the accessed page
+        itself evicted."""
+        for seed in range(30):
+            cache = CuckooCache(4, d=2, seed=seed, max_kicks=8)
+            rng = np.random.Generator(np.random.PCG64(seed))
+            for p in rng.integers(0, 20, size=200).tolist():
+                cache.access(int(p))
+                assert int(p) in cache.contents()
+
+    def test_kick_instrumentation(self):
+        cache = CuckooCache(8, d=2, seed=12, max_kicks=4)
+        result = cache.run(np.arange(200, dtype=np.int64))
+        assert result.extra["total_kicks"] >= 0
+        assert result.extra["chain_evictions"] >= 0
+
+    def test_each_page_in_own_slots(self):
+        cache = CuckooCache(32, d=3, seed=13, max_kicks=6)
+        rng = np.random.Generator(np.random.PCG64(14))
+        for p in rng.integers(0, 100, size=1000).tolist():
+            cache.access(int(p))
+        for page in cache.contents():
+            assert cache.slot_of(page) in cache.dist.positions(page)

@@ -1,0 +1,174 @@
+"""Tests for RearrangingCache and CompanionCache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.assoc.companion import CompanionCache
+from repro.core.assoc.d_lru import PLruCache
+from repro.core.assoc.hashdist import ExplicitHashes
+from repro.core.assoc.rearrange import RearrangingCache
+from repro.errors import CapacityError, ConfigurationError
+from repro.graphtools.orientation import is_one_orientable
+from tests.helpers import reference_policy_check
+
+
+class TestRearrangeMechanics:
+    def test_invariants(self):
+        rng = np.random.Generator(np.random.PCG64(1))
+        for trial in range(10):
+            pages = rng.integers(0, 30, size=400, dtype=np.int64)
+            reference_policy_check(RearrangingCache(8, d=2, seed=trial), pages)
+
+    def test_resolves_conflict_without_eviction(self):
+        """Three pages over three slots with pairwise conflicts: plain
+        2-LRU must evict, rearrangement keeps all three."""
+        dist = ExplicitHashes(3, {1: [0, 1], 2: [0, 1], 3: [0, 2]})
+        cache = RearrangingCache(3, dist=dist)
+        cache.access(1)
+        cache.access(2)
+        cache.access(3)  # kick chain frees a slot via page 3's alt or moves
+        assert cache.contents() == {1, 2, 3}
+
+        plain = PLruCache(3, dist=ExplicitHashes(3, {1: [0, 1], 2: [0, 1], 3: [0, 2]}))
+        plain.access(1)
+        plain.access(2)
+        plain.access(3)
+        # 2-LRU may or may not conflict depending on slot choice; the point
+        # of this test is only the rearranging cache's zero-eviction claim
+        assert len(cache) == 3
+
+    def test_holds_any_orientable_set(self):
+        """Repeated passes over a storable set converge to zero misses —
+        the rearranging cache achieves the offline orientation online."""
+        n = 128
+        cache = RearrangingCache(n, d=2, seed=3, max_bfs_nodes=n)
+        pages = np.arange(n // 3, dtype=np.int64)
+        edges = cache.dist.positions_batch(pages)
+        assert is_one_orientable(n, edges)
+        for _ in range(3):
+            result = cache.run(pages, reset=False)
+        assert result.num_misses == 0
+
+    def test_moves_preserve_eligibility(self):
+        cache = RearrangingCache(32, d=2, seed=4)
+        rng = np.random.Generator(np.random.PCG64(5))
+        for p in rng.integers(0, 64, size=1500).tolist():
+            cache.access(int(p))
+            for page in cache.contents():
+                assert cache.slot_of(page) in cache.dist.positions(page)
+
+    def test_moves_instrumented(self):
+        cache = RearrangingCache(16, d=2, seed=6)
+        result = cache.run(np.arange(100, dtype=np.int64) % 40)
+        assert result.extra["total_moves"] >= 0
+        assert "bfs_truncations" in result.extra
+
+    def test_rearrangement_is_recency_neutral(self):
+        """Free moves must not refresh a page's LRU standing."""
+        dist = ExplicitHashes(3, {1: [0, 1], 2: [0, 1], 3: [0, 2], 4: [1, 2]})
+        cache = RearrangingCache(3, dist=dist)
+        cache.access(1)  # oldest
+        cache.access(2)
+        cache.access(3)  # may shuffle 1/2 around
+        cache.access(4)  # full + conflict: must evict the LRU = page 1
+        assert 1 not in cache.contents()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RearrangingCache(8, d=2, max_bfs_nodes=0)
+
+    def test_small_budget_still_correct(self):
+        rng = np.random.Generator(np.random.PCG64(7))
+        pages = rng.integers(0, 40, size=600, dtype=np.int64)
+        reference_policy_check(RearrangingCache(8, d=2, seed=8, max_bfs_nodes=1), pages)
+
+
+class TestCompanionCache:
+    def test_partition(self):
+        c = CompanionCache(40, ways=4, companion_size=8)
+        assert c.num_sets == 8
+        assert c.main_size == 32
+        assert c.companion_size == 8
+        assert c.associativity == 12
+
+    def test_remainder_to_companion(self):
+        c = CompanionCache(41, ways=4, companion_size=8)
+        assert c.main_size == 32
+        assert c.companion_size == 9
+
+    def test_validation(self):
+        with pytest.raises(CapacityError):
+            CompanionCache(8, ways=8, companion_size=4)
+        with pytest.raises(ConfigurationError):
+            CompanionCache(8, ways=0, companion_size=2)
+        with pytest.raises(CapacityError):
+            CompanionCache(8, ways=2, companion_size=0)
+
+    def test_invariants(self):
+        rng = np.random.Generator(np.random.PCG64(9))
+        for trial in range(10):
+            pages = rng.integers(0, 40, size=500, dtype=np.int64)
+            reference_policy_check(
+                CompanionCache(12, ways=2, companion_size=4, seed=trial), pages
+            )
+
+    def test_demotion_into_companion(self):
+        c = CompanionCache(12, ways=2, companion_size=4, seed=1)
+        # find 3 pages of the same set
+        by_set: dict[int, list[int]] = {}
+        p = 0
+        while True:
+            s = c.set_of(p)
+            by_set.setdefault(s, []).append(p)
+            if len(by_set[s]) == 3:
+                a, b, d = by_set[s]
+                break
+            p += 1
+        c.access(a)
+        c.access(b)
+        c.access(d)  # set full: a (LRU way) demotes into companion
+        assert a in c.contents()
+        assert a in c._companion
+
+    def test_promotion_swaps_with_set_lru(self):
+        c = CompanionCache(12, ways=2, companion_size=4, seed=1)
+        by_set: dict[int, list[int]] = {}
+        p = 0
+        while True:
+            s = c.set_of(p)
+            by_set.setdefault(s, []).append(p)
+            if len(by_set[s]) == 3:
+                a, b, d = by_set[s]
+                break
+            p += 1
+        c.access(a)
+        c.access(b)
+        c.access(d)  # a -> companion
+        assert c.access(a) is True  # companion hit
+        assert a in c._sets[c.set_of(a)]  # promoted back
+        assert b in c._companion  # set LRU (b) swapped out
+
+    def test_instrumentation(self):
+        c = CompanionCache(12, ways=2, companion_size=4, seed=2)
+        result = c.run(np.arange(200, dtype=np.int64) % 60)
+        assert result.extra["demotions"] >= 0
+        assert result.extra["promotions"] >= 0
+
+    def test_better_than_plain_set_assoc_on_conflicts(self):
+        """The companion absorbs set conflicts: with a hot set larger than
+        one set's ways, the companion cache must beat bare set-assoc."""
+        from repro.core.assoc.set_assoc import SetAssociativeLRU
+
+        plain = SetAssociativeLRU(32, d=2, seed=3)
+        # 4 hot pages that all conflict in the PLAIN cache's set 0: with
+        # only 2 ways it thrashes on them forever
+        hot = [p for p in range(2000) if plain.dist.positions(p)[0] == 0][:4]
+        assert len(hot) == 4
+        trace = np.tile(np.asarray(hot, dtype=np.int64), 200)
+        plain_misses = plain.run(trace).num_misses
+        c = CompanionCache(40, ways=2, companion_size=8, seed=3)
+        companion_misses = c.run(trace).num_misses
+        assert plain_misses > 100  # genuine thrash
+        assert companion_misses <= len(hot) + 8  # cold + brief warm-up

@@ -1,0 +1,45 @@
+"""Shared fixtures and hypothesis configuration for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+# Profiles: 'default' for local/CI runs, 'thorough' via
+#   pytest -p no:cacheprovider --hypothesis-profile=thorough
+settings.register_profile(
+    "default",
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "thorough",
+    max_examples=300,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("default")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator for ad-hoc randomness inside tests."""
+    return np.random.Generator(np.random.PCG64(12345))
+
+
+@pytest.fixture
+def small_zipf_trace():
+    """A small, deterministic Zipf trace shared by many policy tests."""
+    from repro.traces.synthetic import zipf_trace
+
+    return zipf_trace(num_pages=256, length=5_000, alpha=1.0, seed=7)
+
+
+@pytest.fixture
+def tiny_trace():
+    """A hand-written trace with known LRU/OPT behaviour."""
+    from repro.traces.base import Trace
+
+    return Trace(np.array([1, 2, 3, 1, 2, 4, 1, 2, 3, 4], dtype=np.int64), name="tiny")

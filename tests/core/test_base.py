@@ -1,0 +1,57 @@
+"""Tests for repro.core.base — SimResult and the CachePolicy contract."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.base import SimResult
+from repro.errors import ConfigurationError
+
+
+def _result(hits: list[bool]) -> SimResult:
+    return SimResult(hits=np.asarray(hits, dtype=bool), policy="test", capacity=4)
+
+
+class TestSimResult:
+    def test_counts(self):
+        r = _result([True, False, True, False, False])
+        assert r.num_accesses == 5
+        assert r.num_hits == 2
+        assert r.num_misses == 3
+        assert r.miss_rate == pytest.approx(0.6)
+        assert r.hit_rate == pytest.approx(0.4)
+
+    def test_empty(self):
+        r = _result([])
+        assert r.num_accesses == 0
+        assert np.isnan(r.miss_rate)
+        assert np.isnan(r.hit_rate)
+
+    def test_hits_immutable(self):
+        r = _result([True])
+        with pytest.raises(ValueError):
+            r.hits[0] = False
+
+    def test_miss_indices(self):
+        r = _result([True, False, True, False])
+        assert r.miss_indices().tolist() == [1, 3]
+
+    def test_windowed_miss_rate_exact_windows(self):
+        r = _result([False, False, True, True])
+        assert r.windowed_miss_rate(2).tolist() == [1.0, 0.0]
+
+    def test_windowed_miss_rate_partial_tail(self):
+        r = _result([False, True, False])
+        rates = r.windowed_miss_rate(2)
+        assert rates.tolist() == [0.5, 1.0]  # tail window has 1 access, a miss
+
+    def test_windowed_invalid(self):
+        with pytest.raises(ConfigurationError):
+            _result([True]).windowed_miss_rate(0)
+
+    def test_extra_copied(self):
+        extra = {"a": 1}
+        r = SimResult(hits=np.ones(1, dtype=bool), policy="p", capacity=1, extra=extra)
+        extra["a"] = 2
+        assert r.extra["a"] == 1

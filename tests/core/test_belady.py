@@ -1,0 +1,98 @@
+"""Tests for Belady's MIN (offline OPT) — optimality is certified against
+an exhaustive brute-force optimum on small instances."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fully.belady import BeladyCache, belady_miss_count, compute_next_use
+from repro.core.fully.lru import LRUCache
+from repro.errors import SimulationError
+from tests.helpers import brute_force_min_misses
+
+
+class TestNextUse:
+    def test_known_sequence(self):
+        pages = np.array([1, 2, 1, 3, 2, 1])
+        assert compute_next_use(pages).tolist() == [2, 4, 5, 6, 6, 6]
+
+    def test_all_distinct(self):
+        pages = np.arange(5)
+        assert compute_next_use(pages).tolist() == [5] * 5
+
+    def test_empty(self):
+        assert compute_next_use(np.empty(0, dtype=np.int64)).size == 0
+
+    @given(st.lists(st.integers(0, 10), min_size=1, max_size=80))
+    def test_property_matches_bruteforce(self, pages):
+        arr = np.asarray(pages, dtype=np.int64)
+        nxt = compute_next_use(arr)
+        for i, p in enumerate(pages):
+            expected = len(pages)
+            for j in range(i + 1, len(pages)):
+                if pages[j] == p:
+                    expected = j
+                    break
+            assert nxt[i] == expected
+
+
+class TestBeladyOptimality:
+    @given(
+        st.lists(st.integers(0, 5), min_size=1, max_size=12),
+        st.integers(1, 3),
+    )
+    @settings(max_examples=60)
+    def test_matches_exhaustive_optimum(self, pages, capacity):
+        fast = belady_miss_count(np.asarray(pages, dtype=np.int64), capacity)
+        assert fast == brute_force_min_misses(pages, capacity)
+
+    def test_classic_example(self):
+        # textbook example: OPT on 1,2,3,4,1,2,5,1,2,3,4,5 with capacity 3
+        pages = np.array([1, 2, 3, 4, 1, 2, 5, 1, 2, 3, 4, 5])
+        assert belady_miss_count(pages, 3) == 7
+
+    def test_never_worse_than_lru(self, small_zipf_trace):
+        for capacity in (16, 64, 128):
+            assert belady_miss_count(small_zipf_trace, capacity) <= (
+                LRUCache(capacity).run(small_zipf_trace).num_misses
+            )
+
+    def test_perfect_when_everything_fits(self):
+        pages = np.tile(np.arange(8), 10)
+        assert belady_miss_count(pages, 8) == 8  # cold misses only
+
+
+class TestBeladyMechanics:
+    def test_access_raises(self):
+        with pytest.raises(SimulationError):
+            BeladyCache(4).access(1)
+
+    def test_hits_array_shape(self):
+        result = BeladyCache(2).run(np.array([1, 2, 1]))
+        assert result.hits.tolist() == [False, False, True]
+
+    def test_contents_after_run(self):
+        cache = BeladyCache(2)
+        cache.run(np.array([1, 2, 3, 2]))
+        assert cache.contents() <= {1, 2, 3}
+        assert len(cache) <= 2
+
+    def test_reset_between_runs(self):
+        cache = BeladyCache(2)
+        first = cache.run(np.array([1, 2, 1])).num_misses
+        second = cache.run(np.array([1, 2, 1])).num_misses
+        assert first == second
+
+    def test_run_without_reset_continues_state(self):
+        cache = BeladyCache(2)
+        cache.run(np.array([1, 2]))
+        cont = cache.run(np.array([1]), reset=False)
+        assert cont.num_misses == 0  # 1 still resident
+
+    def test_empty_trace(self):
+        result = BeladyCache(4).run(np.empty(0, dtype=np.int64))
+        assert result.num_accesses == 0
+        assert np.isnan(result.miss_rate)

@@ -1,0 +1,157 @@
+"""Unit tests for Count-Min sketch, SLRU, and W-TinyLFU."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.fully.lru import LRUCache
+from repro.core.fully.sketch import CountMinSketch
+from repro.core.fully.slru import SLRUCache
+from repro.core.fully.tinylfu import TinyLFUCache
+from repro.errors import ConfigurationError
+from repro.traces.synthetic import zipf_trace
+
+
+class TestCountMinSketch:
+    def test_never_undercounts(self):
+        sketch = CountMinSketch(64, aging_window=10**9, seed=1)
+        truth: dict[int, int] = {}
+        rng = np.random.Generator(np.random.PCG64(2))
+        for key in rng.integers(0, 50, size=500).tolist():
+            sketch.increment(int(key))
+            truth[key] = truth.get(key, 0) + 1
+        for key, count in truth.items():
+            assert sketch.estimate(key) >= min(count, sketch.cap)
+
+    def test_saturates_at_cap(self):
+        sketch = CountMinSketch(64, cap=15, aging_window=10**9, seed=3)
+        for _ in range(100):
+            sketch.increment(7)
+        assert sketch.estimate(7) == 15
+
+    def test_aging_halves(self):
+        sketch = CountMinSketch(64, cap=100, aging_window=10, seed=4)
+        for _ in range(9):
+            sketch.increment(5)
+        assert sketch.estimate(5) == 9
+        sketch.increment(5)  # 10th increment triggers aging: (9+1) >> 1
+        assert sketch.estimate(5) == 5
+        assert sketch.agings == 1
+
+    def test_estimate_of_unseen_is_small(self):
+        sketch = CountMinSketch(1024, aging_window=10**9, seed=5)
+        for key in range(100):
+            sketch.increment(key)
+        assert sketch.estimate(10**9) <= 2  # collision noise only
+
+    def test_reset(self):
+        sketch = CountMinSketch(32, seed=6)
+        sketch.increment(1)
+        sketch.reset()
+        assert sketch.estimate(1) == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CountMinSketch(0)
+        with pytest.raises(ConfigurationError):
+            CountMinSketch(8, depth=0)
+        with pytest.raises(ConfigurationError):
+            CountMinSketch(8, cap=0)
+        with pytest.raises(ConfigurationError):
+            CountMinSketch(8, aging_window=0)
+
+
+class TestSLRU:
+    def test_promotion_on_rereference(self):
+        c = SLRUCache(10, protected_fraction=0.8)
+        c.access(1)
+        assert 1 in c._probation
+        c.access(1)
+        assert 1 in c._protected
+
+    def test_scan_evicts_probation_only(self):
+        c = SLRUCache(10, protected_fraction=0.5)
+        for p in (1, 2):
+            c.access(p)
+            c.access(p)  # protect 1, 2
+        for p in range(100, 150):  # scan
+            c.access(p)
+        assert 1 in c.contents() and 2 in c.contents()
+
+    def test_protected_overflow_demotes_not_evicts(self):
+        c = SLRUCache(4, protected_fraction=0.5)  # protected capacity 2
+        for p in (1, 2, 3):
+            c.access(p)
+            c.access(p)  # promote all three -> one must demote
+        assert len(c._protected) <= 2
+        assert {1, 2, 3} <= c.contents()  # demoted page stays resident
+
+    def test_victim_reporting(self):
+        c = SLRUCache(2, protected_fraction=0.5)
+        assert c.victim() is None
+        c.access(1)
+        c.access(2)
+        assert c.victim() == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SLRUCache(8, protected_fraction=1.0)
+
+    def test_contains(self):
+        c = SLRUCache(4)
+        c.access(1)
+        assert 1 in c
+        assert 2 not in c
+
+
+class TestTinyLFU:
+    def test_scan_immunity(self):
+        """A one-shot scan must not displace the warm working set."""
+        c = TinyLFUCache(64, window_fraction=0.05, seed=1)
+        hot = list(range(32))
+        for _ in range(10):
+            for p in hot:
+                c.access(p)
+        for p in range(1000, 1400):  # long one-shot scan
+            c.access(p)
+        hits = sum(c.access(p) for p in hot)
+        assert hits >= 30
+
+    def test_admission_gate_rejects_cold_candidates(self):
+        c = TinyLFUCache(64, window_fraction=0.05, seed=2)
+        for _ in range(5):
+            for p in range(32):
+                c.access(p)
+        for p in range(2000, 2200):
+            c.access(p)
+        result_extra = c._instrumentation()
+        assert result_extra["rejected"] > result_extra["admitted"] * 0.5
+
+    def test_beats_lru_on_zipf(self):
+        trace = zipf_trace(8192, 80_000, alpha=1.0, seed=3)
+        tiny = TinyLFUCache(512, seed=4).run(trace).miss_rate
+        lru = LRUCache(512).run(trace).miss_rate
+        assert tiny < lru
+
+    def test_window_plus_main_partition(self):
+        c = TinyLFUCache(100, window_fraction=0.1, seed=5)
+        assert c.window_capacity == 10
+        assert c.main_capacity == 90
+        rng = np.random.Generator(np.random.PCG64(6))
+        for p in rng.integers(0, 400, size=3000).tolist():
+            c.access(int(p))
+            assert len(c) <= 100
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TinyLFUCache(64, window_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            TinyLFUCache(64, window_fraction=1.0)
+
+    def test_reset(self):
+        c = TinyLFUCache(32, seed=7)
+        for p in range(100):
+            c.access(p)
+        c.reset()
+        assert len(c) == 0

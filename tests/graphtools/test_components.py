@@ -1,0 +1,137 @@
+"""Tests for component-size analytics (Lemma 6 machinery)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graphtools.components import (
+    component_of_edge,
+    component_size_tail,
+    component_sizes,
+)
+from repro.graphtools.random_graph import (
+    cuckoo_graph_from_pages,
+    sample_random_multigraph,
+)
+from repro.rng import spawn_seeds
+
+
+class TestComponentSizes:
+    def test_known_graph(self):
+        edges = np.array([[0, 1], [1, 2], [4, 5]])
+        sizes = component_sizes(8, edges)
+        assert sizes.tolist() == [3, 2]  # isolated vertices excluded
+
+    def test_empty_edges(self):
+        assert component_sizes(4, np.empty((0, 2), dtype=np.int64)).size == 0
+
+    def test_self_loop_component(self):
+        sizes = component_sizes(4, np.array([[2, 2]]))
+        assert sizes.tolist() == [1]
+
+
+class TestComponentOfEdge:
+    def test_per_edge_view(self):
+        edges = np.array([[0, 1], [1, 2], [4, 5]])
+        per_edge = component_of_edge(8, edges)
+        assert per_edge.tolist() == [3, 3, 2]
+
+    def test_size_bias(self):
+        """Edge-perspective sampling is size-biased: a big component
+        contributes once per edge."""
+        edges = np.array([[0, 1], [1, 2], [2, 3], [5, 6]])
+        per_edge = component_of_edge(8, edges)
+        assert (per_edge == 4).sum() == 3
+        assert (per_edge == 2).sum() == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            component_of_edge(2, np.array([[0, 4]]))
+
+
+class TestTail:
+    def test_tail_shape_and_monotonicity(self):
+        sizes = np.array([1, 2, 2, 3, 5])
+        tail = component_size_tail(sizes, 6)
+        assert tail.shape == (6,)
+        assert tail[0] == 1.0  # every component has size >= 1
+        assert np.all(np.diff(tail) <= 0)
+
+    def test_exact_values(self):
+        tail = component_size_tail(np.array([2, 4]), 4)
+        assert tail.tolist() == [1.0, 1.0, 0.5, 0.5]
+
+    def test_empty(self):
+        assert component_size_tail(np.array([]), 3).tolist() == [0.0, 0.0, 0.0]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            component_size_tail(np.array([1]), 0)
+
+
+class TestLemma6Shape:
+    def test_tail_within_bound_at_lemma_load(self):
+        """Pr[|C_x| >= i] <= 4^-(i-2) at load n/(4e^2), pooled trials."""
+        n = 4096
+        m = int(n / (4 * math.e**2))
+        pooled = []
+        for seed in spawn_seeds(17, 15):
+            edges = sample_random_multigraph(n, m, seed=seed)
+            pooled.append(component_of_edge(n, edges))
+        tail = component_size_tail(np.concatenate(pooled), 8)
+        for i in range(3, 9):
+            assert tail[i - 1] <= 4.0 ** (-(i - 2)) * 1.5  # small sampling slack
+
+    def test_mean_2_pow_c_bounded(self):
+        """Lemma 8's key integral: E[2^|C|] = O(1) at the lemma load."""
+        n = 4096
+        m = int(n / (4 * math.e**2))
+        pooled = []
+        for seed in spawn_seeds(23, 15):
+            edges = sample_random_multigraph(n, m, seed=seed)
+            pooled.append(component_of_edge(n, edges))
+        sizes = np.concatenate(pooled)
+        assert float(np.mean(2.0 ** sizes)) < 20.0
+
+
+class TestCuckooGraph:
+    def test_edges_from_hashes(self):
+        from repro.core.assoc.hashdist import UniformHashes
+
+        dist = UniformHashes(32, 2, seed=1)
+        pages = np.arange(10, dtype=np.int64)
+        edges = cuckoo_graph_from_pages(pages, dist)
+        assert edges.shape == (10, 2)
+        expected = dist.positions_batch(pages)
+        assert np.array_equal(edges, expected)
+
+    def test_requires_d2(self):
+        from repro.core.assoc.hashdist import UniformHashes
+
+        with pytest.raises(ConfigurationError):
+            cuckoo_graph_from_pages(np.arange(4), UniformHashes(32, 3, seed=1))
+
+
+class TestSampling:
+    def test_shape_and_range(self):
+        edges = sample_random_multigraph(10, 25, seed=3)
+        assert edges.shape == (25, 2)
+        assert edges.min() >= 0 and edges.max() < 10
+
+    def test_deterministic(self):
+        a = sample_random_multigraph(10, 5, seed=4)
+        b = sample_random_multigraph(10, 5, seed=4)
+        assert np.array_equal(a, b)
+
+    def test_zero_edges(self):
+        assert sample_random_multigraph(5, 0, seed=1).shape == (0, 2)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            sample_random_multigraph(0, 1)
+        with pytest.raises(ConfigurationError):
+            sample_random_multigraph(5, -1)

@@ -1,0 +1,90 @@
+"""Tests for Hopcroft–Karp matching — against networkx and brute force."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.graphtools.matching import hopcroft_karp, maximum_matching_size
+
+
+class TestHopcroftKarp:
+    def test_trivial(self):
+        size, ml, mr = hopcroft_karp(0, 0, [])
+        assert size == 0
+
+    def test_perfect_matching(self):
+        size, ml, mr = hopcroft_karp(2, 2, [[0, 1], [0]])
+        assert size == 2
+        assert ml.tolist() == [1, 0]
+
+    def test_augmenting_path_needed(self):
+        # greedy left-to-right would match 0->a then 1 stuck; HK augments
+        size, ml, mr = hopcroft_karp(2, 2, [[0], [0, 1]])
+        assert size == 2
+
+    def test_star(self):
+        size, _, _ = hopcroft_karp(3, 1, [[0], [0], [0]])
+        assert size == 1
+
+    def test_matching_consistency(self):
+        size, ml, mr = hopcroft_karp(4, 4, [[0, 1], [1, 2], [2, 3], [3, 0]])
+        assert size == 4
+        for u, v in enumerate(ml.tolist()):
+            if v != -1:
+                assert mr[v] == u
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            hopcroft_karp(2, 2, [[0]])  # adjacency length mismatch
+        with pytest.raises(ConfigurationError):
+            hopcroft_karp(-1, 2, [])
+
+    @given(
+        st.integers(1, 8),
+        st.integers(1, 8),
+        st.lists(st.tuples(st.integers(0, 7), st.integers(0, 7)), max_size=24),
+    )
+    @settings(max_examples=60)
+    def test_property_matches_networkx(self, nl, nr, raw):
+        import networkx as nx
+
+        edges = sorted({(u % nl, v % nr) for u, v in raw})
+        adjacency = [[] for _ in range(nl)]
+        for u, v in edges:
+            adjacency[u].append(v)
+        size, ml, mr = hopcroft_karp(nl, nr, adjacency)
+
+        g = nx.Graph()
+        g.add_nodes_from((f"L{u}" for u in range(nl)))
+        g.add_nodes_from((f"R{v}" for v in range(nr)))
+        g.add_edges_from((f"L{u}", f"R{v}") for u, v in edges)
+        expected = len(
+            nx.bipartite.maximum_matching(g, top_nodes=[f"L{u}" for u in range(nl)])
+        ) // 2
+        assert size == expected
+        # verify the matching itself
+        used_r = set()
+        count = 0
+        for u, v in enumerate(ml.tolist()):
+            if v == -1:
+                continue
+            assert v in adjacency[u]
+            assert v not in used_r
+            used_r.add(v)
+            count += 1
+        assert count == size
+
+
+class TestMaximumMatchingSize:
+    def test_with_hyperedge_rows(self):
+        edges = np.array([[0, 1], [0, 0], [1, 1]])
+        # 3 edges over 2 vertices: at most 2 assignable
+        assert maximum_matching_size(2, edges) == 2
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            maximum_matching_size(2, np.array([[0, 5]]))

@@ -1,0 +1,106 @@
+"""Tests for 1-orientability (Lemma 5) — criterion, witness, Monte Carlo."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.graphtools.matching import maximum_matching_size
+from repro.graphtools.orientation import (
+    is_one_orientable,
+    one_orientation,
+    orientability_probability,
+)
+from repro.graphtools.random_graph import sample_random_multigraph
+
+
+def random_instance(n_max=16, m_max=24):
+    return st.tuples(st.integers(1, n_max), st.integers(0, m_max), st.integers(0, 10**6))
+
+
+class TestCriterion:
+    def test_empty_graph(self):
+        assert is_one_orientable(3, np.empty((0, 2), dtype=np.int64))
+
+    def test_tree(self):
+        edges = np.array([[0, 1], [1, 2], [2, 3]])
+        assert is_one_orientable(4, edges)
+
+    def test_unicyclic(self):
+        edges = np.array([[0, 1], [1, 2], [2, 0]])
+        assert is_one_orientable(3, edges)
+
+    def test_overloaded_component(self):
+        edges = np.array([[0, 1], [0, 1], [1, 2], [2, 0]])
+        assert not is_one_orientable(3, edges)
+
+    def test_double_self_loop(self):
+        assert is_one_orientable(2, np.array([[0, 0]]))
+        assert not is_one_orientable(2, np.array([[0, 0], [0, 0]]))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            is_one_orientable(2, np.array([[0, 5]]))
+        with pytest.raises(ConfigurationError):
+            is_one_orientable(2, np.array([0, 1]))
+
+    @given(random_instance())
+    @settings(max_examples=80)
+    def test_property_equals_matching(self, params):
+        """Union-find criterion must agree with Hopcroft–Karp exactly."""
+        n, m, seed = params
+        edges = sample_random_multigraph(n, m, seed=seed)
+        assert is_one_orientable(n, edges) == (maximum_matching_size(n, edges) == m)
+
+
+class TestWitness:
+    @given(random_instance())
+    @settings(max_examples=80)
+    def test_property_witness_valid(self, params):
+        n, m, seed = params
+        edges = sample_random_multigraph(n, m, seed=seed)
+        witness = one_orientation(n, edges)
+        if witness is None:
+            assert not is_one_orientable(n, edges)
+        else:
+            assert witness.shape == (m,)
+            # each edge assigned one of its endpoints; all distinct
+            for i in range(m):
+                assert witness[i] in edges[i]
+            assert len(set(witness.tolist())) == m
+
+    def test_empty(self):
+        assert one_orientation(2, np.empty((0, 2), dtype=np.int64)).size == 0
+
+    def test_cycle_witness(self):
+        edges = np.array([[0, 1], [1, 2], [2, 0]])
+        w = one_orientation(3, edges)
+        assert sorted(w.tolist()) == [0, 1, 2]
+
+    def test_path_witness(self):
+        edges = np.array([[0, 1], [1, 2]])
+        w = one_orientation(3, edges)
+        assert len(set(w.tolist())) == 2
+
+
+class TestMonteCarlo:
+    def test_supercritical_mostly_orientable(self):
+        p = orientability_probability(512, 512 // 4, trials=60, seed=0)
+        assert p >= 0.95
+
+    def test_subcritical_mostly_not(self):
+        # beta = 1.5 < 2: far above the orientability threshold load 1/2
+        p = orientability_probability(512, int(512 / 1.5), trials=60, seed=0)
+        assert p <= 0.2
+
+    def test_reproducible(self):
+        a = orientability_probability(128, 32, trials=30, seed=5)
+        b = orientability_probability(128, 32, trials=30, seed=5)
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            orientability_probability(128, 32, trials=0)

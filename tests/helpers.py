@@ -1,0 +1,106 @@
+"""Test utilities shared across modules.
+
+- :func:`brute_force_min_misses` — exhaustive offline optimum for tiny
+  instances, used to certify Belady;
+- :func:`reference_policy_check` — a model-based step checker that
+  validates any online policy's demand-paging invariants;
+- :func:`all_online_policy_factories` — one factory per registered online
+  policy, for cross-policy property tests.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Callable
+
+import numpy as np
+
+from repro.core.base import CachePolicy
+from repro.core.registry import available_policies, make_policy
+
+
+def brute_force_min_misses(pages: list[int], capacity: int) -> int:
+    """Exhaustive minimum miss count (only for very small instances).
+
+    State-space DP over (time, frozen cache contents); exponential, so keep
+    ``len(pages) <= ~12`` and ``capacity <= 4``.
+    """
+    pages_t = tuple(pages)
+
+    @lru_cache(maxsize=None)
+    def best(i: int, cache: frozenset) -> int:
+        if i == len(pages_t):
+            return 0
+        page = pages_t[i]
+        if page in cache:
+            return best(i + 1, cache)
+        if len(cache) < capacity:
+            return 1 + best(i + 1, cache | {page})
+        return 1 + min(
+            best(i + 1, (cache - {victim}) | {page}) for victim in cache
+        )
+
+    return best(0, frozenset())
+
+
+def reference_policy_check(policy: CachePolicy, pages: np.ndarray) -> None:
+    """Drive ``policy`` step by step, asserting demand-paging invariants.
+
+    - access() returns True iff the page was resident beforehand;
+    - after any access the page is resident;
+    - occupancy never exceeds capacity;
+    - len(policy) matches len(policy.contents()).
+    """
+    policy.reset()
+    assert len(policy.contents()) == 0
+    for page in pages.tolist():
+        before = policy.contents()
+        hit = policy.access(int(page))
+        assert hit == (page in before), (
+            f"{policy.name}: access({page}) returned {hit} but residency was "
+            f"{page in before}"
+        )
+        after = policy.contents()
+        assert page in after, f"{policy.name}: page {page} absent after access"
+        assert len(after) <= policy.capacity, (
+            f"{policy.name}: occupancy {len(after)} exceeds capacity {policy.capacity}"
+        )
+        assert len(policy) == len(after)
+
+
+def all_online_policy_factories(capacity: int) -> dict[str, Callable[[], CachePolicy]]:
+    """Factories for every registered *online* policy at a given capacity."""
+    factories: dict[str, Callable[[], CachePolicy]] = {}
+    for name in available_policies():
+        probe = make_policy(name, capacity, **_extra_kwargs(name, capacity))
+        if probe.is_offline:
+            continue
+        factories[name] = (
+            lambda name=name, capacity=capacity: make_policy(
+                name, capacity, **_extra_kwargs(name, capacity)
+            )
+        )
+    return factories
+
+
+def _extra_kwargs(name: str, capacity: int) -> dict:
+    """Constructor kwargs needed for registry policies in small tests."""
+    if name in {"random", "marking", "d-random", "2-random", "cuckoo", "rearrange"}:
+        return {"seed": 11}
+    if name in {"d-lru", "2-lru", "d-fifo", "set-assoc", "skew-assoc"}:
+        return {"seed": 11}
+    if name == "tree-plru":
+        return {"ways": 4, "seed": 11}
+    if name == "companion":
+        return {"ways": 2, "companion_size": max(1, capacity // 4), "seed": 11}
+    if name == "victim":
+        return {"victim_size": max(1, capacity // 4), "seed": 11}
+    if name in {"heatsink", "adaptive-heatsink"}:
+        sink = max(2, capacity // 8)
+        return {
+            "bin_size": max(1, min(8, capacity - sink)),
+            "sink_size": sink,
+            "sink_prob": 0.1,
+            "seed": 11,
+        }
+    return {}

@@ -1,0 +1,110 @@
+"""Tests for repro.sim.results — the results table."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.results import ResultsTable
+
+
+class TestBuilding:
+    def test_append_and_len(self):
+        t = ResultsTable()
+        t.append(a=1, b=2.0)
+        t.append(a=3, c="x")
+        assert len(t) == 2
+        assert t.columns == ["a", "b", "c"]
+
+    def test_init_from_rows(self):
+        t = ResultsTable([{"x": 1}, {"x": 2}])
+        assert len(t) == 2
+
+    def test_extend(self):
+        t = ResultsTable()
+        t.extend([{"x": 1}, {"x": 2}])
+        assert len(t) == 2
+
+    def test_getitem_and_iter(self):
+        t = ResultsTable([{"x": 1}, {"x": 2}])
+        assert t[1] == {"x": 2}
+        assert [r["x"] for r in t] == [1, 2]
+
+
+class TestAccess:
+    def test_numeric_column(self):
+        t = ResultsTable([{"v": 1}, {"v": 2.5}])
+        col = t.column("v")
+        assert col.dtype == np.float64
+        assert col.tolist() == [1.0, 2.5]
+
+    def test_missing_values_object_dtype(self):
+        t = ResultsTable([{"v": 1}, {"w": 2}])
+        assert t.column("v").dtype == object
+
+    def test_where(self):
+        t = ResultsTable([{"v": 1}, {"v": 5}])
+        assert len(t.where(lambda r: r["v"] > 2)) == 1
+
+    def test_group_by(self):
+        t = ResultsTable([{"g": "a", "v": 1}, {"g": "b", "v": 2}, {"g": "a", "v": 3}])
+        groups = t.group_by("g")
+        assert set(groups) == {("a",), ("b",)}
+        assert len(groups[("a",)]) == 2
+
+
+class TestRendering:
+    def test_markdown_structure(self):
+        t = ResultsTable([{"name": "x", "rate": 0.123456}])
+        md = t.to_markdown()
+        lines = md.splitlines()
+        assert lines[0].startswith("| name")
+        assert lines[1].startswith("|-")
+        assert "0.1235" in lines[2]
+
+    def test_markdown_empty(self):
+        assert ResultsTable().to_markdown() == "(empty table)"
+
+    def test_markdown_column_selection(self):
+        t = ResultsTable([{"a": 1, "b": 2}])
+        md = t.to_markdown(columns=["b"])
+        assert "a" not in md.splitlines()[0]
+
+    def test_float_formatting(self):
+        t = ResultsTable([{"tiny": 1e-9, "nan": float("nan"), "big": 1e9}])
+        md = t.to_markdown()
+        assert "1.000e-09" in md
+        assert "nan" in md
+        assert "1.000e+09" in md
+
+
+class TestCsv:
+    def test_round_trip(self, tmp_path):
+        t = ResultsTable([{"a": 1, "b": 2.5, "c": "x"}, {"a": 2, "b": 3.5, "c": "y"}])
+        path = tmp_path / "t.csv"
+        t.to_csv(path)
+        back = ResultsTable.from_csv(path)
+        assert len(back) == 2
+        assert back[0] == {"a": 1, "b": 2.5, "c": "x"}
+
+    def test_buffer_round_trip(self):
+        t = ResultsTable([{"a": 1}])
+        buf = io.StringIO()
+        t.to_csv(buf)
+        buf.seek(0)
+        assert ResultsTable.from_csv(buf)[0] == {"a": 1}
+
+    def test_ragged_rows(self, tmp_path):
+        t = ResultsTable([{"a": 1}, {"b": 2}])
+        path = tmp_path / "r.csv"
+        t.to_csv(path)
+        back = ResultsTable.from_csv(path)
+        assert back[0]["a"] == 1
+        assert back[0]["b"] is None
+
+    def test_empty_write_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ResultsTable().to_csv(io.StringIO())

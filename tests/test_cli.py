@@ -1,0 +1,69 @@
+"""Tests for the repro-experiment CLI."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.errors import ExperimentError
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "T2-LOWERBOUND"])
+        assert args.scale == "small"
+        assert args.seed == 0
+        assert args.workers is None
+
+    def test_scale_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "X", "--scale", "galactic"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_list_output(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "T4-HEATSINK" in out
+        assert "L5-ORIENT" in out
+
+    def test_run_smoke_prints_table(self, capsys):
+        assert main(["run", "L6-COMPONENTS", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "L6-COMPONENTS" in out
+        assert "|" in out  # markdown table
+
+    def test_run_writes_csv(self, tmp_path, capsys):
+        assert (
+            main(
+                ["run", "L6-COMPONENTS", "--scale", "smoke", "--out", str(tmp_path)]
+            )
+            == 0
+        )
+        files = list(Path(tmp_path).glob("*.csv"))
+        assert len(files) == 1
+        assert files[0].name == "l6-components_smoke.csv"
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ExperimentError):
+            main(["run", "NOT-AN-EXPERIMENT", "--scale", "smoke"])
+
+    def test_characterize_command(self, tmp_path, capsys):
+        import repro
+
+        trace = repro.zipf_trace(256, 10_000, alpha=1.0, seed=1)
+        path = repro.save_trace(trace, tmp_path / "t.npz")
+        assert main(["characterize", "--trace", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "zipf_alpha_hat" in out
+        assert "footprint" in out

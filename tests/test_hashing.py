@@ -1,0 +1,123 @@
+"""Tests for repro.hashing — mixing and range reduction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hashing import (
+    TabulationHasher,
+    hash_to_range,
+    mix_pair,
+    splitmix64,
+    tabulation_hash,
+)
+
+
+class TestSplitmix64:
+    def test_known_vector(self):
+        # reference value from the splitmix64 specification (seed 0 -> first output)
+        assert int(splitmix64(0)) == 0xE220A8397B1DCDAF
+
+    def test_bijection_no_collisions(self):
+        xs = np.arange(100_000, dtype=np.uint64)
+        hashed = splitmix64(xs)
+        assert np.unique(hashed).size == xs.size
+
+    def test_scalar_and_array_agree(self):
+        xs = np.arange(32, dtype=np.uint64)
+        arr = splitmix64(xs)
+        for i, x in enumerate(xs.tolist()):
+            assert int(splitmix64(x)) == int(arr[i])
+
+    def test_input_not_mutated(self):
+        xs = np.arange(8, dtype=np.uint64)
+        before = xs.copy()
+        splitmix64(xs)
+        assert np.array_equal(xs, before)
+
+
+class TestMixPair:
+    def test_sensitive_to_both_arguments(self):
+        base = int(mix_pair(1, 2))
+        assert int(mix_pair(1, 3)) != base
+        assert int(mix_pair(2, 2)) != base
+
+    def test_not_symmetric(self):
+        assert int(mix_pair(10, 20)) != int(mix_pair(20, 10))
+
+
+class TestHashToRange:
+    def test_range_bounds(self):
+        xs = np.arange(10_000, dtype=np.int64)
+        for n in (1, 2, 7, 100, 1 << 20):
+            out = hash_to_range(xs, n, salt=3)
+            assert out.min() >= 0 and out.max() < n
+
+    def test_n_one_maps_to_zero(self):
+        assert hash_to_range(12345, 1) == 0
+
+    def test_scalar_matches_array(self):
+        xs = np.arange(64, dtype=np.int64)
+        arr = hash_to_range(xs, 97, salt=5)
+        for i, x in enumerate(xs.tolist()):
+            assert hash_to_range(x, 97, salt=5) == int(arr[i])
+
+    def test_salt_changes_function(self):
+        xs = np.arange(1000, dtype=np.int64)
+        a = hash_to_range(xs, 256, salt=1)
+        b = hash_to_range(xs, 256, salt=2)
+        assert not np.array_equal(a, b)
+
+    def test_roughly_uniform(self):
+        xs = np.arange(200_000, dtype=np.int64)
+        out = hash_to_range(xs, 16, salt=9)
+        counts = np.bincount(out, minlength=16)
+        expected = len(xs) / 16
+        assert np.all(np.abs(counts - expected) < 0.05 * expected)
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ValueError):
+            hash_to_range(1, 0)
+        with pytest.raises(ValueError):
+            hash_to_range(1, -5)
+
+    @given(st.integers(0, 2**62), st.integers(1, 2**30))
+    def test_property_in_range(self, x, n):
+        value = hash_to_range(x, n, salt=7)
+        assert 0 <= value < n
+
+
+class TestTabulationHasher:
+    def test_deterministic(self):
+        h1 = TabulationHasher(128, seed=4)
+        h2 = TabulationHasher(128, seed=4)
+        xs = np.arange(500, dtype=np.int64)
+        assert np.array_equal(h1(xs), h2(xs))
+
+    def test_seed_changes_function(self):
+        xs = np.arange(500, dtype=np.int64)
+        assert not np.array_equal(
+            TabulationHasher(128, seed=1)(xs), TabulationHasher(128, seed=2)(xs)
+        )
+
+    def test_scalar_matches_array(self):
+        hasher = TabulationHasher(64, seed=3)
+        xs = np.arange(20, dtype=np.int64)
+        arr = hasher(xs)
+        for i, x in enumerate(xs.tolist()):
+            assert hasher(x) == int(arr[i])
+
+    def test_range(self):
+        hasher = TabulationHasher(17, seed=8)
+        out = hasher(np.arange(10_000, dtype=np.int64))
+        assert out.min() >= 0 and out.max() < 17
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            TabulationHasher(0)
+
+    def test_one_shot_wrapper(self):
+        assert tabulation_hash(42, 64, seed=1) == TabulationHasher(64, seed=1)(42)

@@ -1,0 +1,115 @@
+"""Tests for repro.rng — deterministic seed management."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.rng import (
+    as_seed_sequence,
+    derive_seed,
+    interleave_seeds,
+    make_rng,
+    seed_iterator,
+    spawn_seeds,
+)
+
+
+class TestAsSeedSequence:
+    def test_int_is_reproducible(self):
+        a = as_seed_sequence(42).generate_state(4)
+        b = as_seed_sequence(42).generate_state(4)
+        assert np.array_equal(a, b)
+
+    def test_distinct_ints_differ(self):
+        a = as_seed_sequence(1).generate_state(4)
+        b = as_seed_sequence(2).generate_state(4)
+        assert not np.array_equal(a, b)
+
+    def test_none_gives_fresh_entropy(self):
+        a = as_seed_sequence(None).generate_state(4)
+        b = as_seed_sequence(None).generate_state(4)
+        assert not np.array_equal(a, b)
+
+    def test_seedsequence_passthrough(self):
+        ss = np.random.SeedSequence(7)
+        assert as_seed_sequence(ss) is ss
+
+    def test_generator_accepted(self):
+        gen = make_rng(3)
+        ss = as_seed_sequence(gen)
+        assert isinstance(ss, np.random.SeedSequence)
+
+
+class TestMakeRng:
+    def test_reproducible_streams(self):
+        assert make_rng(5).random(10).tolist() == make_rng(5).random(10).tolist()
+
+    def test_generator_passthrough(self):
+        gen = make_rng(1)
+        assert make_rng(gen) is gen
+
+
+class TestSpawnSeeds:
+    def test_count_and_independence(self):
+        seeds = spawn_seeds(0, 8)
+        assert len(seeds) == 8
+        states = [tuple(s.generate_state(2).tolist()) for s in seeds]
+        assert len(set(states)) == 8
+
+    def test_reproducible(self):
+        a = [s.generate_state(1)[0] for s in spawn_seeds(9, 4)]
+        b = [s.generate_state(1)[0] for s in spawn_seeds(9, 4)]
+        assert a == b
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(0, -1)
+
+    def test_zero_count(self):
+        assert spawn_seeds(0, 0) == []
+
+
+class TestDeriveSeed:
+    def test_stable(self):
+        assert derive_seed(1, "x", 3) == derive_seed(1, "x", 3)
+
+    def test_key_sensitivity(self):
+        base = derive_seed(1, "x", 3)
+        assert derive_seed(1, "x", 4) != base
+        assert derive_seed(1, "y", 3) != base
+        assert derive_seed(2, "x", 3) != base
+
+    def test_string_keys_do_not_depend_on_hash_seed(self):
+        # FNV folding, not builtin hash(): value must be a fixed constant
+        assert derive_seed(0, "stable") == derive_seed(0, "stable")
+
+    def test_returns_63_bit_nonnegative(self):
+        for key in range(50):
+            value = derive_seed(123, key)
+            assert 0 <= value < 2**63
+
+    @given(st.integers(0, 2**32), st.integers(0, 100))
+    def test_property_stability(self, seed, key):
+        assert derive_seed(seed, key) == derive_seed(seed, key)
+
+
+class TestSeedIterator:
+    def test_yields_distinct(self):
+        it = seed_iterator(3)
+        states = [tuple(next(it).generate_state(1).tolist()) for _ in range(40)]
+        assert len(set(states)) == 40
+
+
+class TestInterleaveSeeds:
+    def test_order_sensitive(self):
+        a = interleave_seeds([1, 2]).generate_state(2)
+        b = interleave_seeds([2, 1]).generate_state(2)
+        assert not np.array_equal(a, b)
+
+    def test_reproducible(self):
+        a = interleave_seeds([1, 2, 3]).generate_state(2)
+        b = interleave_seeds([1, 2, 3]).generate_state(2)
+        assert np.array_equal(a, b)

@@ -1,0 +1,112 @@
+"""Hypothesis stateful (rule-based) fuzzing of the complex policies.
+
+The per-access invariant checks in `tests/helpers.py` drive policies with
+random traces; the machines here additionally interleave *resets* and
+*bulk runs* with single accesses, and cross-validate residency against an
+independent model after every step. HEAT-SINK and the rearranging cache
+have the most internal state, so they get machines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+
+from repro.core.assoc.heatsink import HeatSinkLRU
+from repro.core.assoc.rearrange import RearrangingCache
+
+PAGES = st.integers(0, 40)
+
+
+class HeatSinkMachine(RuleBasedStateMachine):
+    """Model-based fuzz of HEAT-SINK LRU (both sink policies)."""
+
+    @initialize(sink_policy=st.sampled_from(["2-random", "lru"]), seed=st.integers(0, 100))
+    def setup(self, sink_policy, seed):
+        self.cache = HeatSinkLRU(
+            24, bin_size=3, sink_size=6, sink_prob=0.3,
+            sink_policy=sink_policy, seed=seed,
+        )
+        self.resident: set[int] = set()
+
+    @rule(page=PAGES)
+    def access(self, page):
+        before = set(self.cache.contents())
+        assert before == self.resident
+        hit = self.cache.access(page)
+        assert hit == (page in before)
+        after = set(self.cache.contents())
+        assert page in after
+        # at most one eviction per miss, none on hit
+        if hit:
+            assert after == before
+        else:
+            assert before - after == before - after  # trivially true; sizes below
+            assert len(before - after) <= 1
+            assert after - before == {page}
+        self.resident = after
+
+    @rule(pages=st.lists(PAGES, min_size=1, max_size=30))
+    def bulk_run(self, pages):
+        result = self.cache.run(np.asarray(pages, dtype=np.int64), reset=False)
+        assert result.num_accesses == len(pages)
+        self.resident = set(self.cache.contents())
+
+    @rule()
+    def reset(self):
+        self.cache.reset()
+        self.resident = set()
+
+    @invariant()
+    def capacity_respected(self):
+        assert len(self.cache) <= self.cache.capacity
+        assert self.cache.bin_loads().max(initial=0) <= self.cache.bin_size
+
+    @invariant()
+    def location_map_consistent(self):
+        assert len(self.cache.contents()) == len(self.cache._loc)
+
+
+class RearrangeMachine(RuleBasedStateMachine):
+    """Model-based fuzz of the BFS rearranging cache."""
+
+    @initialize(seed=st.integers(0, 100), budget=st.integers(1, 32))
+    def setup(self, seed, budget):
+        self.cache = RearrangingCache(12, d=2, seed=seed, max_bfs_nodes=budget)
+        self.resident: set[int] = set()
+
+    @rule(page=PAGES)
+    def access(self, page):
+        before = set(self.cache.contents())
+        assert before == self.resident
+        hit = self.cache.access(page)
+        assert hit == (page in before)
+        after = set(self.cache.contents())
+        assert page in after
+        if not hit:
+            # rearrangement may move pages but evicts at most one
+            assert len(before - after) <= 1
+        self.resident = after
+
+    @rule()
+    def reset(self):
+        self.cache.reset()
+        self.resident = set()
+
+    @invariant()
+    def pages_in_eligible_slots(self):
+        for page in self.cache.contents():
+            assert self.cache.slot_of(page) in self.cache.dist.positions(page)
+
+    @invariant()
+    def slots_and_index_agree(self):
+        occupants = [p for p in self.cache._slot_page if p != -1]
+        assert sorted(occupants) == sorted(self.cache._pos_of)
+
+
+TestHeatSinkMachine = HeatSinkMachine.TestCase
+TestHeatSinkMachine.settings = settings(max_examples=25, stateful_step_count=40, deadline=None)
+TestRearrangeMachine = RearrangeMachine.TestCase
+TestRearrangeMachine.settings = settings(max_examples=25, stateful_step_count=40, deadline=None)

@@ -1,0 +1,205 @@
+"""Tests for repro.theory — closed-form predictions vs simulation."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.fully.fifo import FIFOCache
+from repro.core.fully.lru import LRUCache
+from repro.core.fully.random_evict import RandomEvictCache
+from repro.errors import ConfigurationError
+from repro.theory import (
+    borel_pmf,
+    che_characteristic_time,
+    edge_component_tail,
+    expected_hot_bins,
+    expected_overflow_pages,
+    fifo_hit_rate_irm,
+    lru_hit_rate_irm,
+    mean_two_pow_component,
+    poisson_tail,
+    zipf_probabilities,
+)
+from repro.traces.synthetic import zipf_trace
+
+
+class TestZipfProbabilities:
+    def test_normalized_and_monotone(self):
+        p = zipf_probabilities(100, 1.0)
+        assert p.sum() == pytest.approx(1.0)
+        assert np.all(np.diff(p) <= 0)
+
+    def test_alpha_zero_uniform(self):
+        p = zipf_probabilities(10, 0.0)
+        assert np.allclose(p, 0.1)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            zipf_probabilities(0, 1.0)
+        with pytest.raises(ConfigurationError):
+            zipf_probabilities(10, -1.0)
+
+
+class TestCheCharacteristicTime:
+    def test_occupancy_identity(self):
+        p = zipf_probabilities(500, 0.8)
+        t = che_characteristic_time(p, 100)
+        occ = (1 - np.exp(-p * t)).sum()
+        assert occ == pytest.approx(100, rel=1e-6)
+
+    def test_monotone_in_capacity(self):
+        p = zipf_probabilities(500, 0.8)
+        assert che_characteristic_time(p, 50) < che_characteristic_time(p, 200)
+
+    def test_validation(self):
+        p = zipf_probabilities(10, 1.0)
+        with pytest.raises(ConfigurationError):
+            che_characteristic_time(p, 0)
+        with pytest.raises(ConfigurationError):
+            che_characteristic_time(p, 10)  # everything fits: no root
+        with pytest.raises(ConfigurationError):
+            che_characteristic_time(np.array([0.5, 0.6]), 1)  # not normalized
+
+
+class TestCheVsSimulation:
+    """The headline property: Che matches IRM simulation to ~1%."""
+
+    @pytest.mark.parametrize("alpha,capacity", [(0.8, 256), (1.1, 256), (0.9, 1024)])
+    def test_lru_accuracy(self, alpha, capacity):
+        num_pages = 4096
+        probs = zipf_probabilities(num_pages, alpha)
+        predicted, _ = lru_hit_rate_irm(probs, capacity)
+        trace = zipf_trace(num_pages, 300_000, alpha=alpha, seed=7, shuffle_ranks=False)
+        simulated = float(LRUCache(capacity).run(trace).hits[60_000:].mean())
+        assert abs(predicted - simulated) < 0.015
+
+    def test_fifo_and_random_share_fixed_point(self):
+        num_pages, capacity, alpha = 4096, 512, 0.9
+        probs = zipf_probabilities(num_pages, alpha)
+        predicted, _ = fifo_hit_rate_irm(probs, capacity)
+        trace = zipf_trace(num_pages, 300_000, alpha=alpha, seed=8, shuffle_ranks=False)
+        sim_fifo = float(FIFOCache(capacity).run(trace).hits[60_000:].mean())
+        sim_rand = float(RandomEvictCache(capacity, seed=1).run(trace).hits[60_000:].mean())
+        assert abs(predicted - sim_fifo) < 0.02
+        assert abs(predicted - sim_rand) < 0.02
+
+    def test_lru_beats_fifo_under_irm(self):
+        probs = zipf_probabilities(2048, 1.0)
+        lru_rate, _ = lru_hit_rate_irm(probs, 256)
+        fifo_rate, _ = fifo_hit_rate_irm(probs, 256)
+        assert lru_rate > fifo_rate
+
+    def test_per_page_hits_monotone_in_popularity(self):
+        probs = zipf_probabilities(1000, 1.0)
+        _, per_page = lru_hit_rate_irm(probs, 100)
+        assert np.all(np.diff(per_page) <= 1e-12)
+
+
+class TestPoissonTail:
+    def test_against_scipy(self):
+        from scipy import stats
+
+        for mu in (0.1, 1.0, 7.3, 40.0):
+            for k in (0, 1, 5, 50):
+                assert poisson_tail(mu, k) == pytest.approx(
+                    stats.poisson.sf(k, mu), abs=1e-10
+                )
+
+    def test_edge_cases(self):
+        assert poisson_tail(1.0, -1) == 1.0
+        assert poisson_tail(0.0, 0) == 0.0
+        with pytest.raises(ConfigurationError):
+            poisson_tail(-1.0, 2)
+
+
+class TestBallsBins:
+    def test_hot_bins_matches_monte_carlo(self, rng):
+        num_balls, num_bins, bin_size = 3000, 100, 38
+        predicted = expected_hot_bins(num_balls, num_bins, bin_size)
+        trials = 300
+        count = 0
+        for _ in range(trials):
+            loads = np.bincount(
+                rng.integers(0, num_bins, size=num_balls), minlength=num_bins
+            )
+            count += int((loads > bin_size).sum())
+        measured = count / trials
+        assert predicted == pytest.approx(measured, rel=0.25, abs=0.5)
+
+    def test_overflow_matches_monte_carlo(self, rng):
+        num_balls, num_bins, bin_size = 3000, 100, 34
+        predicted = expected_overflow_pages(num_balls, num_bins, bin_size)
+        trials = 300
+        total = 0
+        for _ in range(trials):
+            loads = np.bincount(
+                rng.integers(0, num_bins, size=num_balls), minlength=num_bins
+            )
+            total += int(np.maximum(loads - bin_size, 0).sum())
+        measured = total / trials
+        assert predicted == pytest.approx(measured, rel=0.2, abs=1.0)
+
+    def test_zero_cases(self):
+        assert expected_overflow_pages(0, 10, 4) == 0.0
+        assert expected_hot_bins(0, 10, 4) == 0.0
+
+
+class TestBorel:
+    def test_pmf_sums_to_one_subcritical(self):
+        pmf = borel_pmf(0.3, 2000)
+        assert pmf.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_mu_zero_degenerate(self):
+        pmf = borel_pmf(0.0, 5)
+        assert pmf.tolist() == [1.0, 0.0, 0.0, 0.0, 0.0]
+
+    def test_mean_formula(self):
+        """E[Borel(mu)] = 1 / (1 - mu)."""
+        mu = 0.25
+        pmf = borel_pmf(mu, 4000)
+        mean = float((pmf * np.arange(1, 4001)).sum())
+        assert mean == pytest.approx(1.0 / (1.0 - mu), rel=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            borel_pmf(1.0, 10)
+        with pytest.raises(ConfigurationError):
+            borel_pmf(0.5, 0)
+
+
+class TestEdgeComponentPrediction:
+    def test_matches_lemma6_measurements(self):
+        """The Borel convolution must track the simulated per-edge tail."""
+        from repro.graphtools.components import component_of_edge, component_size_tail
+        from repro.graphtools.random_graph import sample_random_multigraph
+        from repro.rng import spawn_seeds
+
+        n = 8192
+        m = int(n / (4 * math.e**2))
+        pooled = []
+        for s in spawn_seeds(31, 25):
+            edges = sample_random_multigraph(n, m, seed=s)
+            pooled.append(component_of_edge(n, edges))
+        measured = component_size_tail(np.concatenate(pooled), 6)
+        predicted = edge_component_tail(2 * m / n, 6)
+        # sizes 3 and 4 carry enough samples for a tight check
+        assert predicted[2] == pytest.approx(measured[2], rel=0.2)
+        assert predicted[3] == pytest.approx(measured[3], rel=0.5, abs=0.01)
+
+    def test_tail_decreasing_and_proper(self):
+        tail = edge_component_tail(0.1, 10)
+        assert tail[0] == pytest.approx(1.0)
+        assert tail[1] == pytest.approx(1.0)  # an edge has >= 2 vertices
+        assert np.all(np.diff(tail) <= 1e-12)
+
+    def test_mean_two_pow_component_value(self):
+        """At the lemma load the analytic E[2^|C|] is ~4.68 (finite)."""
+        mu = 1.0 / (2.0 * math.e**2)
+        assert mean_two_pow_component(mu) == pytest.approx(4.68, abs=0.1)
+
+    def test_divergence_detected(self):
+        with pytest.raises(ConfigurationError):
+            mean_two_pow_component(0.49)

@@ -1,0 +1,100 @@
+"""Tests for repro.viz — terminal visualizations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.viz import bar_chart, heat_strip, histogram, sparkline
+
+
+class TestSparkline:
+    def test_length_matches(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_extremes(self):
+        line = sparkline([0.0, 1.0])
+        assert line[0] == "▁"
+        assert line[1] == "█"
+
+    def test_constant_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_nan_renders_space(self):
+        assert sparkline([0.0, float("nan"), 1.0])[1] == " "
+
+    def test_pinned_scale(self):
+        line = sparkline([0.5], lo=0.0, hi=1.0)
+        assert line in "▃▄▅"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sparkline([])
+
+
+class TestBarChart:
+    def test_rows_and_scaling(self):
+        chart = bar_chart({"a": 1.0, "bb": 0.5}, width=10)
+        lines = chart.splitlines()
+        assert len(lines) == 2
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") == 5
+
+    def test_labels_aligned(self):
+        chart = bar_chart({"x": 1.0, "long-label": 1.0})
+        starts = [line.index("|") for line in chart.splitlines()]
+        assert len(set(starts)) == 1
+
+    def test_zero_values(self):
+        chart = bar_chart({"a": 0.0})
+        assert "█" not in chart
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bar_chart({})
+        with pytest.raises(ConfigurationError):
+            bar_chart({"a": 1.0}, width=0)
+
+
+class TestHeatStrip:
+    def test_width(self):
+        assert len(heat_strip(np.ones(256), buckets=32)) == 32
+
+    def test_fewer_values_than_buckets(self):
+        assert len(heat_strip([1.0, 2.0], buckets=10)) == 2
+
+    def test_hot_region_visible(self):
+        values = np.zeros(100)
+        values[40:50] = 10.0
+        strip = heat_strip(values, buckets=10)
+        assert strip[4] == "█"
+        assert strip[0] == " "
+
+    def test_pinned_scale(self):
+        cool = heat_strip([1.0], buckets=1, hi=10.0)
+        assert cool in " ░"
+
+    def test_all_zero(self):
+        assert set(heat_strip(np.zeros(10), buckets=5)) == {" "}
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            heat_strip([], buckets=4)
+        with pytest.raises(ConfigurationError):
+            heat_strip([1.0], buckets=0)
+
+
+class TestHistogram:
+    def test_bin_count(self):
+        hist = histogram(np.arange(100), bins=5)
+        assert len(hist.splitlines()) == 5
+
+    def test_counts_sum(self):
+        hist = histogram(np.arange(100), bins=4, width=20)
+        counts = [int(line.rsplit("|", 1)[1]) for line in hist.splitlines()]
+        assert sum(counts) == 100
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            histogram([1.0], bins=0)

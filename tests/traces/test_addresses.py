@@ -1,0 +1,115 @@
+"""Tests for repro.traces.addresses — hardware address streams."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.assoc.d_lru import PLruCache
+from repro.core.assoc.hashdist import ModuloSetHashes, SetAssociativeHashes
+from repro.errors import ConfigurationError
+from repro.traces.addresses import (
+    addresses_to_pages,
+    matrix_traversal,
+    pointer_chase,
+    strided_walk,
+)
+
+
+class TestAddressesToPages:
+    def test_line_mapping(self):
+        trace = addresses_to_pages(np.array([0, 63, 64, 128]), line_bytes=64)
+        assert list(trace) == [0, 0, 1, 2]
+
+    def test_dedup_consecutive(self):
+        trace = addresses_to_pages(
+            np.array([0, 8, 16, 64, 72]), line_bytes=64, dedup_consecutive=True
+        )
+        assert list(trace) == [0, 1]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            addresses_to_pages(np.array([0]), line_bytes=0)
+        with pytest.raises(ConfigurationError):
+            addresses_to_pages(np.array([-1]))
+        with pytest.raises(ConfigurationError):
+            addresses_to_pages(np.zeros((2, 2), dtype=np.int64))
+
+
+class TestStridedWalk:
+    def test_line_stride(self):
+        trace = strided_walk(4, stride_bytes=128, line_bytes=64)
+        assert list(trace) == [0, 2, 4, 6]
+
+    def test_repeats(self):
+        trace = strided_walk(3, stride_bytes=64, repeats=2)
+        assert list(trace) == [0, 1, 2, 0, 1, 2]
+
+    def test_aligned_stride_aliases_modulo_sets(self):
+        """The motivating pathology: stride = line*num_sets puts every
+        access in modulo-set 0; hashed sets spread them out."""
+        n, d = 64, 4
+        num_sets = n // d
+        trace = strided_walk(2 * d, stride_bytes=64 * num_sets, repeats=20)
+        modulo = PLruCache(n, dist=ModuloSetHashes(n, d))
+        hashed = PLruCache(n, dist=SetAssociativeHashes(n, d, seed=1))
+        assert modulo.run(trace).miss_rate == 1.0  # 8 lines, 4 ways, 1 set
+        assert hashed.run(trace).miss_rate < 0.2
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            strided_walk(0, stride_bytes=64)
+        with pytest.raises(ConfigurationError):
+            strided_walk(4, stride_bytes=0)
+
+
+class TestMatrixTraversal:
+    def test_row_major_is_sequential(self):
+        trace = matrix_traversal(2, 16, order="row", element_bytes=8, line_bytes=64)
+        # 16 elements * 8B = 2 lines per row
+        assert list(trace) == [0] * 8 + [1] * 8 + [2] * 8 + [3] * 8
+
+    def test_col_major_strides(self):
+        trace = matrix_traversal(4, 8, order="col", element_bytes=8, line_bytes=64)
+        # column walk: row stride = 8*8B = 1 line
+        assert list(trace)[:4] == [0, 1, 2, 3]
+
+    def test_same_lines_either_order(self):
+        a = matrix_traversal(8, 32, order="row")
+        b = matrix_traversal(8, 32, order="col")
+        assert set(a.pages.tolist()) == set(b.pages.tolist())
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            matrix_traversal(0, 4)
+        with pytest.raises(ConfigurationError):
+            matrix_traversal(4, 4, order="diagonal")
+
+
+class TestPointerChase:
+    def test_cycle_structure(self):
+        trace = pointer_chase(8, 24, node_bytes=64, seed=1)
+        assert len(trace) == 24
+        first, second, third = trace.pages[:8], trace.pages[8:16], trace.pages[16:24]
+        assert np.array_equal(first, second)
+        assert np.array_equal(second, third)
+        assert set(first.tolist()) == set(range(8))
+
+    def test_partial_lap(self):
+        trace = pointer_chase(10, 7, seed=2)
+        assert len(trace) == 7
+
+    def test_deterministic(self):
+        assert pointer_chase(16, 50, seed=3) == pointer_chase(16, 50, seed=3)
+
+    def test_lru_adversarial_when_oversized(self):
+        from repro.core.fully.lru import LRUCache
+
+        trace = pointer_chase(100, 5000, seed=4)
+        assert LRUCache(99).run(trace).miss_rate == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            pointer_chase(0, 10)
+        with pytest.raises(ConfigurationError):
+            pointer_chase(10, 10, node_bytes=0)

@@ -1,0 +1,140 @@
+"""Tests for repro.traces.base — the Trace container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import TraceError
+from repro.traces.base import Trace, as_page_array, concat_traces, trace_stats
+
+
+class TestTraceConstruction:
+    def test_basic(self):
+        t = Trace(np.array([0, 1, 2], dtype=np.int64), name="x", params={"a": 1})
+        assert len(t) == 3
+        assert t.name == "x"
+        assert t.params == {"a": 1}
+
+    def test_pages_immutable(self):
+        t = Trace(np.array([0, 1], dtype=np.int64))
+        with pytest.raises(ValueError):
+            t.pages[0] = 5
+
+    def test_negative_pages_rejected(self):
+        with pytest.raises(TraceError):
+            Trace(np.array([0, -1], dtype=np.int64))
+
+    def test_2d_rejected(self):
+        with pytest.raises(TraceError):
+            Trace(np.zeros((2, 2), dtype=np.int64))
+
+    def test_empty_trace_ok(self):
+        t = Trace(np.empty(0, dtype=np.int64))
+        assert len(t) == 0
+        assert t.num_distinct == 0
+        assert t.max_page == -1
+
+    def test_indexing_and_slicing(self):
+        t = Trace(np.array([5, 6, 7], dtype=np.int64), name="s")
+        assert t[1] == 6
+        sub = t[1:]
+        assert isinstance(sub, Trace)
+        assert list(sub) == [6, 7]
+        assert sub.name == "s"
+
+    def test_equality(self):
+        a = Trace(np.array([1, 2], dtype=np.int64), name="n")
+        b = Trace(np.array([1, 2], dtype=np.int64), name="n")
+        c = Trace(np.array([1, 3], dtype=np.int64), name="n")
+        assert a == b
+        assert a != c
+
+    def test_with_name_merges_params(self):
+        t = Trace(np.array([1], dtype=np.int64), params={"a": 1})
+        t2 = t.with_name("new", b=2)
+        assert t2.name == "new"
+        assert t2.params == {"a": 1, "b": 2}
+
+    def test_remapped_dense_ids(self):
+        t = Trace(np.array([100, 7, 100, 55], dtype=np.int64))
+        r = t.remapped()
+        assert r.max_page == 2
+        assert r.num_distinct == 3
+        # structure (equality pattern) is preserved
+        assert r[0] == r[2]
+        assert r[0] != r[1]
+
+
+class TestAsPageArray:
+    def test_accepts_trace(self):
+        t = Trace(np.array([1, 2], dtype=np.int64))
+        assert as_page_array(t) is t.pages
+
+    def test_accepts_list(self):
+        out = as_page_array([1, 2, 3])
+        assert out.dtype == np.int64
+        assert out.tolist() == [1, 2, 3]
+
+    def test_accepts_integral_float(self):
+        out = as_page_array(np.array([1.0, 2.0]))
+        assert out.tolist() == [1, 2]
+
+    def test_rejects_fractional_float(self):
+        with pytest.raises(TraceError):
+            as_page_array(np.array([1.5]))
+
+    def test_rejects_negative(self):
+        with pytest.raises(TraceError):
+            as_page_array([-1])
+
+
+class TestConcat:
+    def test_concat_preserves_order(self):
+        a = Trace(np.array([1, 2], dtype=np.int64))
+        b = Trace(np.array([3], dtype=np.int64))
+        c = concat_traces([a, b])
+        assert list(c) == [1, 2, 3]
+
+    def test_concat_empty(self):
+        assert len(concat_traces([])) == 0
+
+
+class TestTraceStats:
+    def test_empty(self):
+        stats = trace_stats(np.empty(0, dtype=np.int64))
+        assert stats["length"] == 0
+        assert stats["distinct"] == 0
+
+    def test_no_reuse(self):
+        stats = trace_stats(np.arange(10))
+        assert stats["reuse_fraction"] == 0.0
+        assert np.isnan(stats["mean_reuse_gap"])
+
+    def test_full_reuse(self):
+        stats = trace_stats(np.zeros(10, dtype=np.int64))
+        assert stats["distinct"] == 1
+        assert stats["reuse_fraction"] == pytest.approx(0.9)
+        assert stats["mean_reuse_gap"] == pytest.approx(1.0)
+
+    def test_known_gaps(self):
+        # page 1 at 0 and 3 (gap 3); page 2 at 1 and 2 (gap 1)
+        stats = trace_stats(np.array([1, 2, 2, 1], dtype=np.int64))
+        assert stats["reuse_fraction"] == pytest.approx(0.5)
+        assert stats["mean_reuse_gap"] == pytest.approx(2.0)
+
+    @given(st.lists(st.integers(0, 20), min_size=1, max_size=100))
+    def test_property_matches_bruteforce(self, pages):
+        stats = trace_stats(np.asarray(pages, dtype=np.int64))
+        # brute-force gap computation
+        last: dict[int, int] = {}
+        gaps = []
+        for i, p in enumerate(pages):
+            if p in last:
+                gaps.append(i - last[p])
+            last[p] = i
+        assert stats["reuse_fraction"] == pytest.approx(len(gaps) / len(pages))
+        if gaps:
+            assert stats["mean_reuse_gap"] == pytest.approx(float(np.mean(gaps)))

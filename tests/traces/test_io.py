@@ -1,0 +1,101 @@
+"""Tests for repro.traces.io — persistence and MSR CSV."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.traces.base import Trace
+from repro.traces.io import load_trace, read_msr_csv, save_trace, write_msr_csv
+from repro.traces.synthetic import zipf_trace
+
+
+class TestNpzRoundTrip:
+    def test_round_trip(self, tmp_path):
+        t = zipf_trace(64, 1000, alpha=1.1, seed=5)
+        path = save_trace(t, tmp_path / "t.npz")
+        loaded = load_trace(path)
+        assert loaded == t
+        assert loaded.params["alpha"] == 1.1
+
+    def test_suffix_added(self, tmp_path):
+        t = Trace(np.array([1, 2], dtype=np.int64))
+        path = save_trace(t, tmp_path / "noext")
+        assert path.suffix == ".npz"
+        assert load_trace(path) == t
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceError):
+            load_trace(tmp_path / "absent.npz")
+
+    def test_not_a_trace_file(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, foo=np.arange(3))
+        with pytest.raises(TraceError):
+            load_trace(path)
+
+
+class TestMsrCsv:
+    HEADER_FREE_ROWS = (
+        "128166372003061629,hm,1,Read,8192,8192,100\n"
+        "128166372003061630,hm,1,Write,0,4096,90\n"
+        "128166372003061631,hm,1,Read,4096,12288,80\n"
+    )
+
+    def test_basic_parse(self):
+        t = read_msr_csv(io.StringIO(self.HEADER_FREE_ROWS), block_bytes=4096)
+        # row1: blocks 2,3 ; row2: block 0 ; row3: blocks 1,2,3
+        assert list(t) == [2, 3, 0, 1, 2, 3]
+
+    def test_filter_request_types(self):
+        t = read_msr_csv(
+            io.StringIO(self.HEADER_FREE_ROWS),
+            block_bytes=4096,
+            request_types=("Read",),
+        )
+        assert list(t) == [2, 3, 1, 2, 3]
+
+    def test_no_expand(self):
+        t = read_msr_csv(
+            io.StringIO(self.HEADER_FREE_ROWS), block_bytes=4096, expand_multiblock=False
+        )
+        assert list(t) == [2, 0, 1]
+
+    def test_max_accesses(self):
+        t = read_msr_csv(
+            io.StringIO(self.HEADER_FREE_ROWS), block_bytes=4096, max_accesses=3
+        )
+        assert len(t) == 3
+
+    def test_comments_and_blanks_skipped(self):
+        body = "# comment\n\n" + self.HEADER_FREE_ROWS
+        t = read_msr_csv(io.StringIO(body), block_bytes=4096)
+        assert len(t) == 6
+
+    def test_malformed_row(self):
+        with pytest.raises(TraceError):
+            read_msr_csv(io.StringIO("1,h,1,Read\n"))
+        with pytest.raises(TraceError):
+            read_msr_csv(io.StringIO("1,h,1,Read,abc,10,1\n"))
+        with pytest.raises(TraceError):
+            read_msr_csv(io.StringIO("1,h,1,Read,-5,10,1\n"))
+
+    def test_bad_block_bytes(self):
+        with pytest.raises(TraceError):
+            read_msr_csv(io.StringIO(""), block_bytes=0)
+
+    def test_write_read_round_trip(self, tmp_path):
+        t = zipf_trace(32, 200, alpha=1.0, seed=1)
+        path = tmp_path / "msr.csv"
+        write_msr_csv(t, path)
+        back = read_msr_csv(path)
+        assert list(back) == list(t)
+
+    def test_write_to_buffer(self):
+        buf = io.StringIO()
+        write_msr_csv(Trace(np.array([0, 1], dtype=np.int64)), buf)
+        buf.seek(0)
+        assert list(read_msr_csv(buf)) == [0, 1]

@@ -1,0 +1,85 @@
+"""Tests for repro.traces.phases — working-set / phase-change workloads."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.traces.phases import phase_change_trace, working_set_trace
+
+
+class TestWorkingSet:
+    def test_locality_share(self):
+        t = working_set_trace(100, 50_000, locality=0.8, universe=1000, seed=1)
+        inside = float((t.pages < 100).mean())
+        assert 0.77 < inside < 0.83
+
+    def test_full_locality(self):
+        t = working_set_trace(50, 5000, locality=1.0, universe=500, seed=2)
+        assert t.max_page < 50
+
+    def test_universe_equals_ws(self):
+        t = working_set_trace(50, 1000, locality=0.5, universe=50, seed=3)
+        assert t.max_page < 50
+
+    def test_default_universe(self):
+        t = working_set_trace(10, 1000, locality=0.5, seed=4)
+        assert t.params["universe"] == 160
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            working_set_trace(10, 100, locality=1.5)
+        with pytest.raises(ConfigurationError):
+            working_set_trace(10, 100, universe=5)
+        with pytest.raises(ConfigurationError):
+            working_set_trace(0, 100)
+
+
+class TestPhaseChange:
+    def test_length(self):
+        t = phase_change_trace(50, 1000, 4, seed=1)
+        assert len(t) == 4000
+
+    def test_zero_overlap_distinct_sets(self):
+        t = phase_change_trace(50, 500, 3, overlap=0.0, seed=2)
+        p0 = set(t.pages[:500].tolist())
+        p1 = set(t.pages[500:1000].tolist())
+        assert p0.isdisjoint(p1)
+
+    def test_overlap_carries_pages(self):
+        t = phase_change_trace(100, 3000, 2, overlap=0.5, seed=3)
+        p0 = set(t.pages[:3000].tolist())
+        p1 = set(t.pages[3000:].tolist())
+        shared = p0 & p1
+        # about half of the (well-sampled) phase sets should be shared
+        assert len(shared) >= 30
+
+    def test_working_set_size_per_phase(self):
+        t = phase_change_trace(64, 20_000, 2, overlap=0.25, seed=4)
+        assert len(set(t.pages[:20_000].tolist())) <= 64
+
+    def test_locality_escapes_are_cold(self):
+        t = phase_change_trace(50, 2000, 2, locality=0.9, seed=5)
+        pages, counts = np.unique(t.pages, return_counts=True)
+        singles = (counts == 1).sum()
+        # ~10% of accesses escape to never-reused cold pages
+        assert singles >= 0.05 * len(t)
+
+    def test_zipf_within_phase(self):
+        t = phase_change_trace(64, 30_000, 1, zipf_alpha=1.5, seed=6)
+        counts = np.sort(np.bincount(t.pages))[::-1]
+        assert counts[0] > 5 * max(1, counts[20])
+
+    def test_deterministic(self):
+        a = phase_change_trace(32, 100, 3, overlap=0.3, seed=7)
+        b = phase_change_trace(32, 100, 3, overlap=0.3, seed=7)
+        assert a == b
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            phase_change_trace(0, 10, 1)
+        with pytest.raises(ConfigurationError):
+            phase_change_trace(10, 10, 1, overlap=1.0)
+        with pytest.raises(ConfigurationError):
+            phase_change_trace(10, 10, 1, locality=0.0)

@@ -1,0 +1,123 @@
+"""Tests for repro.traces.stackdist — stack distances and synthesis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.fully.lru import LRUCache
+from repro.errors import ConfigurationError
+from repro.traces.stackdist import (
+    lru_miss_curve_from_distances,
+    measure_stack_distances,
+    stack_distance_trace,
+)
+
+
+def brute_force_distances(pages: list[int]) -> list[int]:
+    """Reference implementation: explicit LRU stack."""
+    stack: list[int] = []
+    out = []
+    for p in pages:
+        if p in stack:
+            depth = stack.index(p)
+            out.append(depth)
+            stack.pop(depth)
+        else:
+            out.append(-1)
+        stack.insert(0, p)
+    return out
+
+
+class TestMeasure:
+    def test_first_accesses_are_infinite(self):
+        d = measure_stack_distances(np.arange(5))
+        assert d.tolist() == [-1] * 5
+
+    def test_immediate_reuse_is_zero(self):
+        d = measure_stack_distances(np.array([3, 3, 3]))
+        assert d.tolist() == [-1, 0, 0]
+
+    def test_known_sequence(self):
+        pages = np.array([1, 2, 3, 1, 2, 1])
+        assert measure_stack_distances(pages).tolist() == [-1, -1, -1, 2, 2, 1]
+
+    def test_empty(self):
+        assert measure_stack_distances(np.empty(0, dtype=np.int64)).size == 0
+
+    @given(st.lists(st.integers(0, 12), min_size=1, max_size=120))
+    def test_property_matches_bruteforce(self, pages):
+        fast = measure_stack_distances(np.asarray(pages, dtype=np.int64))
+        assert fast.tolist() == brute_force_distances(pages)
+
+    @given(
+        st.lists(st.integers(0, 15), min_size=1, max_size=100),
+        st.integers(1, 8),
+    )
+    def test_property_distances_predict_lru(self, pages, capacity):
+        """An access hits LRU(C) iff its stack distance is in [0, C)."""
+        arr = np.asarray(pages, dtype=np.int64)
+        distances = measure_stack_distances(arr)
+        predicted_hits = (distances >= 0) & (distances < capacity)
+        actual = LRUCache(capacity).run(arr)
+        assert np.array_equal(predicted_hits, actual.hits)
+
+
+class TestMissCurve:
+    def test_matches_direct_lru(self):
+        rng = np.random.Generator(np.random.PCG64(3))
+        pages = rng.integers(0, 40, size=2000, dtype=np.int64)
+        distances = measure_stack_distances(pages)
+        sizes = [1, 2, 4, 8, 16, 32, 64]
+        curve = lru_miss_curve_from_distances(distances, sizes)
+        for size, misses in zip(sizes, curve.tolist()):
+            assert misses == LRUCache(size).run(pages).num_misses
+
+    def test_monotone_nonincreasing(self):
+        pages = np.array([1, 2, 1, 3, 2, 4, 1])
+        curve = lru_miss_curve_from_distances(
+            measure_stack_distances(pages), [1, 2, 3, 4]
+        )
+        assert np.all(np.diff(curve) <= 0)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ConfigurationError):
+            lru_miss_curve_from_distances(np.array([-1]), [0])
+
+
+class TestSynthesis:
+    def test_length_and_determinism(self):
+        a = stack_distance_trace(500, [1.0, 0.5, 0.25], seed=1)
+        b = stack_distance_trace(500, [1.0, 0.5, 0.25], seed=1)
+        assert len(a) == 500
+        assert a == b
+
+    def test_depth_zero_only_gives_single_page(self):
+        t = stack_distance_trace(100, [1.0], new_page_weight=0.0, seed=2)
+        # first access creates page 0 (empty stack -> new), everything after
+        # re-touches depth 0
+        assert t.num_distinct == 1
+
+    def test_all_new_pages(self):
+        t = stack_distance_trace(50, [0.0], new_page_weight=1.0, seed=3)
+        assert t.num_distinct == 50
+
+    def test_miss_curve_matches_sampled_depths(self):
+        """LRU(C) hits exactly the accesses sampled at depth < C."""
+        t = stack_distance_trace(20_000, [4.0, 2.0, 1.0, 0.5], new_page_weight=0.5, seed=4)
+        distances = measure_stack_distances(t.pages)
+        for capacity in (1, 2, 4):
+            expected_misses = int(((distances < 0) | (distances >= capacity)).sum())
+            assert LRUCache(capacity).run(t).num_misses == expected_misses
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            stack_distance_trace(0, [1.0])
+        with pytest.raises(ConfigurationError):
+            stack_distance_trace(10, [])
+        with pytest.raises(ConfigurationError):
+            stack_distance_trace(10, [-1.0])
+        with pytest.raises(ConfigurationError):
+            stack_distance_trace(10, [0.0], new_page_weight=0.0)

@@ -1,0 +1,131 @@
+"""Tests for repro.traces.synthetic — workload generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.traces.synthetic import (
+    cyclic_scan_trace,
+    interleave_traces,
+    loop_mixture_trace,
+    sawtooth_trace,
+    sequential_scan_trace,
+    uniform_trace,
+    zipf_trace,
+)
+
+
+class TestUniform:
+    def test_shape_and_range(self):
+        t = uniform_trace(100, 5000, seed=1)
+        assert len(t) == 5000
+        assert t.max_page < 100
+        assert t.pages.min() >= 0
+
+    def test_deterministic(self):
+        assert uniform_trace(10, 100, seed=3) == uniform_trace(10, 100, seed=3)
+
+    def test_seed_matters(self):
+        assert uniform_trace(10, 100, seed=3) != uniform_trace(10, 100, seed=4)
+
+    def test_covers_pages(self):
+        t = uniform_trace(8, 2000, seed=2)
+        assert t.num_distinct == 8
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            uniform_trace(0, 10)
+        with pytest.raises(ConfigurationError):
+            uniform_trace(10, 0)
+
+
+class TestZipf:
+    def test_range(self):
+        t = zipf_trace(50, 3000, alpha=1.0, seed=1)
+        assert 0 <= t.pages.min() and t.max_page < 50
+
+    def test_alpha_zero_is_uniform_like(self):
+        t = zipf_trace(16, 40_000, alpha=0.0, seed=5)
+        counts = np.bincount(t.pages, minlength=16)
+        assert counts.max() < 1.3 * counts.min()
+
+    def test_high_alpha_concentrates(self):
+        t = zipf_trace(100, 20_000, alpha=2.0, seed=5)
+        counts = np.sort(np.bincount(t.pages, minlength=100))[::-1]
+        assert counts[0] > 0.4 * len(t)
+
+    def test_unshuffled_rank_ordering(self):
+        t = zipf_trace(64, 100_000, alpha=1.2, seed=9, shuffle_ranks=False)
+        counts = np.bincount(t.pages, minlength=64)
+        # rank 0 must be the most popular by a wide margin
+        assert counts[0] == counts.max()
+        assert counts[0] > 3 * counts[20]
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ConfigurationError):
+            zipf_trace(10, 10, alpha=-1.0)
+
+
+class TestScans:
+    def test_sequential(self):
+        t = sequential_scan_trace(5, repeats=2)
+        assert list(t) == [0, 1, 2, 3, 4, 0, 1, 2, 3, 4]
+
+    def test_cyclic_offset(self):
+        t = cyclic_scan_trace(4, 6, offset=2)
+        assert list(t) == [2, 3, 0, 1, 2, 3]
+
+    def test_sawtooth_turning_points(self):
+        t = sawtooth_trace(4, repeats=1)
+        assert list(t) == [0, 1, 2, 3, 2, 1]
+
+    def test_sawtooth_small_n(self):
+        assert list(sawtooth_trace(2)) == [0, 1]
+        assert list(sawtooth_trace(1)) == [0]
+
+
+class TestLoopMixture:
+    def test_each_loop_cycles_in_order(self):
+        t = loop_mixture_trace([3, 5], 2000, seed=1)
+        pages = t.pages
+        first = pages[pages < 3]
+        # loop 0 pages must appear in cyclic order 0,1,2,0,1,2,...
+        assert np.array_equal(first, np.arange(len(first)) % 3)
+
+    def test_disjoint_ranges(self):
+        t = loop_mixture_trace([4, 4], 1000, seed=2)
+        assert t.max_page < 8
+
+    def test_weights_respected(self):
+        t = loop_mixture_trace([2, 2], 10_000, weights=[0.9, 0.1], seed=3)
+        share_first = float((t.pages < 2).mean())
+        assert 0.85 < share_first < 0.95
+
+    def test_bad_weights(self):
+        with pytest.raises(ConfigurationError):
+            loop_mixture_trace([2, 2], 10, weights=[1.0])
+        with pytest.raises(ConfigurationError):
+            loop_mixture_trace([2, 2], 10, weights=[-1.0, 2.0])
+
+    def test_empty_loops_rejected(self):
+        with pytest.raises(ConfigurationError):
+            loop_mixture_trace([], 10)
+
+
+class TestInterleave:
+    def test_preserves_per_trace_order(self):
+        a = sequential_scan_trace(5)
+        b = sequential_scan_trace(3)
+        t = interleave_traces([a, b], seed=4)
+        assert len(t) == 8
+        # a's pages appear shifted by 0, b's by 5 (disjoint id spaces)
+        a_part = t.pages[t.pages < 5]
+        b_part = t.pages[t.pages >= 5] - 5
+        assert a_part.tolist() == [0, 1, 2, 3, 4]
+        assert b_part.tolist() == [0, 1, 2]
+
+    def test_needs_input(self):
+        with pytest.raises(ConfigurationError):
+            interleave_traces([])
