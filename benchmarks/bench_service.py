@@ -1,0 +1,72 @@
+"""Cache-service throughput benchmarks (engineering, not paper-reproduction).
+
+Measures sustained ops/s of the full serving stack — TCP framing, JSON
+protocol, PolicyStore, policy state machine — by replaying a Zipf trace
+through the pipelined load generator against an in-process server, for
+several policies. Compare with ``bench_throughput.py`` (the bare
+simulator loop) to see what the serving layer itself costs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+import repro
+from repro.core.registry import make_policy
+from repro.service.loadgen import replay_trace
+from repro.service.server import running_server
+from repro.service.store import PolicyStore
+
+CAPACITY = 1_024
+LENGTH = 20_000
+TRACE = repro.zipf_trace(8 * CAPACITY, LENGTH, alpha=1.0, seed=1)
+
+#: the acceptance floor is three policies; heatsink is the headline act
+POLICIES = ["heatsink", "lru", "2-random", "sieve"]
+
+
+def _serve_and_replay(policy_name: str, *, mode: str, concurrency: int):
+    async def scenario():
+        try:
+            policy = make_policy(policy_name, CAPACITY, seed=1)
+        except TypeError:  # deterministic policies take no seed
+            policy = make_policy(policy_name, CAPACITY)
+        async with running_server(PolicyStore(policy)) as server:
+            return await replay_trace(
+                TRACE,
+                host="127.0.0.1",
+                port=server.port,
+                mode=mode,
+                concurrency=concurrency,
+            )
+
+    return asyncio.run(scenario())
+
+
+@pytest.mark.parametrize("name", POLICIES)
+def test_service_throughput_pipeline(benchmark, name):
+    report = benchmark.pedantic(
+        lambda: _serve_and_replay(name, mode="pipeline", concurrency=64),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    assert report.ops == LENGTH
+    assert report.errors == 0
+    benchmark.extra_info["ops_per_second"] = report.ops_per_second
+    benchmark.extra_info["server_hit_rate"] = report.server_stats["hit_rate"]
+    benchmark.extra_info["p99_us"] = report.server_stats["latency"]["p99_us"]
+
+
+def test_service_throughput_concurrent_workers(benchmark):
+    report = benchmark.pedantic(
+        lambda: _serve_and_replay("heatsink", mode="workers", concurrency=8),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    assert report.ops == LENGTH
+    assert report.errors == 0
+    benchmark.extra_info["ops_per_second"] = report.ops_per_second

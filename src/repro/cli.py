@@ -1,16 +1,21 @@
-"""Command-line interface: experiments, ad-hoc simulation, MRCs.
+"""Command-line interface: experiments, ad-hoc simulation, MRCs, serving.
 
 Usage::
 
     repro-experiment list
+    repro-experiment policies
     repro-experiment run T4-HEATSINK --scale small --seed 0
     repro-experiment run-all --scale smoke --out results/
     repro-experiment simulate --trace t.npz --policy lru --capacity 1024
     repro-experiment mrc --trace t.npz --sizes 256,1024,4096 [--shards 0.1]
+    repro-experiment serve --policy heatsink --capacity 1024 --port 7070
+    repro-experiment loadgen --port 7070 --zipf 4096,200000,1.0
 
 Experiment runs print their rows as markdown tables and can persist CSV;
 ``simulate`` and ``mrc`` make the library usable as a one-shot trace
-analysis tool on saved ``.npz`` traces (see ``repro.save_trace``).
+analysis tool on saved ``.npz`` traces (see ``repro.save_trace``);
+``serve``/``loadgen`` put a policy behind live TCP traffic (see
+``docs/service.md``).
 """
 
 from __future__ import annotations
@@ -67,6 +72,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     char_p.add_argument("--trace", type=Path, required=True, help=".npz trace file")
     char_p.add_argument("--windows", type=int, default=20)
+
+    sub.add_parser(
+        "policies", help="list registered policy names and constructor parameters"
+    )
+
+    serve_p = sub.add_parser("serve", help="serve a policy-backed cache over TCP")
+    serve_p.add_argument("--policy", default="heatsink", help="registered policy name")
+    serve_p.add_argument("--capacity", type=int, default=1024, help="cache slots")
+    serve_p.add_argument("--seed", type=int, default=0)
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument(
+        "--port", type=int, default=7070, help="TCP port (0 = ephemeral)"
+    )
+
+    load_p = sub.add_parser("loadgen", help="replay a trace against a running server")
+    load_p.add_argument("--host", default="127.0.0.1")
+    load_p.add_argument("--port", type=int, default=7070)
+    source = load_p.add_mutually_exclusive_group(required=True)
+    source.add_argument("--trace", type=Path, help=".npz trace file to replay")
+    source.add_argument(
+        "--zipf", metavar="PAGES,LENGTH[,ALPHA]",
+        help="generate a Zipf trace, e.g. 4096,200000,1.0",
+    )
+    source.add_argument(
+        "--uniform", metavar="PAGES,LENGTH",
+        help="generate a uniform trace, e.g. 4096,200000",
+    )
+    load_p.add_argument("--seed", type=int, default=0, help="synthetic-trace seed")
+    load_p.add_argument(
+        "--mode", default="pipeline", choices=["pipeline", "workers"],
+        help="pipeline = one ordered connection (exact replay); "
+        "workers = N concurrent connections (live-traffic regime)",
+    )
+    load_p.add_argument(
+        "--concurrency", type=int, default=32,
+        help="pipeline window size, or worker-connection count",
+    )
     return parser
 
 
@@ -165,6 +207,95 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_policies() -> int:
+    from repro.core.registry import describe_policies
+
+    rows = describe_policies()
+    width = max(len(name) for name, _ in rows)
+    for name, signature in rows:
+        print(f"{name:<{width}}  {signature}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from repro.core.registry import make_policy
+    from repro.service.server import CacheServer
+    from repro.service.store import PolicyStore
+
+    try:
+        policy = make_policy(args.policy, args.capacity, seed=args.seed)
+    except TypeError:
+        policy = make_policy(args.policy, args.capacity)
+
+    async def _serve() -> None:
+        server = CacheServer(PolicyStore(policy), host=args.host, port=args.port)
+        await server.start()
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(sig, stop.set)
+        print(
+            f"serving {policy.name} (capacity {policy.capacity}) "
+            f"on {args.host}:{server.port} — Ctrl-C to stop"
+        )
+        try:
+            await stop.wait()
+        finally:
+            await server.stop()
+            snap = await server.store.stats()
+            print(
+                f"\nstopped after {snap['uptime_s']}s: {snap['accesses']} accesses, "
+                f"hit rate {snap['hit_rate']:.4f}, {snap['errors']} errors"
+            )
+
+    asyncio.run(_serve())
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigurationError
+    from repro.service.loadgen import run_replay
+
+    def _parse_spec(spec: str, n_min: int, n_max: int, flag: str) -> list[float]:
+        parts = [p.strip() for p in spec.split(",") if p.strip()]
+        if not n_min <= len(parts) <= n_max:
+            raise ConfigurationError(f"bad {flag} value: {spec!r}")
+        try:
+            return [float(p) for p in parts]
+        except ValueError:
+            raise ConfigurationError(f"bad {flag} value: {spec!r}") from None
+
+    if args.trace is not None:
+        from repro.traces.io import load_trace
+
+        trace = load_trace(args.trace)
+    elif args.zipf is not None:
+        from repro.traces.synthetic import zipf_trace
+
+        parts = _parse_spec(args.zipf, 2, 3, "--zipf")
+        alpha = parts[2] if len(parts) == 3 else 1.0
+        trace = zipf_trace(int(parts[0]), int(parts[1]), alpha=alpha, seed=args.seed)
+    else:
+        from repro.traces.synthetic import uniform_trace
+
+        parts = _parse_spec(args.uniform, 2, 2, "--uniform")
+        trace = uniform_trace(int(parts[0]), int(parts[1]), seed=args.seed)
+
+    print(f"replaying {trace} against {args.host}:{args.port} ...")
+    report = run_replay(
+        trace,
+        host=args.host,
+        port=args.port,
+        mode=args.mode,
+        concurrency=args.concurrency,
+    )
+    print(report.summary())
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -184,6 +315,12 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_mrc(args)
     if args.command == "characterize":
         return _cmd_characterize(args)
+    if args.command == "policies":
+        return _cmd_policies()
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "loadgen":
+        return _cmd_loadgen(args)
     return 2  # pragma: no cover - argparse enforces choices
 
 

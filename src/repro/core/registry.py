@@ -9,20 +9,38 @@ to every sweep/experiment without further plumbing.
 
 from __future__ import annotations
 
+import inspect
 from typing import Callable
 
 from repro.core.base import CachePolicy
 from repro.errors import ConfigurationError
 
-__all__ = ["register_policy", "make_policy", "available_policies"]
+__all__ = [
+    "register_policy",
+    "make_policy",
+    "available_policies",
+    "policy_signature",
+    "describe_policies",
+]
 
 PolicyFactory = Callable[..., CachePolicy]
 
 _REGISTRY: dict[str, PolicyFactory] = {}
+_POLICY_CLASSES: dict[str, type[CachePolicy] | None] = {}
 
 
-def register_policy(name: str, factory: PolicyFactory, *, overwrite: bool = False) -> None:
+def register_policy(
+    name: str,
+    factory: PolicyFactory,
+    *,
+    cls: type[CachePolicy] | None = None,
+    overwrite: bool = False,
+) -> None:
     """Register ``factory`` under ``name`` (case-insensitive).
+
+    ``cls`` optionally names the policy class the factory constructs; it
+    powers the ``repro-experiment policies`` listing (constructor
+    signature introspection) and is never required for simulation.
 
     Raises :class:`~repro.errors.ConfigurationError` on duplicate names
     unless ``overwrite`` is set.
@@ -31,6 +49,7 @@ def register_policy(name: str, factory: PolicyFactory, *, overwrite: bool = Fals
     if key in _REGISTRY and not overwrite:
         raise ConfigurationError(f"policy name {name!r} already registered")
     _REGISTRY[key] = factory
+    _POLICY_CLASSES[key] = cls
 
 
 def make_policy(name: str, capacity: int, **kwargs) -> CachePolicy:
@@ -47,6 +66,33 @@ def make_policy(name: str, capacity: int, **kwargs) -> CachePolicy:
 def available_policies() -> list[str]:
     """Sorted list of registered policy names."""
     return sorted(_REGISTRY)
+
+
+def policy_signature(name: str) -> str:
+    """Human-readable constructor signature for a registered policy.
+
+    Prefers the class recorded at registration (``ClassName(capacity, *,
+    param=default, ...)``); falls back to the factory's own signature for
+    user policies registered without ``cls``.
+    """
+    key = name.lower()
+    if key not in _REGISTRY:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ConfigurationError(f"unknown policy {name!r}; known: {known}")
+    cls = _POLICY_CLASSES.get(key)
+    if cls is not None:
+        params = list(inspect.signature(cls.__init__).parameters.values())[1:]  # drop self
+        rendered = ", ".join(str(p) for p in params)
+        return f"{cls.__name__}({rendered})"
+    try:
+        return f"factory{inspect.signature(_REGISTRY[key])}"
+    except (TypeError, ValueError):  # builtins/callables without signatures
+        return "factory(capacity, **kwargs)"
+
+
+def describe_policies() -> list[tuple[str, str]]:
+    """``(name, constructor signature)`` for every registered policy."""
+    return [(name, policy_signature(name)) for name in available_policies()]
 
 
 def _register_builtins() -> None:
@@ -84,34 +130,57 @@ def _register_builtins() -> None:
         TwoQCache,
     )
 
-    register_policy("lru", lambda capacity, **kw: LRUCache(capacity, **kw))
-    register_policy("mru", lambda capacity, **kw: MRUCache(capacity, **kw))
-    register_policy("fifo", lambda capacity, **kw: FIFOCache(capacity, **kw))
-    register_policy("clock", lambda capacity, **kw: ClockCache(capacity, **kw))
-    register_policy("lfu", lambda capacity, **kw: LFUCache(capacity, **kw))
-    register_policy("random", lambda capacity, **kw: RandomEvictCache(capacity, **kw))
-    register_policy("marking", lambda capacity, **kw: MarkingCache(capacity, **kw))
-    register_policy("sieve", lambda capacity, **kw: SieveCache(capacity, **kw))
-    register_policy("arc", lambda capacity, **kw: ARCCache(capacity, **kw))
-    register_policy("2q", lambda capacity, **kw: TwoQCache(capacity, **kw))
-    register_policy("lru-k", lambda capacity, **kw: LRUKCache(capacity, **kw))
-    register_policy("lirs", lambda capacity, **kw: LIRSCache(capacity, **kw))
-    register_policy("slru", lambda capacity, **kw: SLRUCache(capacity, **kw))
-    register_policy("tinylfu", lambda capacity, **kw: TinyLFUCache(capacity, **kw))
-    register_policy("opt", lambda capacity, **kw: BeladyCache(capacity, **kw))
+    register_policy("lru", lambda capacity, **kw: LRUCache(capacity, **kw), cls=LRUCache)
+    register_policy("mru", lambda capacity, **kw: MRUCache(capacity, **kw), cls=MRUCache)
+    register_policy("fifo", lambda capacity, **kw: FIFOCache(capacity, **kw), cls=FIFOCache)
+    register_policy("clock", lambda capacity, **kw: ClockCache(capacity, **kw), cls=ClockCache)
+    register_policy("lfu", lambda capacity, **kw: LFUCache(capacity, **kw), cls=LFUCache)
+    register_policy(
+        "random", lambda capacity, **kw: RandomEvictCache(capacity, **kw), cls=RandomEvictCache
+    )
+    register_policy(
+        "marking", lambda capacity, **kw: MarkingCache(capacity, **kw), cls=MarkingCache
+    )
+    register_policy("sieve", lambda capacity, **kw: SieveCache(capacity, **kw), cls=SieveCache)
+    register_policy("arc", lambda capacity, **kw: ARCCache(capacity, **kw), cls=ARCCache)
+    register_policy("2q", lambda capacity, **kw: TwoQCache(capacity, **kw), cls=TwoQCache)
+    register_policy("lru-k", lambda capacity, **kw: LRUKCache(capacity, **kw), cls=LRUKCache)
+    register_policy("lirs", lambda capacity, **kw: LIRSCache(capacity, **kw), cls=LIRSCache)
+    register_policy("slru", lambda capacity, **kw: SLRUCache(capacity, **kw), cls=SLRUCache)
+    register_policy(
+        "tinylfu", lambda capacity, **kw: TinyLFUCache(capacity, **kw), cls=TinyLFUCache
+    )
+    register_policy("opt", lambda capacity, **kw: BeladyCache(capacity, **kw), cls=BeladyCache)
 
-    register_policy("d-lru", lambda capacity, **kw: PLruCache(capacity, **kw))
-    register_policy("2-lru", lambda capacity, **kw: PLruCache(capacity, d=2, **kw))
-    register_policy("d-fifo", lambda capacity, **kw: DFifoCache(capacity, **kw))
-    register_policy("d-random", lambda capacity, **kw: DRandomCache(capacity, **kw))
-    register_policy("2-random", lambda capacity, **kw: DRandomCache(capacity, d=2, **kw))
-    register_policy("set-assoc", lambda capacity, **kw: SetAssociativeLRU(capacity, **kw))
-    register_policy("skew-assoc", lambda capacity, **kw: SkewedAssociativeLRU(capacity, **kw))
-    register_policy("tree-plru", lambda capacity, **kw: TreePLRUCache(capacity, **kw))
-    register_policy("victim", lambda capacity, **kw: VictimCache(capacity, **kw))
-    register_policy("cuckoo", lambda capacity, **kw: CuckooCache(capacity, **kw))
-    register_policy("rearrange", lambda capacity, **kw: RearrangingCache(capacity, **kw))
-    register_policy("companion", lambda capacity, **kw: CompanionCache(capacity, **kw))
+    register_policy("d-lru", lambda capacity, **kw: PLruCache(capacity, **kw), cls=PLruCache)
+    register_policy("2-lru", lambda capacity, **kw: PLruCache(capacity, d=2, **kw), cls=PLruCache)
+    register_policy("d-fifo", lambda capacity, **kw: DFifoCache(capacity, **kw), cls=DFifoCache)
+    register_policy(
+        "d-random", lambda capacity, **kw: DRandomCache(capacity, **kw), cls=DRandomCache
+    )
+    register_policy(
+        "2-random", lambda capacity, **kw: DRandomCache(capacity, d=2, **kw), cls=DRandomCache
+    )
+    register_policy(
+        "set-assoc", lambda capacity, **kw: SetAssociativeLRU(capacity, **kw), cls=SetAssociativeLRU
+    )
+    register_policy(
+        "skew-assoc",
+        lambda capacity, **kw: SkewedAssociativeLRU(capacity, **kw),
+        cls=SkewedAssociativeLRU,
+    )
+    register_policy(
+        "tree-plru", lambda capacity, **kw: TreePLRUCache(capacity, **kw), cls=TreePLRUCache
+    )
+    register_policy("victim", lambda capacity, **kw: VictimCache(capacity, **kw), cls=VictimCache)
+    register_policy("cuckoo", lambda capacity, **kw: CuckooCache(capacity, **kw), cls=CuckooCache)
+    register_policy(
+        "rearrange", lambda capacity, **kw: RearrangingCache(capacity, **kw), cls=RearrangingCache
+    )
+    register_policy(
+        "companion", lambda capacity, **kw: CompanionCache(capacity, **kw), cls=CompanionCache
+    )
+
     def _heatsink_defaults(capacity: int, kw: dict) -> dict:
         # usable from the CLI with just a capacity: a 1/8 sink, 16-slot
         # bins, and a 5% coin unless the caller specifies otherwise
@@ -123,14 +192,18 @@ def _register_builtins() -> None:
     register_policy(
         "heatsink",
         lambda capacity, **kw: HeatSinkLRU(capacity, **_heatsink_defaults(capacity, kw)),
+        cls=HeatSinkLRU,
     )
     register_policy(
         "adaptive-heatsink",
         lambda capacity, **kw: AdaptiveHeatSinkLRU(
             capacity, **_heatsink_defaults(capacity, kw)
         ),
+        cls=AdaptiveHeatSinkLRU,
     )
-    register_policy("d-belady", lambda capacity, **kw: DBeladyCache(capacity, **kw))
+    register_policy(
+        "d-belady", lambda capacity, **kw: DBeladyCache(capacity, **kw), cls=DBeladyCache
+    )
 
 
 _register_builtins()

@@ -37,3 +37,17 @@ class SimulationError(ReproError, RuntimeError):
 
 class ExperimentError(ReproError, RuntimeError):
     """An experiment could not be run (unknown id, bad scale, etc.)."""
+
+
+class ServiceError(ReproError, RuntimeError):
+    """The cache service could not start or operate (bad bind address,
+    server already running, client used before connecting, ...)."""
+
+
+class ProtocolError(ServiceError, ValueError):
+    """A wire-protocol message is malformed: not valid JSON, unknown
+    operation, missing/ill-typed fields, or an oversized line.
+
+    The server answers these with an error response and keeps serving the
+    connection — a misbehaving client must not take the service down.
+    """

@@ -1,0 +1,52 @@
+"""repro.service — serve any registered policy to live traffic.
+
+The batch simulator answers "how would policy P have done on trace T";
+this package puts the same policy state machine behind an asyncio TCP
+server so it can field concurrent GET/PUT traffic, with metrics, and a
+load generator that replays any trace against it. The serving layer and
+the simulator share one definition of the policy (one ``access()`` call
+per GET/PUT), so served hit rates and simulated hit rates are mutually
+checkable — and checked, exactly, by the test suite.
+
+Layout::
+
+    protocol.py   newline-delimited JSON framing + validation
+    metrics.py    counters, latency histogram, gauges
+    store.py      PolicyStore: single-writer policy + payload dict
+    server.py     CacheServer: asyncio TCP server, error isolation
+    client.py     ServiceClient: ordered + windowed-pipelined requests
+    loadgen.py    trace replay at a target concurrency, LoadReport
+
+CLI: ``repro-experiment serve`` / ``repro-experiment loadgen``.
+Protocol and consistency model: ``docs/service.md``.
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.loadgen import LoadReport, replay_trace, run_replay
+from repro.service.metrics import LatencyHistogram, ServiceMetrics
+from repro.service.protocol import (
+    Request,
+    decode_request,
+    decode_response,
+    encode_request,
+    encode_response,
+)
+from repro.service.server import CacheServer, running_server
+from repro.service.store import PolicyStore
+
+__all__ = [
+    "Request",
+    "encode_request",
+    "decode_request",
+    "encode_response",
+    "decode_response",
+    "LatencyHistogram",
+    "ServiceMetrics",
+    "PolicyStore",
+    "CacheServer",
+    "running_server",
+    "ServiceClient",
+    "LoadReport",
+    "replay_trace",
+    "run_replay",
+]

@@ -1,0 +1,107 @@
+"""Asyncio client for the cache service.
+
+`ServiceClient` is deliberately small: one TCP connection, ordered
+request/response, plus *windowed pipelining* (`get_window`) — send a
+window of requests back-to-back, then read the same number of responses.
+Because the transport and the server both preserve per-connection order,
+pipelining changes throughput, never semantics; a pipelined replay of a
+trace reaches the policy in exact trace order.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Sequence
+
+from repro.errors import ProtocolError, ServiceError
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    Request,
+    decode_response,
+    encode_request,
+)
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """One connection to a :class:`~repro.service.server.CacheServer`.
+
+    Use :meth:`connect` (or ``async with ServiceClient.session(...)``) to
+    build one. Not safe for concurrent use from multiple tasks — open one
+    client per task instead; connections are cheap and the server
+    serializes policy access anyway.
+    """
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        self._reader = reader
+        self._writer = writer
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "ServiceClient":
+        try:
+            reader, writer = await asyncio.open_connection(host, port, limit=MAX_LINE_BYTES)
+        except OSError as exc:
+            raise ServiceError(f"cannot connect to {host}:{port}: {exc}") from exc
+        return cls(reader, writer)
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+    async def __aenter__(self) -> "ServiceClient":
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.close()
+
+    # -- single requests ----------------------------------------------------
+    async def request(self, req: Request) -> dict[str, Any]:
+        """Send one request and await its response (raw payload dict)."""
+        self._writer.write(encode_request(req))
+        await self._writer.drain()
+        return await self._read_response()
+
+    async def get(self, key: int) -> dict[str, Any]:
+        return await self.request(Request("GET", key=key))
+
+    async def put(self, key: int, value: Any) -> dict[str, Any]:
+        return await self.request(Request("PUT", key=key, value=value))
+
+    async def delete(self, key: int) -> dict[str, Any]:
+        return await self.request(Request("DEL", key=key))
+
+    async def stats(self) -> dict[str, Any]:
+        response = await self.request(Request("STATS"))
+        if not response.get("ok"):
+            raise ServiceError(f"STATS failed: {response.get('error')}")
+        return response["stats"]
+
+    async def ping(self) -> bool:
+        response = await self.request(Request("PING"))
+        return bool(response.get("pong"))
+
+    # -- pipelining ---------------------------------------------------------
+    async def get_window(self, keys: Sequence[int]) -> list[dict[str, Any]]:
+        """Pipeline GETs for ``keys``; responses in the same order.
+
+        All requests are written before any response is read, so the
+        round-trip cost is paid once per window instead of once per key.
+        """
+        if not keys:
+            return []
+        self._writer.write(b"".join(encode_request(Request("GET", key=k)) for k in keys))
+        await self._writer.drain()
+        return [await self._read_response() for _ in keys]
+
+    async def _read_response(self) -> dict[str, Any]:
+        line = await self._reader.readline()
+        if not line:
+            raise ServiceError("server closed the connection")
+        try:
+            return decode_response(line)
+        except ProtocolError as exc:
+            raise ServiceError(f"unparseable server response: {exc}") from exc

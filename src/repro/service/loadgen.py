@@ -1,0 +1,142 @@
+"""Trace-replay load generator.
+
+Replays any :class:`~repro.traces.base.Trace` (synthetic or loaded from
+``.npz``) against a running cache server as a stream of GETs. Two modes:
+
+- ``"pipeline"`` (default): one connection, requests pipelined in windows
+  of ``concurrency``. Per-connection ordering means the policy sees the
+  trace in **exact trace order**, so the server's STATS hit rate equals
+  the offline ``policy.run(trace)`` hit rate *bit for bit* — this mode is
+  both the throughput workhorse and the correctness cross-check.
+- ``"workers"``: ``concurrency`` independent connections, each replaying
+  a strided shard (worker ``i`` gets accesses ``i, i+N, i+2N, …``),
+  windowed within the shard. The interleaving at the server is whatever
+  the event loop produces — this is the "live concurrent traffic" regime,
+  where the aggregate hit rate is only statistically (not bitwise)
+  comparable to the offline run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.service.client import ServiceClient
+from repro.traces.base import Trace, as_page_array
+
+__all__ = ["LoadReport", "replay_trace", "run_replay"]
+
+MODES = ("pipeline", "workers")
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """Client-side view of one replay, plus the server's STATS snapshot."""
+
+    ops: int
+    hits: int
+    errors: int
+    seconds: float
+    mode: str
+    concurrency: int
+    server_stats: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.ops if self.ops else 0.0
+
+    @property
+    def ops_per_second(self) -> float:
+        return self.ops / self.seconds if self.seconds > 0 else 0.0
+
+    def summary(self) -> str:
+        lat = self.server_stats.get("latency", {})
+        lines = [
+            f"mode       : {self.mode} (concurrency {self.concurrency})",
+            f"ops        : {self.ops}  ({self.ops_per_second:,.0f}/s over {self.seconds:.2f}s)",
+            f"hits       : {self.hits}  (rate {self.hit_rate:.4f})",
+            f"errors     : {self.errors}",
+        ]
+        if self.server_stats:
+            lines += [
+                f"server     : {self.server_stats.get('policy')} "
+                f"(capacity {self.server_stats.get('capacity')}, "
+                f"resident {self.server_stats.get('resident')}, "
+                f"evictions {self.server_stats.get('evictions')})",
+                f"server hit : {self.server_stats.get('hit_rate'):.4f}",
+            ]
+            if "sink_occupancy" in self.server_stats:
+                lines.append(f"sink occ.  : {self.server_stats['sink_occupancy']:.3f}")
+            if lat:
+                lines.append(
+                    f"latency    : p50 {lat.get('p50_us')}µs  "
+                    f"p99 {lat.get('p99_us')}µs  max {lat.get('max_us')}µs"
+                )
+        return "\n".join(lines)
+
+
+async def replay_trace(
+    trace: Trace | np.ndarray,
+    *,
+    host: str,
+    port: int,
+    mode: str = "pipeline",
+    concurrency: int = 32,
+    fetch_stats: bool = True,
+) -> LoadReport:
+    """Replay ``trace`` as GETs against ``host:port``; see module docs."""
+    if mode not in MODES:
+        raise ConfigurationError(f"mode must be one of {MODES}, got {mode!r}")
+    if concurrency < 1:
+        raise ConfigurationError(f"concurrency must be >= 1, got {concurrency}")
+    pages = as_page_array(trace).tolist()
+
+    start = time.perf_counter()
+    if mode == "pipeline":
+        counts = [await _replay_shard(pages, host, port, window=concurrency)]
+    else:
+        shards = [pages[i::concurrency] for i in range(concurrency)]
+        counts = await asyncio.gather(
+            *(_replay_shard(shard, host, port, window=32) for shard in shards if shard)
+        )
+    seconds = time.perf_counter() - start
+
+    stats: dict[str, Any] = {}
+    if fetch_stats:
+        async with await ServiceClient.connect(host, port) as client:
+            stats = await client.stats()
+    return LoadReport(
+        ops=sum(c[0] for c in counts),
+        hits=sum(c[1] for c in counts),
+        errors=sum(c[2] for c in counts),
+        seconds=seconds,
+        mode=mode,
+        concurrency=concurrency,
+        server_stats=stats,
+    )
+
+
+async def _replay_shard(
+    pages: list[int], host: str, port: int, *, window: int
+) -> tuple[int, int, int]:
+    """Replay one ordered list of keys over one connection; (ops, hits, errors)."""
+    ops = hits = errors = 0
+    async with await ServiceClient.connect(host, port) as client:
+        for lo in range(0, len(pages), window):
+            for response in await client.get_window(pages[lo : lo + window]):
+                ops += 1
+                if not response.get("ok"):
+                    errors += 1
+                elif response.get("hit"):
+                    hits += 1
+    return ops, hits, errors
+
+
+def run_replay(trace: Trace | np.ndarray, **kwargs: Any) -> LoadReport:
+    """Synchronous wrapper: ``asyncio.run`` the replay (CLI entry point)."""
+    return asyncio.run(replay_trace(trace, **kwargs))

@@ -1,0 +1,123 @@
+"""Service-side observability: counters, latency histogram, gauges.
+
+Everything here is loop-local (mutated only from the server's event loop)
+so plain ints suffice — no atomics, no locks. The snapshot the ``STATS``
+op returns is a plain JSON-able dict; field meanings are documented in
+``docs/service.md``.
+
+The latency histogram uses fixed log-spaced buckets (powers of two above
+one microsecond) like the HDR-histogram family of tools: O(1) record,
+bounded memory, and percentile estimates whose relative error is bounded
+by the bucket ratio.
+"""
+
+from __future__ import annotations
+
+import time
+from bisect import bisect_right
+from typing import Any
+
+__all__ = ["LatencyHistogram", "ServiceMetrics"]
+
+
+class LatencyHistogram:
+    """Log₂-bucketed histogram of durations in seconds.
+
+    Buckets span ``base * 2**i`` for ``i = 0 .. num_buckets-1`` (default
+    1 µs … ~8.6 s); durations beyond the last boundary land in a final
+    overflow bucket. Percentiles are reported as the upper boundary of the
+    bucket containing the requested rank — a ≤ 2× overestimate by
+    construction, which is the right bias for alerting.
+    """
+
+    def __init__(self, *, base: float = 1e-6, num_buckets: int = 24):
+        if base <= 0 or num_buckets < 1:
+            raise ValueError(f"bad histogram shape: base={base}, num_buckets={num_buckets}")
+        self._bounds = [base * (1 << i) for i in range(num_buckets)]
+        self._counts = [0] * (num_buckets + 1)  # +1 overflow bucket
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    def record(self, seconds: float) -> None:
+        seconds = max(0.0, seconds)
+        self._counts[bisect_right(self._bounds, seconds)] += 1
+        self.count += 1
+        self.total += seconds
+        if seconds > self.max:
+            self.max = seconds
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Upper bound of the bucket holding the ``q``-quantile (q in [0,1])."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0,1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = max(1, int(q * self.count + 0.5))
+        seen = 0
+        for i, c in enumerate(self._counts):
+            seen += c
+            if seen >= rank:
+                return self._bounds[i] if i < len(self._bounds) else self.max
+        return self.max  # pragma: no cover - rank <= count guarantees the loop returns
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-able summary (microsecond units, as served by ``STATS``)."""
+        return {
+            "count": self.count,
+            "mean_us": round(self.mean * 1e6, 3),
+            "p50_us": round(self.percentile(0.50) * 1e6, 3),
+            "p90_us": round(self.percentile(0.90) * 1e6, 3),
+            "p99_us": round(self.percentile(0.99) * 1e6, 3),
+            "max_us": round(self.max * 1e6, 3),
+        }
+
+
+class ServiceMetrics:
+    """Counters and gauges for one :class:`~repro.service.store.PolicyStore`.
+
+    ``hits``/``misses`` count *policy accesses* (GET and PUT both access),
+    so ``hits / (hits + misses)`` is directly comparable to an offline
+    :class:`~repro.core.base.SimResult` hit rate over the same key
+    sequence — the parity the test suite asserts.
+    """
+
+    def __init__(self) -> None:
+        self.started = time.monotonic()
+        self.gets = 0
+        self.puts = 0
+        self.dels = 0
+        self.hits = 0
+        self.misses = 0
+        self.errors = 0
+        self.connections_opened = 0
+        self.connections_closed = 0
+        self.latency = LatencyHistogram()
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "uptime_s": round(time.monotonic() - self.started, 3),
+            "gets": self.gets,
+            "puts": self.puts,
+            "dels": self.dels,
+            "hits": self.hits,
+            "misses": self.misses,
+            "accesses": self.accesses,
+            "hit_rate": self.hit_rate,
+            "errors": self.errors,
+            "connections_open": self.connections_opened - self.connections_closed,
+            "connections_total": self.connections_opened,
+            "latency": self.latency.snapshot(),
+        }

@@ -1,0 +1,153 @@
+"""Wire protocol of the cache service: newline-delimited JSON.
+
+One request per line, one response per line, in order. The framing is
+deliberately the simplest thing that works over TCP — every language can
+speak it with a socket and a JSON library, and ordered responses make
+client-side pipelining trivial (send a window of requests, read the same
+number of responses back).
+
+Requests are JSON objects with an ``op`` field:
+
+``{"op": "GET",  "key": 17}``
+    Demand-paging lookup. A miss *admits* the key (and may evict another),
+    exactly like one ``CachePolicy.access`` step in the simulator.
+``{"op": "PUT",  "key": 17, "value": <json>}``
+    Same access semantics as GET, plus stores ``value`` as the key's
+    payload.
+``{"op": "DEL",  "key": 17}``
+    Drops the stored payload (see ``docs/service.md`` for why residency
+    itself is append-only under demand paging).
+``{"op": "STATS"}``
+    Metrics snapshot.
+``{"op": "PING"}``
+    Liveness probe.
+
+Responses always carry ``"ok"``; failures add ``"error"`` and ``"code"``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.errors import ProtocolError
+
+__all__ = [
+    "MAX_LINE_BYTES",
+    "OPS",
+    "Request",
+    "decode_request",
+    "encode_request",
+    "decode_response",
+    "encode_response",
+    "error_payload",
+]
+
+#: Hard cap on one wire line; protects the server from unbounded buffering.
+MAX_LINE_BYTES = 1 << 20
+
+#: Operations a request may carry.
+OPS = frozenset({"GET", "PUT", "DEL", "STATS", "PING"})
+
+#: Which operations require a ``key`` field.
+_KEYED_OPS = frozenset({"GET", "PUT", "DEL"})
+
+
+@dataclass(frozen=True)
+class Request:
+    """A validated protocol request."""
+
+    op: str
+    key: int | None = None
+    value: Any = None
+
+
+def encode_request(req: Request) -> bytes:
+    """Serialize a request to one wire line (including the ``\\n``)."""
+    payload: dict[str, Any] = {"op": req.op}
+    if req.key is not None:
+        payload["key"] = req.key
+    if req.op == "PUT":
+        payload["value"] = req.value
+    return _encode_line(payload)
+
+
+def decode_request(line: bytes | bytearray | str) -> Request:
+    """Parse and validate one request line.
+
+    Raises :class:`~repro.errors.ProtocolError` on any malformation; the
+    message is safe to echo back to the client.
+    """
+    obj = _decode_line(line)
+    op = obj.get("op")
+    if not isinstance(op, str) or op.upper() not in OPS:
+        raise ProtocolError(f"unknown op {op!r}; expected one of {sorted(OPS)}")
+    op = op.upper()
+    key = obj.get("key")
+    if op in _KEYED_OPS:
+        # bool is an int subclass; reject it explicitly
+        if isinstance(key, bool) or not isinstance(key, int):
+            raise ProtocolError(f"{op} requires an integer 'key', got {key!r}")
+        if key < 0:
+            raise ProtocolError(f"'key' must be non-negative, got {key}")
+    elif key is not None:
+        raise ProtocolError(f"{op} does not take a 'key'")
+    value = obj.get("value")
+    if op != "PUT" and value is not None:
+        raise ProtocolError(f"{op} does not take a 'value'")
+    if op == "PUT" and "value" not in obj:
+        raise ProtocolError("PUT requires a 'value'")
+    return Request(op=op, key=key, value=value)
+
+
+def encode_response(payload: Mapping[str, Any]) -> bytes:
+    """Serialize a response mapping to one wire line."""
+    return _encode_line(dict(payload))
+
+
+def decode_response(line: bytes | bytearray | str) -> dict[str, Any]:
+    """Parse one response line (client side)."""
+    return _decode_line(line)
+
+
+def error_payload(message: str, *, code: str = "bad-request") -> dict[str, Any]:
+    """The standard error-response body."""
+    return {"ok": False, "code": code, "error": message}
+
+
+def _encode_line(payload: dict[str, Any]) -> bytes:
+    line = json.dumps(payload, separators=(",", ":"), default=_json_default).encode()
+    if len(line) >= MAX_LINE_BYTES:
+        raise ProtocolError(f"message of {len(line)} bytes exceeds {MAX_LINE_BYTES}")
+    return line + b"\n"
+
+
+def _json_default(obj: Any) -> Any:
+    # numpy scalars appear in metrics snapshots; render them as plain numbers
+    item = getattr(obj, "item", None)
+    if callable(item):
+        return item()
+    raise TypeError(f"not JSON serializable: {type(obj).__name__}")
+
+
+def _decode_line(line: bytes | bytearray | str) -> dict[str, Any]:
+    if isinstance(line, (bytes, bytearray)):
+        if len(line) > MAX_LINE_BYTES:
+            raise ProtocolError(f"line of {len(line)} bytes exceeds {MAX_LINE_BYTES}")
+        try:
+            text = bytes(line).decode()
+        except UnicodeDecodeError as exc:
+            raise ProtocolError("line is not valid UTF-8") from exc
+    else:
+        text = line
+    text = text.strip()
+    if not text:
+        raise ProtocolError("empty line")
+    try:
+        obj = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"invalid JSON: {exc.msg} at column {exc.colno}") from exc
+    if not isinstance(obj, dict):
+        raise ProtocolError(f"expected a JSON object, got {type(obj).__name__}")
+    return obj

@@ -1,0 +1,180 @@
+"""The asyncio TCP server.
+
+One :class:`CacheServer` owns one :class:`~repro.service.store.PolicyStore`
+and speaks the newline-delimited JSON protocol of
+:mod:`repro.service.protocol`. Design points:
+
+- **Per-connection error isolation.** Malformed lines get an error
+  response and the connection keeps serving; only framing violations
+  (oversized line, broken pipe) close *that* connection. An unexpected
+  exception in a handler is answered with an ``internal-error`` response —
+  one bad client, or one bug tickled by one request, never takes the
+  server down.
+- **Graceful shutdown.** :meth:`CacheServer.stop` stops accepting, nudges
+  open connections closed, and awaits every in-flight handler, so STATS
+  counters are final when it returns.
+- **Backpressure.** Responses go through ``writer.drain()``; a client that
+  stops reading throttles only its own connection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+from typing import Any, AsyncIterator
+
+from repro.errors import ProtocolError, ReproError, ServiceError
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    Request,
+    encode_response,
+    error_payload,
+    decode_request,
+)
+from repro.service.store import PolicyStore
+
+__all__ = ["CacheServer", "running_server"]
+
+
+class CacheServer:
+    """Serve one :class:`PolicyStore` over TCP.
+
+    Parameters
+    ----------
+    store:
+        The policy-backed store all connections share.
+    host, port:
+        Bind address. ``port=0`` (the default) binds an ephemeral port;
+        read :attr:`port` after :meth:`start` for the actual one.
+    """
+
+    def __init__(self, store: PolicyStore, *, host: str = "127.0.0.1", port: int = 0):
+        self.store = store
+        self.host = host
+        self.port = port
+        self._server: asyncio.Server | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+
+    # -- lifecycle ----------------------------------------------------------
+    async def start(self) -> None:
+        """Bind and start accepting connections (returns immediately)."""
+        if self._server is not None:
+            raise ServiceError("server is already running")
+        try:
+            self._server = await asyncio.start_server(
+                self._handle_connection, self.host, self.port, limit=MAX_LINE_BYTES
+            )
+        except OSError as exc:
+            raise ServiceError(f"cannot bind {self.host}:{self.port}: {exc}") from exc
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        """Block until :meth:`stop` (or task cancellation)."""
+        if self._server is None:
+            raise ServiceError("call start() before serve_forever()")
+        with contextlib.suppress(asyncio.CancelledError):
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Stop accepting, drain in-flight handlers, release the port."""
+        if self._server is None:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        for task in tuple(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        self._server = None
+
+    @property
+    def is_serving(self) -> bool:
+        return self._server is not None
+
+    # -- connection handling ------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        assert task is not None
+        self._conn_tasks.add(task)
+        metrics = self.store.metrics
+        metrics.connections_opened += 1
+        loop = asyncio.get_running_loop()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    # frame too large: the stream is no longer parseable,
+                    # report once and drop only this connection
+                    metrics.errors += 1
+                    writer.write(
+                        encode_response(error_payload("line too long", code="overflow"))
+                    )
+                    await writer.drain()
+                    break
+                if not line:
+                    break  # EOF: client done
+                start = loop.time()
+                response = await self._handle_line(line)
+                metrics.latency.record(loop.time() - start)
+                writer.write(encode_response(response))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            pass  # client vanished or server shutting down; nothing to answer
+        finally:
+            metrics.connections_closed += 1
+            self._conn_tasks.discard(task)
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _handle_line(self, line: bytes) -> dict[str, Any]:
+        try:
+            request = decode_request(line)
+        except ProtocolError as exc:
+            self.store.metrics.errors += 1
+            return error_payload(str(exc))
+        try:
+            return await self._dispatch(request)
+        except ReproError as exc:
+            self.store.metrics.errors += 1
+            return error_payload(str(exc), code="rejected")
+        except Exception as exc:  # noqa: BLE001 - isolation boundary
+            self.store.metrics.errors += 1
+            return error_payload(
+                f"{type(exc).__name__}: {exc}", code="internal-error"
+            )
+
+    async def _dispatch(self, request: Request) -> dict[str, Any]:
+        op = request.op
+        if op == "GET":
+            assert request.key is not None
+            hit, value = await self.store.get(request.key)
+            return {"ok": True, "hit": hit, "value": value}
+        if op == "PUT":
+            assert request.key is not None
+            hit = await self.store.put(request.key, request.value)
+            return {"ok": True, "hit": hit}
+        if op == "DEL":
+            assert request.key is not None
+            existed = await self.store.delete(request.key)
+            return {"ok": True, "deleted": existed}
+        if op == "STATS":
+            return {"ok": True, "stats": await self.store.stats()}
+        assert op == "PING"
+        return {"ok": True, "pong": True}
+
+
+@contextlib.asynccontextmanager
+async def running_server(
+    store: PolicyStore, *, host: str = "127.0.0.1", port: int = 0
+) -> AsyncIterator[CacheServer]:
+    """``async with running_server(store) as server:`` — start/stop bracket."""
+    server = CacheServer(store, host=host, port=port)
+    await server.start()
+    try:
+        yield server
+    finally:
+        await server.stop()

@@ -1,0 +1,123 @@
+"""`PolicyStore` — a key-value cache fronted by any online policy.
+
+The store is the bridge between the serving world (keys with payloads,
+concurrent connections) and the simulation world (a page-access state
+machine). Every GET/PUT maps to exactly one
+:meth:`repro.core.base.CachePolicy.access` step, so the hit/miss stream
+the service produces is *bit-identical* to an offline
+:meth:`~repro.core.base.CachePolicy.run` over the same key sequence —
+that equivalence is the subsystem's correctness anchor and is asserted
+end-to-end by the test suite.
+
+Consistency model — **single writer**: all policy mutations happen on one
+event loop under one :class:`asyncio.Lock`. Connection handlers are
+coroutines on that loop, so accesses are applied in a total order (the
+order handlers acquire the lock); the lock additionally keeps the
+policy-step + payload-bookkeeping pair atomic even if a future policy
+implementation awaits internally. There is no sharding and no cross-shard
+anything — one policy instance, one writer, which is exactly the regime
+the paper's competitive analysis describes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any
+
+from repro.core.base import CachePolicy
+from repro.errors import ConfigurationError
+from repro.service.metrics import ServiceMetrics
+
+__all__ = ["PolicyStore"]
+
+
+class PolicyStore:
+    """Serve GET/PUT/DEL/STATS against a wrapped online :class:`CachePolicy`.
+
+    Parameters
+    ----------
+    policy:
+        Any registered *online* policy instance (offline policies need the
+        whole trace up front and cannot field live traffic).
+
+    Notes
+    -----
+    Payloads live in a side dict keyed by page id. The policy decides
+    *residency*; the dict only remembers what a resident key's bytes are.
+    A miss on ``key`` proves the key is not resident, so any stale payload
+    from an earlier residency is dropped at that moment (lazy invalidation)
+    and the dict is pruned against :meth:`CachePolicy.contents` whenever it
+    grows past twice the capacity — payload memory stays ``O(capacity)``
+    without an eviction callback on the policy API.
+    """
+
+    def __init__(self, policy: CachePolicy):
+        if policy.is_offline:
+            raise ConfigurationError(
+                f"{policy.name} is an offline policy and cannot serve live traffic"
+            )
+        self.policy = policy
+        self.metrics = ServiceMetrics()
+        self._values: dict[int, Any] = {}
+        self._lock = asyncio.Lock()
+
+    # -- operations ---------------------------------------------------------
+    async def get(self, key: int) -> tuple[bool, Any]:
+        """One demand-paging access; returns ``(hit, payload-or-None)``."""
+        async with self._lock:
+            hit = self._access(key)
+            self.metrics.gets += 1
+            if hit:
+                return True, self._values.get(key)
+            self._values.pop(key, None)  # miss ⇒ not resident ⇒ payload is stale
+            return False, None
+
+    async def put(self, key: int, value: Any) -> bool:
+        """Access ``key`` and store its payload; returns the hit flag."""
+        async with self._lock:
+            hit = self._access(key)
+            self.metrics.puts += 1
+            self._values[key] = value
+            self._maybe_prune()
+            return hit
+
+    async def delete(self, key: int) -> bool:
+        """Drop the stored payload; returns whether one existed.
+
+        Residency is untouched: demand paging has no voluntary eviction,
+        and the simulator equivalence depends on the policy seeing the
+        exact access sequence and nothing else.
+        """
+        async with self._lock:
+            self.metrics.dels += 1
+            return self._values.pop(key, None) is not None
+
+    async def stats(self) -> dict[str, Any]:
+        """Metrics snapshot plus policy-level gauges."""
+        async with self._lock:
+            snap = self.metrics.snapshot()
+            resident = len(self.policy)
+            snap["policy"] = self.policy.name
+            snap["capacity"] = self.policy.capacity
+            snap["resident"] = resident
+            # every miss admits exactly one page and nothing else does, so
+            # evictions = admissions - still-resident, with no per-access cost
+            snap["evictions"] = self.metrics.misses - resident
+            occupancy = getattr(self.policy, "sink_occupancy", None)
+            if callable(occupancy):
+                snap["sink_occupancy"] = float(occupancy())
+            return snap
+
+    # -- internals ----------------------------------------------------------
+    def _access(self, key: int) -> bool:
+        hit = self.policy.access(key)
+        if hit:
+            self.metrics.hits += 1
+        else:
+            self.metrics.misses += 1
+        return hit
+
+    def _maybe_prune(self) -> None:
+        if len(self._values) > max(64, 2 * self.policy.capacity):
+            resident = self.policy.contents()
+            self._values = {k: v for k, v in self._values.items() if k in resident}

@@ -23,7 +23,24 @@ R = TypeVar("R")
 
 
 def default_workers() -> int:
-    """A safe default worker count: physical parallelism minus one, >= 1."""
+    """Default worker count for sweeps.
+
+    Honors a ``REPRO_WORKERS`` environment variable (a validated integer
+    ``>= 1``) so CI and batch sweeps can pin parallelism without plumbing
+    a flag through every entry point; otherwise falls back to physical
+    parallelism minus one, floored at 1.
+    """
+    env = os.environ.get("REPRO_WORKERS")
+    if env is not None:
+        try:
+            workers = int(env)
+        except ValueError:
+            raise ConfigurationError(
+                f"REPRO_WORKERS must be an integer, got {env!r}"
+            ) from None
+        if workers < 1:
+            raise ConfigurationError(f"REPRO_WORKERS must be >= 1, got {workers}")
+        return workers
     return max(1, (os.cpu_count() or 2) - 1)
 
 

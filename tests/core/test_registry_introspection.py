@@ -1,0 +1,46 @@
+"""Registry introspection behind `repro-experiment policies`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.registry import (
+    available_policies,
+    describe_policies,
+    make_policy,
+    policy_signature,
+    register_policy,
+)
+from repro.errors import ConfigurationError
+
+
+class TestPolicySignature:
+    def test_class_backed_signature(self):
+        sig = policy_signature("heatsink")
+        assert sig.startswith("HeatSinkLRU(")
+        assert "capacity" in sig and "sink_prob" in sig
+        assert "self" not in sig
+
+    def test_unknown_policy(self):
+        with pytest.raises(ConfigurationError):
+            policy_signature("definitely-not-registered")
+
+    def test_factory_fallback_without_cls(self):
+        from repro.core.fully import LRUCache
+
+        register_policy("sig-test", lambda capacity, pad=3: LRUCache(capacity))
+        try:
+            sig = policy_signature("sig-test")
+            assert sig.startswith("factory(")
+            assert "pad" in sig
+            assert make_policy("sig-test", 4).capacity == 4
+        finally:
+            from repro.core import registry
+
+            registry._REGISTRY.pop("sig-test")
+            registry._POLICY_CLASSES.pop("sig-test")
+
+    def test_describe_covers_every_registered_name(self):
+        described = dict(describe_policies())
+        assert sorted(described) == available_policies()
+        assert all(described.values())

@@ -1,0 +1,101 @@
+"""End-to-end: loadgen replay vs offline SimResult (tier-1, localhost only)."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+import repro
+from repro.core.registry import make_policy
+from repro.errors import ConfigurationError
+from repro.service.loadgen import replay_trace
+from repro.service.server import running_server
+from repro.service.store import PolicyStore
+
+
+def make(name, capacity, *, seed):
+    try:
+        return make_policy(name, capacity, seed=seed)
+    except TypeError:
+        return make_policy(name, capacity)
+
+
+def serve_and_replay(policy, trace, **kwargs):
+    async def scenario():
+        async with running_server(PolicyStore(policy)) as server:
+            return await replay_trace(
+                trace, host="127.0.0.1", port=server.port, **kwargs
+            )
+
+    return asyncio.run(scenario())
+
+
+class TestOfflineParity:
+    """Pipelined replay reaches the policy in trace order, so the served
+    hit rate must equal the offline ``run`` hit rate *exactly* — the
+    acceptance criterion of the serving subsystem."""
+
+    @pytest.mark.parametrize("name", ["heatsink", "lru", "2-random"])
+    def test_pipeline_replay_matches_simresult(self, name):
+        trace = repro.zipf_trace(1024, 8_000, alpha=1.0, seed=21)
+        offline = make(name, 256, seed=9).run(trace)
+        report = serve_and_replay(
+            make(name, 256, seed=9), trace, mode="pipeline", concurrency=64
+        )
+        assert report.ops == len(trace)
+        assert report.errors == 0
+        assert report.hits == offline.num_hits  # client-observed
+        assert report.server_stats["hits"] == offline.num_hits  # STATS-observed
+        assert report.server_stats["hit_rate"] == offline.hit_rate
+        assert report.server_stats["misses"] == offline.num_misses
+
+    def test_parity_holds_for_npz_round_trip(self, tmp_path):
+        trace = repro.uniform_trace(300, 3_000, seed=4)
+        path = repro.save_trace(trace, tmp_path / "t.npz")
+        loaded = repro.load_trace(path)
+        offline = make("heatsink", 128, seed=2).run(loaded)
+        report = serve_and_replay(make("heatsink", 128, seed=2), loaded)
+        assert report.server_stats["hit_rate"] == offline.hit_rate
+
+
+class TestWorkersMode:
+    def test_concurrent_workers_complete_and_count(self):
+        trace = repro.zipf_trace(512, 4_000, alpha=1.0, seed=3)
+        report = serve_and_replay(
+            make("heatsink", 256, seed=1), trace, mode="workers", concurrency=8
+        )
+        assert report.ops == len(trace)
+        assert report.errors == 0
+        # every access reached the shared policy exactly once
+        assert report.server_stats["accesses"] == len(trace)
+        assert report.server_stats["connections_total"] >= 8
+        # statistically close to the offline rate even though the
+        # interleaving is nondeterministic
+        offline = make("heatsink", 256, seed=1).run(trace)
+        assert abs(report.server_stats["hit_rate"] - offline.hit_rate) < 0.05
+
+    def test_more_workers_than_accesses(self):
+        trace = repro.uniform_trace(16, 5, seed=0)
+        report = serve_and_replay(
+            make("lru", 8, seed=0), trace, mode="workers", concurrency=32
+        )
+        assert report.ops == 5
+
+
+class TestValidation:
+    def test_bad_mode_rejected(self):
+        trace = repro.uniform_trace(16, 10, seed=0)
+        with pytest.raises(ConfigurationError):
+            serve_and_replay(make("lru", 8, seed=0), trace, mode="warp-speed")
+
+    def test_bad_concurrency_rejected(self):
+        trace = repro.uniform_trace(16, 10, seed=0)
+        with pytest.raises(ConfigurationError):
+            serve_and_replay(make("lru", 8, seed=0), trace, concurrency=0)
+
+    def test_report_summary_renders(self):
+        trace = repro.uniform_trace(64, 500, seed=1)
+        report = serve_and_replay(make("heatsink", 32, seed=1), trace)
+        text = report.summary()
+        assert "ops" in text and "hit" in text and "latency" in text

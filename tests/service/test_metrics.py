@@ -1,0 +1,73 @@
+"""Latency histogram and metrics counters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.metrics import LatencyHistogram, ServiceMetrics
+
+
+class TestLatencyHistogram:
+    def test_empty(self):
+        hist = LatencyHistogram()
+        assert hist.count == 0
+        assert hist.mean == 0.0
+        assert hist.percentile(0.99) == 0.0
+        assert hist.snapshot()["count"] == 0
+
+    def test_percentile_monotone_and_bounding(self):
+        hist = LatencyHistogram()
+        for us in (1, 2, 4, 50, 50, 50, 400, 2000, 100000, 100000):
+            hist.record(us * 1e-6)
+        p50, p90, p99 = (hist.percentile(q) for q in (0.5, 0.9, 0.99))
+        assert p50 <= p90 <= p99
+        # bucket upper bounds: at most 2x above the true value
+        assert 50e-6 <= p50 <= 100e-6
+        assert p99 <= 2 * 0.1
+        assert hist.max == pytest.approx(0.1)
+
+    def test_overflow_bucket(self):
+        hist = LatencyHistogram(base=1e-6, num_buckets=4)  # top bound: 8µs
+        hist.record(1.0)
+        assert hist.percentile(1.0) == pytest.approx(1.0)  # reports observed max
+
+    def test_negative_clamped(self):
+        hist = LatencyHistogram()
+        hist.record(-5.0)
+        assert hist.count == 1
+        assert hist.max == 0.0
+
+    def test_bad_quantile_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().percentile(1.5)
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram(base=0.0)
+        with pytest.raises(ValueError):
+            LatencyHistogram(num_buckets=0)
+
+    def test_mean_tracks_total(self):
+        hist = LatencyHistogram()
+        hist.record(0.002)
+        hist.record(0.004)
+        assert hist.mean == pytest.approx(0.003)
+
+
+class TestServiceMetrics:
+    def test_hit_rate(self):
+        metrics = ServiceMetrics()
+        assert metrics.hit_rate == 0.0
+        metrics.hits, metrics.misses = 3, 1
+        assert metrics.accesses == 4
+        assert metrics.hit_rate == 0.75
+
+    def test_snapshot_is_json_shaped(self):
+        import json
+
+        metrics = ServiceMetrics()
+        metrics.latency.record(1e-4)
+        snap = metrics.snapshot()
+        json.dumps(snap)  # must not raise
+        assert snap["connections_open"] == 0
+        assert snap["latency"]["count"] == 1

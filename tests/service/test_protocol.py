@@ -1,0 +1,96 @@
+"""Wire-protocol framing and validation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    Request,
+    decode_request,
+    decode_response,
+    encode_request,
+    encode_response,
+    error_payload,
+)
+
+
+class TestRequestRoundTrip:
+    @pytest.mark.parametrize(
+        "req",
+        [
+            Request("GET", key=0),
+            Request("GET", key=2**40),
+            Request("PUT", key=7, value="payload"),
+            Request("PUT", key=7, value={"nested": [1, 2, None]}),
+            Request("PUT", key=7, value=None),
+            Request("DEL", key=3),
+            Request("STATS"),
+            Request("PING"),
+        ],
+    )
+    def test_round_trip(self, req):
+        line = encode_request(req)
+        assert line.endswith(b"\n")
+        assert decode_request(line) == req
+
+    def test_one_line_per_request(self):
+        line = encode_request(Request("PUT", key=1, value="a\nb"))
+        assert line.count(b"\n") == 1  # embedded newline must be escaped
+
+    def test_lowercase_op_accepted(self):
+        assert decode_request(b'{"op": "get", "key": 4}\n') == Request("GET", key=4)
+
+
+class TestRequestValidation:
+    @pytest.mark.parametrize(
+        "line",
+        [
+            b"",
+            b"\n",
+            b"not json\n",
+            b"[1, 2]\n",
+            b'{"op": "EXPLODE"}\n',
+            b'{"key": 1}\n',
+            b'{"op": "GET"}\n',  # missing key
+            b'{"op": "GET", "key": -1}\n',
+            b'{"op": "GET", "key": 1.5}\n',
+            b'{"op": "GET", "key": true}\n',
+            b'{"op": "GET", "key": "7"}\n',
+            b'{"op": "PUT", "key": 1}\n',  # missing value
+            b'{"op": "PING", "key": 1}\n',  # stray key
+            b'{"op": "GET", "key": 1, "value": "x"}\n',  # stray value
+            b"\xff\xfe\n",  # not UTF-8
+        ],
+    )
+    def test_rejected(self, line):
+        with pytest.raises(ProtocolError):
+            decode_request(line)
+
+    def test_oversized_line_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_request(b"x" * (MAX_LINE_BYTES + 1))
+
+    def test_oversized_value_rejected_on_encode(self):
+        with pytest.raises(ProtocolError):
+            encode_request(Request("PUT", key=1, value="x" * MAX_LINE_BYTES))
+
+
+class TestResponses:
+    def test_round_trip(self):
+        payload = {"ok": True, "hit": False, "value": None}
+        assert decode_response(encode_response(payload)) == payload
+
+    def test_numpy_scalars_serialize(self):
+        np = pytest.importorskip("numpy")
+        line = encode_response({"ok": True, "count": np.int64(3), "rate": np.float64(0.5)})
+        assert json.loads(line) == {"ok": True, "count": 3, "rate": 0.5}
+
+    def test_error_payload_shape(self):
+        payload = error_payload("boom", code="rejected")
+        assert payload["ok"] is False
+        assert payload["code"] == "rejected"
+        assert "boom" in payload["error"]

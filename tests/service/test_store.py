@@ -1,0 +1,154 @@
+"""PolicyStore semantics: demand paging, payloads, metrics, parity."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+import repro
+from repro.core.registry import make_policy
+from repro.errors import ConfigurationError
+from repro.service.store import PolicyStore
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestBasicOps:
+    def test_get_miss_then_hit(self):
+        store = PolicyStore(repro.LRUCache(4))
+
+        async def scenario():
+            hit, value = await store.get(1)
+            assert (hit, value) == (False, None)
+            hit, value = await store.get(1)
+            assert (hit, value) == (True, None)  # resident but no payload stored
+
+        run(scenario())
+        assert store.metrics.hits == 1
+        assert store.metrics.misses == 1
+        assert store.metrics.gets == 2
+
+    def test_put_stores_payload_and_get_returns_it(self):
+        store = PolicyStore(repro.LRUCache(4))
+
+        async def scenario():
+            assert await store.put(9, {"blob": "x"}) is False  # cold
+            hit, value = await store.get(9)
+            assert hit is True and value == {"blob": "x"}
+
+        run(scenario())
+        assert store.metrics.puts == 1
+
+    def test_delete_drops_payload_not_residency(self):
+        store = PolicyStore(repro.LRUCache(4))
+
+        async def scenario():
+            await store.put(2, "v")
+            assert await store.delete(2) is True
+            assert await store.delete(2) is False  # already gone
+            hit, value = await store.get(2)
+            assert hit is True  # still resident: demand paging never un-admits
+            assert value is None
+
+        run(scenario())
+
+    def test_evicted_key_loses_stale_payload(self):
+        store = PolicyStore(repro.LRUCache(2))
+
+        async def scenario():
+            await store.put(1, "one")
+            await store.get(2)
+            await store.get(3)  # evicts key 1 under LRU
+            hit, value = await store.get(1)
+            assert hit is False and value is None
+            hit, value = await store.get(1)
+            assert (hit, value) == (True, None)  # re-admitted without payload
+
+        run(scenario())
+
+    def test_offline_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PolicyStore(repro.BeladyCache(4))
+
+
+class TestStats:
+    def test_eviction_accounting(self):
+        store = PolicyStore(repro.LRUCache(2))
+
+        async def scenario():
+            for key in (1, 2, 3, 4):  # 4 misses into a 2-slot cache
+                await store.get(key)
+            return await store.stats()
+
+        stats = run(scenario())
+        assert stats["misses"] == 4
+        assert stats["resident"] == 2
+        assert stats["evictions"] == 2
+        assert stats["capacity"] == 2
+        assert stats["policy"] == repro.LRUCache(2).name
+
+    def test_sink_occupancy_gauge_for_heatsink(self):
+        store = PolicyStore(make_policy("heatsink", 64, seed=1))
+
+        async def scenario():
+            for key in range(200):
+                await store.get(key)
+            return await store.stats()
+
+        stats = run(scenario())
+        assert 0.0 <= stats["sink_occupancy"] <= 1.0
+
+    def test_no_sink_gauge_for_plain_policies(self):
+        store = PolicyStore(repro.LRUCache(2))
+        stats = run(store.stats())
+        assert "sink_occupancy" not in stats
+
+    def test_latency_histogram_in_snapshot(self):
+        store = PolicyStore(repro.LRUCache(2))
+        store.metrics.latency.record(0.001)
+        stats = run(store.stats())
+        assert stats["latency"]["count"] == 1
+        assert stats["latency"]["p50_us"] >= 1000
+
+
+class TestPayloadBounding:
+    def test_values_dict_stays_bounded(self):
+        store = PolicyStore(repro.LRUCache(8))
+
+        async def scenario():
+            for key in range(1000):
+                await store.put(key, "v")
+
+        run(scenario())
+        assert len(store._values) <= max(64, 2 * 8)
+
+
+class TestOfflineParity:
+    """The store's hit/miss stream must equal the offline simulator's."""
+
+    @pytest.mark.parametrize("name", ["lru", "heatsink", "2-random", "sieve"])
+    def test_get_stream_matches_run(self, name):
+        trace = repro.zipf_trace(512, 5_000, alpha=1.0, seed=11)
+        offline = _make(name, 128, seed=5).run(trace)
+        store = PolicyStore(_make(name, 128, seed=5))
+
+        async def scenario():
+            hits = []
+            for page in trace.pages.tolist():
+                hit, _ = await store.get(page)
+                hits.append(hit)
+            return hits
+
+        served_hits = run(scenario())
+        assert served_hits == offline.hits.tolist()
+        assert store.metrics.hit_rate == offline.hit_rate
+
+
+def _make(name, capacity, *, seed):
+    try:
+        return make_policy(name, capacity, seed=seed)
+    except TypeError:
+        return make_policy(name, capacity)

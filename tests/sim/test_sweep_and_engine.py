@@ -118,3 +118,19 @@ class TestParallelMap:
 
     def test_default_workers_positive(self):
         assert default_workers() >= 1
+
+
+class TestWorkersEnvVar:
+    def test_env_pins_worker_count(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert default_workers() == 3
+
+    def test_env_absent_falls_back(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert default_workers() >= 1
+
+    @pytest.mark.parametrize("bad", ["zero-ish", "", "2.5", "0", "-4"])
+    def test_invalid_env_rejected(self, monkeypatch, bad):
+        monkeypatch.setenv("REPRO_WORKERS", bad)
+        with pytest.raises(ConfigurationError):
+            default_workers()

@@ -67,3 +67,78 @@ class TestMain:
         out = capsys.readouterr().out
         assert "zipf_alpha_hat" in out
         assert "footprint" in out
+
+
+class TestServiceCommands:
+    def test_policies_lists_names_and_signatures(self, capsys):
+        assert main(["policies"]) == 0
+        out = capsys.readouterr().out
+        assert "heatsink" in out
+        assert "HeatSinkLRU(" in out
+        assert "sink_prob" in out  # constructor parameters are shown
+        assert "lru" in out
+
+    def test_policies_covers_whole_registry(self, capsys):
+        from repro.core.registry import available_policies
+
+        main(["policies"])
+        out = capsys.readouterr().out
+        for name in available_policies():
+            assert name in out
+
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.policy == "heatsink"
+        assert args.capacity == 1024
+        assert args.port == 7070
+
+    def test_loadgen_requires_a_trace_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["loadgen"])
+
+    def test_loadgen_sources_are_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["loadgen", "--trace", "t.npz", "--zipf", "64,100"]
+            )
+
+    def test_loadgen_end_to_end_parity_with_offline(self, capsys):
+        """CLI acceptance: loadgen vs a served policy vs the offline run."""
+        import asyncio
+        import threading
+
+        import repro
+        from repro.core.registry import make_policy
+        from repro.service.server import CacheServer
+        from repro.service.store import PolicyStore
+
+        policy = make_policy("heatsink", 256, seed=9)
+        offline = make_policy("heatsink", 256, seed=9).run(
+            repro.zipf_trace(1024, 8_000, alpha=1.0, seed=21)
+        )
+
+        loop = asyncio.new_event_loop()
+        server = CacheServer(PolicyStore(policy))
+        loop.run_until_complete(server.start())
+        thread = threading.Thread(target=loop.run_forever, daemon=True)
+        thread.start()
+        try:
+            assert (
+                main(
+                    [
+                        "loadgen",
+                        "--port", str(server.port),
+                        "--zipf", "1024,8000,1.0",
+                        "--seed", "21",
+                    ]
+                )
+                == 0
+            )
+        finally:
+            asyncio.run_coroutine_threadsafe(server.stop(), loop).result(timeout=5)
+            loop.call_soon_threadsafe(loop.stop)
+            thread.join(timeout=5)
+            loop.close()
+        out = capsys.readouterr().out
+        assert f"rate {offline.hit_rate:.4f}" in out
+        assert f"server hit : {offline.hit_rate:.4f}" in out
