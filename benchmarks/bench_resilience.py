@@ -1,0 +1,106 @@
+"""Robustness-layer overhead benchmarks (engineering, not paper-reproduction).
+
+Prices the three additions of the resilience work against the plain
+serving stack of ``bench_service.py``:
+
+- ``ResilientClient`` vs plain ``ServiceClient`` on a fault-free link —
+  the retry engine's bookkeeping cost when nothing ever fails;
+- the chaos proxy as a pure relay (zero fault rates) — the cost of the
+  extra hop plus per-frame fault decisions;
+- a faulted run (drops + corruption + a retrying client) — what a chaos
+  test actually pays, dominated by timeout waits rather than CPU.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+import repro
+from repro.core.registry import make_policy
+from repro.service.client import RetryPolicy
+from repro.service.faults import FaultPlan
+from repro.service.loadgen import replay_trace
+from repro.service.server import running_server
+from repro.service.store import PolicyStore
+
+CAPACITY = 1_024
+LENGTH = 10_000
+TRACE = repro.zipf_trace(8 * CAPACITY, LENGTH, alpha=1.0, seed=1)
+RETRY = RetryPolicy(max_attempts=4, base_delay=0.005, max_delay=0.05, seed=1)
+
+
+def _replay(*, retry=None, faults=None, timeout=30.0, server_kwargs=None):
+    async def scenario():
+        policy = make_policy("heatsink", CAPACITY, seed=1)
+        async with running_server(PolicyStore(policy), **(server_kwargs or {})) as server:
+            return await replay_trace(
+                TRACE,
+                host="127.0.0.1",
+                port=server.port,
+                mode="pipeline",
+                concurrency=64,
+                timeout=timeout,
+                retry=retry,
+                faults=faults,
+            )
+
+    return asyncio.run(scenario())
+
+
+def _bench(benchmark, **kwargs):
+    report = benchmark.pedantic(
+        lambda: _replay(**kwargs), rounds=3, iterations=1, warmup_rounds=1
+    )
+    assert report.ops == LENGTH
+    benchmark.extra_info["ops_per_second"] = report.ops_per_second
+    return report
+
+
+def test_plain_client_baseline(benchmark):
+    report = _bench(benchmark)
+    assert report.errors == 0
+
+
+def test_resilient_client_fault_free(benchmark):
+    # same wire traffic as the baseline; the delta is the retry engine
+    report = _bench(benchmark, retry=RETRY)
+    assert report.errors == 0
+    assert report.retries == 0
+
+
+def test_chaos_proxy_as_pure_relay(benchmark):
+    # zero rates: every frame still passes through decide(); the delta
+    # over the baseline is the extra TCP hop + per-frame bookkeeping
+    report = _bench(benchmark, faults=FaultPlan(seed=1))
+    assert report.errors == 0
+    assert report.fault_stats["faults"] == 0
+
+
+def test_chaos_proxy_with_faults_and_retries(benchmark):
+    plan = FaultPlan(seed=1, drop_rate=0.001, corrupt_rate=0.002, direction="c2s")
+    report = _bench(
+        benchmark,
+        retry=RetryPolicy(max_attempts=6, base_delay=0.002, max_delay=0.02, seed=1),
+        faults=plan,
+        timeout=0.1,
+    )
+    benchmark.extra_info["retries"] = report.retries
+    benchmark.extra_info["faults"] = report.fault_stats["faults"]
+
+
+def test_backpressure_knobs_enabled(benchmark):
+    # inflight window + write deadline + connection cap all active: the
+    # bounded-queue path vs the unbounded fast path
+    report = _bench(
+        benchmark,
+        server_kwargs={"max_connections": 64, "max_inflight": 32, "write_timeout": 5.0},
+    )
+    assert report.errors == 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(pytest.main([__file__, "--benchmark-only", "-q"]))

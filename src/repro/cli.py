@@ -85,6 +85,20 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument(
         "--port", type=int, default=7070, help="TCP port (0 = ephemeral)"
     )
+    serve_p.add_argument(
+        "--max-connections", type=int, default=0,
+        help="reject connections beyond this many with a fast 'overloaded' "
+        "response (0 = unlimited)",
+    )
+    serve_p.add_argument(
+        "--max-inflight", type=int, default=32,
+        help="per-connection pipelined-request window before TCP backpressure",
+    )
+    serve_p.add_argument(
+        "--write-timeout", type=float, default=30.0,
+        help="drop a client that will not read responses for this many "
+        "seconds (0 = wait forever)",
+    )
 
     load_p = sub.add_parser("loadgen", help="replay a trace against a running server")
     load_p.add_argument("--host", default="127.0.0.1")
@@ -108,6 +122,31 @@ def build_parser() -> argparse.ArgumentParser:
     load_p.add_argument(
         "--concurrency", type=int, default=32,
         help="pipeline window size, or worker-connection count",
+    )
+    load_p.add_argument(
+        "--timeout", type=float, default=30.0,
+        help="per-operation network deadline in seconds (0 = no deadline)",
+    )
+    load_p.add_argument(
+        "--retries", type=int, default=0,
+        help="retry failed idempotent requests up to N extra times "
+        "(0 = fail fast, no resilience wrapper)",
+    )
+    load_p.add_argument(
+        "--retry-base", type=float, default=0.05,
+        help="base backoff delay in seconds (decorrelated jitter grows it)",
+    )
+    for fault in ("delay", "drop", "reset", "truncate", "corrupt"):
+        load_p.add_argument(
+            f"--fault-{fault}", type=float, default=0.0, metavar="RATE",
+            help=f"per-frame {fault} probability via an in-process chaos proxy",
+        )
+    load_p.add_argument(
+        "--fault-delay-s", type=float, default=0.002,
+        help="seconds each delayed frame is held",
+    )
+    load_p.add_argument(
+        "--fault-seed", type=int, default=0, help="fault-plan seed (deterministic)"
     )
     return parser
 
@@ -231,7 +270,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         policy = make_policy(args.policy, args.capacity)
 
     async def _serve() -> None:
-        server = CacheServer(PolicyStore(policy), host=args.host, port=args.port)
+        server = CacheServer(
+            PolicyStore(policy),
+            host=args.host,
+            port=args.port,
+            max_connections=args.max_connections or None,
+            max_inflight=args.max_inflight,
+            write_timeout=args.write_timeout or None,
+        )
         await server.start()
         loop = asyncio.get_running_loop()
         stop = asyncio.Event()
@@ -284,6 +330,27 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         parts = _parse_spec(args.uniform, 2, 2, "--uniform")
         trace = uniform_trace(int(parts[0]), int(parts[1]), seed=args.seed)
 
+    retry = None
+    if args.retries > 0:
+        from repro.service.client import RetryPolicy
+
+        retry = RetryPolicy(
+            max_attempts=args.retries + 1, base_delay=args.retry_base, seed=args.seed
+        )
+    faults = None
+    fault_rates = {
+        name: getattr(args, f"fault_{name}")
+        for name in ("delay", "drop", "reset", "truncate", "corrupt")
+    }
+    if any(fault_rates.values()):
+        from repro.service.faults import FaultPlan
+
+        faults = FaultPlan(
+            seed=args.fault_seed,
+            delay_s=args.fault_delay_s,
+            **{f"{name}_rate": rate for name, rate in fault_rates.items()},
+        )
+
     print(f"replaying {trace} against {args.host}:{args.port} ...")
     report = run_replay(
         trace,
@@ -291,6 +358,9 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         port=args.port,
         mode=args.mode,
         concurrency=args.concurrency,
+        timeout=args.timeout or None,
+        retry=retry,
+        faults=faults,
     )
     print(report.summary())
     return 0

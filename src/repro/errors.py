@@ -44,6 +44,18 @@ class ServiceError(ReproError, RuntimeError):
     server already running, client used before connecting, ...)."""
 
 
+class ServiceTimeout(ServiceError, TimeoutError):
+    """An awaited network operation (connect, read, write-drain) exceeded
+    its deadline. Raised instead of hanging forever on an unresponsive
+    peer; retryable for idempotent operations."""
+
+
+class ServiceOverloaded(ServiceError):
+    """The server refused work because it is above its configured
+    connection capacity. Always safe to retry with backoff — the refusal
+    happens before the request touches the policy."""
+
+
 class ProtocolError(ServiceError, ValueError):
     """A wire-protocol message is malformed: not valid JSON, unknown
     operation, missing/ill-typed fields, or an oversized line.

@@ -8,20 +8,37 @@ the simulator share one definition of the policy (one ``access()`` call
 per GET/PUT), so served hit rates and simulated hit rates are mutually
 checkable — and checked, exactly, by the test suite.
 
+On top sits a robustness layer: clients carry timeouts, bounded retries
+with decorrelated jitter and reconnection (:class:`ResilientClient`); the
+server sheds load past a connection cap, bounds per-connection pipelining
+and drops wedged clients; and a seeded fault-injection harness
+(:class:`FaultPlan` + :class:`ChaosProxy`) produces deterministic network
+misbehaviour so all of it is testable with exact assertions.
+
 Layout::
 
     protocol.py   newline-delimited JSON framing + validation
     metrics.py    counters, latency histogram, gauges
     store.py      PolicyStore: single-writer policy + payload dict
-    server.py     CacheServer: asyncio TCP server, error isolation
-    client.py     ServiceClient: ordered + windowed-pipelined requests
+    server.py     CacheServer: asyncio TCP server, error isolation,
+                  backpressure (connection cap, in-flight window,
+                  write timeouts)
+    client.py     ServiceClient (timeouts, pipelining) and
+                  ResilientClient (retries, backoff, reconnect)
+    faults.py     FaultPlan / ChaosProxy: seeded fault injection
     loadgen.py    trace replay at a target concurrency, LoadReport
 
 CLI: ``repro-experiment serve`` / ``repro-experiment loadgen``.
-Protocol and consistency model: ``docs/service.md``.
+Protocol, consistency model, failure modes: ``docs/service.md``.
 """
 
-from repro.service.client import ServiceClient
+from repro.service.client import (
+    ClientStats,
+    ResilientClient,
+    RetryPolicy,
+    ServiceClient,
+)
+from repro.service.faults import ChaosProxy, FaultPlan, FaultStats, running_proxy
 from repro.service.loadgen import LoadReport, replay_trace, run_replay
 from repro.service.metrics import LatencyHistogram, ServiceMetrics
 from repro.service.protocol import (
@@ -46,6 +63,13 @@ __all__ = [
     "CacheServer",
     "running_server",
     "ServiceClient",
+    "ResilientClient",
+    "RetryPolicy",
+    "ClientStats",
+    "FaultPlan",
+    "FaultStats",
+    "ChaosProxy",
+    "running_proxy",
     "LoadReport",
     "replay_trace",
     "run_replay",

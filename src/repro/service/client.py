@@ -1,55 +1,119 @@
-"""Asyncio client for the cache service.
+"""Asyncio clients for the cache service.
 
-`ServiceClient` is deliberately small: one TCP connection, ordered
-request/response, plus *windowed pipelining* (`get_window`) — send a
-window of requests back-to-back, then read the same number of responses.
-Because the transport and the server both preserve per-connection order,
-pipelining changes throughput, never semantics; a pipelined replay of a
-trace reaches the policy in exact trace order.
+Two layers:
+
+:class:`ServiceClient`
+    One TCP connection, ordered request/response, windowed pipelining
+    (`get_window`). Every awaited network step — connect, write-drain,
+    response read — carries a timeout (default
+    :data:`DEFAULT_TIMEOUT`) surfaced as
+    :class:`~repro.errors.ServiceTimeout`, so an unresponsive peer can
+    never hang the caller forever. Because the transport and the server
+    both preserve per-connection order, pipelining changes throughput,
+    never semantics.
+
+:class:`ResilientClient`
+    A reconnecting wrapper that adds bounded retries with exponential
+    backoff and decorrelated jitter (:class:`RetryPolicy`). Retry rules
+    are idempotency-aware: GET/STATS/PING are retried by default, PUT/DEL
+    only when the caller opts in (``retry_unsafe=True`` or a per-call
+    ``idempotent=True``), and an ``overloaded`` rejection is always
+    retried because the server refuses *before* touching the policy.
+    Every failure mode is counted in :class:`ClientStats` so chaos tests
+    can assert exact, reproducible behaviour.
 """
 
 from __future__ import annotations
 
 import asyncio
-from typing import Any, Sequence
+import random
+from dataclasses import dataclass, fields
+from typing import Any, Awaitable, Callable, Iterator, Sequence, TypeVar
 
-from repro.errors import ProtocolError, ServiceError
+from repro.errors import (
+    ConfigurationError,
+    ProtocolError,
+    ServiceError,
+    ServiceOverloaded,
+    ServiceTimeout,
+)
+from repro.rng import derive_seed
 from repro.service.protocol import (
+    CODE_OVERLOADED,
+    IDEMPOTENT_OPS,
     MAX_LINE_BYTES,
     Request,
     decode_response,
     encode_request,
 )
 
-__all__ = ["ServiceClient"]
+__all__ = [
+    "DEFAULT_TIMEOUT",
+    "DEFAULT_CONNECT_TIMEOUT",
+    "ServiceClient",
+    "RetryPolicy",
+    "ClientStats",
+    "ResilientClient",
+]
+
+#: Default per-operation deadline (response read, write drain), seconds.
+DEFAULT_TIMEOUT = 30.0
+
+#: Default TCP-connect deadline, seconds.
+DEFAULT_CONNECT_TIMEOUT = 10.0
+
+_T = TypeVar("_T")
 
 
 class ServiceClient:
     """One connection to a :class:`~repro.service.server.CacheServer`.
 
-    Use :meth:`connect` (or ``async with ServiceClient.session(...)``) to
-    build one. Not safe for concurrent use from multiple tasks — open one
-    client per task instead; connections are cheap and the server
-    serializes policy access anyway.
+    Use :meth:`connect` to build one. Not safe for concurrent use from
+    multiple tasks — open one client per task instead; connections are
+    cheap and the server serializes policy access anyway.
+
+    ``timeout`` bounds every single network wait (``None`` disables the
+    guard — only sensible inside tests that control both endpoints).
     """
 
-    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        timeout: float | None = DEFAULT_TIMEOUT,
+    ):
         self._reader = reader
         self._writer = writer
+        self.timeout = timeout
 
     @classmethod
-    async def connect(cls, host: str, port: int) -> "ServiceClient":
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        *,
+        timeout: float | None = DEFAULT_TIMEOUT,
+        connect_timeout: float | None = DEFAULT_CONNECT_TIMEOUT,
+    ) -> "ServiceClient":
         try:
-            reader, writer = await asyncio.open_connection(host, port, limit=MAX_LINE_BYTES)
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(host, port, limit=MAX_LINE_BYTES),
+                connect_timeout,
+            )
+        except asyncio.TimeoutError:
+            raise ServiceTimeout(
+                f"connecting to {host}:{port} timed out after {connect_timeout}s"
+            ) from None
         except OSError as exc:
             raise ServiceError(f"cannot connect to {host}:{port}: {exc}") from exc
-        return cls(reader, writer)
+        return cls(reader, writer, timeout=timeout)
 
     async def close(self) -> None:
         self._writer.close()
         try:
             await self._writer.wait_closed()
-        except (ConnectionResetError, BrokenPipeError):
+        except (ConnectionResetError, BrokenPipeError, OSError):
             pass
 
     async def __aenter__(self) -> "ServiceClient":
@@ -61,8 +125,7 @@ class ServiceClient:
     # -- single requests ----------------------------------------------------
     async def request(self, req: Request) -> dict[str, Any]:
         """Send one request and await its response (raw payload dict)."""
-        self._writer.write(encode_request(req))
-        await self._writer.drain()
+        await self._send(encode_request(req))
         return await self._read_response()
 
     async def get(self, key: int) -> dict[str, Any]:
@@ -90,18 +153,256 @@ class ServiceClient:
 
         All requests are written before any response is read, so the
         round-trip cost is paid once per window instead of once per key.
+        Each response read gets its own ``timeout`` budget.
         """
         if not keys:
             return []
-        self._writer.write(b"".join(encode_request(Request("GET", key=k)) for k in keys))
-        await self._writer.drain()
+        await self._send(b"".join(encode_request(Request("GET", key=k)) for k in keys))
         return [await self._read_response() for _ in keys]
 
+    # -- internals ----------------------------------------------------------
+    async def _send(self, data: bytes) -> None:
+        try:
+            self._writer.write(data)
+            await self._await(self._writer.drain(), "write")
+        except ServiceError:
+            raise  # ServiceTimeout is a TimeoutError and hence an OSError
+        except OSError as exc:
+            raise ServiceError(f"connection lost while writing: {exc}") from exc
+
     async def _read_response(self) -> dict[str, Any]:
-        line = await self._reader.readline()
+        try:
+            line = await self._await(self._reader.readline(), "response read")
+        except ServiceError:
+            raise  # ServiceTimeout is a TimeoutError and hence an OSError
+        except OSError as exc:
+            raise ServiceError(f"connection lost while reading: {exc}") from exc
         if not line:
             raise ServiceError("server closed the connection")
         try:
             return decode_response(line)
         except ProtocolError as exc:
             raise ServiceError(f"unparseable server response: {exc}") from exc
+
+    async def _await(self, awaitable: Awaitable[_T], what: str) -> _T:
+        if self.timeout is None:
+            return await awaitable
+        try:
+            return await asyncio.wait_for(awaitable, self.timeout)
+        except asyncio.TimeoutError:
+            raise ServiceTimeout(f"{what} timed out after {self.timeout}s") from None
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff and decorrelated jitter.
+
+    The backoff sequence starts at ``base_delay`` and then follows the
+    decorrelated-jitter recurrence ``sleep = min(max_delay,
+    uniform(base_delay, 3 * previous))`` — exponential in expectation, but
+    desynchronized across clients so a herd of retriers does not stampede
+    the server in lockstep. A ``seed`` makes the jitter reproducible
+    (chaos tests replay plans and assert *identical* counters); ``None``
+    draws fresh entropy.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay < 0:
+            raise ConfigurationError(f"base_delay must be non-negative, got {self.base_delay}")
+        if self.max_delay < self.base_delay:
+            raise ConfigurationError(
+                f"max_delay {self.max_delay} must be >= base_delay {self.base_delay}"
+            )
+
+    def backoffs(self) -> Iterator[float]:
+        """Infinite backoff-delay sequence (one value per retry)."""
+        rng = random.Random(None if self.seed is None else derive_seed(self.seed, "retry"))
+        delay = self.base_delay
+        while True:
+            yield delay
+            delay = min(self.max_delay, rng.uniform(self.base_delay, 3 * delay))
+
+
+@dataclass
+class ClientStats:
+    """Counters for one :class:`ResilientClient` (all monotonic)."""
+
+    attempts: int = 0  # operations attempted, including retries
+    retries: int = 0  # attempts beyond the first, per operation
+    timeouts: int = 0  # attempts that died on a ServiceTimeout
+    overloaded: int = 0  # attempts rejected with the `overloaded` code
+    connects: int = 0  # successful TCP connects (reconnects = connects - 1)
+    failures: int = 0  # operations that exhausted every attempt
+
+    @property
+    def reconnects(self) -> int:
+        return max(0, self.connects - 1)
+
+    def as_dict(self) -> dict[str, int]:
+        snap = {f.name: getattr(self, f.name) for f in fields(self)}
+        snap["reconnects"] = self.reconnects
+        return snap
+
+
+class ResilientClient:
+    """Reconnecting, retrying wrapper around :class:`ServiceClient`.
+
+    Connection state is lazy: the first operation connects, any transport
+    failure invalidates the connection, and the next attempt reconnects —
+    so one flaky link costs one retry, not a dead client. Retry decisions:
+
+    - transport failures (timeout, reset, EOF, garbage) retry only
+      *idempotent* operations — GET/STATS/PING by default, everything if
+      the client was built with ``retry_unsafe=True``, and per-call
+      overrides via ``request(..., idempotent=...)``;
+    - an ``overloaded`` rejection retries **any** operation (the server
+      refused before reading the request) and raises
+      :class:`~repro.errors.ServiceOverloaded` once attempts are spent;
+    - protocol-level errors inside an ``ok: false`` response are *not*
+      retried — they are answers, not failures.
+
+    A retried GET replays the access against the policy state machine;
+    that is the documented cost of at-least-once delivery (see
+    ``docs/service.md``), harmless for cache semantics but visible in
+    server-side access counters.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        retry: RetryPolicy | None = None,
+        timeout: float | None = DEFAULT_TIMEOUT,
+        connect_timeout: float | None = DEFAULT_CONNECT_TIMEOUT,
+        retry_unsafe: bool = False,
+    ):
+        self.host = host
+        self.port = port
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.timeout = timeout
+        self.connect_timeout = connect_timeout
+        self.retry_unsafe = retry_unsafe
+        self.counters = ClientStats()
+        self._client: ServiceClient | None = None
+
+    async def close(self) -> None:
+        if self._client is not None:
+            await self._client.close()
+            self._client = None
+
+    async def __aenter__(self) -> "ResilientClient":
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.close()
+
+    # -- operations ---------------------------------------------------------
+    async def request(self, req: Request, *, idempotent: bool | None = None) -> dict[str, Any]:
+        if idempotent is None:
+            idempotent = self.retry_unsafe or req.op in IDEMPOTENT_OPS
+        response = await self._call(lambda c: c.request(req), retryable=idempotent)
+        assert isinstance(response, dict)
+        return response
+
+    async def get(self, key: int) -> dict[str, Any]:
+        return await self.request(Request("GET", key=key))
+
+    async def put(self, key: int, value: Any, *, idempotent: bool | None = None) -> dict[str, Any]:
+        return await self.request(Request("PUT", key=key, value=value), idempotent=idempotent)
+
+    async def delete(self, key: int, *, idempotent: bool | None = None) -> dict[str, Any]:
+        return await self.request(Request("DEL", key=key), idempotent=idempotent)
+
+    async def stats(self) -> dict[str, Any]:
+        response = await self.request(Request("STATS"))
+        if not response.get("ok"):
+            raise ServiceError(f"STATS failed: {response.get('error')}")
+        return response["stats"]
+
+    async def ping(self) -> bool:
+        response = await self.request(Request("PING"))
+        return bool(response.get("pong"))
+
+    async def get_window(self, keys: Sequence[int]) -> list[dict[str, Any]]:
+        """Pipelined GETs with whole-window retry.
+
+        A window that fails mid-flight is discarded and replayed from its
+        first key on a fresh connection (the framing of a half-read window
+        is unrecoverable). GETs are idempotent for cache semantics, so the
+        only side effect is extra accesses in server counters.
+        """
+        if not keys:
+            return []
+        responses = await self._call(lambda c: c.get_window(keys), retryable=True)
+        assert isinstance(responses, list)
+        return responses
+
+    # -- retry engine -------------------------------------------------------
+    async def _call(
+        self,
+        op: Callable[[ServiceClient], Awaitable[Any]],
+        *,
+        retryable: bool,
+    ) -> Any:
+        backoffs = self.retry.backoffs()
+        last_error: ServiceError | None = None
+        for attempt in range(self.retry.max_attempts):
+            if attempt:
+                self.counters.retries += 1
+                await asyncio.sleep(next(backoffs))
+            self.counters.attempts += 1
+            try:
+                client = await self._ensure_connected()
+                result = await op(client)
+                self._raise_if_overloaded(result)
+            except ServiceOverloaded as exc:
+                self.counters.overloaded += 1
+                last_error = exc
+                await self._invalidate()  # server closes overloaded conns; follow suit
+            except ServiceTimeout as exc:
+                self.counters.timeouts += 1
+                last_error = exc
+                await self._invalidate()
+                if not retryable:
+                    break
+            except ServiceError as exc:
+                last_error = exc
+                await self._invalidate()
+                if not retryable:
+                    break
+            else:
+                return result
+        self.counters.failures += 1
+        assert last_error is not None
+        raise last_error
+
+    async def _ensure_connected(self) -> ServiceClient:
+        if self._client is None:
+            self._client = await ServiceClient.connect(
+                self.host,
+                self.port,
+                timeout=self.timeout,
+                connect_timeout=self.connect_timeout,
+            )
+            self.counters.connects += 1
+        return self._client
+
+    async def _invalidate(self) -> None:
+        if self._client is not None:
+            client, self._client = self._client, None
+            await client.close()
+
+    @staticmethod
+    def _raise_if_overloaded(result: Any) -> None:
+        payloads = result if isinstance(result, list) else [result]
+        for payload in payloads:
+            if isinstance(payload, dict) and payload.get("code") == CODE_OVERLOADED:
+                raise ServiceOverloaded(str(payload.get("error", "server overloaded")))

@@ -1,0 +1,361 @@
+"""Fault injection: a seeded `FaultPlan` and an in-process chaos proxy.
+
+The paper's claims are adversarial — bad placements must be short-lived,
+competitiveness must survive hostile inputs — and the serving layer makes
+the analogous claim operationally: the client/server pair must degrade
+gracefully under network misbehaviour. This module is the instrument that
+*produces* that misbehaviour, deterministically, so tests can assert exact
+outcomes instead of "it usually survives".
+
+Two pieces:
+
+:class:`FaultPlan`
+    A frozen description of *what* to inject: per-frame probabilities for
+    delay, drop, reset, truncate and corrupt, plus a root seed. A plan is
+    pure data; :meth:`FaultPlan.stream` derives the per-connection,
+    per-direction decision stream. Streams are keyed by
+    ``(seed, connection index, direction)`` through
+    :func:`repro.rng.derive_seed`, so the i-th frame of a given direction
+    of a given connection always meets the same fate — replaying a
+    deterministic client twice yields identical fault sequences and hence
+    identical retry/timeout/rejection counters.
+
+:class:`ChaosProxy`
+    An asyncio TCP proxy that sits between a client and a
+    :class:`~repro.service.server.CacheServer`, forwarding newline-framed
+    messages and applying one :class:`FaultPlan`. It never parses JSON —
+    faults happen at the byte/frame layer, exactly where a real network
+    would hurt you.
+
+Determinism caveat: fault *decisions* are deterministic per
+``(connection, direction, frame index)``. With a single sequential client
+(the pipelined load generator) connection indices are deterministic too,
+so end-to-end counter equality holds; with concurrent clients the
+connection-accept order — and therefore which stream a client gets — is
+up to the event loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import itertools
+import random
+from dataclasses import dataclass, field, fields
+from typing import Any, AsyncIterator
+
+from repro.errors import ConfigurationError, ServiceError
+from repro.rng import derive_seed
+from repro.service.protocol import MAX_LINE_BYTES
+
+__all__ = [
+    "FAULT_ACTIONS",
+    "DIRECTIONS",
+    "FaultPlan",
+    "FaultStream",
+    "FaultStats",
+    "ChaosProxy",
+    "running_proxy",
+]
+
+#: Everything a stream can do to one frame, in cumulative-probability order.
+FAULT_ACTIONS = ("delay", "drop", "reset", "truncate", "corrupt")
+
+#: Traffic directions a plan may target: client-to-server, server-to-client.
+DIRECTIONS = ("c2s", "s2c", "both")
+
+#: Newline never appears inside a frame body; corruption must preserve that
+#: so a corrupted frame stays *one* frame (one response per request).
+_NEWLINE = 0x0A
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded, deterministic description of the faults to inject.
+
+    Rates are independent per-frame probabilities; their sum must be
+    ``<= 1`` (the remainder is clean forwarding). ``delay`` pauses the
+    frame (and everything queued behind it in that direction) for
+    ``delay_s`` seconds; ``drop`` silently swallows the frame; ``reset``
+    aborts both sides of the connection; ``truncate`` forwards a prefix of
+    the frame and then aborts (a mid-frame disconnect); ``corrupt``
+    rewrites random bytes in the frame body (never the trailing newline,
+    so framing survives and every request still gets exactly one
+    response).
+    """
+
+    seed: int = 0
+    delay_rate: float = 0.0
+    delay_s: float = 0.002
+    drop_rate: float = 0.0
+    reset_rate: float = 0.0
+    truncate_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    direction: str = "both"
+
+    def __post_init__(self) -> None:
+        for name in ("delay_rate", "drop_rate", "reset_rate", "truncate_rate", "corrupt_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1], got {rate}")
+        if self.fault_rate > 1.0:
+            raise ConfigurationError(
+                f"fault rates must sum to <= 1, got {self.fault_rate}"
+            )
+        if self.delay_s < 0:
+            raise ConfigurationError(f"delay_s must be non-negative, got {self.delay_s}")
+        if self.direction not in DIRECTIONS:
+            raise ConfigurationError(
+                f"direction must be one of {DIRECTIONS}, got {self.direction!r}"
+            )
+
+    @property
+    def fault_rate(self) -> float:
+        """Total per-frame probability of *any* fault."""
+        return (
+            self.delay_rate
+            + self.drop_rate
+            + self.reset_rate
+            + self.truncate_rate
+            + self.corrupt_rate
+        )
+
+    def applies_to(self, direction: str) -> bool:
+        return self.direction == "both" or self.direction == direction
+
+    def stream(self, conn_id: int, direction: str) -> "FaultStream":
+        """The decision stream for one direction of one connection."""
+        return FaultStream(self, conn_id, direction)
+
+
+class FaultStream:
+    """Deterministic per-(connection, direction) fault decisions.
+
+    One :meth:`decide` call per frame; the i-th call always returns the
+    same action for the same ``(plan.seed, conn_id, direction)``, no
+    matter what the other direction or other connections are doing.
+    """
+
+    def __init__(self, plan: FaultPlan, conn_id: int, direction: str):
+        if direction not in ("c2s", "s2c"):
+            raise ConfigurationError(f"stream direction must be c2s or s2c, got {direction!r}")
+        self.plan = plan
+        self.conn_id = conn_id
+        self.direction = direction
+        self._rng = random.Random(derive_seed(plan.seed, "fault-stream", conn_id, direction))
+
+    def decide(self) -> str:
+        """Fate of the next frame: ``"forward"`` or one of FAULT_ACTIONS."""
+        plan = self.plan
+        if not plan.applies_to(self.direction):
+            return "forward"
+        u = self._rng.random()
+        for action in FAULT_ACTIONS:
+            u -= getattr(plan, f"{action}_rate")
+            if u < 0:
+                return action
+        return "forward"
+
+    def corrupt(self, frame: bytes) -> bytes:
+        """Rewrite 1–4 random body bytes (framing newline untouched)."""
+        body = bytearray(frame)
+        limit = len(body) - 1 if frame.endswith(b"\n") else len(body)
+        if limit <= 0:
+            return frame
+        for _ in range(self._rng.randint(1, 4)):
+            pos = self._rng.randrange(limit)
+            byte = self._rng.randrange(255)
+            body[pos] = byte + 1 if byte >= _NEWLINE else byte  # skip 0x0A
+        return bytes(body)
+
+    def truncate(self, frame: bytes) -> bytes:
+        """A proper prefix of ``frame`` (what a mid-frame disconnect sends)."""
+        if len(frame) <= 1:
+            return b""
+        return frame[: self._rng.randrange(1, len(frame))]
+
+
+@dataclass
+class FaultStats:
+    """What one :class:`ChaosProxy` actually did, by category.
+
+    ``frames`` counts cleanly forwarded frames (including delayed and
+    corrupted ones — those still reach the peer); the fault counters count
+    injection events. Decision counters are deterministic per plan for a
+    deterministic client; ``frames`` on the server-to-client path can race
+    with connection aborts and is excluded from determinism claims.
+    """
+
+    connections: int = 0
+    frames: int = 0
+    delays: int = 0
+    drops: int = 0
+    resets: int = 0
+    truncations: int = 0
+    corruptions: int = 0
+    upstream_failures: int = 0
+
+    @property
+    def faults(self) -> int:
+        return self.delays + self.drops + self.resets + self.truncations + self.corruptions
+
+    def as_dict(self) -> dict[str, int]:
+        snap = {f.name: getattr(self, f.name) for f in fields(self)}
+        snap["faults"] = self.faults
+        return snap
+
+    def decision_counts(self) -> dict[str, int]:
+        """Only the deterministic injection counters (for replay equality)."""
+        return {
+            "delays": self.delays,
+            "drops": self.drops,
+            "resets": self.resets,
+            "truncations": self.truncations,
+            "corruptions": self.corruptions,
+        }
+
+
+class ChaosProxy:
+    """Newline-framed TCP proxy that applies one :class:`FaultPlan`.
+
+    Accepts on ``host:port`` (``port=0`` = ephemeral; read :attr:`port`
+    after :meth:`start`) and forwards each connection to
+    ``upstream_host:upstream_port``. Each accepted connection gets the
+    next connection index and two independent fault streams, one per
+    direction.
+    """
+
+    def __init__(
+        self,
+        upstream_host: str,
+        upstream_port: int,
+        plan: FaultPlan,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.upstream_host = upstream_host
+        self.upstream_port = upstream_port
+        self.plan = plan
+        self.host = host
+        self.port = port
+        self.stats = FaultStats()
+        self._server: asyncio.Server | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._conn_ids = itertools.count()
+
+    async def start(self) -> None:
+        if self._server is not None:
+            raise ServiceError("chaos proxy is already running")
+        try:
+            self._server = await asyncio.start_server(
+                self._handle_connection, self.host, self.port, limit=2 * MAX_LINE_BYTES
+            )
+        except OSError as exc:
+            raise ServiceError(f"cannot bind {self.host}:{self.port}: {exc}") from exc
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is None:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        for task in tuple(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        self._server = None
+
+    async def _handle_connection(
+        self, client_reader: asyncio.StreamReader, client_writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        assert task is not None
+        self._conn_tasks.add(task)
+        conn_id = next(self._conn_ids)
+        self.stats.connections += 1
+        upstream_writer: asyncio.StreamWriter | None = None
+        try:
+            try:
+                upstream_reader, upstream_writer = await asyncio.open_connection(
+                    self.upstream_host, self.upstream_port, limit=2 * MAX_LINE_BYTES
+                )
+            except OSError:
+                self.stats.upstream_failures += 1
+                return
+            pumps = [
+                asyncio.create_task(
+                    self._pump(client_reader, upstream_writer, self.plan.stream(conn_id, "c2s"))
+                ),
+                asyncio.create_task(
+                    self._pump(upstream_reader, client_writer, self.plan.stream(conn_id, "s2c"))
+                ),
+            ]
+            try:
+                done, pending = await asyncio.wait(pumps, return_when=asyncio.FIRST_COMPLETED)
+                aborted = any(t.result() == "reset" for t in done if not t.cancelled())
+            finally:
+                for pump in pumps:
+                    pump.cancel()
+                await asyncio.gather(*pumps, return_exceptions=True)
+            if aborted:
+                for writer in (client_writer, upstream_writer):
+                    with contextlib.suppress(Exception):
+                        writer.transport.abort()
+        except asyncio.CancelledError:
+            pass  # proxy shutting down
+        finally:
+            self._conn_tasks.discard(task)
+            for writer in (client_writer, upstream_writer):
+                if writer is None:
+                    continue
+                writer.close()
+                with contextlib.suppress(Exception):
+                    await writer.wait_closed()
+
+    async def _pump(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter, stream: FaultStream
+    ) -> str:
+        """Forward frames one way, applying the stream; returns why it ended."""
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    return "eof"
+                action = stream.decide()
+                if action == "drop":
+                    self.stats.drops += 1
+                    continue
+                if action == "reset":
+                    self.stats.resets += 1
+                    return "reset"
+                if action == "truncate":
+                    self.stats.truncations += 1
+                    writer.write(stream.truncate(line))
+                    with contextlib.suppress(Exception):
+                        await writer.drain()
+                    return "reset"  # a mid-frame disconnect follows the prefix
+                if action == "delay":
+                    self.stats.delays += 1
+                    await asyncio.sleep(self.plan.delay_s)
+                elif action == "corrupt":
+                    self.stats.corruptions += 1
+                    line = stream.corrupt(line)
+                writer.write(line)
+                await writer.drain()
+                self.stats.frames += 1
+        except (ConnectionResetError, BrokenPipeError, OSError, ValueError):
+            return "error"  # peer vanished or frame exceeded the relay limit
+
+
+@contextlib.asynccontextmanager
+async def running_proxy(
+    upstream_host: str, upstream_port: int, plan: FaultPlan, **kwargs: Any
+) -> AsyncIterator[ChaosProxy]:
+    """``async with running_proxy(host, port, plan) as proxy:`` bracket."""
+    proxy = ChaosProxy(upstream_host, upstream_port, plan, **kwargs)
+    await proxy.start()
+    try:
+        yield proxy
+    finally:
+        await proxy.stop()

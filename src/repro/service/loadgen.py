@@ -14,19 +14,38 @@ Replays any :class:`~repro.traces.base.Trace` (synthetic or loaded from
   the event loop produces — this is the "live concurrent traffic" regime,
   where the aggregate hit rate is only statistically (not bitwise)
   comparable to the offline run.
+
+Robustness knobs: ``retry`` switches shards to
+:class:`~repro.service.client.ResilientClient` (bounded retries,
+reconnects; a window that exhausts its attempts is *counted* as errors,
+never raised — the replay always completes), ``timeout`` bounds every
+network wait, and ``faults`` interposes an in-process
+:class:`~repro.service.faults.ChaosProxy` between the clients and the
+server, so one call exercises the whole failure surface. Under faults and
+retries, replayed windows reach the policy more than once; exact offline
+parity is a *clean-network* property (assert ``report.retries == 0``
+before relying on it).
 """
 
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any
 
 import numpy as np
 
-from repro.errors import ConfigurationError
-from repro.service.client import ServiceClient
+from repro.errors import ConfigurationError, ServiceError
+from repro.service.client import (
+    DEFAULT_TIMEOUT,
+    ClientStats,
+    ResilientClient,
+    RetryPolicy,
+    ServiceClient,
+)
+from repro.service.faults import FaultPlan, running_proxy
 from repro.traces.base import Trace, as_page_array
 
 __all__ = ["LoadReport", "replay_trace", "run_replay"]
@@ -45,6 +64,8 @@ class LoadReport:
     mode: str
     concurrency: int
     server_stats: dict[str, Any] = field(default_factory=dict)
+    client_stats: dict[str, int] = field(default_factory=dict)
+    fault_stats: dict[str, int] = field(default_factory=dict)
 
     @property
     def hit_rate(self) -> float:
@@ -54,6 +75,14 @@ class LoadReport:
     def ops_per_second(self) -> float:
         return self.ops / self.seconds if self.seconds > 0 else 0.0
 
+    @property
+    def retries(self) -> int:
+        return self.client_stats.get("retries", 0)
+
+    @property
+    def timeouts(self) -> int:
+        return self.client_stats.get("timeouts", 0)
+
     def summary(self) -> str:
         lat = self.server_stats.get("latency", {})
         lines = [
@@ -62,6 +91,23 @@ class LoadReport:
             f"hits       : {self.hits}  (rate {self.hit_rate:.4f})",
             f"errors     : {self.errors}",
         ]
+        if self.client_stats:
+            c = self.client_stats
+            lines.append(
+                f"resilience : {c.get('retries', 0)} retries, "
+                f"{c.get('timeouts', 0)} timeouts, "
+                f"{c.get('reconnects', 0)} reconnects, "
+                f"{c.get('overloaded', 0)} overloaded, "
+                f"{c.get('failures', 0)} gave up"
+            )
+        if self.fault_stats:
+            f_ = self.fault_stats
+            lines.append(
+                f"faults     : {f_.get('faults', 0)} injected "
+                f"({f_.get('delays', 0)} delay, {f_.get('drops', 0)} drop, "
+                f"{f_.get('resets', 0)} reset, {f_.get('truncations', 0)} truncate, "
+                f"{f_.get('corruptions', 0)} corrupt)"
+            )
         if self.server_stats:
             lines += [
                 f"server     : {self.server_stats.get('policy')} "
@@ -88,6 +134,9 @@ async def replay_trace(
     mode: str = "pipeline",
     concurrency: int = 32,
     fetch_stats: bool = True,
+    timeout: float | None = DEFAULT_TIMEOUT,
+    retry: RetryPolicy | None = None,
+    faults: FaultPlan | None = None,
 ) -> LoadReport:
     """Replay ``trace`` as GETs against ``host:port``; see module docs."""
     if mode not in MODES:
@@ -96,20 +145,61 @@ async def replay_trace(
         raise ConfigurationError(f"concurrency must be >= 1, got {concurrency}")
     pages = as_page_array(trace).tolist()
 
+    if faults is not None:
+        async with running_proxy(host, port, faults) as proxy:
+            report = await _replay(
+                pages, proxy.host, proxy.port, mode=mode, concurrency=concurrency,
+                fetch_stats=fetch_stats, timeout=timeout, retry=retry,
+            )
+        return replace(report, fault_stats=proxy.stats.as_dict())
+    return await _replay(
+        pages, host, port, mode=mode, concurrency=concurrency,
+        fetch_stats=fetch_stats, timeout=timeout, retry=retry,
+    )
+
+
+async def _replay(
+    pages: list[int],
+    host: str,
+    port: int,
+    *,
+    mode: str,
+    concurrency: int,
+    fetch_stats: bool,
+    timeout: float | None,
+    retry: RetryPolicy | None,
+) -> LoadReport:
     start = time.perf_counter()
     if mode == "pipeline":
-        counts = [await _replay_shard(pages, host, port, window=concurrency)]
+        counts = [
+            await _replay_shard(pages, host, port, window=concurrency,
+                                timeout=timeout, retry=retry)
+        ]
     else:
         shards = [pages[i::concurrency] for i in range(concurrency)]
         counts = await asyncio.gather(
-            *(_replay_shard(shard, host, port, window=32) for shard in shards if shard)
+            *(
+                _replay_shard(shard, host, port, window=32, timeout=timeout, retry=retry)
+                for shard in shards
+                if shard
+            )
         )
     seconds = time.perf_counter() - start
 
-    stats: dict[str, Any] = {}
+    client_stats: dict[str, int] = {}
+    if retry is not None:
+        totals = ClientStats()
+        for _, _, _, stats in counts:
+            if stats is None:
+                continue
+            for name in ("attempts", "retries", "timeouts", "overloaded", "connects", "failures"):
+                setattr(totals, name, getattr(totals, name) + getattr(stats, name))
+        client_stats = totals.as_dict()
+
+    stats_snapshot: dict[str, Any] = {}
     if fetch_stats:
-        async with await ServiceClient.connect(host, port) as client:
-            stats = await client.stats()
+        with contextlib.suppress(ServiceError):
+            stats_snapshot = await _fetch_stats(host, port, timeout=timeout, retry=retry)
     return LoadReport(
         ops=sum(c[0] for c in counts),
         hits=sum(c[1] for c in counts),
@@ -117,24 +207,65 @@ async def replay_trace(
         seconds=seconds,
         mode=mode,
         concurrency=concurrency,
-        server_stats=stats,
+        server_stats=stats_snapshot,
+        client_stats=client_stats,
     )
 
 
 async def _replay_shard(
-    pages: list[int], host: str, port: int, *, window: int
-) -> tuple[int, int, int]:
-    """Replay one ordered list of keys over one connection; (ops, hits, errors)."""
+    pages: list[int],
+    host: str,
+    port: int,
+    *,
+    window: int,
+    timeout: float | None,
+    retry: RetryPolicy | None,
+) -> tuple[int, int, int, ClientStats | None]:
+    """Replay one ordered list of keys over one (logical) connection.
+
+    Returns ``(ops, hits, errors, client_stats)``. With a retry policy, a
+    window whose attempts are exhausted is charged to ``errors`` and the
+    replay presses on — graceful degradation is the point, a chaos run
+    must never crash the generator.
+    """
     ops = hits = errors = 0
-    async with await ServiceClient.connect(host, port) as client:
+    if retry is None:
+        async with await ServiceClient.connect(host, port, timeout=timeout) as client:
+            for lo in range(0, len(pages), window):
+                for response in await client.get_window(pages[lo : lo + window]):
+                    ops += 1
+                    if not response.get("ok"):
+                        errors += 1
+                    elif response.get("hit"):
+                        hits += 1
+        return ops, hits, errors, None
+
+    async with ResilientClient(host, port, retry=retry, timeout=timeout) as client:
         for lo in range(0, len(pages), window):
-            for response in await client.get_window(pages[lo : lo + window]):
+            keys = pages[lo : lo + window]
+            try:
+                responses = await client.get_window(keys)
+            except ServiceError:
+                ops += len(keys)
+                errors += len(keys)
+                continue
+            for response in responses:
                 ops += 1
                 if not response.get("ok"):
                     errors += 1
                 elif response.get("hit"):
                     hits += 1
-    return ops, hits, errors
+        return ops, hits, errors, client.counters
+
+
+async def _fetch_stats(
+    host: str, port: int, *, timeout: float | None, retry: RetryPolicy | None
+) -> dict[str, Any]:
+    if retry is None:
+        async with await ServiceClient.connect(host, port, timeout=timeout) as client:
+            return await client.stats()
+    async with ResilientClient(host, port, retry=retry, timeout=timeout) as client:
+        return await client.stats()
 
 
 def run_replay(trace: Trace | np.ndarray, **kwargs: Any) -> LoadReport:

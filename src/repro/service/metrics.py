@@ -94,6 +94,8 @@ class ServiceMetrics:
         self.hits = 0
         self.misses = 0
         self.errors = 0
+        self.rejected = 0  # connections shed by the max_connections cap
+        self.write_timeouts = 0  # connections dropped for not reading responses
         self.connections_opened = 0
         self.connections_closed = 0
         self.latency = LatencyHistogram()
@@ -117,6 +119,8 @@ class ServiceMetrics:
             "accesses": self.accesses,
             "hit_rate": self.hit_rate,
             "errors": self.errors,
+            "rejected": self.rejected,
+            "write_timeouts": self.write_timeouts,
             "connections_open": self.connections_opened - self.connections_closed,
             "connections_total": self.connections_opened,
             "latency": self.latency.snapshot(),

@@ -36,12 +36,20 @@ from repro.errors import ProtocolError
 __all__ = [
     "MAX_LINE_BYTES",
     "OPS",
+    "IDEMPOTENT_OPS",
+    "CODE_BAD_REQUEST",
+    "CODE_REJECTED",
+    "CODE_OVERFLOW",
+    "CODE_INTERNAL",
+    "CODE_OVERLOADED",
+    "ERROR_CODES",
     "Request",
     "decode_request",
     "encode_request",
     "decode_response",
     "encode_response",
     "error_payload",
+    "overload_payload",
 ]
 
 #: Hard cap on one wire line; protects the server from unbounded buffering.
@@ -49,6 +57,23 @@ MAX_LINE_BYTES = 1 << 20
 
 #: Operations a request may carry.
 OPS = frozenset({"GET", "PUT", "DEL", "STATS", "PING"})
+
+#: Operations a client may retry blindly. GET *does* advance the policy
+#: state machine, but re-accessing a key is semantically a cache lookup,
+#: not a state-corrupting write; PUT/DEL change stored payloads and are
+#: only retried when the caller opts in.
+IDEMPOTENT_OPS = frozenset({"GET", "STATS", "PING"})
+
+#: Error-response ``code`` values the server emits.
+CODE_BAD_REQUEST = "bad-request"  # malformed message; connection keeps serving
+CODE_REJECTED = "rejected"  # library-level refusal (ReproError)
+CODE_OVERFLOW = "overflow"  # oversized line; connection is closed after this
+CODE_INTERNAL = "internal-error"  # handler bug; connection keeps serving
+CODE_OVERLOADED = "overloaded"  # connection cap hit; sent once, then closed
+
+ERROR_CODES = frozenset(
+    {CODE_BAD_REQUEST, CODE_REJECTED, CODE_OVERFLOW, CODE_INTERNAL, CODE_OVERLOADED}
+)
 
 #: Which operations require a ``key`` field.
 _KEYED_OPS = frozenset({"GET", "PUT", "DEL"})
@@ -111,9 +136,18 @@ def decode_response(line: bytes | bytearray | str) -> dict[str, Any]:
     return _decode_line(line)
 
 
-def error_payload(message: str, *, code: str = "bad-request") -> dict[str, Any]:
+def error_payload(message: str, *, code: str = CODE_BAD_REQUEST) -> dict[str, Any]:
     """The standard error-response body."""
     return {"ok": False, "code": code, "error": message}
+
+
+def overload_payload() -> dict[str, Any]:
+    """The fast-rejection body sent when the connection cap is hit.
+
+    The refusal happens before the request line is even read, so any
+    operation — including PUT/DEL — is safe to retry after backoff.
+    """
+    return error_payload("server overloaded; retry with backoff", code=CODE_OVERLOADED)
 
 
 def _encode_line(payload: dict[str, Any]) -> bytes:

@@ -13,8 +13,16 @@ and speaks the newline-delimited JSON protocol of
 - **Graceful shutdown.** :meth:`CacheServer.stop` stops accepting, nudges
   open connections closed, and awaits every in-flight handler, so STATS
   counters are final when it returns.
-- **Backpressure.** Responses go through ``writer.drain()``; a client that
-  stops reading throttles only its own connection.
+- **Backpressure, three layers.** ``max_connections`` caps concurrent
+  connections — excess connections get one fast ``overloaded`` response
+  and are closed (load shedding beats queueing collapse). Per connection,
+  at most ``max_inflight`` pipelined requests are buffered ahead of the
+  processor; beyond that the server simply stops reading and TCP flow
+  control pushes back on the sender, bounding memory per connection.
+  Responses go through ``writer.drain()`` under ``write_timeout`` — a
+  client that stops *reading* throttles only its own connection, and one
+  that stays wedged past the deadline is dropped (counted in
+  ``write_timeouts``) instead of parking a handler forever.
 """
 
 from __future__ import annotations
@@ -23,17 +31,32 @@ import asyncio
 import contextlib
 from typing import Any, AsyncIterator
 
-from repro.errors import ProtocolError, ReproError, ServiceError
+from repro.errors import ConfigurationError, ProtocolError, ReproError, ServiceError
 from repro.service.protocol import (
+    CODE_OVERFLOW,
+    CODE_INTERNAL,
+    CODE_REJECTED,
     MAX_LINE_BYTES,
     Request,
     encode_response,
     error_payload,
+    overload_payload,
     decode_request,
 )
 from repro.service.store import PolicyStore
 
-__all__ = ["CacheServer", "running_server"]
+__all__ = ["DEFAULT_WRITE_TIMEOUT", "DEFAULT_MAX_INFLIGHT", "CacheServer", "running_server"]
+
+#: Default deadline for draining one response to a slow client, seconds.
+DEFAULT_WRITE_TIMEOUT = 30.0
+
+#: Default per-connection pipelined-request buffer (requests read ahead of
+#: the processor before the server stops reading that connection).
+DEFAULT_MAX_INFLIGHT = 32
+
+#: Queue sentinels from the per-connection reader task.
+_EOF = object()
+_OVERFLOW = object()
 
 
 class CacheServer:
@@ -46,12 +69,44 @@ class CacheServer:
     host, port:
         Bind address. ``port=0`` (the default) binds an ephemeral port;
         read :attr:`port` after :meth:`start` for the actual one.
+    max_connections:
+        Concurrent-connection cap; connections beyond it receive one
+        ``overloaded`` error response and are closed immediately.
+        ``None`` (default) = unlimited.
+    max_inflight:
+        Per-connection bound on pipelined requests buffered ahead of the
+        processor; TCP flow control enforces the excess.
+    write_timeout:
+        Deadline for draining one response; a client that will not read
+        for this long is disconnected. ``None`` = wait forever.
     """
 
-    def __init__(self, store: PolicyStore, *, host: str = "127.0.0.1", port: int = 0):
+    def __init__(
+        self,
+        store: PolicyStore,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_connections: int | None = None,
+        max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        write_timeout: float | None = DEFAULT_WRITE_TIMEOUT,
+    ):
+        if max_connections is not None and max_connections < 1:
+            raise ConfigurationError(
+                f"max_connections must be >= 1 or None, got {max_connections}"
+            )
+        if max_inflight < 1:
+            raise ConfigurationError(f"max_inflight must be >= 1, got {max_inflight}")
+        if write_timeout is not None and write_timeout <= 0:
+            raise ConfigurationError(
+                f"write_timeout must be positive or None, got {write_timeout}"
+            )
         self.store = store
         self.host = host
         self.port = port
+        self.max_connections = max_connections
+        self.max_inflight = max_inflight
+        self.write_timeout = write_timeout
         self._server: asyncio.Server | None = None
         self._conn_tasks: set[asyncio.Task] = set()
 
@@ -100,27 +155,15 @@ class CacheServer:
         self._conn_tasks.add(task)
         metrics = self.store.metrics
         metrics.connections_opened += 1
-        loop = asyncio.get_running_loop()
         try:
-            while True:
-                try:
-                    line = await reader.readline()
-                except (asyncio.LimitOverrunError, ValueError):
-                    # frame too large: the stream is no longer parseable,
-                    # report once and drop only this connection
-                    metrics.errors += 1
-                    writer.write(
-                        encode_response(error_payload("line too long", code="overflow"))
-                    )
-                    await writer.drain()
-                    break
-                if not line:
-                    break  # EOF: client done
-                start = loop.time()
-                response = await self._handle_line(line)
-                metrics.latency.record(loop.time() - start)
-                writer.write(encode_response(response))
-                await writer.drain()
+            if self.max_connections is not None and len(self._conn_tasks) > self.max_connections:
+                # Load shedding: answer fast so the client can back off and
+                # retry, instead of silently queueing into a death spiral.
+                metrics.rejected += 1
+                writer.write(encode_response(overload_payload()))
+                await self._drain(writer, metrics)
+            else:
+                await self._serve_connection(reader, writer, metrics)
         except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
             pass  # client vanished or server shutting down; nothing to answer
         finally:
@@ -129,6 +172,70 @@ class CacheServer:
             writer.close()
             with contextlib.suppress(Exception):
                 await writer.wait_closed()
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter, metrics: Any
+    ) -> None:
+        # The reader task pulls lines into a bounded queue; this coroutine
+        # consumes them in order. The queue lets the server read ahead of a
+        # slow policy step (pipelining), while its maxsize is the in-flight
+        # window: when full, the reader blocks, the socket stops being read,
+        # and TCP pushes back on the client.
+        queue: asyncio.Queue[Any] = asyncio.Queue(maxsize=self.max_inflight)
+        pump = asyncio.create_task(self._pump_requests(reader, queue))
+        loop = asyncio.get_running_loop()
+        try:
+            while True:
+                item = await queue.get()
+                if item is _EOF:
+                    break
+                if item is _OVERFLOW:
+                    # frame too large: the stream is no longer parseable,
+                    # report once and drop only this connection
+                    metrics.errors += 1
+                    writer.write(
+                        encode_response(error_payload("line too long", code=CODE_OVERFLOW))
+                    )
+                    await self._drain(writer, metrics)
+                    break
+                start = loop.time()
+                response = await self._handle_line(item)
+                metrics.latency.record(loop.time() - start)
+                writer.write(encode_response(response))
+                if not await self._drain(writer, metrics):
+                    break
+        finally:
+            pump.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await pump
+
+    @staticmethod
+    async def _pump_requests(reader: asyncio.StreamReader, queue: asyncio.Queue) -> None:
+        while True:
+            try:
+                line = await reader.readline()
+            except (asyncio.LimitOverrunError, ValueError):
+                await queue.put(_OVERFLOW)
+                return
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                await queue.put(_EOF)
+                return
+            if not line:
+                await queue.put(_EOF)
+                return
+            await queue.put(line)  # blocks when the in-flight window is full
+
+    async def _drain(self, writer: asyncio.StreamWriter, metrics: Any) -> bool:
+        """Flush to the client under ``write_timeout``; False = drop them."""
+        try:
+            if self.write_timeout is None:
+                await writer.drain()
+            else:
+                await asyncio.wait_for(writer.drain(), self.write_timeout)
+        except asyncio.TimeoutError:
+            metrics.write_timeouts += 1
+            return False
+        return True
 
     async def _handle_line(self, line: bytes) -> dict[str, Any]:
         try:
@@ -140,11 +247,11 @@ class CacheServer:
             return await self._dispatch(request)
         except ReproError as exc:
             self.store.metrics.errors += 1
-            return error_payload(str(exc), code="rejected")
+            return error_payload(str(exc), code=CODE_REJECTED)
         except Exception as exc:  # noqa: BLE001 - isolation boundary
             self.store.metrics.errors += 1
             return error_payload(
-                f"{type(exc).__name__}: {exc}", code="internal-error"
+                f"{type(exc).__name__}: {exc}", code=CODE_INTERNAL
             )
 
     async def _dispatch(self, request: Request) -> dict[str, Any]:
@@ -169,10 +276,14 @@ class CacheServer:
 
 @contextlib.asynccontextmanager
 async def running_server(
-    store: PolicyStore, *, host: str = "127.0.0.1", port: int = 0
+    store: PolicyStore, *, host: str = "127.0.0.1", port: int = 0, **kwargs: Any
 ) -> AsyncIterator[CacheServer]:
-    """``async with running_server(store) as server:`` — start/stop bracket."""
-    server = CacheServer(store, host=host, port=port)
+    """``async with running_server(store) as server:`` — start/stop bracket.
+
+    Keyword arguments (``max_connections``, ``max_inflight``,
+    ``write_timeout``) pass through to :class:`CacheServer`.
+    """
+    server = CacheServer(store, host=host, port=port, **kwargs)
     await server.start()
     try:
         yield server

@@ -108,6 +108,44 @@ class PolicyStore:
                 snap["sink_occupancy"] = float(occupancy())
             return snap
 
+    async def verify(self) -> list[str]:
+        """Cross-check counters against policy state; [] means consistent.
+
+        The invariants below must hold at any quiescent point *regardless
+        of what the network did* — dropped frames, retried windows, reset
+        connections. Chaos tests call this after every faulted replay; a
+        non-empty return value means a failure path corrupted accounting.
+        """
+        async with self._lock:
+            m = self.metrics
+            resident = len(self.policy)
+            problems: list[str] = []
+            if m.accesses != m.gets + m.puts:
+                problems.append(
+                    f"accesses {m.accesses} != gets {m.gets} + puts {m.puts}"
+                )
+            if m.accesses != m.hits + m.misses:
+                problems.append(
+                    f"accesses {m.accesses} != hits {m.hits} + misses {m.misses}"
+                )
+            if resident > self.policy.capacity:
+                problems.append(
+                    f"resident {resident} exceeds capacity {self.policy.capacity}"
+                )
+            if m.misses < resident:
+                problems.append(
+                    f"misses {m.misses} < resident {resident} (evictions negative)"
+                )
+            if len(self._values) > max(64, 2 * self.policy.capacity):
+                problems.append(
+                    f"payload map holds {len(self._values)} entries, prune bound exceeded"
+                )
+            if m.connections_closed > m.connections_opened:
+                problems.append(
+                    f"connections_closed {m.connections_closed} > opened {m.connections_opened}"
+                )
+            return problems
+
     # -- internals ----------------------------------------------------------
     def _access(self, key: int) -> bool:
         hit = self.policy.access(key)

@@ -1,0 +1,90 @@
+"""Differential tests: PolicyStore vs the offline simulator (hypothesis).
+
+The serving layer's correctness anchor is that every GET/PUT maps to
+exactly one ``CachePolicy.access`` step and DEL maps to none. So for
+*any* op mix, replaying the ops through a :class:`PolicyStore` and
+running the GET/PUT key subsequence through the offline
+:mod:`repro.sim.engine` reference with the same policy/capacity/seed must
+agree on hit, miss and eviction counts — bit for bit, including for the
+randomized policies (2-random, heatsink), whose seeds pin their coin
+flips.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.registry import make_policy
+from repro.service.store import PolicyStore
+from repro.sim.engine import run_policy
+
+POLICIES = ("lru", "2-random", "heatsink")
+
+# capacities >= 3: heatsink needs room for its sink region plus one bin
+capacities = st.integers(min_value=3, max_value=16)
+
+ops = st.lists(
+    st.tuples(st.sampled_from(["GET", "PUT", "DEL"]), st.integers(min_value=0, max_value=24)),
+    max_size=80,
+)
+
+
+def make(name: str, capacity: int, seed: int):
+    try:
+        return make_policy(name, capacity, seed=seed)
+    except TypeError:  # deterministic policies take no seed
+        return make_policy(name, capacity)
+
+
+def drive_store(policy, op_list):
+    """Apply the op mix through a PolicyStore; returns (store, snapshot)."""
+
+    async def scenario():
+        store = PolicyStore(policy)
+        for op, key in op_list:
+            if op == "GET":
+                await store.get(key)
+            elif op == "PUT":
+                await store.put(key, f"v{key}")
+            else:
+                await store.delete(key)
+        snapshot = await store.stats()
+        problems = await store.verify()
+        return store, snapshot, problems
+
+    return asyncio.run(scenario())
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(op_list=ops, capacity=capacities, name=st.sampled_from(POLICIES), seed=st.integers(0, 7))
+def test_store_agrees_with_offline_engine(op_list, capacity, name, seed):
+    _, snapshot, problems = drive_store(make(name, capacity, seed), op_list)
+    assert problems == []
+
+    accesses = [key for op, key in op_list if op != "DEL"]
+    assert snapshot["accesses"] == len(accesses)
+    if not accesses:
+        assert snapshot["hits"] == snapshot["misses"] == snapshot["evictions"] == 0
+        return
+
+    reference = make(name, capacity, seed)
+    row = run_policy(reference, np.asarray(accesses, dtype=np.int64))
+    assert snapshot["hits"] == row["accesses"] - row["misses"]
+    assert snapshot["misses"] == row["misses"]
+    assert snapshot["resident"] == len(reference)
+    assert snapshot["evictions"] == row["misses"] - len(reference)
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(op_list=ops, capacity=capacities, seed=st.integers(0, 7))
+def test_del_never_touches_residency(op_list, capacity, seed):
+    """DELs interleaved anywhere must not change what is resident."""
+    with_dels = drive_store(make("heatsink", capacity, seed), op_list)[1]
+    without_dels = drive_store(
+        make("heatsink", capacity, seed), [(op, k) for op, k in op_list if op != "DEL"]
+    )[1]
+    for field in ("hits", "misses", "resident", "evictions"):
+        assert with_dels[field] == without_dels[field]

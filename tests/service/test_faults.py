@@ -1,0 +1,155 @@
+"""FaultPlan / FaultStream / ChaosProxy unit tests."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+import repro
+from repro.errors import ConfigurationError, ServiceError
+from repro.service.client import ServiceClient
+from repro.service.faults import FaultPlan, running_proxy
+from repro.service.server import running_server
+from repro.service.store import PolicyStore
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def make_store(capacity=8):
+    return PolicyStore(repro.LRUCache(capacity))
+
+
+class TestFaultPlan:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"drop_rate": -0.1},
+            {"corrupt_rate": 1.5},
+            {"drop_rate": 0.6, "reset_rate": 0.6},  # rates sum past 1
+            {"delay_s": -1.0},
+            {"direction": "sideways"},
+        ],
+    )
+    def test_bad_plans_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(**kwargs)
+
+    def test_fault_rate_sums_categories(self):
+        plan = FaultPlan(delay_rate=0.1, drop_rate=0.2, corrupt_rate=0.3)
+        assert plan.fault_rate == pytest.approx(0.6)
+
+    def test_stream_is_deterministic_per_connection_and_direction(self):
+        plan = FaultPlan(seed=3, drop_rate=0.3, corrupt_rate=0.3)
+        a = [plan.stream(0, "c2s").decide() for _ in range(1)]  # fresh stream
+        first = [plan.stream(0, "c2s") for _ in range(2)]
+        decisions = [[s.decide() for _ in range(200)] for s in first]
+        assert decisions[0] == decisions[1]
+        assert a[0] == decisions[0][0]
+        other_conn = [plan.stream(1, "c2s").decide() for _ in range(200)]
+        other_dir = [plan.stream(0, "s2c").decide() for _ in range(200)]
+        assert decisions[0] != other_conn
+        assert decisions[0] != other_dir
+
+    def test_direction_filter(self):
+        plan = FaultPlan(seed=0, drop_rate=1.0, direction="s2c")
+        assert all(plan.stream(0, "c2s").decide() == "forward" for _ in range(20))
+        assert plan.stream(0, "s2c").decide() == "drop"
+
+    def test_corrupt_preserves_framing(self):
+        stream = FaultPlan(seed=1, corrupt_rate=1.0).stream(0, "c2s")
+        for _ in range(100):
+            mangled = stream.corrupt(b'{"op":"GET","key":123}\n')
+            assert mangled.endswith(b"\n")
+            assert mangled.count(b"\n") == 1  # still exactly one frame
+
+    def test_truncate_returns_proper_prefix(self):
+        stream = FaultPlan(seed=1, truncate_rate=1.0).stream(0, "c2s")
+        frame = b'{"op":"PING"}\n'
+        for _ in range(50):
+            prefix = stream.truncate(frame)
+            assert len(prefix) < len(frame)
+            assert frame.startswith(prefix)
+
+
+class TestChaosProxy:
+    def test_zero_fault_plan_is_transparent(self):
+        async def scenario():
+            async with running_server(make_store(4)) as server:
+                async with running_proxy("127.0.0.1", server.port, FaultPlan()) as proxy:
+                    async with await ServiceClient.connect(
+                        "127.0.0.1", proxy.port, timeout=2.0
+                    ) as client:
+                        hits = [r["hit"] for r in await client.get_window([1, 1, 2, 1, 3])]
+                        assert await client.ping() is True
+                    assert proxy.stats.faults == 0
+                    assert proxy.stats.connections == 1
+                    assert proxy.stats.frames > 0
+            return hits
+
+        assert run(scenario()) == [False, True, False, True, False]
+
+    def test_dropped_request_times_out_client(self):
+        async def scenario():
+            plan = FaultPlan(seed=0, drop_rate=1.0, direction="c2s")
+            async with running_server(make_store()) as server:
+                async with running_proxy("127.0.0.1", server.port, plan) as proxy:
+                    async with await ServiceClient.connect(
+                        "127.0.0.1", proxy.port, timeout=0.1
+                    ) as client:
+                        with pytest.raises(ServiceError, match="timed out"):
+                            await client.get(1)
+                    assert proxy.stats.drops == 1
+
+        run(scenario())
+
+    def test_reset_surfaces_as_service_error(self):
+        async def scenario():
+            plan = FaultPlan(seed=0, reset_rate=1.0, direction="c2s")
+            async with running_server(make_store()) as server:
+                async with running_proxy("127.0.0.1", server.port, plan) as proxy:
+                    async with await ServiceClient.connect(
+                        "127.0.0.1", proxy.port, timeout=1.0
+                    ) as client:
+                        with pytest.raises(ServiceError):
+                            await client.get(1)
+                    assert proxy.stats.resets == 1
+
+        run(scenario())
+
+    def test_corrupted_response_is_service_error_not_crash(self):
+        async def scenario():
+            plan = FaultPlan(seed=2, corrupt_rate=1.0, direction="s2c")
+            async with running_server(make_store()) as server:
+                async with running_proxy("127.0.0.1", server.port, plan) as proxy:
+                    async with await ServiceClient.connect(
+                        "127.0.0.1", proxy.port, timeout=1.0
+                    ) as client:
+                        # a corrupted response either fails JSON parsing
+                        # (ServiceError) or still parses as some dict
+                        try:
+                            result = await client.get(1)
+                            assert isinstance(result, dict)
+                        except ServiceError:
+                            pass
+                    assert proxy.stats.corruptions >= 1
+
+        run(scenario())
+
+    def test_upstream_down_closes_connection_gracefully(self):
+        async def scenario():
+            async with running_server(make_store()) as server:
+                dead_port = server.port
+            # server stopped: upstream connect now fails
+            async with running_proxy("127.0.0.1", dead_port, FaultPlan()) as proxy:
+                with pytest.raises(ServiceError):
+                    client = await ServiceClient.connect("127.0.0.1", proxy.port, timeout=0.5)
+                    try:
+                        await client.ping()
+                    finally:
+                        await client.close()
+                assert proxy.stats.upstream_failures == 1
+
+        run(scenario())

@@ -1,0 +1,130 @@
+"""Property-based wire-protocol tests (hypothesis).
+
+Two contracts the rest of the robustness layer leans on:
+
+1. **Round-trip identity**: ``decode(encode(x)) == x`` for every valid
+   request and response — the codec never loses or reshapes data.
+2. **Total decoding**: ``decode_*`` over arbitrary byte garbage — random
+   binary, truncated frames, bit-flipped frames (exactly what the chaos
+   proxy produces), oversized lines — either returns a value or raises
+   :class:`~repro.errors.ProtocolError`. Nothing else ever escapes, which
+   is what lets the server answer garbage instead of dying on it.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ProtocolError
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    Request,
+    decode_request,
+    decode_response,
+    encode_request,
+    encode_response,
+)
+
+# JSON-able payloads (finite floats only: NaN breaks equality, and the
+# wire format should stay standard JSON anyway).
+json_values = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**53), max_value=2**53)
+    | st.floats(allow_nan=False, allow_infinity=False)
+    | st.text(max_size=20),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=8), children, max_size=4),
+    max_leaves=10,
+)
+
+keys = st.integers(min_value=0, max_value=2**63 - 1)
+
+requests = st.one_of(
+    st.builds(Request, st.just("GET"), key=keys),
+    st.builds(Request, st.just("DEL"), key=keys),
+    st.builds(Request, st.just("PUT"), key=keys, value=json_values),
+    st.builds(Request, st.sampled_from(["STATS", "PING"])),
+)
+
+
+class TestRoundTrip:
+    @given(requests)
+    def test_request_round_trip(self, req):
+        line = encode_request(req)
+        assert line.endswith(b"\n") and line.count(b"\n") == 1
+        assert decode_request(line) == req
+
+    @given(st.dictionaries(st.text(max_size=10), json_values, max_size=6))
+    def test_response_round_trip(self, payload):
+        assert decode_response(encode_response(payload)) == payload
+
+    @given(requests)
+    def test_encoding_is_deterministic(self, req):
+        assert encode_request(req) == encode_request(req)
+
+
+class TestTotalDecoding:
+    """decode_* must raise ProtocolError or return — never anything else."""
+
+    @given(st.binary(max_size=200))
+    def test_arbitrary_bytes(self, garbage):
+        for decode in (decode_request, decode_response):
+            try:
+                decode(garbage)
+            except ProtocolError:
+                pass
+
+    @given(requests, st.data())
+    def test_truncated_frames(self, req, data):
+        # what a peer sees when the chaos proxy truncates mid-frame
+        line = encode_request(req)
+        cut = data.draw(st.integers(min_value=0, max_value=len(line) - 1))
+        try:
+            decode_request(line[:cut])
+        except ProtocolError:
+            pass
+
+    @given(requests, st.data())
+    @settings(max_examples=200)
+    def test_corrupted_frames(self, req, data):
+        # byte flips in the frame body (framing newline preserved), the
+        # chaos proxy's `corrupt` action
+        line = bytearray(encode_request(req))
+        flips = data.draw(st.integers(min_value=1, max_value=4))
+        for _ in range(flips):
+            pos = data.draw(st.integers(min_value=0, max_value=len(line) - 2))
+            byte = data.draw(st.integers(min_value=0, max_value=255).filter(lambda b: b != 0x0A))
+            line[pos] = byte
+        try:
+            result = decode_request(bytes(line))
+        except ProtocolError:
+            pass
+        else:
+            assert isinstance(result, Request)  # corrupted into a different valid request
+
+
+class TestLineCap:
+    def test_oversized_encode_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode_request(Request("PUT", key=1, value="x" * MAX_LINE_BYTES))
+
+    def test_oversized_decode_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_request(b"a" * (MAX_LINE_BYTES + 1))
+
+    def test_just_under_the_cap_round_trips(self):
+        # largest payload whose encoded line stays below the cap
+        req = Request("PUT", key=1, value="x" * (MAX_LINE_BYTES - 64))
+        assert decode_request(encode_request(req)) == req
+
+    @given(st.integers(min_value=0, max_value=8))
+    def test_cap_boundary_is_exact(self, slack):
+        # encoded length == MAX_LINE_BYTES must be rejected, one byte less accepted
+        overhead = len(encode_request(Request("PUT", key=1, value=""))) - 1
+        value = "x" * (MAX_LINE_BYTES - overhead - 1 - slack)
+        line = encode_request(Request("PUT", key=1, value=value))
+        assert len(line) <= MAX_LINE_BYTES
+        with pytest.raises(ProtocolError):
+            encode_request(Request("PUT", key=1, value="x" * (MAX_LINE_BYTES - overhead)))
