@@ -1,0 +1,195 @@
+"""Price the observability layer (engineering, not paper-reproduction).
+
+Two questions, one file:
+
+1. **What do disabled hooks cost?** The whole design contract of
+   :mod:`repro.obs.hooks` is *zero-cost when off*: emission sites are
+   guarded by a module-level boolean, and the run loop hoists the check
+   out entirely. We verify the contract by racing the instrumented
+   :class:`HeatSinkLRU` (hooks present, no sink installed) against a
+   baseline subclass whose ``access`` is the pre-instrumentation code
+   with every hook guard stripped. The acceptance bound is ≤ 5 %
+   (``--check`` mode exits non-zero beyond it; CI runs that).
+2. **What does capturing cost?** Benchmarks with a ``NullSink`` (pure
+   emission machinery), a ``RingBufferSink`` (flight recorder) and a
+   ``SamplingSink`` wrapper show what turning tracing *on* costs, so the
+   docs can quote real numbers.
+
+Run under pytest-benchmark::
+
+    pytest benchmarks/bench_obs.py --benchmark-only
+
+or standalone (CI's observability job)::
+
+    python benchmarks/bench_obs.py --check
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+import repro
+from repro.core.assoc.heatsink import _EMPTY, HeatSinkLRU
+from repro.obs import hooks
+from repro.obs.sinks import NullSink, RingBufferSink, SamplingSink
+from repro.sim.engine import run_policy
+
+CAPACITY = 1_088  # 64 bins of 16 + 64-slot sink
+LENGTH = 200_000
+TRACE = repro.zipf_trace(4 * CAPACITY, LENGTH, alpha=1.0, seed=1)
+
+
+def make_policy(seed: int = 1) -> HeatSinkLRU:
+    return HeatSinkLRU(CAPACITY, bin_size=16, sink_size=64, sink_prob=0.05, seed=seed)
+
+
+class BareHeatSinkLRU(HeatSinkLRU):
+    """``access()`` exactly as it was before instrumentation.
+
+    Every ``obs_hooks.ENABLED`` guard is stripped; racing this against
+    the instrumented parent (with hooks disabled) isolates what the
+    guards themselves cost.
+    """
+
+    def access(self, page: int) -> bool:  # noqa: C901 - deliberate verbatim copy
+        loc = self._loc.get(page)
+        if loc is not None:
+            if loc >= 0:
+                b = self._bins[loc]
+                del b[page]
+                b[page] = None
+            elif self.sink_policy == "lru":
+                sink = self._sink_lru
+                del sink[page]
+                sink[page] = None
+            if self._recorder is not None:
+                self._recorder.append(1)
+            return True
+
+        bin_idx, s1, s2 = self._hashes(page)
+        route_to_sink = self._route_to_sink(page, bin_idx)
+        if self._recorder is not None:
+            self._recorder.append(-1 if route_to_sink else 0)
+        if route_to_sink and self.sink_policy == "lru":
+            self._sink_routings += 1
+            sink = self._sink_lru
+            if len(sink) >= self.sink_size:
+                victim = next(iter(sink))
+                del sink[victim]
+                del self._loc[victim]
+                self._sink_evictions += 1
+            sink[page] = None
+            self._loc[page] = -1
+        elif route_to_sink:
+            self._sink_routings += 1
+            pos = s1 if self._next_uniform() < 0.5 else s2
+            victim = int(self._sink_pages[pos])
+            if victim != _EMPTY:
+                del self._loc[victim]
+                self._sink_evictions += 1
+            self._sink_pages[pos] = page
+            self._loc[page] = -(pos + 1)
+        else:
+            self._bin_routings += 1
+            self._bin_misses[bin_idx] += 1
+            b = self._bins[bin_idx]
+            if len(b) >= self.bin_size:
+                victim = next(iter(b))
+                del b[victim]
+                del self._loc[victim]
+                self._bin_evictions[bin_idx] += 1
+            b[page] = None
+            self._loc[page] = bin_idx
+        return False
+
+
+def _best_seconds(factory, *, repeats: int, trace_sink=None) -> float:
+    """Best-of-``repeats`` wall time of one full ``run_policy`` pass."""
+    best = float("inf")
+    for _ in range(repeats):
+        policy = factory()
+        start = time.perf_counter()
+        run_policy(policy, TRACE, trace_sink=trace_sink)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def disabled_overhead_ratio(repeats: int = 5) -> tuple[float, float, float]:
+    """(bare_seconds, instrumented_seconds, ratio) with hooks disabled."""
+    assert not hooks.ENABLED, "a sink is installed; the comparison would be unfair"
+    bare = _best_seconds(
+        lambda: BareHeatSinkLRU(
+            CAPACITY, bin_size=16, sink_size=64, sink_prob=0.05, seed=1
+        ),
+        repeats=repeats,
+    )
+    instrumented = _best_seconds(make_policy, repeats=repeats)
+    return bare, instrumented, instrumented / bare
+
+
+def check(threshold: float = 1.05, repeats: int = 5) -> bool:
+    """CI gate: disabled-hook slowdown must stay within ``threshold``."""
+    bare, instrumented, ratio = disabled_overhead_ratio(repeats)
+    rate = LENGTH / instrumented
+    print(
+        f"bare        : {bare * 1e3:8.1f} ms  ({LENGTH / bare:,.0f} acc/s)\n"
+        f"instrumented: {instrumented * 1e3:8.1f} ms  ({rate:,.0f} acc/s)\n"
+        f"ratio       : {ratio:.4f}  (bound {threshold:.2f})"
+    )
+    return ratio <= threshold
+
+
+# -- pytest-benchmark entry points ------------------------------------------
+
+def test_bare_baseline(benchmark):
+    benchmark.pedantic(
+        lambda: BareHeatSinkLRU(
+            CAPACITY, bin_size=16, sink_size=64, sink_prob=0.05, seed=1
+        ).run(TRACE),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_instrumented_hooks_disabled(benchmark):
+    assert not hooks.ENABLED
+    benchmark.pedantic(lambda: make_policy().run(TRACE), rounds=3, iterations=1)
+
+
+def test_capture_null_sink(benchmark):
+    def once():
+        run_policy(make_policy(), TRACE, trace_sink=NullSink())
+
+    benchmark.pedantic(once, rounds=3, iterations=1)
+
+
+def test_capture_ring_buffer(benchmark):
+    def once():
+        run_policy(make_policy(), TRACE, trace_sink=RingBufferSink(65_536))
+
+    benchmark.pedantic(once, rounds=3, iterations=1)
+
+
+def test_capture_sampled_1pct(benchmark):
+    def once():
+        sink = SamplingSink(RingBufferSink(65_536), rate=0.01, seed=1)
+        run_policy(make_policy(), TRACE, trace_sink=sink)
+
+    benchmark.pedantic(once, rounds=3, iterations=1)
+
+
+def test_disabled_overhead_within_bound():
+    """The acceptance bound itself, runnable without --benchmark-only."""
+    _, _, ratio = disabled_overhead_ratio(repeats=3)
+    assert ratio <= 1.10, f"disabled-hook overhead ratio {ratio:.3f} exceeds 1.10"
+
+
+if __name__ == "__main__":
+    threshold = 1.05
+    if "--threshold" in sys.argv:
+        threshold = float(sys.argv[sys.argv.index("--threshold") + 1])
+    if "--check" in sys.argv:
+        sys.exit(0 if check(threshold) else 1)
+    bare, instrumented, ratio = disabled_overhead_ratio()
+    print(f"ratio {ratio:.4f} (bare {bare:.3f}s, instrumented {instrumented:.3f}s)")

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Watch heat dissipate: trace a HEAT-SINK run and measure placement lifetimes.
+
+The paper's §1.1 Part 3 mechanism in one picture: pages routed to the
+heat-sink are *supposed* to be short-lived — the sink is a small, hot
+region whose churn drains heat out of overloaded bins, while pages that
+win a bin slot stick around. This script captures a run's structured
+events (``access`` / ``route`` / ``evict``) through :mod:`repro.obs`,
+pairs admissions with evictions, and prints the lifetime distributions
+split by region, plus the sink-occupancy time series as a sparkline.
+
+Run:  python examples/observe_heat_dissipation.py
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.obs import hooks
+from repro.obs.lifetimes import occupancy_series, placement_lifetimes
+from repro.obs.sinks import ListSink
+from repro.viz import sparkline
+
+N_PAGES = 2_048
+LENGTH = 100_000
+CAPACITY = 544  # 32 bins of 16 + 32-slot sink
+SINK_SIZE = 32
+SEED = 1
+
+
+def main() -> None:
+    trace = repro.zipf_trace(N_PAGES, LENGTH, alpha=1.0, seed=3)
+    policy = repro.HeatSinkLRU(
+        CAPACITY, bin_size=16, sink_size=SINK_SIZE, sink_prob=0.2, seed=SEED
+    )
+
+    with hooks.capturing(ListSink()) as sink:
+        result = policy.run(trace)
+
+    print(f"policy    : {policy.name}")
+    print(f"trace     : {trace}")
+    print(f"miss rate : {result.miss_rate:.4f}")
+    print(f"events    : {len(sink.events)} captured\n")
+
+    print("placement lifetimes (accesses from admission to eviction):")
+    by_region = placement_lifetimes(sink.events)
+    for region, stats in sorted(by_region.items()):
+        horizon = stats.survival([100, 1000])
+        print(
+            f"  {region:<5} n={stats.count:<6} mean={stats.mean:8.1f}  "
+            f"median={stats.median:7.1f}  "
+            f"P[>100]={horizon[100]:.2f}  P[>1000]={horizon[1000]:.2f}  "
+            f"(+{stats.censored} still resident)"
+        )
+
+    bin_stats, sink_stats = by_region["bin"], by_region["sink"]
+    ratio = bin_stats.mean / sink_stats.mean
+    print(
+        f"\nheat dissipation: sink placements live {ratio:.1f}x shorter than "
+        f"bin placements —\nbad placements are recycled fast, exactly the "
+        f"negative feedback Lemmas 5-8 need."
+    )
+
+    # downsample to ~64 sparkline characters regardless of run length
+    n_changes = sum(
+        e["ev"] == "route" and e["to"] == "sink" or
+        e["ev"] == "evict" and e.get("from") == "sink"
+        for e in sink.events
+    )
+    times, counts = occupancy_series(
+        sink.events, region="sink", every=max(1, n_changes // 64)
+    )
+    occupancy = counts.astype(float) / SINK_SIZE
+    print(f"\nsink occupancy over time (0 → {SINK_SIZE} slots):")
+    print(f"  [{sparkline(occupancy, lo=0.0, hi=1.0)}]")
+    print(
+        f"  fills once, then holds quasi-steady at "
+        f"{occupancy[len(occupancy) // 2 :].mean():.0%} while placements churn."
+    )
+
+
+if __name__ == "__main__":
+    main()

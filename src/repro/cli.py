@@ -10,6 +10,7 @@ Usage::
     repro-experiment mrc --trace t.npz --sizes 256,1024,4096 [--shards 0.1]
     repro-experiment serve --policy heatsink --capacity 1024 --port 7070
     repro-experiment loadgen --port 7070 --zipf 4096,200000,1.0
+    repro-experiment stats --port 7070 [--prom] [--watch 2]
 
 Experiment runs print their rows as markdown tables and can persist CSV;
 ``simulate`` and ``mrc`` make the library usable as a one-shot trace
@@ -99,6 +100,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="drop a client that will not read responses for this many "
         "seconds (0 = wait forever)",
     )
+    serve_p.add_argument(
+        "--metrics-port", type=int, default=0,
+        help="also serve Prometheus text on http://HOST:PORT/metrics "
+        "(0 = disabled)",
+    )
+    serve_p.add_argument(
+        "--stats-interval", type=float, default=0.0,
+        help="print a one-line stats snapshot every N seconds (0 = never)",
+    )
 
     load_p = sub.add_parser("loadgen", help="replay a trace against a running server")
     load_p.add_argument("--host", default="127.0.0.1")
@@ -147,6 +157,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     load_p.add_argument(
         "--fault-seed", type=int, default=0, help="fault-plan seed (deterministic)"
+    )
+    load_p.add_argument(
+        "--report-interval", type=float, default=0.0,
+        help="print a progress line every N seconds while replaying (0 = never)",
+    )
+
+    stats_p = sub.add_parser("stats", help="query a running server's metrics")
+    stats_p.add_argument("--host", default="127.0.0.1")
+    stats_p.add_argument("--port", type=int, default=7070)
+    stats_p.add_argument(
+        "--prom", action="store_true",
+        help="print the raw Prometheus text exposition (METRICS op) instead "
+        "of the formatted STATS snapshot",
+    )
+    stats_p.add_argument(
+        "--watch", type=float, default=0.0, metavar="SECONDS",
+        help="refresh every N seconds until interrupted (0 = one shot)",
+    )
+    stats_p.add_argument(
+        "--timeout", type=float, default=10.0,
+        help="per-operation network deadline in seconds (0 = no deadline)",
     )
     return parser
 
@@ -258,6 +289,7 @@ def _cmd_policies() -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
+    import contextlib
     import signal
 
     from repro.core.registry import make_policy
@@ -269,9 +301,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except TypeError:
         policy = make_policy(args.policy, args.capacity)
 
+    async def _log_stats(store: "PolicyStore", interval: float) -> None:
+        while True:
+            await asyncio.sleep(interval)
+            snap = await store.stats()
+            print(
+                f"stats: accesses={snap['accesses']} "
+                f"hit_rate={snap['hit_rate']:.4f} "
+                f"resident={snap['resident']}/{snap['capacity']} "
+                f"conns={snap['connections_open']} errors={snap['errors']}",
+                flush=True,
+            )
+
     async def _serve() -> None:
+        store = PolicyStore(policy)
         server = CacheServer(
-            PolicyStore(policy),
+            store,
             host=args.host,
             port=args.port,
             max_connections=args.max_connections or None,
@@ -279,19 +324,43 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             write_timeout=args.write_timeout or None,
         )
         await server.start()
+        exporter = None
+        if args.metrics_port:
+            from repro.obs.httpexpo import MetricsExporter
+
+            exporter = MetricsExporter(
+                store.metrics_text, host=args.host, port=args.metrics_port
+            )
+            await exporter.start()
+        stats_task = (
+            asyncio.create_task(_log_stats(store, args.stats_interval))
+            if args.stats_interval > 0
+            else None
+        )
         loop = asyncio.get_running_loop()
         stop = asyncio.Event()
         for sig in (signal.SIGINT, signal.SIGTERM):
             loop.add_signal_handler(sig, stop.set)
         print(
             f"serving {policy.name} (capacity {policy.capacity}) "
-            f"on {args.host}:{server.port} — Ctrl-C to stop"
+            f"on {args.host}:{server.port} — Ctrl-C to stop",
+            flush=True,
         )
+        if exporter is not None:
+            print(
+                f"metrics on http://{args.host}:{exporter.port}/metrics", flush=True
+            )
         try:
             await stop.wait()
         finally:
+            if stats_task is not None:
+                stats_task.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await stats_task
+            if exporter is not None:
+                await exporter.stop()
             await server.stop()
-            snap = await server.store.stats()
+            snap = await store.stats()
             print(
                 f"\nstopped after {snap['uptime_s']}s: {snap['accesses']} accesses, "
                 f"hit rate {snap['hit_rate']:.4f}, {snap['errors']} errors"
@@ -299,6 +368,61 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     asyncio.run(_serve())
     return 0
+
+
+def _format_stats(snap: dict) -> str:
+    """Render one STATS snapshot for terminal eyes."""
+    lat = snap.get("latency", {})
+    lines = [
+        f"policy     : {snap.get('policy')} "
+        f"(capacity {snap.get('capacity')}, resident {snap.get('resident')}, "
+        f"evictions {snap.get('evictions')})",
+        f"uptime     : {snap.get('uptime_s')}s",
+        f"accesses   : {snap.get('accesses')}  (hit rate {snap.get('hit_rate', 0.0):.4f})",
+        f"ops        : {snap.get('gets')} get / {snap.get('puts')} put / "
+        f"{snap.get('dels')} del",
+        f"errors     : {snap.get('errors')}  (rejected {snap.get('rejected')}, "
+        f"write timeouts {snap.get('write_timeouts')})",
+        f"conns      : {snap.get('connections_open')} open / "
+        f"{snap.get('connections_total')} total",
+    ]
+    if "sink_occupancy" in snap:
+        lines.append(f"sink occ.  : {snap['sink_occupancy']:.3f}")
+    if lat:
+        lines.append(
+            f"latency    : p50 {lat.get('p50_us')}µs  p99 {lat.get('p99_us')}µs  "
+            f"max {lat.get('max_us')}µs  (n={lat.get('count')})"
+        )
+    for op, hist in sorted(snap.get("latency_by_op", {}).items()):
+        lines.append(
+            f"  {op:<9}: p50 {hist.get('p50_us')}µs  p99 {hist.get('p99_us')}µs  "
+            f"max {hist.get('max_us')}µs  (n={hist.get('count')})"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service.client import ServiceClient
+
+    async def _fetch() -> str:
+        async with await ServiceClient.connect(
+            args.host, args.port, timeout=args.timeout or None
+        ) as client:
+            if args.prom:
+                return await client.metrics()
+            return _format_stats(await client.stats())
+
+    try:
+        while True:
+            print(asyncio.run(_fetch()), flush=True)
+            if not args.watch:
+                return 0
+            time.sleep(args.watch)
+            print()
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        return 0
 
 
 def _cmd_loadgen(args: argparse.Namespace) -> int:
@@ -361,6 +485,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         timeout=args.timeout or None,
         retry=retry,
         faults=faults,
+        report_interval=args.report_interval or None,
     )
     print(report.summary())
     return 0
@@ -391,6 +516,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_serve(args)
     if args.command == "loadgen":
         return _cmd_loadgen(args)
+    if args.command == "stats":
+        return _cmd_stats(args)
     return 2  # pragma: no cover - argparse enforces choices
 
 

@@ -37,6 +37,7 @@ import numpy as np
 from repro.core.base import CachePolicy
 from repro.errors import CapacityError, ConfigurationError
 from repro.hashing import hash_to_range
+from repro.obs import hooks as obs_hooks
 from repro.rng import SeedLike, derive_seed, make_rng
 from repro.traces.base import Trace, as_page_array
 from repro.core.base import SimResult
@@ -271,6 +272,8 @@ class HeatSinkLRU(CachePolicy):
                 del sink[victim]
                 del self._loc[victim]
                 self._sink_evictions += 1
+                if obs_hooks.ENABLED:
+                    obs_hooks.emit({"ev": "evict", "page": victim, "from": "sink"})
             sink[page] = None
             self._loc[page] = -1
         elif route_to_sink:
@@ -280,6 +283,8 @@ class HeatSinkLRU(CachePolicy):
             if victim != _EMPTY:
                 del self._loc[victim]
                 self._sink_evictions += 1
+                if obs_hooks.ENABLED:
+                    obs_hooks.emit({"ev": "evict", "page": victim, "from": "sink"})
             self._sink_pages[pos] = page
             self._loc[page] = -(pos + 1)
         else:
@@ -291,8 +296,24 @@ class HeatSinkLRU(CachePolicy):
                 del b[victim]
                 del self._loc[victim]
                 self._bin_evictions[bin_idx] += 1
+                if obs_hooks.ENABLED:
+                    obs_hooks.emit(
+                        {"ev": "evict", "page": victim, "from": "bin", "bin": bin_idx}
+                    )
             b[page] = None
             self._loc[page] = bin_idx
+        # route is emitted after any same-access evict: the policy makes
+        # room first, then places, so region populations derived from the
+        # event stream never transiently exceed the region's size
+        if obs_hooks.ENABLED:
+            obs_hooks.emit(
+                {
+                    "ev": "route",
+                    "page": page,
+                    "to": "sink" if route_to_sink else "bin",
+                    "bin": bin_idx,
+                }
+            )
         return False
 
     def run(self, trace: Trace | np.ndarray, *, reset: bool = True) -> SimResult:

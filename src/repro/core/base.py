@@ -27,6 +27,7 @@ from typing import Any, Mapping
 import numpy as np
 
 from repro.errors import ConfigurationError, SimulationError
+from repro.obs import hooks as obs_hooks
 from repro.traces.base import Trace, as_page_array
 
 __all__ = ["SimResult", "CachePolicy", "OfflinePolicy"]
@@ -170,14 +171,28 @@ class CachePolicy(abc.ABC):
         policies with a vectorizable structure may override it (and must
         then match the loop's semantics bit-for-bit — the test suite checks
         overrides against this reference driver).
+
+        When observability hooks are enabled (:mod:`repro.obs.hooks`), the
+        loop additionally advances the logical access clock and emits one
+        ``access`` event per step; the check is hoisted out of the loop so
+        the disabled path is byte-identical to the plain one (toggling
+        sinks mid-run therefore takes effect at the next ``run`` call).
         """
         if reset:
             self.reset()
         pages = as_page_array(trace)
         hits = np.empty(pages.size, dtype=bool)
         access = self.access  # local binding: ~15% faster inner loop
-        for i, page in enumerate(pages.tolist()):
-            hits[i] = access(page)
+        if obs_hooks.ENABLED:
+            step, emit = obs_hooks.step, obs_hooks.emit
+            for i, page in enumerate(pages.tolist()):
+                step()
+                hit = access(page)
+                hits[i] = hit
+                emit({"ev": "access", "page": page, "hit": hit})
+        else:
+            for i, page in enumerate(pages.tolist()):
+                hits[i] = access(page)
         return SimResult(hits=hits, policy=self.name, capacity=self.capacity, extra=self._instrumentation())
 
     def _instrumentation(self) -> dict[str, Any]:

@@ -1,0 +1,162 @@
+"""Prometheus text exposition: render metric families, and parse the
+format back (tests round-trip through the parser; ``repro-experiment
+stats --prom`` pretty-prints live scrapes with it).
+
+The target is the Prometheus *text exposition format v0.0.4*: ``# HELP``
+and ``# TYPE`` comment lines per family, then one ``name{labels} value``
+line per sample. We emit the subset we use — counters, gauges and
+histograms with cumulative ``le`` buckets — and the parser accepts any
+well-formed text in that subset (unknown comment lines are skipped, so
+it can read output from other exporters too).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.errors import ProtocolError
+from repro.obs.metrics import LabelSet, MetricFamily, Sample
+
+__all__ = ["CONTENT_TYPE", "render_prometheus", "parse_prometheus", "ParsedExposition"]
+
+#: HTTP Content-Type of the text exposition format.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def render_prometheus(families: Iterable[MetricFamily]) -> str:
+    """Render families as exposition text (ends with a newline)."""
+    lines: list[str] = []
+    for family in families:
+        if family.help:
+            lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for sample in family.samples:
+            lines.append(_render_sample(family.name, sample))
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def _render_sample(name: str, sample: Sample) -> str:
+    label_text = ""
+    if sample.labels:
+        pairs = ",".join(f'{k}="{_escape_label(v)}"' for k, v in sample.labels)
+        label_text = "{" + pairs + "}"
+    return f"{name}{sample.suffix}{label_text} {_format_value(sample.value)}"
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 2**53:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+@dataclass
+class ParsedExposition:
+    """Parsed exposition text: family metadata plus flat samples.
+
+    ``samples`` keys are ``(sample_name, labels)`` where ``sample_name``
+    includes any histogram suffix (``..._bucket``, ``..._sum``) and
+    ``labels`` is a sorted tuple of ``(key, value)`` pairs.
+    """
+
+    types: dict[str, str] = field(default_factory=dict)
+    helps: dict[str, str] = field(default_factory=dict)
+    samples: dict[tuple[str, LabelSet], float] = field(default_factory=dict)
+
+    def value(self, name: str, **labels: str) -> float:
+        """Fetch one sample's value; raises ``KeyError`` if absent."""
+        return self.samples[(name, tuple(sorted(labels.items())))]
+
+
+def parse_prometheus(text: str) -> ParsedExposition:
+    """Parse exposition text; raises :class:`ProtocolError` on malformed lines."""
+    parsed = ParsedExposition()
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            _parse_comment(line, parsed)
+            continue
+        name, labels, value = _parse_sample(line)
+        parsed.samples[(name, labels)] = value
+    return parsed
+
+
+def _parse_comment(line: str, parsed: ParsedExposition) -> None:
+    parts = line.split(None, 3)
+    if len(parts) >= 4 and parts[1] == "TYPE":
+        parsed.types[parts[2]] = parts[3]
+    elif len(parts) >= 4 and parts[1] == "HELP":
+        parsed.helps[parts[2]] = parts[3].replace("\\n", "\n").replace("\\\\", "\\")
+    # any other comment is a free-form remark; skip it
+
+
+def _parse_sample(line: str) -> tuple[str, LabelSet, float]:
+    brace = line.find("{")
+    if brace == -1:
+        try:
+            name, value_text = line.split(None, 1)
+        except ValueError:
+            raise ProtocolError(f"malformed exposition line: {line!r}") from None
+        return name, (), _parse_value(value_text)
+    close = line.rfind("}")
+    if close == -1 or close < brace:
+        raise ProtocolError(f"unbalanced label braces: {line!r}")
+    name = line[:brace]
+    labels = _parse_labels(line[brace + 1 : close])
+    return name, labels, _parse_value(line[close + 1 :])
+
+
+def _parse_value(text: str) -> float:
+    text = text.strip().split()[0] if text.strip() else ""
+    if text == "+Inf":
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    try:
+        return float(text)
+    except ValueError:
+        raise ProtocolError(f"bad sample value {text!r}") from None
+
+
+def _parse_labels(body: str) -> LabelSet:
+    labels: list[tuple[str, str]] = []
+    i = 0
+    while i < len(body):
+        eq = body.find("=", i)
+        if eq == -1:
+            break
+        key = body[i:eq].strip().lstrip(",").strip()
+        if eq + 1 >= len(body) or body[eq + 1] != '"':
+            raise ProtocolError(f"label value must be quoted in {body!r}")
+        value_chars: list[str] = []
+        j = eq + 2
+        while j < len(body):
+            ch = body[j]
+            if ch == "\\" and j + 1 < len(body):
+                nxt = body[j + 1]
+                value_chars.append({"n": "\n", '"': '"', "\\": "\\"}.get(nxt, "\\" + nxt))
+                j += 2
+                continue
+            if ch == '"':
+                break
+            value_chars.append(ch)
+            j += 1
+        else:
+            raise ProtocolError(f"unterminated label value in {body!r}")
+        labels.append((key, "".join(value_chars)))
+        i = j + 1
+    return tuple(sorted(labels))

@@ -1,0 +1,139 @@
+"""Global event-hook switchboard — the zero-cost-when-off core of `repro.obs`.
+
+Emission sites throughout the simulator and the service are written as::
+
+    from repro.obs import hooks
+    ...
+    if hooks.ENABLED:
+        hooks.emit({"ev": "evict", "page": victim, "from": "bin"})
+
+:data:`ENABLED` is a plain module-level boolean, kept ``True`` exactly
+while at least one sink is installed. When it is ``False`` (the default)
+an emission site costs two dict lookups and a branch — nothing is
+allocated, formatted, or called — so instrumented hot loops run at their
+uninstrumented speed (``benchmarks/bench_obs.py`` guards this with a
+≤ 5 % bound). Drivers additionally hoist the check out of their inner
+loops (see :meth:`repro.core.base.CachePolicy.run`), making the disabled
+cost per *access* literally zero there.
+
+Events are plain dicts with a short ``"ev"`` type tag; :func:`emit`
+stamps each one with the current value of the **logical access clock**
+(``"i"``) before fanning it out to every installed sink. The clock is
+advanced once per policy access by the drivers (the simulator's run loop
+and the service's :class:`~repro.service.store.PolicyStore`), so events
+emitted *inside* one ``access()`` call — routing decisions, evictions —
+share the index of the access that caused them. The full event schema is
+documented in ``docs/observability.md``.
+
+Everything here is deliberately global and **single-threaded** (one
+simulator loop or one asyncio event loop), matching the rest of the
+library; there are no locks. Use :func:`capturing` for scoped,
+exception-safe installation::
+
+    ring = RingBufferSink(65536)
+    with hooks.capturing(ring):
+        policy.run(trace)
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Any, Iterator, Protocol, runtime_checkable
+
+__all__ = [
+    "ENABLED",
+    "TraceSink",
+    "emit",
+    "step",
+    "now",
+    "install",
+    "uninstall",
+    "capturing",
+    "reset_clock",
+    "active_sinks",
+]
+
+
+@runtime_checkable
+class TraceSink(Protocol):
+    """Anything that can receive structured trace events.
+
+    One method: :meth:`emit` takes the event dict (already stamped with
+    the logical clock). Sinks must not mutate the dict — it is shared by
+    every sink installed — and must not raise from ``emit`` on valid
+    events (a raising sink would abort the simulation it observes).
+    Concrete sinks live in :mod:`repro.obs.sinks`.
+    """
+
+    def emit(self, event: dict[str, Any]) -> None: ...
+
+
+#: Module-level fast-path guard. True exactly while >= 1 sink is installed.
+ENABLED = False
+
+_sinks: list[TraceSink] = []
+
+#: Logical access clock; -1 means "no access yet" (first step() -> 0).
+_now = -1
+
+
+def now() -> int:
+    """Current value of the logical access clock."""
+    return _now
+
+
+def step() -> None:
+    """Advance the logical clock by one access (drivers call this)."""
+    global _now
+    _now += 1
+
+
+def reset_clock() -> None:
+    """Rewind the clock so the next access is index 0."""
+    global _now
+    _now = -1
+
+
+def emit(event: dict[str, Any]) -> None:
+    """Stamp ``event["i"]`` with the clock and fan out to every sink."""
+    event["i"] = _now
+    for sink in _sinks:
+        sink.emit(event)
+
+
+def install(sink: TraceSink) -> None:
+    """Install a sink (idempotent) and raise the :data:`ENABLED` flag."""
+    global ENABLED
+    if sink not in _sinks:
+        _sinks.append(sink)
+    ENABLED = True
+
+
+def uninstall(sink: TraceSink) -> None:
+    """Remove a sink (missing is fine); lower the flag when none remain."""
+    global ENABLED
+    with contextlib.suppress(ValueError):
+        _sinks.remove(sink)
+    ENABLED = bool(_sinks)
+
+
+def active_sinks() -> tuple[TraceSink, ...]:
+    """The currently installed sinks (a snapshot, not the live list)."""
+    return tuple(_sinks)
+
+
+@contextlib.contextmanager
+def capturing(sink: TraceSink, *, reset: bool = True) -> Iterator[TraceSink]:
+    """Scoped installation: install ``sink``, yield it, always uninstall.
+
+    With ``reset`` (the default) the logical clock is rewound on entry so
+    captured event indices start at 0 — the convention the analysis
+    helpers in :mod:`repro.obs.lifetimes` assume for a single run.
+    """
+    if reset:
+        reset_clock()
+    install(sink)
+    try:
+        yield sink
+    finally:
+        uninstall(sink)

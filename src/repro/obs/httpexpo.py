@@ -1,0 +1,159 @@
+"""A deliberately tiny HTTP/1.0 exposition endpoint for Prometheus scrapes.
+
+Serving ``GET /metrics`` needs none of an HTTP framework: read a request
+line plus headers, answer one ``text/plain`` body, close. This module
+does exactly that on asyncio, so ``repro-experiment serve
+--metrics-port 9090`` can be scraped by ``curl`` or a real Prometheus
+without adding a dependency the container doesn't have.
+
+The exporter owns no metrics itself — it is constructed with an async
+``render`` callable (returning exposition text) that it invokes per
+scrape, which is how it reads live server state without copying: the
+callable runs on the same event loop as the cache server, so a scrape
+sees a consistent snapshot under the store's lock.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+from typing import AsyncIterator, Awaitable, Callable
+
+from repro.errors import ServiceError
+from repro.obs.exposition import CONTENT_TYPE
+
+__all__ = ["MetricsExporter", "running_exporter", "scrape"]
+
+_MAX_REQUEST_BYTES = 16 * 1024
+
+
+class MetricsExporter:
+    """Serve ``render()``'s text at ``GET /metrics`` (and ``/``).
+
+    Parameters
+    ----------
+    render:
+        Async callable producing the exposition body for one scrape.
+    host, port:
+        Bind address; ``port=0`` binds an ephemeral port — read
+        :attr:`port` after :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        render: Callable[[], Awaitable[str]],
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self._render = render
+        self.host = host
+        self.port = port
+        self._server: asyncio.Server | None = None
+
+    async def start(self) -> None:
+        if self._server is not None:
+            raise ServiceError("metrics exporter is already running")
+        try:
+            self._server = await asyncio.start_server(
+                self._handle, self.host, self.port, limit=_MAX_REQUEST_BYTES
+            )
+        except OSError as exc:
+            raise ServiceError(
+                f"cannot bind metrics endpoint {self.host}:{self.port}: {exc}"
+            ) from exc
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is None:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        self._server = None
+
+    @property
+    def is_serving(self) -> bool:
+        return self._server is not None
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request_line = (await reader.readline()).decode("latin-1").strip()
+            while True:  # drain headers until the blank line
+                header = await reader.readline()
+                if header in (b"\r\n", b"\n", b""):
+                    break
+            method, path = _parse_request_line(request_line)
+            if method != "GET":
+                await self._respond(writer, 405, "method not allowed\n")
+            elif path.split("?", 1)[0] in ("/metrics", "/"):
+                body = await self._render()
+                await self._respond(writer, 200, body, content_type=CONTENT_TYPE)
+            else:
+                await self._respond(writer, 404, "try /metrics\n")
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError, ValueError):
+            pass  # scraper vanished or sent garbage; nothing to answer
+        finally:
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    @staticmethod
+    async def _respond(
+        writer: asyncio.StreamWriter,
+        status: int,
+        body: str,
+        *,
+        content_type: str = "text/plain; charset=utf-8",
+    ) -> None:
+        reason = {200: "OK", 404: "Not Found", 405: "Method Not Allowed"}[status]
+        payload = body.encode("utf-8")
+        head = (
+            f"HTTP/1.0 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1") + payload)
+        await writer.drain()
+
+
+def _parse_request_line(line: str) -> tuple[str, str]:
+    parts = line.split()
+    if len(parts) < 2:
+        raise ValueError(f"malformed request line: {line!r}")
+    return parts[0].upper(), parts[1]
+
+
+@contextlib.asynccontextmanager
+async def running_exporter(
+    render: Callable[[], Awaitable[str]], *, host: str = "127.0.0.1", port: int = 0
+) -> AsyncIterator[MetricsExporter]:
+    """``async with running_exporter(render) as exp:`` — start/stop bracket."""
+    exporter = MetricsExporter(render, host=host, port=port)
+    await exporter.start()
+    try:
+        yield exporter
+    finally:
+        await exporter.stop()
+
+
+async def scrape(host: str, port: int, *, timeout: float = 5.0) -> str:
+    """Fetch ``/metrics`` from an exporter (tiny client, used by tests/CLI)."""
+    reader, writer = await asyncio.wait_for(
+        asyncio.open_connection(host, port), timeout
+    )
+    try:
+        writer.write(b"GET /metrics HTTP/1.0\r\n\r\n")
+        await writer.drain()
+        raw = await asyncio.wait_for(reader.read(-1), timeout)
+    finally:
+        writer.close()
+        with contextlib.suppress(Exception):
+            await writer.wait_closed()
+    head, _, body = raw.partition(b"\r\n\r\n")
+    status = head.split(b"\r\n", 1)[0].split()
+    if len(status) < 2 or status[1] != b"200":
+        raise ServiceError(f"metrics scrape failed: {head.splitlines()[0]!r}")
+    return body.decode("utf-8")

@@ -1,0 +1,157 @@
+"""Placement-lifetime and occupancy analysis over captured trace events.
+
+This is the observability layer's answer to the paper's heat-dissipation
+narrative (§1.1 Part 3, Lemmas 5–8): *bad placements are short-lived,
+good placements long-lived*. The claim is about the lifetime of a
+**placement** — the interval from a page's admission (its ``route``
+event) to its eviction (its ``evict`` event) — split by where the
+placement landed (a bin vs the heat-sink). Capture a run with any sink
+from :mod:`repro.obs.sinks`, feed the events here, and the distribution
+falls out::
+
+    from repro.obs import hooks
+    from repro.obs.sinks import ListSink
+    from repro.obs.lifetimes import placement_lifetimes
+
+    with hooks.capturing(ListSink()) as sink:
+        policy.run(trace)
+    for region, stats in placement_lifetimes(sink.events).items():
+        print(region, stats.count, stats.mean, stats.censored)
+
+Under a hot sink (sink size comparable to a bin) heat-sink placements
+turn over much faster than bin placements — the dissipation the paper
+predicts — and the acceptance test in ``tests/obs/test_lifetimes.py``
+pins exactly that ordering.
+
+Time is the logical access clock stamped on every event (``"i"``), so
+lifetimes are measured in *accesses*, the natural unit for comparing
+against trace length and phase structure. Run analyses on **unsampled**
+captures: a :class:`~repro.obs.sinks.SamplingSink` drops route/evict
+events independently, breaking the pairing.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable, Iterator, Mapping
+
+import numpy as np
+
+__all__ = [
+    "RegionLifetimes",
+    "placement_lifetimes",
+    "occupancy_series",
+    "read_ndjson",
+]
+
+
+@dataclass(frozen=True)
+class RegionLifetimes:
+    """Lifetime distribution of completed placements in one region.
+
+    ``lifetimes`` holds one entry per *completed* placement (admitted and
+    later evicted inside the capture), measured in accesses. Placements
+    still resident when the capture ended are **censored**: counted, not
+    included in the moments (including them would bias short).
+    """
+
+    region: str
+    lifetimes: np.ndarray
+    censored: int
+
+    @property
+    def count(self) -> int:
+        return int(self.lifetimes.size)
+
+    @property
+    def mean(self) -> float:
+        return float(self.lifetimes.mean()) if self.lifetimes.size else float("nan")
+
+    @property
+    def median(self) -> float:
+        return float(np.median(self.lifetimes)) if self.lifetimes.size else float("nan")
+
+    def survival(self, horizons: Iterable[int]) -> dict[int, float]:
+        """``Pr[lifetime > h]`` over completed placements, per horizon."""
+        if self.lifetimes.size == 0:
+            return {int(h): float("nan") for h in horizons}
+        return {
+            int(h): float((self.lifetimes > h).mean()) for h in horizons
+        }
+
+
+def placement_lifetimes(
+    events: Iterable[Mapping[str, Any]]
+) -> dict[str, RegionLifetimes]:
+    """Pair ``route``/``evict`` events into per-region lifetime distributions.
+
+    A ``route`` event opens a placement for its page (``to`` names the
+    region); the next ``evict`` of that page closes it at ``evict.i -
+    route.i`` accesses. Evictions of pages never seen routed (capture
+    started mid-run) are ignored; placements never evicted are censored.
+    """
+    open_placements: dict[int, tuple[int, str]] = {}
+    lifetimes: dict[str, list[int]] = {}
+    censored: dict[str, int] = {}
+    for event in events:
+        kind = event.get("ev")
+        if kind == "route":
+            open_placements[int(event["page"])] = (int(event["i"]), str(event["to"]))
+        elif kind == "evict":
+            opened = open_placements.pop(int(event["page"]), None)
+            if opened is None:
+                continue
+            t0, region = opened
+            lifetimes.setdefault(region, []).append(int(event["i"]) - t0)
+    for _, region in open_placements.values():
+        censored[region] = censored.get(region, 0) + 1
+    regions = sorted(set(lifetimes) | set(censored))
+    return {
+        region: RegionLifetimes(
+            region=region,
+            lifetimes=np.asarray(lifetimes.get(region, []), dtype=np.int64),
+            censored=censored.get(region, 0),
+        )
+        for region in regions
+    }
+
+
+def occupancy_series(
+    events: Iterable[Mapping[str, Any]], *, region: str = "sink", every: int = 1
+) -> tuple[np.ndarray, np.ndarray]:
+    """Resident-placement count of one region over logical time.
+
+    Returns ``(times, counts)``: after every ``every``-th change to the
+    region's population (a route into it, or an evict out of it) the
+    current population is sampled. This is the sink-occupancy time series
+    behind the dissipation plots — occupancy climbing to its quasi-steady
+    level and holding there while individual placements churn.
+    """
+    times: list[int] = []
+    counts: list[int] = []
+    population = 0
+    changes = 0
+    for event in events:
+        kind = event.get("ev")
+        if kind == "route" and event.get("to") == region:
+            population += 1
+        elif kind == "evict" and event.get("from") == region:
+            population -= 1
+        else:
+            continue
+        changes += 1
+        if changes % every == 0:
+            times.append(int(event["i"]))
+            counts.append(population)
+    return np.asarray(times, dtype=np.int64), np.asarray(counts, dtype=np.int64)
+
+
+def read_ndjson(path: str | Path) -> Iterator[dict[str, Any]]:
+    """Stream events back from an :class:`~repro.obs.sinks.NDJSONSink` file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                yield json.loads(line)

@@ -1,0 +1,305 @@
+"""Named instruments — counters, gauges, log-bucketed histograms — and a
+registry that collects them for Prometheus exposition.
+
+The instruments are deliberately plain objects mutated without locks:
+everything in this library runs on one thread (the simulator) or one
+asyncio event loop (the service), so a counter is an attribute add, a
+histogram record is one ``bisect`` — cheap enough for hot paths.
+
+:class:`Histogram` is the generalization of the service layer's original
+``LatencyHistogram`` (which is now a thin unit-presenting subclass of
+it): fixed log₂-spaced buckets above a base value, O(1) record, bounded
+memory, percentile estimates biased upward by at most the bucket ratio
+(2×). The same bucket layout doubles as the cumulative ``le`` buckets
+Prometheus histograms need — :meth:`Histogram.buckets` returns them.
+
+:class:`MetricsRegistry` maps ``(name, labels)`` to instruments,
+get-or-create style, and :meth:`MetricsRegistry.collect` flattens
+everything into :class:`MetricFamily` rows that
+:mod:`repro.obs.exposition` renders as Prometheus text.
+"""
+
+from __future__ import annotations
+
+import re
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Sample",
+    "MetricFamily",
+    "MetricsRegistry",
+]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+LabelSet = tuple[tuple[str, str], ...]
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ConfigurationError(f"counters only go up; inc({amount}) rejected")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go anywhere."""
+
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Log₂-bucketed histogram of non-negative values.
+
+    Buckets have upper bounds ``base * 2**i`` for ``i = 0 ..
+    num_buckets-1`` (default 1e-6 … ~8.4, i.e. 1 µs … ~8.4 s when values
+    are seconds); values beyond the last boundary land in a final
+    overflow bucket whose exposition bound is ``+Inf``.
+
+    :meth:`percentile` reports the upper boundary of the bucket holding
+    the requested rank — a ≤ 2× overestimate by construction, the right
+    bias for alerting. A rank landing in the overflow bucket reports the
+    **observed maximum** (the only finite bound available there).
+    """
+
+    kind = "histogram"
+
+    def __init__(self, *, base: float = 1e-6, num_buckets: int = 24):
+        if base <= 0 or num_buckets < 1:
+            raise ConfigurationError(
+                f"bad histogram shape: base={base}, num_buckets={num_buckets}"
+            )
+        self._bounds = [base * (1 << i) for i in range(num_buckets)]
+        self._counts = [0] * (num_buckets + 1)  # +1 overflow bucket
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    def observe(self, value: float) -> None:
+        value = max(0.0, value)
+        self._counts[bisect_right(self._bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if value > self.max:
+            self.max = value
+
+    #: service-layer alias, kept for the original LatencyHistogram API
+    record = observe
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Upper bound of the bucket holding the ``q``-quantile (q in [0,1]).
+
+        ``q=0`` is the smallest recorded bucket's bound, ``q=1`` the
+        largest; ranks in the overflow bucket return :attr:`max`.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(f"quantile must be in [0,1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = max(1, int(q * self.count + 0.5))
+        seen = 0
+        for i, c in enumerate(self._counts):
+            seen += c
+            if seen >= rank:
+                return self._bounds[i] if i < len(self._bounds) else self.max
+        return self.max  # pragma: no cover - rank <= count guarantees the loop returns
+
+    def buckets(self) -> list[tuple[float, int]]:
+        """Cumulative ``(upper_bound, count_le_bound)`` pairs, Prometheus-style.
+
+        The final pair has bound ``inf`` and count equal to :attr:`count`
+        (the overflow bucket folded in).
+        """
+        out: list[tuple[float, int]] = []
+        seen = 0
+        for bound, c in zip(self._bounds, self._counts):
+            seen += c
+            out.append((bound, seen))
+        out.append((float("inf"), self.count))
+        return out
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One exposition line: ``<family.name><suffix>{labels} value``."""
+
+    suffix: str
+    labels: LabelSet
+    value: float
+
+
+@dataclass(frozen=True)
+class MetricFamily:
+    """All samples of one metric name, with its type and help text."""
+
+    name: str
+    kind: str
+    help: str
+    samples: tuple[Sample, ...]
+
+
+def _label_key(labels: Mapping[str, str] | None) -> LabelSet:
+    if not labels:
+        return ()
+    for k in labels:
+        if not _LABEL_RE.match(k):
+            raise ConfigurationError(f"invalid label name {k!r}")
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class MetricsRegistry:
+    """Get-or-create instrument store, keyed by ``(name, labels)``.
+
+    One *family* (a metric name) holds one kind and one help string, and
+    any number of label sets, each with its own instrument::
+
+        reg = MetricsRegistry()
+        reg.counter("repro_hits_total", "policy-access hits").inc()
+        reg.histogram("repro_op_latency_seconds", "per-op latency",
+                      labels={"op": "get"}).observe(3.2e-5)
+        text = reg.render()
+
+    Re-requesting an existing ``(name, labels)`` returns the same
+    instrument; re-requesting a name with a different kind raises.
+    """
+
+    def __init__(self) -> None:
+        # name -> (kind, help, {label_key: instrument})
+        self._families: dict[str, tuple[str, str, dict[LabelSet, Any]]] = {}
+
+    # -- get-or-create ------------------------------------------------------
+    def counter(
+        self, name: str, help: str = "", *, labels: Mapping[str, str] | None = None
+    ) -> Counter:
+        return self._get_or_create(name, help, labels, Counter)
+
+    def gauge(
+        self, name: str, help: str = "", *, labels: Mapping[str, str] | None = None
+    ) -> Gauge:
+        return self._get_or_create(name, help, labels, Gauge)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        *,
+        labels: Mapping[str, str] | None = None,
+        base: float = 1e-6,
+        num_buckets: int = 24,
+    ) -> Histogram:
+        return self._get_or_create(
+            name, help, labels, lambda: Histogram(base=base, num_buckets=num_buckets)
+        )
+
+    def register(
+        self,
+        name: str,
+        instrument: Counter | Gauge | Histogram,
+        help: str = "",
+        *,
+        labels: Mapping[str, str] | None = None,
+    ) -> None:
+        """Attach an *existing* instrument (e.g. a live service histogram).
+
+        This is how the service exposes its loop-local instruments
+        without copying them: register, then :meth:`collect` reads the
+        live values at scrape time.
+        """
+        family = self._family(name, instrument.kind, help)
+        family[_label_key(labels)] = instrument
+
+    # -- collection ---------------------------------------------------------
+    def collect(self) -> list[MetricFamily]:
+        """Flatten every instrument into exposition-ready families.
+
+        Counters and gauges yield one sample per label set; histograms
+        expand into cumulative ``_bucket`` samples (with ``le`` labels),
+        plus ``_sum`` and ``_count``.
+        """
+        families: list[MetricFamily] = []
+        for name, (kind, help, instruments) in self._families.items():
+            samples: list[Sample] = []
+            for labels, instrument in instruments.items():
+                if kind == "histogram":
+                    samples.extend(_histogram_samples(labels, instrument))
+                else:
+                    samples.append(Sample("", labels, float(instrument.value)))
+            families.append(MetricFamily(name, kind, help, tuple(samples)))
+        return families
+
+    def render(self) -> str:
+        """Prometheus text exposition of everything registered."""
+        from repro.obs.exposition import render_prometheus
+
+        return render_prometheus(self.collect())
+
+    # -- internals ----------------------------------------------------------
+    def _family(self, name: str, kind: str, help: str) -> dict[LabelSet, Any]:
+        if not _NAME_RE.match(name):
+            raise ConfigurationError(f"invalid metric name {name!r}")
+        existing = self._families.get(name)
+        if existing is None:
+            instruments: dict[LabelSet, Any] = {}
+            self._families[name] = (kind, help, instruments)
+            return instruments
+        if existing[0] != kind:
+            raise ConfigurationError(
+                f"metric {name!r} is a {existing[0]}, cannot re-register as {kind}"
+            )
+        if help and not existing[1]:
+            self._families[name] = (kind, help, existing[2])
+            return existing[2]
+        return existing[2]
+
+    def _get_or_create(self, name, help, labels, factory) -> Any:
+        kind = factory.kind if isinstance(factory, type) else "histogram"
+        family = self._family(name, kind, help)
+        key = _label_key(labels)
+        instrument = family.get(key)
+        if instrument is None:
+            instrument = family[key] = factory()
+        return instrument
+
+
+def _histogram_samples(labels: LabelSet, hist: Histogram) -> Iterable[Sample]:
+    for bound, cumulative in hist.buckets():
+        le = ("le", "+Inf" if bound == float("inf") else _format_bound(bound))
+        yield Sample("_bucket", labels + (le,), float(cumulative))
+    yield Sample("_sum", labels, hist.total)
+    yield Sample("_count", labels, float(hist.count))
+
+
+def _format_bound(bound: float) -> str:
+    # repr round-trips through float() exactly, which the parser relies on
+    return repr(bound)

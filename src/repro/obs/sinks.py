@@ -1,0 +1,143 @@
+"""Concrete trace sinks: where emitted events go.
+
+All sinks implement the one-method :class:`repro.obs.hooks.TraceSink`
+protocol. Pick by use case:
+
+- :class:`ListSink` — append every event to a Python list; the test and
+  notebook workhorse for short captures.
+- :class:`RingBufferSink` — keep only the last ``maxlen`` events in a
+  bounded deque; "flight recorder" mode for long-lived servers where you
+  want recent history without unbounded memory.
+- :class:`NDJSONSink` — stream events to a file, one JSON object per
+  line; the durable format the lifetime/occupancy analyses read back
+  (:func:`repro.obs.lifetimes.read_ndjson`).
+- :class:`SamplingSink` — a wrapper that forwards each event to an inner
+  sink with probability ``rate``, using a seeded RNG so the kept subset
+  is reproducible; the cheap way to observe very long runs.
+- :class:`NullSink` — accepts and discards everything; exists so
+  benchmarks can price the emission machinery itself.
+
+Sinks must not mutate the event dicts they receive (they are shared by
+every installed sink). ``NDJSONSink`` serializes — i.e. deep-copies into
+text — so downstream mutation is never an issue for files.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from collections import deque
+from pathlib import Path
+from typing import IO, Any
+
+from repro.errors import ConfigurationError
+from repro.obs.hooks import TraceSink
+from repro.rng import derive_seed
+
+__all__ = ["ListSink", "RingBufferSink", "NDJSONSink", "SamplingSink", "NullSink"]
+
+
+class ListSink:
+    """Collect every event into :attr:`events` (an unbounded list)."""
+
+    def __init__(self) -> None:
+        self.events: list[dict[str, Any]] = []
+
+    def emit(self, event: dict[str, Any]) -> None:
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class RingBufferSink:
+    """Keep the most recent ``maxlen`` events (older ones fall off)."""
+
+    def __init__(self, maxlen: int):
+        if maxlen < 1:
+            raise ConfigurationError(f"maxlen must be >= 1, got {maxlen}")
+        self.events: deque[dict[str, Any]] = deque(maxlen=maxlen)
+
+    def emit(self, event: dict[str, Any]) -> None:
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def drain(self) -> list[dict[str, Any]]:
+        """Return buffered events oldest-first and clear the buffer."""
+        out = list(self.events)
+        self.events.clear()
+        return out
+
+
+class NDJSONSink:
+    """Write one compact JSON object per event line to a file.
+
+    Accepts a path (opened for writing, closed by :meth:`close` or the
+    context manager) or any text-mode file object (left open — the
+    caller owns it). Writes are line-buffered by the underlying file;
+    call :meth:`flush` before handing the file to a reader mid-run.
+    """
+
+    def __init__(self, target: str | Path | IO[str]):
+        if isinstance(target, (str, Path)):
+            self._file: IO[str] = open(target, "w", encoding="utf-8")
+            self._owns_file = True
+        else:
+            self._file = target
+            self._owns_file = False
+        self.written = 0
+
+    def emit(self, event: dict[str, Any]) -> None:
+        self._file.write(json.dumps(event, separators=(",", ":")))
+        self._file.write("\n")
+        self.written += 1
+
+    def flush(self) -> None:
+        self._file.flush()
+
+    def close(self) -> None:
+        self.flush()
+        if self._owns_file:
+            self._file.close()
+
+    def __enter__(self) -> "NDJSONSink":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+class SamplingSink:
+    """Forward each event to ``inner`` with probability ``rate``.
+
+    The keep/drop decision stream comes from a dedicated seeded RNG, so
+    two captures with the same seed keep the *same positions* of the
+    event stream — deterministic sampling, which tests rely on. Note the
+    decisions are positional (one draw per event), not content-based:
+    sampling a stream does **not** preserve route/evict pairing, so run
+    lifetime analyses on unsampled captures.
+    """
+
+    def __init__(self, inner: TraceSink, rate: float, *, seed: int = 0):
+        if not 0.0 <= rate <= 1.0:
+            raise ConfigurationError(f"sampling rate must be in [0,1], got {rate}")
+        self.inner = inner
+        self.rate = float(rate)
+        self._rng = random.Random(derive_seed(seed, "obs-sample"))
+        self.seen = 0
+        self.kept = 0
+
+    def emit(self, event: dict[str, Any]) -> None:
+        self.seen += 1
+        if self._rng.random() < self.rate:
+            self.kept += 1
+            self.inner.emit(event)
+
+
+class NullSink:
+    """Discard everything (benchmark baseline for the emission path)."""
+
+    def emit(self, event: dict[str, Any]) -> None:
+        pass

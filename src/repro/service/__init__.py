@@ -18,7 +18,8 @@ misbehaviour so all of it is testable with exact assertions.
 Layout::
 
     protocol.py   newline-delimited JSON framing + validation
-    metrics.py    counters, latency histogram, gauges
+    metrics.py    counters, latency histograms (combined + per-op),
+                  gauges, Prometheus registry assembly
     store.py      PolicyStore: single-writer policy + payload dict
     server.py     CacheServer: asyncio TCP server, error isolation,
                   backpressure (connection cap, in-flight window,
@@ -28,8 +29,10 @@ Layout::
     faults.py     FaultPlan / ChaosProxy: seeded fault injection
     loadgen.py    trace replay at a target concurrency, LoadReport
 
-CLI: ``repro-experiment serve`` / ``repro-experiment loadgen``.
+CLI: ``repro-experiment serve`` / ``repro-experiment loadgen`` /
+``repro-experiment stats``.
 Protocol, consistency model, failure modes: ``docs/service.md``.
+Metric names, event schema, scrape endpoints: ``docs/observability.md``.
 """
 
 from repro.service.client import (
@@ -40,7 +43,7 @@ from repro.service.client import (
 )
 from repro.service.faults import ChaosProxy, FaultPlan, FaultStats, running_proxy
 from repro.service.loadgen import LoadReport, replay_trace, run_replay
-from repro.service.metrics import LatencyHistogram, ServiceMetrics
+from repro.service.metrics import LatencyHistogram, ServiceMetrics, build_registry
 from repro.service.protocol import (
     Request,
     decode_request,
@@ -59,6 +62,7 @@ __all__ = [
     "decode_response",
     "LatencyHistogram",
     "ServiceMetrics",
+    "build_registry",
     "PolicyStore",
     "CacheServer",
     "running_server",

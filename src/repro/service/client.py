@@ -147,6 +147,13 @@ class ServiceClient:
         response = await self.request(Request("PING"))
         return bool(response.get("pong"))
 
+    async def metrics(self) -> str:
+        """Prometheus text exposition from the in-band ``METRICS`` op."""
+        response = await self.request(Request("METRICS"))
+        if not response.get("ok"):
+            raise ServiceError(f"METRICS failed: {response.get('error')}")
+        return response["text"]
+
     # -- pipelining ---------------------------------------------------------
     async def get_window(self, keys: Sequence[int]) -> list[dict[str, Any]]:
         """Pipeline GETs for ``keys``; responses in the same order.
@@ -330,6 +337,13 @@ class ResilientClient:
     async def ping(self) -> bool:
         response = await self.request(Request("PING"))
         return bool(response.get("pong"))
+
+    async def metrics(self) -> str:
+        """Prometheus text exposition from the in-band ``METRICS`` op."""
+        response = await self.request(Request("METRICS"))
+        if not response.get("ok"):
+            raise ServiceError(f"METRICS failed: {response.get('error')}")
+        return response["text"]
 
     async def get_window(self, keys: Sequence[int]) -> list[dict[str, Any]]:
         """Pipelined GETs with whole-window retry.

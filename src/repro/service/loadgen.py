@@ -52,6 +52,48 @@ __all__ = ["LoadReport", "replay_trace", "run_replay"]
 
 MODES = ("pipeline", "workers")
 
+#: STATS counters diffed into :attr:`LoadReport.server_delta`.
+_DELTA_KEYS = ("accesses", "hits", "misses", "gets", "puts", "dels", "errors")
+
+
+class _LiveCounters:
+    """Shared mutable progress counters, updated by every replay shard.
+
+    Loop-local (single event loop), so plain ints are race-free; the
+    progress reporter task reads them between awaits.
+    """
+
+    __slots__ = ("total", "ops", "hits", "errors")
+
+    def __init__(self, total: int):
+        self.total = total
+        self.ops = 0
+        self.hits = 0
+        self.errors = 0
+
+
+async def _report_progress(live: _LiveCounters, interval: float) -> None:
+    start = time.perf_counter()
+    while True:
+        await asyncio.sleep(interval)
+        elapsed = time.perf_counter() - start
+        rate = live.hits / live.ops if live.ops else 0.0
+        pct = 100.0 * live.ops / live.total if live.total else 100.0
+        print(
+            f"  progress : {live.ops}/{live.total} ops ({pct:.1f}%), "
+            f"hit rate {rate:.4f}, {live.errors} errors, "
+            f"{live.ops / max(elapsed, 1e-9):,.0f}/s",
+            flush=True,
+        )
+
+
+def _stats_delta(before: dict[str, Any], after: dict[str, Any]) -> dict[str, Any]:
+    delta: dict[str, Any] = {
+        key: after.get(key, 0) - before.get(key, 0) for key in _DELTA_KEYS
+    }
+    delta["hit_rate"] = delta["hits"] / delta["accesses"] if delta["accesses"] else 0.0
+    return delta
+
 
 @dataclass(frozen=True)
 class LoadReport:
@@ -66,6 +108,10 @@ class LoadReport:
     server_stats: dict[str, Any] = field(default_factory=dict)
     client_stats: dict[str, int] = field(default_factory=dict)
     fault_stats: dict[str, int] = field(default_factory=dict)
+    #: Server-side STATS counters diffed across the replay (after - before),
+    #: so client-observed hits can be cross-checked against the server's own
+    #: accounting even when the server was not freshly started.
+    server_delta: dict[str, Any] = field(default_factory=dict)
 
     @property
     def hit_rate(self) -> float:
@@ -116,6 +162,13 @@ class LoadReport:
                 f"evictions {self.server_stats.get('evictions')})",
                 f"server hit : {self.server_stats.get('hit_rate'):.4f}",
             ]
+            if self.server_delta:
+                d = self.server_delta
+                lines.append(
+                    f"server Δ   : {d.get('accesses', 0)} accesses this run, "
+                    f"hit rate {d.get('hit_rate', 0.0):.4f} "
+                    f"({d.get('hits', 0)} hits, {d.get('misses', 0)} misses)"
+                )
             if "sink_occupancy" in self.server_stats:
                 lines.append(f"sink occ.  : {self.server_stats['sink_occupancy']:.3f}")
             if lat:
@@ -137,12 +190,21 @@ async def replay_trace(
     timeout: float | None = DEFAULT_TIMEOUT,
     retry: RetryPolicy | None = None,
     faults: FaultPlan | None = None,
+    report_interval: float | None = None,
 ) -> LoadReport:
-    """Replay ``trace`` as GETs against ``host:port``; see module docs."""
+    """Replay ``trace`` as GETs against ``host:port``; see module docs.
+
+    ``report_interval`` (seconds) prints a progress line that often while
+    the replay runs; ``None``/``0`` disables it.
+    """
     if mode not in MODES:
         raise ConfigurationError(f"mode must be one of {MODES}, got {mode!r}")
     if concurrency < 1:
         raise ConfigurationError(f"concurrency must be >= 1, got {concurrency}")
+    if report_interval is not None and report_interval < 0:
+        raise ConfigurationError(
+            f"report_interval must be non-negative, got {report_interval}"
+        )
     pages = as_page_array(trace).tolist()
 
     if faults is not None:
@@ -150,11 +212,13 @@ async def replay_trace(
             report = await _replay(
                 pages, proxy.host, proxy.port, mode=mode, concurrency=concurrency,
                 fetch_stats=fetch_stats, timeout=timeout, retry=retry,
+                report_interval=report_interval,
             )
         return replace(report, fault_stats=proxy.stats.as_dict())
     return await _replay(
         pages, host, port, mode=mode, concurrency=concurrency,
         fetch_stats=fetch_stats, timeout=timeout, retry=retry,
+        report_interval=report_interval,
     )
 
 
@@ -168,22 +232,41 @@ async def _replay(
     fetch_stats: bool,
     timeout: float | None,
     retry: RetryPolicy | None,
+    report_interval: float | None = None,
 ) -> LoadReport:
+    # STATS is policy-neutral, so the before-snapshot does not perturb the
+    # access stream it is about to measure.
+    before: dict[str, Any] = {}
+    if fetch_stats:
+        with contextlib.suppress(ServiceError):
+            before = await _fetch_stats(host, port, timeout=timeout, retry=retry)
+
+    live = _LiveCounters(total=len(pages))
+    reporter: asyncio.Task | None = None
+    if report_interval:
+        reporter = asyncio.create_task(_report_progress(live, report_interval))
     start = time.perf_counter()
-    if mode == "pipeline":
-        counts = [
-            await _replay_shard(pages, host, port, window=concurrency,
-                                timeout=timeout, retry=retry)
-        ]
-    else:
-        shards = [pages[i::concurrency] for i in range(concurrency)]
-        counts = await asyncio.gather(
-            *(
-                _replay_shard(shard, host, port, window=32, timeout=timeout, retry=retry)
-                for shard in shards
-                if shard
+    try:
+        if mode == "pipeline":
+            counts = [
+                await _replay_shard(pages, host, port, window=concurrency,
+                                    timeout=timeout, retry=retry, live=live)
+            ]
+        else:
+            shards = [pages[i::concurrency] for i in range(concurrency)]
+            counts = await asyncio.gather(
+                *(
+                    _replay_shard(shard, host, port, window=32, timeout=timeout,
+                                  retry=retry, live=live)
+                    for shard in shards
+                    if shard
+                )
             )
-        )
+    finally:
+        if reporter is not None:
+            reporter.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await reporter
     seconds = time.perf_counter() - start
 
     client_stats: dict[str, int] = {}
@@ -209,6 +292,9 @@ async def _replay(
         concurrency=concurrency,
         server_stats=stats_snapshot,
         client_stats=client_stats,
+        server_delta=_stats_delta(before, stats_snapshot)
+        if before and stats_snapshot
+        else {},
     )
 
 
@@ -220,41 +306,54 @@ async def _replay_shard(
     window: int,
     timeout: float | None,
     retry: RetryPolicy | None,
+    live: _LiveCounters | None = None,
 ) -> tuple[int, int, int, ClientStats | None]:
     """Replay one ordered list of keys over one (logical) connection.
 
     Returns ``(ops, hits, errors, client_stats)``. With a retry policy, a
     window whose attempts are exhausted is charged to ``errors`` and the
     replay presses on — graceful degradation is the point, a chaos run
-    must never crash the generator.
+    must never crash the generator. ``live`` (shared across shards) feeds
+    the progress reporter.
     """
     ops = hits = errors = 0
+
+    def _count(response: dict[str, Any]) -> None:
+        nonlocal ops, hits, errors
+        ops += 1
+        if not response.get("ok"):
+            errors += 1
+        elif response.get("hit"):
+            hits += 1
+
+    def _sync_live(d_ops: int, d_hits: int, d_errors: int) -> None:
+        if live is not None:
+            live.ops += d_ops
+            live.hits += d_hits
+            live.errors += d_errors
+
     if retry is None:
         async with await ServiceClient.connect(host, port, timeout=timeout) as client:
             for lo in range(0, len(pages), window):
+                o0, h0, e0 = ops, hits, errors
                 for response in await client.get_window(pages[lo : lo + window]):
-                    ops += 1
-                    if not response.get("ok"):
-                        errors += 1
-                    elif response.get("hit"):
-                        hits += 1
+                    _count(response)
+                _sync_live(ops - o0, hits - h0, errors - e0)
         return ops, hits, errors, None
 
     async with ResilientClient(host, port, retry=retry, timeout=timeout) as client:
         for lo in range(0, len(pages), window):
             keys = pages[lo : lo + window]
+            o0, h0, e0 = ops, hits, errors
             try:
                 responses = await client.get_window(keys)
             except ServiceError:
                 ops += len(keys)
                 errors += len(keys)
-                continue
-            for response in responses:
-                ops += 1
-                if not response.get("ok"):
-                    errors += 1
-                elif response.get("hit"):
-                    hits += 1
+            else:
+                for response in responses:
+                    _count(response)
+            _sync_live(ops - o0, hits - h0, errors - e0)
         return ops, hits, errors, client.counters
 
 

@@ -1,72 +1,64 @@
-"""Service-side observability: counters, latency histogram, gauges.
+"""Service-side observability: counters, latency histograms, gauges.
 
 Everything here is loop-local (mutated only from the server's event loop)
 so plain ints suffice — no atomics, no locks. The snapshot the ``STATS``
 op returns is a plain JSON-able dict; field meanings are documented in
 ``docs/service.md``.
 
-The latency histogram uses fixed log-spaced buckets (powers of two above
-one microsecond) like the HDR-histogram family of tools: O(1) record,
-bounded memory, and percentile estimates whose relative error is bounded
-by the bucket ratio.
+The latency histograms are :class:`repro.obs.metrics.Histogram` —
+fixed log-spaced buckets (powers of two above one microsecond) like the
+HDR-histogram family of tools: O(1) record, bounded memory, and
+percentile estimates whose relative error is bounded by the bucket
+ratio. Request service time is recorded twice: once into the combined
+histogram (kept for ``STATS`` backward compatibility) and once into the
+per-op histogram of GET/PUT/DEL, so slow PUTs can no longer hide inside
+a GET-dominated aggregate.
+
+For Prometheus scrapes (the ``METRICS`` op and the ``--metrics-port``
+HTTP endpoint), :func:`build_registry` assembles a
+:class:`~repro.obs.metrics.MetricsRegistry` per scrape: counters are
+copied (they are plain ints), histograms are *registered live* so bucket
+data is never duplicated. Metric names are documented in
+``docs/observability.md``.
 """
 
 from __future__ import annotations
 
 import time
-from bisect import bisect_right
-from typing import Any
+from typing import Any, Mapping
 
-__all__ = ["LatencyHistogram", "ServiceMetrics"]
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+__all__ = ["LatencyHistogram", "ServiceMetrics", "build_registry"]
+
+#: Ops that get a dedicated latency histogram (METRICS/STATS/PING share
+#: only the combined one — they never touch the policy).
+PER_OP_LATENCY = ("GET", "PUT", "DEL")
 
 
-class LatencyHistogram:
+class LatencyHistogram(Histogram):
     """Log₂-bucketed histogram of durations in seconds.
 
-    Buckets span ``base * 2**i`` for ``i = 0 .. num_buckets-1`` (default
-    1 µs … ~8.6 s); durations beyond the last boundary land in a final
-    overflow bucket. Percentiles are reported as the upper boundary of the
-    bucket containing the requested rank — a ≤ 2× overestimate by
-    construction, which is the right bias for alerting.
+    A unit-presenting subclass of :class:`repro.obs.metrics.Histogram`
+    (which inherited this class's original implementation): buckets span
+    ``base * 2**i`` for ``i = 0 .. num_buckets-1`` (default 1 µs … ~8.6 s),
+    durations beyond the last boundary land in a final overflow bucket,
+    and percentiles report the upper boundary of the rank's bucket — a
+    ≤ 2× overestimate by construction, the right bias for alerting. Ranks
+    landing in the overflow bucket report the observed :attr:`max`.
+
+    :meth:`snapshot` presents microseconds, as served by ``STATS``.
     """
 
-    def __init__(self, *, base: float = 1e-6, num_buckets: int = 24):
-        if base <= 0 or num_buckets < 1:
-            raise ValueError(f"bad histogram shape: base={base}, num_buckets={num_buckets}")
-        self._bounds = [base * (1 << i) for i in range(num_buckets)]
-        self._counts = [0] * (num_buckets + 1)  # +1 overflow bucket
-        self.count = 0
-        self.total = 0.0
-        self.max = 0.0
-
-    def record(self, seconds: float) -> None:
-        seconds = max(0.0, seconds)
-        self._counts[bisect_right(self._bounds, seconds)] += 1
-        self.count += 1
-        self.total += seconds
-        if seconds > self.max:
-            self.max = seconds
-
-    @property
-    def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
-
-    def percentile(self, q: float) -> float:
-        """Upper bound of the bucket holding the ``q``-quantile (q in [0,1])."""
-        if not 0.0 <= q <= 1.0:
-            raise ValueError(f"quantile must be in [0,1], got {q}")
-        if self.count == 0:
-            return 0.0
-        rank = max(1, int(q * self.count + 0.5))
-        seen = 0
-        for i, c in enumerate(self._counts):
-            seen += c
-            if seen >= rank:
-                return self._bounds[i] if i < len(self._bounds) else self.max
-        return self.max  # pragma: no cover - rank <= count guarantees the loop returns
-
     def snapshot(self) -> dict[str, Any]:
-        """JSON-able summary (microsecond units, as served by ``STATS``)."""
+        """JSON-able summary (microsecond units, as served by ``STATS``).
+
+        Besides the headline percentiles this carries ``sum_us`` and the
+        cumulative ``buckets`` dump (``[upper_bound_us, count_le]`` pairs,
+        overflow folded into a final ``null``-bound entry), which is what
+        lets exposition emit exact Prometheus histogram buckets from a
+        snapshot alone.
+        """
         return {
             "count": self.count,
             "mean_us": round(self.mean * 1e6, 3),
@@ -74,6 +66,11 @@ class LatencyHistogram:
             "p90_us": round(self.percentile(0.90) * 1e6, 3),
             "p99_us": round(self.percentile(0.99) * 1e6, 3),
             "max_us": round(self.max * 1e6, 3),
+            "sum_us": round(self.total * 1e6, 3),
+            "buckets": [
+                [None if bound == float("inf") else round(bound * 1e6, 6), count]
+                for bound, count in self.buckets()
+            ],
         }
 
 
@@ -99,6 +96,7 @@ class ServiceMetrics:
         self.connections_opened = 0
         self.connections_closed = 0
         self.latency = LatencyHistogram()
+        self.latency_by_op = {op: LatencyHistogram() for op in PER_OP_LATENCY}
 
     @property
     def accesses(self) -> int:
@@ -107,6 +105,13 @@ class ServiceMetrics:
     @property
     def hit_rate(self) -> float:
         return self.hits / self.accesses if self.accesses else 0.0
+
+    def record_op(self, op: str | None, seconds: float) -> None:
+        """Record one request's service time (combined + per-op)."""
+        self.latency.record(seconds)
+        per_op = self.latency_by_op.get(op) if op is not None else None
+        if per_op is not None:
+            per_op.record(seconds)
 
     def snapshot(self) -> dict[str, Any]:
         return {
@@ -124,4 +129,65 @@ class ServiceMetrics:
             "connections_open": self.connections_opened - self.connections_closed,
             "connections_total": self.connections_opened,
             "latency": self.latency.snapshot(),
+            "latency_by_op": {
+                op.lower(): hist.snapshot() for op, hist in self.latency_by_op.items()
+            },
         }
+
+
+def build_registry(
+    metrics: ServiceMetrics,
+    *,
+    gauges: Mapping[str, float] | None = None,
+    counters: Mapping[str, float] | None = None,
+) -> MetricsRegistry:
+    """Assemble the exposition registry for one scrape.
+
+    ``gauges``/``counters`` carry the store-level values only the caller
+    can see (resident pages, capacity, evictions, sink occupancy);
+    plain-int counters are copied into fresh instruments, live histograms
+    are registered by reference.
+    """
+    reg = MetricsRegistry()
+    reg.gauge("repro_uptime_seconds", "seconds since the store was created").set(
+        time.monotonic() - metrics.started
+    )
+    for op, value in (("get", metrics.gets), ("put", metrics.puts), ("del", metrics.dels)):
+        reg.counter(
+            "repro_ops_total", "operations served, by op", labels={"op": op}
+        ).inc(value)
+    reg.counter("repro_hits_total", "policy-access hits").inc(metrics.hits)
+    reg.counter("repro_misses_total", "policy-access misses").inc(metrics.misses)
+    reg.counter("repro_errors_total", "protocol/internal errors answered").inc(
+        metrics.errors
+    )
+    reg.counter(
+        "repro_rejected_total", "connections shed by the connection cap"
+    ).inc(metrics.rejected)
+    reg.counter(
+        "repro_write_timeouts_total", "connections dropped for not reading"
+    ).inc(metrics.write_timeouts)
+    reg.counter("repro_connections_total", "connections accepted").inc(
+        metrics.connections_opened
+    )
+    reg.gauge("repro_connections_open", "currently open connections").set(
+        metrics.connections_opened - metrics.connections_closed
+    )
+    reg.gauge("repro_hit_ratio", "hits / accesses since start").set(metrics.hit_rate)
+    for name, value in (gauges or {}).items():
+        reg.gauge(name).set(value)
+    for name, value in (counters or {}).items():
+        reg.counter(name).inc(value)
+    reg.register(
+        "repro_request_latency_seconds",
+        metrics.latency,
+        "request service time, all ops",
+    )
+    for op, hist in metrics.latency_by_op.items():
+        reg.register(
+            "repro_op_latency_seconds",
+            hist,
+            "request service time, by op",
+            labels={"op": op.lower()},
+        )
+    return reg

@@ -19,6 +19,9 @@ Requests are JSON objects with an ``op`` field:
     itself is append-only under demand paging).
 ``{"op": "STATS"}``
     Metrics snapshot.
+``{"op": "METRICS"}``
+    Prometheus text exposition of the same counters (``"text"`` field);
+    the in-band twin of the ``--metrics-port`` HTTP endpoint.
 ``{"op": "PING"}``
     Liveness probe.
 
@@ -56,13 +59,13 @@ __all__ = [
 MAX_LINE_BYTES = 1 << 20
 
 #: Operations a request may carry.
-OPS = frozenset({"GET", "PUT", "DEL", "STATS", "PING"})
+OPS = frozenset({"GET", "PUT", "DEL", "STATS", "METRICS", "PING"})
 
 #: Operations a client may retry blindly. GET *does* advance the policy
 #: state machine, but re-accessing a key is semantically a cache lookup,
 #: not a state-corrupting write; PUT/DEL change stored payloads and are
 #: only retried when the caller opts in.
-IDEMPOTENT_OPS = frozenset({"GET", "STATS", "PING"})
+IDEMPOTENT_OPS = frozenset({"GET", "STATS", "METRICS", "PING"})
 
 #: Error-response ``code`` values the server emits.
 CODE_BAD_REQUEST = "bad-request"  # malformed message; connection keeps serving

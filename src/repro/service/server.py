@@ -199,8 +199,8 @@ class CacheServer:
                     await self._drain(writer, metrics)
                     break
                 start = loop.time()
-                response = await self._handle_line(item)
-                metrics.latency.record(loop.time() - start)
+                response, op = await self._handle_line(item)
+                metrics.record_op(op, loop.time() - start)
                 writer.write(encode_response(response))
                 if not await self._drain(writer, metrics):
                     break
@@ -237,22 +237,28 @@ class CacheServer:
             return False
         return True
 
-    async def _handle_line(self, line: bytes) -> dict[str, Any]:
+    async def _handle_line(self, line: bytes) -> tuple[dict[str, Any], str | None]:
+        """Decode + dispatch one request; returns ``(response, op-or-None)``.
+
+        The op is ``None`` when the line never parsed into a request —
+        the latency of answering garbage still lands in the combined
+        histogram, just not in any per-op one.
+        """
         try:
             request = decode_request(line)
         except ProtocolError as exc:
             self.store.metrics.errors += 1
-            return error_payload(str(exc))
+            return error_payload(str(exc)), None
         try:
-            return await self._dispatch(request)
+            return await self._dispatch(request), request.op
         except ReproError as exc:
             self.store.metrics.errors += 1
-            return error_payload(str(exc), code=CODE_REJECTED)
+            return error_payload(str(exc), code=CODE_REJECTED), request.op
         except Exception as exc:  # noqa: BLE001 - isolation boundary
             self.store.metrics.errors += 1
             return error_payload(
                 f"{type(exc).__name__}: {exc}", code=CODE_INTERNAL
-            )
+            ), request.op
 
     async def _dispatch(self, request: Request) -> dict[str, Any]:
         op = request.op
@@ -270,6 +276,8 @@ class CacheServer:
             return {"ok": True, "deleted": existed}
         if op == "STATS":
             return {"ok": True, "stats": await self.store.stats()}
+        if op == "METRICS":
+            return {"ok": True, "text": await self.store.metrics_text()}
         assert op == "PING"
         return {"ok": True, "pong": True}
 

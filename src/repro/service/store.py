@@ -26,7 +26,9 @@ from typing import Any
 
 from repro.core.base import CachePolicy
 from repro.errors import ConfigurationError
-from repro.service.metrics import ServiceMetrics
+from repro.obs import hooks as obs_hooks
+from repro.obs.metrics import MetricsRegistry
+from repro.service.metrics import ServiceMetrics, build_registry
 
 __all__ = ["PolicyStore"]
 
@@ -146,13 +148,47 @@ class PolicyStore:
                 )
             return problems
 
+    async def metrics_registry(self) -> MetricsRegistry:
+        """Exposition registry for one scrape (store gauges included)."""
+        async with self._lock:
+            resident = len(self.policy)
+            gauges = {
+                "repro_resident_pages": float(resident),
+                "repro_capacity_slots": float(self.policy.capacity),
+            }
+            occupancy = getattr(self.policy, "sink_occupancy", None)
+            if callable(occupancy):
+                gauges["repro_sink_occupancy_ratio"] = float(occupancy())
+            reg = build_registry(
+                self.metrics,
+                gauges=gauges,
+                counters={"repro_evictions_total": float(self.metrics.misses - resident)},
+            )
+            reg.gauge(
+                "repro_cache_info",
+                "wrapped policy identity (value is always 1)",
+                labels={"policy": self.policy.name},
+            ).set(1)
+            return reg
+
+    async def metrics_text(self) -> str:
+        """Prometheus text exposition (the ``METRICS`` op / HTTP endpoint body)."""
+        return (await self.metrics_registry()).render()
+
     # -- internals ----------------------------------------------------------
     def _access(self, key: int) -> bool:
+        # one logical-clock step per policy access, mirroring the
+        # simulator's run loop, so served and simulated event streams are
+        # directly comparable
+        if obs_hooks.ENABLED:
+            obs_hooks.step()
         hit = self.policy.access(key)
         if hit:
             self.metrics.hits += 1
         else:
             self.metrics.misses += 1
+        if obs_hooks.ENABLED:
+            obs_hooks.emit({"ev": "access", "page": key, "hit": hit})
         return hit
 
     def _maybe_prune(self) -> None:

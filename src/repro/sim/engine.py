@@ -4,6 +4,12 @@
 optional warm-up splitting; :func:`compare_policies` runs a dictionary of
 policies over the same trace and assembles a :class:`ResultsTable` — the
 workhorse behind the examples and the ASSOC-SWEEP experiment.
+
+Both integrate with the observability layer: pass ``trace_sink`` to
+capture the run's structured events (access/route/evict) into any
+:mod:`repro.obs.sinks` sink — the sink is installed only for the
+duration of the run, and with no sink the hooks stay disabled and the
+loop runs at full speed (``benchmarks/bench_obs.py`` guards the bound).
 """
 
 from __future__ import annotations
@@ -15,6 +21,8 @@ import numpy as np
 
 from repro.analysis.metrics import warmup_split
 from repro.core.base import CachePolicy, SimResult
+from repro.obs import hooks as obs_hooks
+from repro.obs.hooks import TraceSink
 from repro.sim.results import ResultsTable
 from repro.traces.base import Trace, as_page_array
 
@@ -26,11 +34,20 @@ def run_policy(
     trace: Trace | np.ndarray,
     *,
     warmup_fraction: float = 0.25,
+    trace_sink: TraceSink | None = None,
 ) -> dict:
-    """Run one policy, returning a flat row of headline metrics."""
+    """Run one policy, returning a flat row of headline metrics.
+
+    ``trace_sink`` (optional) receives the run's observability events;
+    event indices restart at 0 for this run.
+    """
     pages = as_page_array(trace)
     start = time.perf_counter()
-    result = policy.run(pages)
+    if trace_sink is not None:
+        with obs_hooks.capturing(trace_sink):
+            result = policy.run(pages)
+    else:
+        result = policy.run(pages)
     elapsed = time.perf_counter() - start
     warm_rate, steady_rate = warmup_split(result, warmup_fraction)
     return {

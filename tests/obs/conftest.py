@@ -1,0 +1,19 @@
+"""Obs tests share one global hook switchboard — scrub it around each test."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import hooks
+
+
+@pytest.fixture(autouse=True)
+def clean_hooks():
+    for sink in hooks.active_sinks():
+        hooks.uninstall(sink)
+    hooks.reset_clock()
+    yield
+    for sink in hooks.active_sinks():
+        hooks.uninstall(sink)
+    hooks.reset_clock()
+    assert hooks.ENABLED is False

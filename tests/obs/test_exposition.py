@@ -1,0 +1,79 @@
+"""Prometheus text format: render → parse round-trips exactly."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.obs.exposition import parse_prometheus, render_prometheus
+from repro.obs.metrics import MetricsRegistry
+
+
+def _registry():
+    reg = MetricsRegistry()
+    reg.counter("ops_total", "operations", labels={"op": "get"}).inc(7)
+    reg.counter("ops_total", labels={"op": "put"}).inc(3)
+    reg.gauge("occupancy_ratio", "sink occupancy").set(0.75)
+    hist = reg.histogram("latency_seconds", "latency", base=1.0, num_buckets=3)
+    hist.observe(0.5)
+    hist.observe(3.0)
+    hist.observe(50.0)
+    return reg
+
+
+class TestRoundTrip:
+    def test_values_survive(self):
+        parsed = parse_prometheus(_registry().render())
+        assert parsed.value("ops_total", op="get") == 7.0
+        assert parsed.value("ops_total", op="put") == 3.0
+        assert parsed.value("occupancy_ratio") == 0.75
+        assert parsed.value("latency_seconds_count") == 3.0
+        assert parsed.value("latency_seconds_sum") == pytest.approx(53.5)
+        assert parsed.value("latency_seconds_bucket", le="1.0") == 1.0
+        assert parsed.value("latency_seconds_bucket", le="4.0") == 2.0
+        assert parsed.value("latency_seconds_bucket", le="+Inf") == 3.0
+
+    def test_types_and_helps_survive(self):
+        parsed = parse_prometheus(_registry().render())
+        assert parsed.types["ops_total"] == "counter"
+        assert parsed.types["latency_seconds"] == "histogram"
+        assert parsed.helps["occupancy_ratio"] == "sink occupancy"
+
+    def test_label_escaping_round_trips(self):
+        reg = MetricsRegistry()
+        nasty = 'quo"te\\slash\nnewline'
+        reg.gauge("g", labels={"k": nasty}).set(1)
+        parsed = parse_prometheus(reg.render())
+        assert parsed.value("g", k=nasty) == 1.0
+
+    def test_integer_rendering(self):
+        reg = MetricsRegistry()
+        reg.counter("n_total").inc(12345)
+        assert "n_total 12345\n" in reg.render()
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus([]) == ""
+        assert parse_prometheus("").samples == {}
+
+
+class TestParserRobustness:
+    def test_skips_blank_and_comment_lines(self):
+        parsed = parse_prometheus("\n# just a remark\nx 1\n")
+        assert parsed.value("x") == 1.0
+
+    def test_malformed_sample_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_prometheus("lonely_name\n")
+
+    def test_bad_value_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_prometheus("x notanumber\n")
+
+    def test_unbalanced_braces_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_prometheus('x{a="b" 1\n')
+
+    def test_special_values(self):
+        parsed = parse_prometheus("a +Inf\nb -Inf\n")
+        assert parsed.value("a") == float("inf")
+        assert parsed.value("b") == float("-inf")

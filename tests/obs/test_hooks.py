@@ -1,0 +1,110 @@
+"""The hook switchboard: enable flag, logical clock, scoped capture."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.registry import make_policy
+from repro.obs import hooks
+from repro.obs.sinks import ListSink
+from repro.traces.synthetic import zipf_trace
+
+
+class TestSwitchboard:
+    def test_disabled_by_default(self):
+        assert hooks.ENABLED is False
+        assert hooks.active_sinks() == ()
+
+    def test_install_raises_flag_uninstall_lowers_it(self):
+        a, b = ListSink(), ListSink()
+        hooks.install(a)
+        assert hooks.ENABLED is True
+        hooks.install(b)
+        hooks.uninstall(a)
+        assert hooks.ENABLED is True  # b still installed
+        hooks.uninstall(b)
+        assert hooks.ENABLED is False
+
+    def test_install_is_idempotent(self):
+        sink = ListSink()
+        hooks.install(sink)
+        hooks.install(sink)
+        assert hooks.active_sinks() == (sink,)
+        hooks.uninstall(sink)
+        assert hooks.ENABLED is False
+
+    def test_uninstall_missing_sink_is_fine(self):
+        hooks.uninstall(ListSink())
+        assert hooks.ENABLED is False
+
+    def test_emit_fans_out_to_every_sink(self):
+        a, b = ListSink(), ListSink()
+        with hooks.capturing(a):
+            hooks.install(b)
+            hooks.step()
+            hooks.emit({"ev": "x"})
+            hooks.uninstall(b)
+        assert len(a) == len(b) == 1
+        assert a.events[0] is b.events[0]  # shared dict, by design
+
+    def test_capturing_uninstalls_on_exception(self):
+        sink = ListSink()
+        with pytest.raises(RuntimeError):
+            with hooks.capturing(sink):
+                raise RuntimeError("boom")
+        assert hooks.ENABLED is False
+
+
+class TestClock:
+    def test_steps_stamp_events(self):
+        sink = ListSink()
+        with hooks.capturing(sink):
+            hooks.step()
+            hooks.emit({"ev": "a"})
+            hooks.emit({"ev": "b"})  # same access -> same index
+            hooks.step()
+            hooks.emit({"ev": "c"})
+        assert [e["i"] for e in sink.events] == [0, 0, 1]
+
+    def test_capturing_resets_clock_by_default(self):
+        hooks.step()
+        hooks.step()
+        with hooks.capturing(ListSink()) as sink:
+            hooks.step()
+            hooks.emit({"ev": "x"})
+        assert sink.events[0]["i"] == 0
+
+    def test_capturing_can_keep_clock(self):
+        hooks.step()
+        hooks.step()
+        with hooks.capturing(ListSink(), reset=False) as sink:
+            hooks.step()
+            hooks.emit({"ev": "x"})
+        assert sink.events[0]["i"] == 2
+
+    def test_now_tracks_steps(self):
+        assert hooks.now() == -1
+        hooks.step()
+        assert hooks.now() == 0
+
+
+class TestRunLoopIntegration:
+    def test_run_emits_one_access_event_per_step(self):
+        trace = zipf_trace(256, 2000, alpha=1.0, seed=11)
+        policy = make_policy("lru", 64)
+        with hooks.capturing(ListSink()) as sink:
+            result = policy.run(trace)
+        accesses = [e for e in sink.events if e["ev"] == "access"]
+        assert len(accesses) == 2000
+        assert [e["i"] for e in accesses] == list(range(2000))
+        assert sum(not e["hit"] for e in accesses) == result.num_misses
+
+    def test_instrumented_run_is_bit_identical_to_plain_run(self):
+        trace = zipf_trace(512, 5000, alpha=1.0, seed=5)
+        observed = make_policy("heatsink", 272, seed=1)
+        plain = make_policy("heatsink", 272, seed=1)
+        with hooks.capturing(ListSink()):
+            observed_result = observed.run(trace)
+        plain_result = plain.run(trace)
+        np.testing.assert_array_equal(observed_result.hits, plain_result.hits)

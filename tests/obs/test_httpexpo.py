@@ -1,0 +1,114 @@
+"""The tiny HTTP exposition endpoint."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.obs.exposition import parse_prometheus
+from repro.obs.httpexpo import MetricsExporter, running_exporter, scrape
+from repro.obs.metrics import MetricsRegistry
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def _render() -> str:
+    reg = MetricsRegistry()
+    reg.counter("demo_total", "demo").inc(42)
+    return reg.render()
+
+
+async def _raw_request(host: str, port: int, request: bytes) -> bytes:
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(request)
+    await writer.drain()
+    raw = await reader.read(-1)
+    writer.close()
+    return raw
+
+
+class TestExporter:
+    def test_scrape_round_trip(self):
+        async def scenario():
+            async with running_exporter(_render) as exporter:
+                assert exporter.is_serving
+                body = await scrape("127.0.0.1", exporter.port)
+            return body
+
+        parsed = parse_prometheus(run(scenario()))
+        assert parsed.value("demo_total") == 42.0
+        assert parsed.types["demo_total"] == "counter"
+
+    def test_content_type_and_status_line(self):
+        async def scenario():
+            async with running_exporter(_render) as exporter:
+                return await _raw_request(
+                    "127.0.0.1", exporter.port, b"GET /metrics HTTP/1.0\r\n\r\n"
+                )
+
+        raw = run(scenario())
+        head = raw.split(b"\r\n\r\n", 1)[0].decode()
+        assert head.startswith("HTTP/1.0 200 OK")
+        assert "text/plain; version=0.0.4" in head
+
+    def test_root_path_also_serves(self):
+        async def scenario():
+            async with running_exporter(_render) as exporter:
+                return await _raw_request(
+                    "127.0.0.1", exporter.port, b"GET / HTTP/1.0\r\n\r\n"
+                )
+
+        assert b"demo_total 42" in run(scenario())
+
+    def test_unknown_path_404(self):
+        async def scenario():
+            async with running_exporter(_render) as exporter:
+                return await _raw_request(
+                    "127.0.0.1", exporter.port, b"GET /nope HTTP/1.0\r\n\r\n"
+                )
+
+        assert run(scenario()).startswith(b"HTTP/1.0 404")
+
+    def test_non_get_405(self):
+        async def scenario():
+            async with running_exporter(_render) as exporter:
+                return await _raw_request(
+                    "127.0.0.1", exporter.port, b"POST /metrics HTTP/1.0\r\n\r\n"
+                )
+
+        assert run(scenario()).startswith(b"HTTP/1.0 405")
+
+    def test_scrape_raises_on_non_200(self):
+        async def scenario():
+            async def deny(reader, writer):
+                await reader.readline()
+                writer.write(b"HTTP/1.0 500 Nope\r\n\r\nno\n")
+                await writer.drain()
+                writer.close()
+
+            server = await asyncio.start_server(deny, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            try:
+                with pytest.raises(ServiceError):
+                    await scrape("127.0.0.1", port, timeout=2.0)
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        run(scenario())
+
+    def test_double_start_rejected(self):
+        async def scenario():
+            exporter = MetricsExporter(_render)
+            await exporter.start()
+            try:
+                with pytest.raises(ServiceError):
+                    await exporter.start()
+            finally:
+                await exporter.stop()
+
+        run(scenario())

@@ -1,0 +1,126 @@
+"""Instruments and the registry: counters, gauges, histograms, families."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_monotone(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        with pytest.raises(ConfigurationError):
+            c.inc(-1)
+
+
+class TestGauge:
+    def test_goes_anywhere(self):
+        g = Gauge()
+        g.set(5)
+        g.dec(7)
+        g.inc(1)
+        assert g.value == -1.0
+
+
+class TestHistogram:
+    def test_empty(self):
+        h = Histogram()
+        assert h.count == 0
+        assert h.mean == 0.0
+        assert h.percentile(0.0) == 0.0
+        assert h.percentile(1.0) == 0.0
+        assert h.buckets()[-1] == (float("inf"), 0)
+
+    def test_quantile_bounds(self):
+        h = Histogram()
+        h.observe(3e-6)
+        with pytest.raises(ConfigurationError):
+            h.percentile(-0.01)
+        with pytest.raises(ConfigurationError):
+            h.percentile(1.01)
+
+    def test_q0_and_q1(self):
+        h = Histogram()
+        for v in (1.5e-6, 1e-4, 3e-3):
+            h.observe(v)
+        # q=0 clamps to rank 1 -> smallest occupied bucket's upper bound
+        assert h.percentile(0.0) == pytest.approx(2e-6)
+        assert h.percentile(1.0) == pytest.approx(4.096e-3)
+
+    def test_overflow_rank_reports_observed_max(self):
+        h = Histogram(base=1e-6, num_buckets=3)  # top finite bound 4µs
+        h.observe(2e-6)
+        h.observe(123.0)
+        assert h.percentile(1.0) == pytest.approx(123.0)
+        bounds = [b for b, _ in h.buckets()]
+        assert bounds == [1e-6, 2e-6, 4e-6, float("inf")]
+
+    def test_buckets_are_cumulative(self):
+        h = Histogram(base=1.0, num_buckets=3)  # bounds 1, 2, 4
+        for v in (0.5, 1.5, 3.0, 100.0):
+            h.observe(v)
+        assert h.buckets() == [(1.0, 1), (2.0, 2), (4.0, 3), (float("inf"), 4)]
+
+    def test_negative_values_clamped_to_zero(self):
+        h = Histogram()
+        h.observe(-1.0)
+        assert h.count == 1
+        assert h.total == 0.0
+        assert h.max == 0.0
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Histogram(base=0.0)
+        with pytest.raises(ConfigurationError):
+            Histogram(num_buckets=0)
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a_total") is reg.counter("a_total")
+        assert reg.counter("a_total", labels={"op": "get"}) is not reg.counter("a_total")
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total")
+        with pytest.raises(ConfigurationError):
+            reg.gauge("x_total")
+
+    def test_bad_names_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ConfigurationError):
+            reg.counter("0bad")
+        with pytest.raises(ConfigurationError):
+            reg.counter("ok_total", labels={"0bad": "v"})
+
+    def test_register_live_instrument(self):
+        reg = MetricsRegistry()
+        h = Histogram(base=1.0, num_buckets=2)
+        reg.register("live_seconds", h, "live")
+        h.observe(1.5)  # mutate after registration: collect sees it
+        (family,) = [f for f in reg.collect() if f.name == "live_seconds"]
+        count_sample = [s for s in family.samples if s.suffix == "_count"][0]
+        assert count_sample.value == 1.0
+
+    def test_collect_expands_histograms(self):
+        reg = MetricsRegistry()
+        reg.histogram("h_seconds", base=1.0, num_buckets=2).observe(1.5)
+        (family,) = reg.collect()
+        suffixes = [s.suffix for s in family.samples]
+        assert suffixes == ["_bucket", "_bucket", "_bucket", "_sum", "_count"]
+        inf_bucket = family.samples[2]
+        assert ("le", "+Inf") in inf_bucket.labels
+        assert inf_bucket.value == 1.0
+
+    def test_render_smoke(self):
+        reg = MetricsRegistry()
+        reg.counter("hits_total", "hits").inc(5)
+        text = reg.render()
+        assert "# TYPE hits_total counter" in text
+        assert "hits_total 5" in text

@@ -1,0 +1,101 @@
+"""Concrete sinks: list, ring buffer, NDJSON file, seeded sampling."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.sinks import ListSink, NDJSONSink, NullSink, RingBufferSink, SamplingSink
+
+
+def _events(n):
+    return [{"ev": "access", "i": i, "page": i % 7, "hit": bool(i % 2)} for i in range(n)]
+
+
+class TestRingBufferSink:
+    def test_keeps_only_most_recent(self):
+        ring = RingBufferSink(3)
+        for e in _events(10):
+            ring.emit(e)
+        assert len(ring) == 3
+        assert [e["i"] for e in ring.events] == [7, 8, 9]
+
+    def test_drain_empties_oldest_first(self):
+        ring = RingBufferSink(8)
+        for e in _events(5):
+            ring.emit(e)
+        drained = ring.drain()
+        assert [e["i"] for e in drained] == [0, 1, 2, 3, 4]
+        assert len(ring) == 0
+
+    def test_bad_maxlen_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RingBufferSink(0)
+
+
+class TestNDJSONSink:
+    def test_writes_one_json_object_per_line(self, tmp_path):
+        path = tmp_path / "events.ndjson"
+        with NDJSONSink(path) as sink:
+            for e in _events(4):
+                sink.emit(e)
+        assert sink.written == 4
+        lines = path.read_text().splitlines()
+        assert len(lines) == 4
+        assert json.loads(lines[2]) == {"ev": "access", "i": 2, "page": 2, "hit": False}
+
+    def test_caller_owned_file_left_open(self):
+        buf = io.StringIO()
+        sink = NDJSONSink(buf)
+        sink.emit({"ev": "x", "i": 0})
+        sink.close()
+        assert not buf.closed  # caller owns it
+        assert buf.getvalue() == '{"ev":"x","i":0}\n'
+
+
+class TestSamplingSink:
+    def test_rate_bounds_enforced(self):
+        with pytest.raises(ConfigurationError):
+            SamplingSink(NullSink(), rate=1.5)
+        with pytest.raises(ConfigurationError):
+            SamplingSink(NullSink(), rate=-0.1)
+
+    def test_rate_zero_and_one(self):
+        keep_all = SamplingSink(inner := ListSink(), rate=1.0, seed=3)
+        for e in _events(50):
+            keep_all.emit(e)
+        assert keep_all.kept == len(inner) == 50
+
+        keep_none = SamplingSink(inner2 := ListSink(), rate=0.0, seed=3)
+        for e in _events(50):
+            keep_none.emit(e)
+        assert keep_none.seen == 50
+        assert keep_none.kept == len(inner2) == 0
+
+    def test_same_seed_keeps_same_positions(self):
+        kept_indices = []
+        for _ in range(2):
+            sink = SamplingSink(inner := ListSink(), rate=0.3, seed=42)
+            for e in _events(500):
+                sink.emit(dict(e))
+            kept_indices.append([ev["i"] for ev in inner.events])
+        assert kept_indices[0] == kept_indices[1]
+        assert 0 < len(kept_indices[0]) < 500
+
+    def test_different_seeds_differ(self):
+        kept = {}
+        for seed in (1, 2):
+            sink = SamplingSink(inner := ListSink(), rate=0.3, seed=seed)
+            for e in _events(500):
+                sink.emit(dict(e))
+            kept[seed] = [ev["i"] for ev in inner.events]
+        assert kept[1] != kept[2]
+
+    def test_rate_is_statistically_respected(self):
+        sink = SamplingSink(ListSink(), rate=0.25, seed=9)
+        for e in _events(4000):
+            sink.emit(e)
+        assert 0.20 < sink.kept / sink.seen < 0.30

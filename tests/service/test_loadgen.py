@@ -99,3 +99,52 @@ class TestValidation:
         report = serve_and_replay(make("heatsink", 32, seed=1), trace)
         text = report.summary()
         assert "ops" in text and "hit" in text and "latency" in text
+
+
+class TestServerDelta:
+    def test_delta_matches_client_counts_on_fresh_server(self):
+        trace = repro.zipf_trace(256, 2_000, alpha=1.0, seed=6)
+        report = serve_and_replay(make("lru", 64, seed=0), trace)
+        delta = report.server_delta
+        assert delta["accesses"] == report.ops
+        assert delta["hits"] == report.hits
+        assert delta["gets"] == report.ops
+        assert delta["hit_rate"] == pytest.approx(report.hit_rate)
+
+    def test_delta_isolates_this_run_on_a_warm_server(self):
+        trace = repro.uniform_trace(64, 800, seed=2)
+
+        async def scenario():
+            async with running_server(PolicyStore(make("lru", 32, seed=0))) as server:
+                first = await replay_trace(trace, host="127.0.0.1", port=server.port)
+                second = await replay_trace(trace, host="127.0.0.1", port=server.port)
+            return first, second
+
+        first, second = asyncio.run(scenario())
+        # cumulative STATS double, but each delta covers only its own run
+        assert second.server_stats["accesses"] == 2 * len(trace)
+        assert first.server_delta["accesses"] == len(trace)
+        assert second.server_delta["accesses"] == len(trace)
+        assert second.server_delta["hits"] == second.hits
+
+    def test_summary_shows_delta_line(self):
+        trace = repro.uniform_trace(64, 500, seed=1)
+        report = serve_and_replay(make("heatsink", 32, seed=1), trace)
+        text = report.summary()
+        assert "server hit :" in text  # backward-compatible line retained
+        assert "accesses this run" in text
+
+    def test_progress_reporting_does_not_disturb_parity(self, capsys):
+        trace = repro.zipf_trace(512, 4_000, alpha=1.0, seed=21)
+        offline = make("heatsink", 128, seed=9).run(trace)
+        report = serve_and_replay(
+            make("heatsink", 128, seed=9), trace, report_interval=0.05
+        )
+        assert report.server_stats["hit_rate"] == offline.hit_rate
+        out = capsys.readouterr().out
+        assert "progress" in out
+
+    def test_negative_report_interval_rejected(self):
+        trace = repro.uniform_trace(16, 10, seed=0)
+        with pytest.raises(ConfigurationError):
+            serve_and_replay(make("lru", 8, seed=0), trace, report_interval=-1.0)

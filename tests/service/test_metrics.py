@@ -71,3 +71,98 @@ class TestServiceMetrics:
         json.dumps(snap)  # must not raise
         assert snap["connections_open"] == 0
         assert snap["latency"]["count"] == 1
+
+
+class TestHistogramSnapshot:
+    def test_snapshot_carries_sum_and_buckets(self):
+        hist = LatencyHistogram(base=1e-6, num_buckets=3)  # bounds 1,2,4 µs
+        hist.record(1.5e-6)
+        hist.record(1.0)  # overflow
+        snap = hist.snapshot()
+        assert snap["sum_us"] == pytest.approx(1.5 + 1e6)
+        bounds = [b for b, _ in snap["buckets"]]
+        assert bounds == [pytest.approx(1.0), pytest.approx(2.0), pytest.approx(4.0), None]
+        counts = [c for _, c in snap["buckets"]]
+        assert counts == [0, 1, 1, 2]  # cumulative; overflow folded into None
+
+    def test_quantile_edges(self):
+        hist = LatencyHistogram()
+        for us in (1, 10, 100):
+            hist.record(us * 1e-6)
+        assert hist.percentile(0.0) <= hist.percentile(1.0)
+        assert hist.percentile(1.0) == pytest.approx(128e-6)
+
+    def test_empty_snapshot_buckets_all_zero(self):
+        snap = LatencyHistogram(num_buckets=4).snapshot()
+        assert snap["sum_us"] == 0.0
+        assert all(count == 0 for _, count in snap["buckets"])
+
+
+class TestPerOpLatency:
+    def test_record_op_feeds_combined_and_per_op(self):
+        metrics = ServiceMetrics()
+        metrics.record_op("GET", 1e-4)
+        metrics.record_op("PUT", 2e-4)
+        metrics.record_op("GET", 3e-4)
+        assert metrics.latency.count == 3
+        assert metrics.latency_by_op["GET"].count == 2
+        assert metrics.latency_by_op["PUT"].count == 1
+        assert metrics.latency_by_op["DEL"].count == 0
+
+    def test_unknown_and_none_ops_hit_only_combined(self):
+        metrics = ServiceMetrics()
+        metrics.record_op(None, 1e-4)  # unparseable request
+        metrics.record_op("STATS", 1e-4)  # no per-op histogram
+        assert metrics.latency.count == 2
+        assert all(h.count == 0 for h in metrics.latency_by_op.values())
+
+    def test_snapshot_includes_per_op_section(self):
+        import json
+
+        metrics = ServiceMetrics()
+        metrics.record_op("GET", 5e-5)
+        snap = metrics.snapshot()
+        json.dumps(snap)  # must stay JSON-able
+        assert set(snap["latency_by_op"]) == {"get", "put", "del"}
+        assert snap["latency_by_op"]["get"]["count"] == 1
+        assert snap["latency"]["count"] == 1
+
+
+class TestBuildRegistry:
+    def test_scrape_matches_counters(self):
+        from repro.obs.exposition import parse_prometheus
+        from repro.service.metrics import build_registry
+
+        metrics = ServiceMetrics()
+        metrics.gets, metrics.puts, metrics.dels = 7, 2, 1
+        metrics.hits, metrics.misses = 6, 4
+        metrics.connections_opened, metrics.connections_closed = 3, 2
+        metrics.record_op("GET", 1e-4)
+        parsed = parse_prometheus(
+            build_registry(
+                metrics,
+                gauges={"repro_resident_pages": 5.0},
+                counters={"repro_evictions_total": 2.0},
+            ).render()
+        )
+        assert parsed.value("repro_ops_total", op="get") == 7.0
+        assert parsed.value("repro_ops_total", op="put") == 2.0
+        assert parsed.value("repro_hits_total") == 6.0
+        assert parsed.value("repro_misses_total") == 4.0
+        assert parsed.value("repro_hit_ratio") == 0.6
+        assert parsed.value("repro_connections_open") == 1.0
+        assert parsed.value("repro_resident_pages") == 5.0
+        assert parsed.value("repro_evictions_total") == 2.0
+        assert parsed.value("repro_request_latency_seconds_count") == 1.0
+        assert parsed.value("repro_op_latency_seconds_count", op="get") == 1.0
+        assert parsed.value("repro_op_latency_seconds_count", op="put") == 0.0
+        assert parsed.types["repro_op_latency_seconds"] == "histogram"
+
+    def test_registered_histograms_are_live_not_copied(self):
+        from repro.service.metrics import build_registry
+
+        metrics = ServiceMetrics()
+        reg = build_registry(metrics)
+        metrics.record_op("GET", 1e-4)  # after registry construction
+        text = reg.render()
+        assert 'repro_op_latency_seconds_count{op="get"} 1' in text

@@ -178,3 +178,58 @@ class TestLifecycle:
             await server.stop()
 
         run(scenario())
+
+
+class TestMetricsOp:
+    def test_metrics_op_returns_parseable_exposition(self):
+        from repro.obs.exposition import parse_prometheus
+
+        async def scenario():
+            async with running_server(make_store()) as server:
+                async with await ServiceClient.connect("127.0.0.1", server.port) as c:
+                    await c.put(1, "x")
+                    await c.get(1)
+                    await c.get(2)
+                    text = await c.metrics()
+                    stats = await c.stats()
+            return text, stats
+
+        text, stats = run(scenario())
+        parsed = parse_prometheus(text)
+        assert parsed.value("repro_hits_total") == stats["hits"]
+        assert parsed.value("repro_misses_total") == stats["misses"]
+        assert parsed.value("repro_ops_total", op="get") == stats["gets"]
+        assert parsed.value("repro_ops_total", op="put") == stats["puts"]
+        assert parsed.value("repro_resident_pages") == stats["resident"]
+        # METRICS itself is not a policy access
+        assert stats["accesses"] == 3
+
+    def test_per_op_latency_counts_match_traffic(self):
+        from repro.obs.exposition import parse_prometheus
+
+        async def scenario():
+            async with running_server(make_store()) as server:
+                async with await ServiceClient.connect("127.0.0.1", server.port) as c:
+                    for _ in range(3):
+                        await c.get(1)
+                    await c.put(2, "v")
+                    await c.delete(2)
+                    return await c.metrics()
+
+        parsed = parse_prometheus(run(scenario()))
+        assert parsed.value("repro_op_latency_seconds_count", op="get") == 3.0
+        assert parsed.value("repro_op_latency_seconds_count", op="put") == 1.0
+        assert parsed.value("repro_op_latency_seconds_count", op="del") == 1.0
+        # combined histogram counts every answered request, METRICS included
+        assert parsed.value("repro_request_latency_seconds_count") >= 5.0
+
+    def test_metrics_via_resilient_client(self):
+        from repro.service.client import ResilientClient
+
+        async def scenario():
+            async with running_server(make_store()) as server:
+                async with ResilientClient("127.0.0.1", server.port) as c:
+                    await c.get(7)
+                    return await c.metrics()
+
+        assert "repro_misses_total 1" in run(scenario())

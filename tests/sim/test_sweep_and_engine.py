@@ -134,3 +134,25 @@ class TestWorkersEnvVar:
         monkeypatch.setenv("REPRO_WORKERS", bad)
         with pytest.raises(ConfigurationError):
             default_workers()
+
+
+class TestRunPolicyTraceSink:
+    def test_trace_sink_captures_run_and_leaves_hooks_disabled(self):
+        from repro.obs import hooks
+        from repro.obs.sinks import ListSink
+
+        trace = zipf_trace(128, 1000, alpha=1.0, seed=2)
+        sink = ListSink()
+        row = run_policy(LRUCache(32), trace, trace_sink=sink)
+        assert hooks.ENABLED is False  # capture is scoped to the run
+        accesses = [e for e in sink.events if e["ev"] == "access"]
+        assert len(accesses) == row["accesses"] == 1000
+        assert sum(not e["hit"] for e in accesses) == row["misses"]
+        assert accesses[0]["i"] == 0  # clock reset at capture start
+
+    def test_no_sink_means_no_capture(self):
+        from repro.obs import hooks
+
+        trace = zipf_trace(128, 200, alpha=1.0, seed=2)
+        run_policy(LRUCache(32), trace)
+        assert hooks.ENABLED is False

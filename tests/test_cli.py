@@ -142,3 +142,75 @@ class TestServiceCommands:
         out = capsys.readouterr().out
         assert f"rate {offline.hit_rate:.4f}" in out
         assert f"server hit : {offline.hit_rate:.4f}" in out
+
+
+class TestStatsCommand:
+    def test_stats_parser_defaults(self):
+        args = build_parser().parse_args(["stats"])
+        assert args.command == "stats"
+        assert args.port == 7070
+        assert args.prom is False
+        assert args.watch == 0.0
+
+    def test_serve_parser_metrics_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--metrics-port", "9090", "--stats-interval", "5"]
+        )
+        assert args.metrics_port == 9090
+        assert args.stats_interval == 5.0
+        # both off by default
+        defaults = build_parser().parse_args(["serve"])
+        assert defaults.metrics_port == 0
+        assert defaults.stats_interval == 0.0
+
+    def test_loadgen_parser_report_interval(self):
+        args = build_parser().parse_args(
+            ["loadgen", "--zipf", "64,100", "--report-interval", "2"]
+        )
+        assert args.report_interval == 2.0
+
+    def _serving(self):
+        import asyncio
+        import threading
+
+        from repro.core.registry import make_policy
+        from repro.service.server import CacheServer
+        from repro.service.store import PolicyStore
+
+        loop = asyncio.new_event_loop()
+        server = CacheServer(PolicyStore(make_policy("heatsink", 64, seed=0)))
+        loop.run_until_complete(server.start())
+        thread = threading.Thread(target=loop.run_forever, daemon=True)
+        thread.start()
+
+        def stop():
+            asyncio.run_coroutine_threadsafe(server.stop(), loop).result(timeout=5)
+            loop.call_soon_threadsafe(loop.stop)
+            thread.join(timeout=5)
+            loop.close()
+
+        return server, stop
+
+    def test_stats_one_shot_against_live_server(self, capsys):
+        server, stop = self._serving()
+        try:
+            assert main(["stats", "--port", str(server.port)]) == 0
+        finally:
+            stop()
+        out = capsys.readouterr().out
+        assert "policy     : HEAT-SINK" in out
+        assert "accesses" in out
+        assert "get" in out  # per-op latency rows
+
+    def test_stats_prom_against_live_server(self, capsys):
+        from repro.obs.exposition import parse_prometheus
+
+        server, stop = self._serving()
+        try:
+            assert main(["stats", "--port", str(server.port), "--prom"]) == 0
+        finally:
+            stop()
+        out = capsys.readouterr().out
+        parsed = parse_prometheus(out)
+        assert parsed.value("repro_hits_total") == 0.0
+        assert parsed.types["repro_op_latency_seconds"] == "histogram"
