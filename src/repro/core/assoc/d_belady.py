@@ -75,7 +75,13 @@ class DBeladyCache(SlottedCache):
             "DBeladyCache is offline; call run(trace) instead of access()"
         )
 
-    def run(self, trace: Trace | np.ndarray, *, reset: bool = True) -> SimResult:
+    def run(
+        self,
+        trace: Trace | np.ndarray,
+        *,
+        reset: bool = True,
+        fast: bool | None = None,  # offline: already whole-trace, ignored
+    ) -> SimResult:
         if reset:
             self.reset()
         pages = as_page_array(trace)

@@ -71,6 +71,12 @@ class HashDistribution(abc.ABC):
     #: *by construction*; see module docstring.
     is_semi_uniform: bool = True
 
+    #: True when positions are defined for *every* page id (a pure function
+    #: of the page). Partial, table-backed distributions set this False;
+    #: the fast kernels require a total domain because they batch-hash the
+    #: whole token range, including ids the trace never touches.
+    total_domain: bool = True
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{self.name}(n={self.n}, d={self.d})"
 
@@ -286,6 +292,8 @@ class ExplicitHashes(HashDistribution):
 
     Pages missing from the table raise — explicit tables are closed-world.
     """
+
+    total_domain = False
 
     def __init__(self, n: int, table: Mapping[int, Sequence[int]]):
         if not table:

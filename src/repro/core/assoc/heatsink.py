@@ -40,7 +40,6 @@ from repro.hashing import hash_to_range
 from repro.obs import hooks as obs_hooks
 from repro.rng import SeedLike, derive_seed, make_rng
 from repro.traces.base import Trace, as_page_array
-from repro.core.base import SimResult
 
 __all__ = ["HeatSinkLRU"]
 
@@ -113,8 +112,10 @@ class HeatSinkLRU(CachePolicy):
         self._sink_salts = (derive_seed(seed, "hs-sink", 0), derive_seed(seed, "hs-sink", 1))
         self._rng = make_rng(None if seed is None else derive_seed(seed, "hs-coins"))
         # pre-drawn uniforms (coin flips + sink-slot choices): per-miss
-        # Generator calls dominate the miss path otherwise
-        self._uniform_buf: list[float] = []
+        # Generator calls dominate the miss path otherwise. Kept as a NumPy
+        # array + cursor so block refills stay allocation-free and the fast
+        # kernels can splice the stream without converting through lists.
+        self._uniform_buf: np.ndarray = np.empty(0, dtype=np.float64)
         self._uniform_idx = 0
 
         # bins[i] maps page -> last-access clock; insertion order is kept in
@@ -220,13 +221,20 @@ class HeatSinkLRU(CachePolicy):
 
     # -- the policy -----------------------------------------------------------
     def _next_uniform(self) -> float:
-        """One value from the buffered uniform stream (shared by subclasses)."""
+        """One value from the buffered uniform stream (shared by subclasses).
+
+        The buffer is refilled in blocks, but the *consumed sequence* is
+        exactly the generator's ``random()`` stream — block boundaries are
+        invisible, which is what lets the fast kernel draw the same stream
+        in different chunk sizes and stay bit-identical.
+        """
         i = self._uniform_idx
-        if i >= len(self._uniform_buf):
-            self._uniform_buf = self._rng.random(4096).tolist()
+        buf = self._uniform_buf
+        if i >= buf.size:
+            buf = self._uniform_buf = self._rng.random(4096)
             i = 0
         self._uniform_idx = i + 1
-        return self._uniform_buf[i]
+        return buf[i]
 
     def _route_to_sink(self, page: int, bin_idx: int) -> bool:
         """The per-miss routing coin (overridable; see the adaptive variant)."""
@@ -316,11 +324,8 @@ class HeatSinkLRU(CachePolicy):
             )
         return False
 
-    def run(self, trace: Trace | np.ndarray, *, reset: bool = True) -> SimResult:
-        if reset:
-            self.reset()
-        self.prefetch_hashes(trace)
-        return super().run(trace, reset=False)
+    def _prepare_run(self, pages: np.ndarray) -> None:
+        self.prefetch_hashes(pages)
 
     def reset(self) -> None:
         for b in self._bins:

@@ -23,7 +23,7 @@ from typing import Any, Sequence
 
 import numpy as np
 
-from repro.core.base import CachePolicy, SimResult
+from repro.core.base import CachePolicy
 from repro.core.assoc.hashdist import HashDistribution, UniformHashes
 from repro.errors import ConfigurationError
 from repro.rng import SeedLike
@@ -134,11 +134,8 @@ class SlottedCache(CachePolicy):
     def _on_hit(self, page: int, pos: int) -> None:
         """Hook for subclasses that track extra per-hit state."""
 
-    def run(self, trace: Trace | np.ndarray, *, reset: bool = True) -> SimResult:
-        if reset:
-            self.reset()
-        self.prefetch_hashes(trace)
-        return super().run(trace, reset=False)
+    def _prepare_run(self, pages: np.ndarray) -> None:
+        self.prefetch_hashes(pages)
 
     def reset(self) -> None:
         n = self.capacity

@@ -60,6 +60,9 @@ class SimResult:
         hits.setflags(write=False)
         object.__setattr__(self, "hits", hits)
         object.__setattr__(self, "extra", dict(self.extra))
+        # hit count cached once: repeated miss_rate/hit_rate reads on
+        # million-access traces must not re-reduce the array every time
+        object.__setattr__(self, "_num_hits", int(hits.sum()))
 
     @property
     def num_accesses(self) -> int:
@@ -67,7 +70,7 @@ class SimResult:
 
     @property
     def num_hits(self) -> int:
-        return int(self.hits.sum())
+        return self._num_hits
 
     @property
     def num_misses(self) -> int:
@@ -126,6 +129,27 @@ class CachePolicy(abc.ABC):
 
     These invariants are enforced property-style by the test suite across
     every registered policy.
+
+    **Kernel / ``fast=`` dispatch rules.** :meth:`run` can route a trace
+    through an array-backed fast kernel (:mod:`repro.sim.kernels`) instead
+    of the per-access reference loop. The rules:
+
+    - a kernel is registered for an *exact* policy type (subclasses that
+      override decision methods never inherit a kernel silently);
+    - ``fast=None`` (default) auto-selects: the kernel runs iff one is
+      registered, it reports the instance configuration as supported, and
+      observability hooks are disabled; otherwise the reference loop runs;
+    - ``fast=True`` forces the kernel and raises
+      :class:`~repro.errors.SimulationError` when none is eligible;
+      ``fast=False`` forces the reference loop;
+    - a kernel must be **bit-for-bit equivalent** to the reference loop:
+      same seed ⇒ identical ``SimResult.hits`` *and* identical
+      post-run policy state (so ``reset=False`` continuations — under
+      either path — match exactly). ``tests/sim/test_kernels.py`` enforces
+      this differentially for every registered kernel;
+    - hooks-enabled runs always use the reference loop so event streams
+      stay exact; per-access recorders likewise disqualify the kernel via
+      its ``supports`` predicate.
     """
 
     #: set on offline subclasses; sweeps use it to route the whole trace
@@ -164,7 +188,13 @@ class CachePolicy(abc.ABC):
     def __len__(self) -> int:
         return len(self.contents())
 
-    def run(self, trace: Trace | np.ndarray, *, reset: bool = True) -> SimResult:
+    def run(
+        self,
+        trace: Trace | np.ndarray,
+        *,
+        reset: bool = True,
+        fast: bool | None = None,
+    ) -> SimResult:
         """Run the policy over an entire trace.
 
         The default implementation is the straightforward per-access loop;
@@ -172,15 +202,51 @@ class CachePolicy(abc.ABC):
         then match the loop's semantics bit-for-bit — the test suite checks
         overrides against this reference driver).
 
+        ``fast`` selects between that reference loop and a registered
+        array-backed kernel (see the class docstring for the dispatch
+        rules): ``None`` auto-selects, ``True`` forces the kernel (raising
+        :class:`~repro.errors.SimulationError` when none is eligible),
+        ``False`` forces the reference loop. Both paths are bit-for-bit
+        identical in results and post-run state.
+
         When observability hooks are enabled (:mod:`repro.obs.hooks`), the
         loop additionally advances the logical access clock and emits one
         ``access`` event per step; the check is hoisted out of the loop so
         the disabled path is byte-identical to the plain one (toggling
         sinks mid-run therefore takes effect at the next ``run`` call).
+        Hooks-enabled runs never dispatch to a kernel.
         """
+        pages = as_page_array(trace)
+        if fast or fast is None:
+            # deferred import: repro.sim.kernels imports concrete policies,
+            # which import this module — resolving at call time breaks the
+            # cycle and keeps `import repro.core` light
+            from repro.sim import kernels as _kernels
+
+            kernel = _kernels.kernel_for(self)
+            if kernel is not None and pages.size and not obs_hooks.ENABLED:
+                if reset:
+                    self.reset()
+                return kernel.run(self, pages)
+            if fast:
+                if obs_hooks.ENABLED:
+                    raise SimulationError(
+                        "fast=True is incompatible with enabled observability "
+                        "hooks: kernels do not emit per-access events. Use "
+                        "fast=False (or detach the sink) for traced runs."
+                    )
+                if kernel is None:
+                    raise SimulationError(
+                        f"no fast kernel is eligible for {self.name}: either "
+                        "none is registered for this exact policy type or the "
+                        "instance configuration (recorder attached, "
+                        "unsupported variant) is not kernelizable"
+                    )
+                # pages.size == 0: an empty trace is trivially bit-identical
+                # under either path; fall through to the reference loop
         if reset:
             self.reset()
-        pages = as_page_array(trace)
+        self._prepare_run(pages)
         hits = np.empty(pages.size, dtype=bool)
         access = self.access  # local binding: ~15% faster inner loop
         if obs_hooks.ENABLED:
@@ -193,7 +259,17 @@ class CachePolicy(abc.ABC):
         else:
             for i, page in enumerate(pages.tolist()):
                 hits[i] = access(page)
-        return SimResult(hits=hits, policy=self.name, capacity=self.capacity, extra=self._instrumentation())
+        return SimResult(
+            hits=hits, policy=self.name, capacity=self.capacity, extra=self._instrumentation()
+        )
+
+    def _prepare_run(self, pages: np.ndarray) -> None:
+        """Pre-loop hook for the reference driver (after any reset).
+
+        Subclasses use it for batch precomputation over the trace —
+        e.g. vectorized hash prefetch — without overriding :meth:`run`.
+        Kernel-dispatched runs skip it (kernels batch on their own).
+        """
 
     def _instrumentation(self) -> dict[str, Any]:
         """Hook for subclasses to attach extra data to results."""
@@ -201,7 +277,12 @@ class CachePolicy(abc.ABC):
 
 
 class OfflinePolicy(CachePolicy):
-    """Base for policies that require the full trace in advance (OPT)."""
+    """Base for policies that require the full trace in advance (OPT).
+
+    Offline ``run`` implementations are already whole-trace algorithms;
+    they accept the ``fast`` keyword for interface compatibility and
+    ignore it (there is no separate kernel to dispatch to).
+    """
 
     is_offline = True
 
@@ -211,5 +292,11 @@ class OfflinePolicy(CachePolicy):
         )
 
     @abc.abstractmethod
-    def run(self, trace: Trace | np.ndarray, *, reset: bool = True) -> SimResult:
+    def run(
+        self,
+        trace: Trace | np.ndarray,
+        *,
+        reset: bool = True,
+        fast: bool | None = None,
+    ) -> SimResult:
         ...

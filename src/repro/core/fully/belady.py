@@ -68,7 +68,13 @@ class BeladyCache(OfflinePolicy):
     def __len__(self) -> int:
         return len(self._resident)
 
-    def run(self, trace: Trace | np.ndarray, *, reset: bool = True) -> SimResult:
+    def run(
+        self,
+        trace: Trace | np.ndarray,
+        *,
+        reset: bool = True,
+        fast: bool | None = None,  # offline: already whole-trace, ignored
+    ) -> SimResult:
         if reset:
             self.reset()
         pages = as_page_array(trace)

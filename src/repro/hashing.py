@@ -32,14 +32,35 @@ _GOLDEN = np.uint64(0x9E3779B97F4A7C15)
 _MIX1 = np.uint64(0xBF58476D1CE4E5B9)
 _MIX2 = np.uint64(0x94D049BB133111EB)
 
+# plain-int twins of the constants for the scalar fast path: Python's
+# arbitrary-precision ints masked to 64 bits reproduce uint64 wraparound
+# exactly, without the NumPy array round-trip (~10x faster per call)
+_GOLDEN_I = 0x9E3779B97F4A7C15
+_MIX1_I = 0xBF58476D1CE4E5B9
+_MIX2_I = 0x94D049BB133111EB
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def _splitmix64_int(z: int) -> int:
+    """splitmix64 on a pre-masked Python int; returns a value in [0, 2^64)."""
+    z = (z + _GOLDEN_I) & _MASK64
+    z ^= z >> 30
+    z = (z * _MIX1_I) & _MASK64
+    z ^= z >> 27
+    z = (z * _MIX2_I) & _MASK64
+    return z ^ (z >> 31)
+
 
 def splitmix64(x: np.ndarray | int) -> np.ndarray | np.uint64:
     """Apply the splitmix64 finalizer element-wise.
 
     Accepts any integer array (copied to ``uint64``) or a scalar; returns
     the mixed value(s) as ``uint64``. The function is a bijection on 64-bit
-    words, so distinct inputs never collide at this stage.
+    words, so distinct inputs never collide at this stage. Scalar integer
+    inputs take a pure-Python path (bit-identical, no array round-trip).
     """
+    if isinstance(x, (int, np.integer)):
+        return np.uint64(_splitmix64_int(int(x) & _MASK64))
     z = np.asarray(x).astype(np.uint64, copy=True)
     z += _GOLDEN
     z ^= z >> np.uint64(30)
@@ -56,8 +77,12 @@ def mix_pair(a: np.ndarray | int, b: np.ndarray | int) -> np.ndarray | np.uint64
     """Mix two integer words into one 64-bit hash.
 
     Used to combine a salt with a page id (or a page id with a hash index)
-    while keeping the combined function far from linear.
+    while keeping the combined function far from linear. Pairs of scalar
+    integers take the pure-Python path.
     """
+    if isinstance(a, (int, np.integer)) and isinstance(b, (int, np.integer)):
+        mixed = _splitmix64_int(int(a) & _MASK64) ^ ((int(b) & _MASK64) * _GOLDEN_I & _MASK64)
+        return np.uint64(_splitmix64_int(mixed))
     a64 = np.asarray(a).astype(np.uint64)
     b64 = np.asarray(b).astype(np.uint64)
     return splitmix64(splitmix64(a64) ^ (b64 * _GOLDEN))
@@ -68,9 +93,14 @@ def hash_to_range(x: np.ndarray | int, n: int, *, salt: int = 0) -> np.ndarray |
 
     Uses Lemire's multiply-shift reduction on the mixed word, which is
     unbiased to within ``2^-64`` and avoids the modulo's low-bit weakness.
+    Scalar integer inputs are reduced with native 128-bit Python-int
+    arithmetic instead of the 32-bit-split array formula (same result).
     """
     if n <= 0:
         raise ValueError(f"range size must be positive, got {n}")
+    if isinstance(x, (int, np.integer)):
+        mixed = _splitmix64_int(int(salt) & _MASK64) ^ ((int(x) & _MASK64) * _GOLDEN_I & _MASK64)
+        return (_splitmix64_int(mixed) * n) >> 64
     h = mix_pair(np.uint64(salt), x)
     # (h * n) >> 64 without 128-bit ints: split h into high/low 32-bit halves.
     h = np.asarray(h, dtype=np.uint64)

@@ -4,13 +4,17 @@
 - :mod:`repro.sim.results` — row-oriented results tables (CSV/markdown);
 - :mod:`repro.sim.sweep` — cartesian parameter grids with per-point seeds;
 - :mod:`repro.sim.parallel` — process-pool execution of sweeps (SPMD
-  fan-out with independent seed streams, gathered by the parent).
+  fan-out with independent seed streams, gathered by the parent) plus
+  shared-memory trace passing;
+- :mod:`repro.sim.kernels` — array-backed fast kernels, bit-for-bit
+  equivalent to the reference per-access loop (see docs/performance.md).
 """
 
 from repro.sim.engine import compare_policies, run_policy
+from repro.sim.kernels import available_kernels, kernel_for
 from repro.sim.results import ResultsTable
 from repro.sim.sweep import ParameterGrid, run_sweep
-from repro.sim.parallel import parallel_map
+from repro.sim.parallel import parallel_map, share_array, shared_trace, unlink_shared
 
 __all__ = [
     "run_policy",
@@ -19,4 +23,9 @@ __all__ = [
     "ParameterGrid",
     "run_sweep",
     "parallel_map",
+    "share_array",
+    "shared_trace",
+    "unlink_shared",
+    "available_kernels",
+    "kernel_for",
 ]

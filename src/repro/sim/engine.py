@@ -35,19 +35,25 @@ def run_policy(
     *,
     warmup_fraction: float = 0.25,
     trace_sink: TraceSink | None = None,
+    fast: bool | None = None,
 ) -> dict:
     """Run one policy, returning a flat row of headline metrics.
 
     ``trace_sink`` (optional) receives the run's observability events;
-    event indices restart at 0 for this run.
+    event indices restart at 0 for this run — note an installed sink
+    enables hooks, which forces the reference loop regardless of ``fast``.
+    ``fast`` forwards to :meth:`CachePolicy.run` kernel dispatch
+    (``None`` = auto); omitted from the call when ``None`` so policies
+    with legacy ``run`` signatures keep working.
     """
     pages = as_page_array(trace)
+    kwargs = {} if fast is None else {"fast": fast}
     start = time.perf_counter()
     if trace_sink is not None:
         with obs_hooks.capturing(trace_sink):
-            result = policy.run(pages)
+            result = policy.run(pages, **kwargs)
     else:
-        result = policy.run(pages)
+        result = policy.run(pages, **kwargs)
     elapsed = time.perf_counter() - start
     warm_rate, steady_rate = warmup_split(result, warmup_fraction)
     return {
@@ -67,18 +73,19 @@ def compare_policies(
     trace: Trace | np.ndarray,
     *,
     warmup_fraction: float = 0.25,
+    fast: bool | None = None,
 ) -> ResultsTable:
     """Run several policies over one trace; one table row per policy.
 
     Values may be policy instances or zero-argument factories (factories
     let callers defer construction, e.g. for policies whose parameters
-    depend on the trace).
+    depend on the trace). ``fast`` forwards to each run's kernel dispatch.
     """
     pages = as_page_array(trace)
     table = ResultsTable()
     for label, entry in policies.items():
         policy = entry() if callable(entry) and not isinstance(entry, CachePolicy) else entry
-        row = run_policy(policy, pages, warmup_fraction=warmup_fraction)
+        row = run_policy(policy, pages, warmup_fraction=warmup_fraction, fast=fast)
         row["label"] = label
         table.append(**row)
     return table

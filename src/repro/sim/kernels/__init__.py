@@ -1,0 +1,15 @@
+"""Fast-path simulation kernels (bit-for-bit equivalent to the reference loop).
+
+Importing this package registers every built-in kernel;
+:meth:`repro.core.base.CachePolicy.run` imports it lazily on the first
+``fast=True``/``fast=None`` dispatch. See :mod:`repro.sim.kernels.registry`
+for the dispatch rules and ``docs/performance.md`` for the user guide.
+"""
+
+from repro.sim.kernels.registry import Kernel, available_kernels, kernel_for, register
+
+# importing the kernel modules is what registers them
+from repro.sim.kernels import heatsink as _heatsink  # noqa: E402,F401
+from repro.sim.kernels import slotted as _slotted  # noqa: E402,F401
+
+__all__ = ["Kernel", "available_kernels", "kernel_for", "register"]

@@ -1,0 +1,72 @@
+"""Token-space mapping shared by all fast kernels.
+
+Kernels index flat arrays/lists by page, so page ids must be *dense*.
+Two regimes:
+
+- **Identity** (the common case — synthetic traces number pages from 0):
+  when the largest id is at most ``max(65536, len(trace))``, tokens *are*
+  page ids and both mappings are ``range`` objects (C-speed subscripting,
+  no remap pass). The bound keeps every O(K) precomputation (per-token
+  hash tables, bin-pointer lists) within a constant factor of the trace
+  length itself.
+- **Remap** (sparse ids, e.g. real address traces): one vectorized
+  ``np.unique(return_inverse=True)`` pass assigns dense tokens; resident
+  pages carried in from a previous ``reset=False`` segment that never
+  reappear in the trace are appended after the uniques so imported state
+  always has a token.
+
+Either way the contract is the same: ``toks`` is the trace in token
+space, ``ids[t]`` is the real page id of token ``t`` (hash inputs must be
+*real* ids — hashes are functions of the page, not the token), ``enc``
+maps real id → token for state import, ``dec`` maps token → real id for
+state export.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, NamedTuple, Sequence
+
+import numpy as np
+
+__all__ = ["TokenSpace", "token_space"]
+
+#: identity mapping floor — below this many distinct slots a remap pass
+#: costs more than it saves regardless of trace length
+_IDENTITY_FLOOR = 65536
+
+
+class TokenSpace(NamedTuple):
+    """Dense token view of a trace plus resident pages (see module doc)."""
+
+    toks: np.ndarray  # trace in token space (int array)
+    ids: np.ndarray  # token -> real page id, as an int64 array (hash input)
+    enc: "range | dict[int, int]"  # real page id -> token (subscriptable)
+    dec: "range | list[int]"  # token -> real page id (subscriptable)
+    size: int  # number of tokens K
+
+
+def token_space(pages: np.ndarray, resident: Iterable[int]) -> TokenSpace:
+    """Build the token space for ``pages`` plus already-resident pages.
+
+    ``pages`` must be non-empty (kernel dispatch routes empty traces to
+    the reference loop); ``resident`` is the policy's current page set —
+    typically small (≤ capacity) — whose members also need tokens.
+    """
+    resident = list(resident)
+    hi = int(pages.max())
+    for pg in resident:
+        if pg > hi:
+            hi = pg
+    if hi < max(_IDENTITY_FLOOR, pages.size):
+        size = hi + 1
+        ident = range(size)
+        return TokenSpace(pages, np.arange(size, dtype=np.int64), ident, ident, size)
+
+    uniq, inv = np.unique(pages, return_inverse=True)
+    extra = sorted(
+        {pg for pg in resident if uniq[min(np.searchsorted(uniq, pg), uniq.size - 1)] != pg}
+    )
+    ids = np.concatenate([uniq, np.asarray(extra, dtype=np.int64)]) if extra else uniq
+    dec: Sequence[int] = ids.tolist()
+    enc = {pg: t for t, pg in enumerate(dec)}
+    return TokenSpace(inv, ids, enc, dec, len(dec))

@@ -1,0 +1,47 @@
+"""Pre-drawn uniform-stream bookkeeping for the fast kernels.
+
+The reference policies draw uniforms through a buffered cursor
+(:meth:`HeatSinkLRU._next_uniform`, :meth:`DRandomCache._next_uniform`):
+block refills from one PCG64 ``Generator``, values consumed in stream
+order, never discarded. PCG64's ``random(k)`` stream is identical no
+matter how it is partitioned into blocks, so a kernel may draw the same
+stream in *different* chunk sizes, compare whole chunks vectorized, and
+still consume exactly the same value sequence.
+
+The one obligation is the hand-back: after a kernel run, the policy's
+buffer+cursor must hold precisely the stream values the kernel drew but
+did not consume, so a later reference-loop (or kernel) segment continues
+bit-exactly. :func:`remaining_tail` reconstructs that tail from the list
+of drawn chunks without concatenating the full stream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["remaining_tail"]
+
+
+def remaining_tail(drawn: list[np.ndarray], unconsumed: int) -> np.ndarray:
+    """The last ``unconsumed`` values across the ``drawn`` chunk list.
+
+    ``drawn`` is the kernel's draw history in order (imported leftover
+    first, then each refill chunk); only a suffix can be unconsumed, so we
+    walk backwards and touch at most the chunks that overlap the tail.
+    """
+    if unconsumed <= 0:
+        return np.empty(0, dtype=np.float64)
+    parts: list[np.ndarray] = []
+    need = unconsumed
+    for chunk in reversed(drawn):
+        if chunk.size >= need:
+            parts.append(chunk[chunk.size - need :])
+            need = 0
+            break
+        if chunk.size:
+            parts.append(chunk)
+            need -= chunk.size
+    if need:
+        raise AssertionError("coin-stream accounting drifted (kernel bug)")
+    parts.reverse()
+    return parts[0] if len(parts) == 1 else np.concatenate(parts)

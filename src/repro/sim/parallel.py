@@ -1,4 +1,4 @@
-"""Process-pool execution for sweeps.
+"""Process-pool execution for sweeps, with zero-copy trace sharing.
 
 The fan-out follows the SPMD structure of the mpi4py patterns in the HPC
 guides, with :class:`concurrent.futures.ProcessPoolExecutor` in place of
@@ -6,17 +6,38 @@ guides, with :class:`concurrent.futures.ProcessPoolExecutor` in place of
 of time by the parent, results gathered in submission order. Workers are
 regular forked/spawned Python processes, so task callables and arguments
 must be picklable (module-level functions, plain data).
+
+Large read-only arrays (multi-million-entry traces) must *not* ride the
+pickle channel once per task. :func:`share_array` copies an array into
+POSIX shared memory once and returns a tiny picklable
+:class:`SharedArrayHandle`; each worker attaches on first use and caches
+the mapping for the life of the process, so a sweep of hundreds of tasks
+serializes the trace zero times. :func:`shared_trace` scopes the segment
+(parent unlinks on exit — POSIX keeps the mapping alive for attached
+workers until they drop it).
 """
 
 from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Iterable, Sequence, TypeVar
+from contextlib import contextmanager
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Callable, Iterable, Iterator, Sequence, TypeVar
+
+import numpy as np
 
 from repro.errors import ConfigurationError
 
-__all__ = ["parallel_map", "default_workers"]
+__all__ = [
+    "parallel_map",
+    "default_workers",
+    "SharedArrayHandle",
+    "share_array",
+    "unlink_shared",
+    "shared_trace",
+]
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -68,3 +89,99 @@ def parallel_map(
         chunksize = max(1, len(items) // (workers * 4))
     with ProcessPoolExecutor(max_workers=workers) as pool:
         return list(pool.map(fn, items, chunksize=chunksize))
+
+
+# -- shared-memory arrays -----------------------------------------------------
+
+#: per-process cache: segment name -> (SharedMemory keep-alive, array view).
+#: Keeping the SharedMemory object referenced is what keeps the mapping
+#: valid for the view; the cache makes repeat attaches free for reused
+#: pool workers.
+_ATTACHED: dict[str, tuple[shared_memory.SharedMemory, np.ndarray]] = {}
+
+#: names created (not merely attached) by this process — the only ones it
+#: may unlink, and the ones the resource tracker already knows about
+_OWNED: set[str] = set()
+
+
+@dataclass(frozen=True)
+class SharedArrayHandle:
+    """A picklable reference to a shared-memory NumPy array.
+
+    Pickles to a few dozen bytes regardless of array size — that is the
+    whole point: task tuples carry the handle, workers call
+    :meth:`array` to get a read-only zero-copy view.
+    """
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str
+
+    def array(self) -> np.ndarray:
+        """Attach (cached per process) and return the read-only view."""
+        cached = _ATTACHED.get(self.name)
+        if cached is None:
+            shm = shared_memory.SharedMemory(name=self.name)
+            if self.name not in _OWNED:
+                # attaching registered the segment with this process's
+                # resource tracker, which would unlink it (and warn) on
+                # worker exit even though the parent owns cleanup
+                try:
+                    from multiprocessing import resource_tracker
+
+                    resource_tracker.unregister(shm._name, "shared_memory")
+                except Exception:  # pragma: no cover - best-effort, platform-dependent
+                    pass
+            view = np.ndarray(self.shape, dtype=np.dtype(self.dtype), buffer=shm.buf)
+            view.setflags(write=False)
+            cached = (shm, view)
+            _ATTACHED[self.name] = cached
+        return cached[1]
+
+
+def share_array(arr: np.ndarray) -> SharedArrayHandle:
+    """Copy ``arr`` into a new shared-memory segment; return its handle.
+
+    The caller owns the segment and must eventually call
+    :func:`unlink_shared` (or use the :func:`shared_trace` context
+    manager, which does).
+    """
+    arr = np.ascontiguousarray(arr)
+    shm = shared_memory.SharedMemory(create=True, size=max(1, arr.nbytes))
+    view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
+    view[...] = arr
+    view.setflags(write=False)
+    _ATTACHED[shm.name] = (shm, view)
+    _OWNED.add(shm.name)
+    return SharedArrayHandle(name=shm.name, shape=arr.shape, dtype=arr.dtype.str)
+
+
+def unlink_shared(handle: SharedArrayHandle) -> None:
+    """Release a segment created by this process via :func:`share_array`.
+
+    Safe to call once per handle in the creating process; attached
+    workers keep their mapping until they exit (POSIX unlink semantics).
+    """
+    cached = _ATTACHED.pop(handle.name, None)
+    if cached is None:
+        return
+    shm, _ = cached
+    shm.close()
+    if handle.name in _OWNED:
+        _OWNED.discard(handle.name)
+        shm.unlink()
+
+
+@contextmanager
+def shared_trace(trace) -> Iterator[SharedArrayHandle]:
+    """Scope a trace's page array in shared memory for a sweep.
+
+    Accepts anything :func:`repro.traces.base.as_page_array` accepts.
+    """
+    from repro.traces.base import as_page_array
+
+    handle = share_array(as_page_array(trace))
+    try:
+        yield handle
+    finally:
+        unlink_shared(handle)

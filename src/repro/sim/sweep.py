@@ -7,6 +7,12 @@ row dict; the sweep attaches the parameters and repetition index to each
 row. Execution is serial by default or fanned out across processes via
 :mod:`repro.sim.parallel` (the task must then be a picklable module-level
 callable — the same constraint as any SPMD fan-out).
+
+Sweeps over one fixed trace should pass it via ``run_sweep(...,
+trace=...)``: the task then receives ``(params, seed, pages)`` and the
+trace crosses the process boundary **once**, through shared memory
+(:func:`repro.sim.parallel.shared_trace`), instead of being re-pickled
+into every task tuple.
 """
 
 from __future__ import annotations
@@ -18,11 +24,14 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.rng import SeedLike, as_seed_sequence
+from repro.sim.parallel import SharedArrayHandle
 from repro.sim.results import ResultsTable
 
 __all__ = ["ParameterGrid", "run_sweep"]
 
 TaskFn = Callable[[dict, np.random.SeedSequence], Mapping[str, Any]]
+#: task signature when a shared trace is passed via ``run_sweep(trace=...)``
+TraceTaskFn = Callable[[dict, np.random.SeedSequence, np.ndarray], Mapping[str, Any]]
 
 
 class ParameterGrid:
@@ -56,12 +65,13 @@ class ParameterGrid:
 
 
 def run_sweep(
-    task: TaskFn,
+    task: TaskFn | TraceTaskFn,
     grid: ParameterGrid | Sequence[dict],
     *,
     repetitions: int = 1,
     seed: SeedLike = 0,
     workers: int | None = None,
+    trace=None,
 ) -> ResultsTable:
     """Evaluate ``task`` on every (grid point × repetition).
 
@@ -74,6 +84,13 @@ def run_sweep(
     workers:
         ``None``/``0``/``1`` → serial. ``> 1`` → a process pool with that
         many workers (requires ``task`` to be picklable).
+    trace:
+        Optional fixed trace shared by every task (a
+        :class:`~repro.traces.base.Trace` or page array). The task is then
+        called as ``task(params, seed, pages)``. Under a process pool the
+        pages live in shared memory: each task tuple carries a tiny
+        handle, workers attach once, and the trace is never re-pickled
+        per task. Results are identical to the serial path.
     """
     if repetitions <= 0:
         raise ConfigurationError(f"repetitions must be positive, got {repetitions}")
@@ -86,25 +103,55 @@ def run_sweep(
         for rep in range(repetitions):
             jobs.append((params, rep, seeds[i * repetitions + rep]))
 
+    pages = None
+    if trace is not None:
+        from repro.traces.base import as_page_array
+
+        pages = as_page_array(trace)
+
     table = ResultsTable()
     if workers is not None and workers > 1:
-        from repro.sim.parallel import parallel_map
+        from repro.sim.parallel import parallel_map, shared_trace
 
-        rows = parallel_map(
-            _run_one_job, [(task, params, rep, s) for params, rep, s in jobs], workers=workers
-        )
+        if pages is not None:
+            with shared_trace(pages) as handle:
+                rows = parallel_map(
+                    _run_one_job,
+                    [(task, params, rep, s, handle) for params, rep, s in jobs],
+                    workers=workers,
+                )
+        else:
+            rows = parallel_map(
+                _run_one_job,
+                [(task, params, rep, s) for params, rep, s in jobs],
+                workers=workers,
+            )
         for row in rows:
             table.append(**row)
     else:
         for params, rep, child_seed in jobs:
-            table.append(**_run_one_job((task, params, rep, child_seed)))
+            job = (task, params, rep, child_seed)
+            if pages is not None:
+                job += (pages,)
+            table.append(**_run_one_job(job))
     return table
 
 
 def _run_one_job(job: tuple) -> dict:
-    """Execute one (task, params, repetition, seed) job; module-level for pickling."""
-    task, params, rep, child_seed = job
-    row = dict(task(dict(params), child_seed))
+    """Execute one (task, params, repetition, seed[, trace]) job.
+
+    Module-level for pickling. The optional fifth element is either the
+    page array itself (serial path) or a
+    :class:`~repro.sim.parallel.SharedArrayHandle` (pool path) — workers
+    attach to the shared segment on first use and reuse the mapping.
+    """
+    task, params, rep, child_seed = job[:4]
+    if len(job) == 5:
+        trace_ref = job[4]
+        pages = trace_ref.array() if isinstance(trace_ref, SharedArrayHandle) else trace_ref
+        row = dict(task(dict(params), child_seed, pages))
+    else:
+        row = dict(task(dict(params), child_seed))
     for key, value in params.items():
         row.setdefault(key, value)
     row.setdefault("rep", rep)

@@ -28,6 +28,14 @@ class TestSimResult:
         assert np.isnan(r.miss_rate)
         assert np.isnan(r.hit_rate)
 
+    def test_num_hits_cached_at_construction(self):
+        r = _result([True, False, True])
+        assert r._num_hits == 2
+        # the property serves the cache, never re-summing the array:
+        # poisoning the cache must be visible through the property
+        object.__setattr__(r, "_num_hits", 99)
+        assert r.num_hits == 99
+
     def test_hits_immutable(self):
         r = _result([True])
         with pytest.raises(ValueError):

@@ -1,0 +1,113 @@
+"""Shared-memory trace passing: handles, lifecycle, and sweep integration.
+
+The contract: a sweep over one fixed trace serializes the trace *zero*
+times — task tuples carry a :class:`SharedArrayHandle` that pickles to a
+few dozen bytes, and workers attach to the POSIX segment once per
+process. Results must be identical to the serial path (which passes the
+array directly, no shared memory involved).
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+from multiprocessing import shared_memory
+
+import repro
+from repro.sim.parallel import (
+    SharedArrayHandle,
+    share_array,
+    shared_trace,
+    unlink_shared,
+)
+from repro.sim.sweep import ParameterGrid, run_sweep
+
+
+def test_share_array_roundtrip():
+    arr = np.arange(10_000, dtype=np.int64)
+    handle = share_array(arr)
+    try:
+        view = handle.array()
+        np.testing.assert_array_equal(view, arr)
+        assert not view.flags.writeable
+    finally:
+        unlink_shared(handle)
+
+
+def test_handle_pickles_tiny():
+    """The whole point: the pickle payload must not scale with the array."""
+    arr = np.arange(1_000_000, dtype=np.int64)  # 8 MB
+    handle = share_array(arr)
+    try:
+        assert len(pickle.dumps(handle)) < 200
+    finally:
+        unlink_shared(handle)
+
+
+def test_unlink_is_idempotent_and_releases_segment():
+    handle = share_array(np.arange(16, dtype=np.int64))
+    unlink_shared(handle)
+    unlink_shared(handle)  # second call is a no-op
+    with pytest.raises(FileNotFoundError):
+        shared_memory.SharedMemory(name=handle.name)
+
+
+def test_shared_trace_scopes_segment():
+    trace = repro.zipf_trace(64, 500, alpha=0.9, seed=0)
+    with shared_trace(trace) as handle:
+        assert isinstance(handle, SharedArrayHandle)
+        np.testing.assert_array_equal(handle.array(), np.asarray(trace.pages))
+    with pytest.raises(FileNotFoundError):
+        shared_memory.SharedMemory(name=handle.name)
+
+
+# -- sweep integration ---------------------------------------------------------
+
+_TRACE = repro.zipf_trace(256, 3_000, alpha=0.8, seed=42)
+
+
+def _miss_rate_task(params, seed, pages):
+    """Module-level (picklable) task using the shared trace."""
+    policy = repro.PLruCache(params["capacity"], d=params["d"], seed=seed)
+    result = policy.run(pages)
+    return {"miss_rate": result.miss_rate, "pages_seen": int(pages.size)}
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_run_sweep_with_trace(workers):
+    grid = ParameterGrid(capacity=[32, 64], d=[2, 4])
+    table = run_sweep(
+        _miss_rate_task, grid, repetitions=2, seed=9, workers=workers, trace=_TRACE
+    )
+    rows = list(table)
+    assert len(rows) == len(grid) * 2
+    assert all(row["pages_seen"] == 3_000 for row in rows)
+
+
+def test_parallel_sweep_identical_to_serial():
+    grid = ParameterGrid(capacity=[32, 64, 128], d=[2, 4])
+    serial = run_sweep(
+        _miss_rate_task, grid, repetitions=2, seed=9, workers=1, trace=_TRACE
+    )
+    pooled = run_sweep(
+        _miss_rate_task, grid, repetitions=2, seed=9, workers=2, trace=_TRACE
+    )
+
+    def key(row):
+        return (row["capacity"], row["d"], row["rep"])
+
+    serial_rows = sorted(serial, key=key)
+    pooled_rows = sorted(pooled, key=key)
+    assert serial_rows == pooled_rows
+
+
+def test_sweep_without_trace_still_works():
+    """The legacy two-argument task signature is untouched."""
+
+    def task(params, seed):
+        return {"value": params["x"] * 2}
+
+    table = run_sweep(task, ParameterGrid(x=[1, 2, 3]), seed=0)
+    assert [row["value"] for row in table] == [2, 4, 6]

@@ -90,6 +90,55 @@ class TestHashToRange:
         assert 0 <= value < n
 
 
+class TestScalarFastPaths:
+    """The pure-Python scalar branches must match the uint64 array path bitwise.
+
+    The fast kernels batch-hash with the array path while the reference
+    loops hash page-at-a-time with the scalar path; any divergence breaks
+    the bit-for-bit equivalence contract (tests/sim/test_kernels.py).
+    """
+
+    #: edge cases: zero, small, high-bit-set, max-uint64, typical page ids
+    XS = [0, 1, 2**31, 2**63 - 1, 2**64 - 1, 0xDEADBEEF, 1_234_567_890_123_456_789]
+
+    def test_splitmix64_scalar_type_and_value(self):
+        arr = splitmix64(np.asarray(self.XS, dtype=np.uint64))
+        for i, x in enumerate(self.XS):
+            out = splitmix64(x)
+            assert isinstance(out, np.uint64)
+            assert int(out) == int(arr[i])
+
+    def test_splitmix64_accepts_numpy_scalars(self):
+        assert int(splitmix64(np.uint64(42))) == int(splitmix64(42))
+        assert int(splitmix64(np.int64(42))) == int(splitmix64(42))
+
+    def test_mix_pair_scalar_matches_array(self):
+        for salt in (0, 7, 2**40, 2**64 - 1):
+            arr = mix_pair(np.uint64(salt), np.asarray(self.XS, dtype=np.uint64))
+            for i, x in enumerate(self.XS):
+                out = mix_pair(salt, x)
+                assert isinstance(out, np.uint64)
+                assert int(out) == int(arr[i])
+
+    def test_hash_to_range_scalar_matches_array(self):
+        # n < 2^32: the array path's 32-bit-split reduction overflows beyond
+        # that, and no cache is remotely that large
+        for n in (1, 2, 97, 1 << 20, (1 << 31) + 3):
+            arr = hash_to_range(np.asarray(self.XS, dtype=np.uint64), n, salt=11)
+            for i, x in enumerate(self.XS):
+                out = hash_to_range(x, n, salt=11)
+                assert isinstance(out, int)  # plain int: feeds list indexing
+                assert out == int(arr[i])
+
+    def test_negative_int64_pages_agree(self):
+        # int64 arrays reinterpret negatives as large uint64s; the scalar
+        # path must mask the same way
+        xs = np.asarray([-1, -2**31, -2**63], dtype=np.int64)
+        arr = hash_to_range(xs, 257, salt=3)
+        for i, x in enumerate(xs.tolist()):
+            assert hash_to_range(x, 257, salt=3) == int(arr[i])
+
+
 class TestTabulationHasher:
     def test_deterministic(self):
         h1 = TabulationHasher(128, seed=4)
