@@ -1,59 +1,194 @@
 """Cache-service throughput benchmarks (engineering, not paper-reproduction).
 
-Measures sustained ops/s of the full serving stack — TCP framing, JSON
-protocol, PolicyStore, policy state machine — by replaying a Zipf trace
-through the pipelined load generator against an in-process server, for
-several policies. Compare with ``bench_throughput.py`` (the bare
-simulator loop) to see what the serving layer itself costs.
+Measures sustained ops/s of the full serving stack — TCP framing, wire
+protocol, (sharded) PolicyStore, policy state machine — by replaying a
+Zipf trace through the pipelined load generator against an in-process
+server. Compare with ``bench_throughput.py`` (the bare simulator loop)
+to see what the serving layer itself costs.
+
+Two entry points over one measurement core:
+
+1. **Standalone / CI** — emits a machine-readable ``BENCH_service.json``
+   baseline (ops/sec over the serving grid: shards x framing x batch)
+   so the perf trajectory is diffable::
+
+       python benchmarks/bench_service.py --json BENCH_service.json
+       python benchmarks/bench_service.py --check          # CI gate
+
+   ``--check`` exits non-zero unless the sharded + binary + batched
+   configuration clears the speedup gate (default >= 2x) over the
+   single-shard NDJSON unbatched baseline — the three hot-path
+   optimizations (shard routing, binary framing, MGET batching) have to
+   compound, not just individually not-regress.
+
+2. **pytest-benchmark** — per-configuration timing matrix::
+
+       pytest benchmarks/bench_service.py --benchmark-only
+
+The grid crosses ``shards`` in {1, 4} x ``frame`` in {ndjson, binary} x
+``batch`` in {1, 32}; each row replays with one pipelined connection per
+shard, so shard parallelism is actually exercised. Batching amortizes
+per-frame protocol work across 32 keys, binary framing drops the
+newline-scan + UTF-8 validation per frame, and sharding splits the
+policy-step critical section.
 """
 
 from __future__ import annotations
 
+import argparse
 import asyncio
-
-import pytest
+import json
+import platform
+import sys
+import time
 
 import repro
-from repro.core.registry import make_policy
 from repro.service.loadgen import replay_trace
 from repro.service.server import running_server
-from repro.service.store import PolicyStore
+from repro.service.sharding import ShardedPolicyStore
 
 CAPACITY = 1_024
-LENGTH = 20_000
-TRACE = repro.zipf_trace(8 * CAPACITY, LENGTH, alpha=1.0, seed=1)
+POLICY = "heatsink"
 
-#: the acceptance floor is three policies; heatsink is the headline act
-POLICIES = ["heatsink", "lru", "2-random", "sieve"]
+#: the serving grid: shards x framing x batch
+SHARD_COUNTS = (1, 4)
+FRAME_NAMES = ("ndjson", "binary")
+BATCH_SIZES = (1, 32)
+
+#: baseline row and gated row of the --check contract
+BASELINE_ROW = "shards=1/ndjson/batch=1"
+GATE_ROW = "shards=4/binary/batch=32"
 
 
-def _serve_and_replay(policy_name: str, *, mode: str, concurrency: int):
+def make_trace(length: int) -> "repro.Trace":
+    return repro.zipf_trace(8 * CAPACITY, length, alpha=1.0, seed=1)
+
+
+def _replay_once(trace, *, shards: int, frame: str, batch: int, concurrency: int = 64):
     async def scenario():
-        try:
-            policy = make_policy(policy_name, CAPACITY, seed=1)
-        except TypeError:  # deterministic policies take no seed
-            policy = make_policy(policy_name, CAPACITY)
-        async with running_server(PolicyStore(policy)) as server:
+        store = ShardedPolicyStore.build(POLICY, CAPACITY, shards=shards, seed=1)
+        async with running_server(store) as server:
             return await replay_trace(
-                TRACE,
+                trace,
                 host="127.0.0.1",
                 port=server.port,
-                mode=mode,
+                mode="pipeline",
                 concurrency=concurrency,
+                batch=batch,
+                connections=shards,
+                frame=frame,
             )
 
     return asyncio.run(scenario())
 
 
-@pytest.mark.parametrize("name", POLICIES)
-def test_service_throughput_pipeline(benchmark, name):
+def _best_report(trace, *, shards: int, frame: str, batch: int, repeats: int):
+    """Best-of-N replay (fresh server + store per run); returns the fastest."""
+    best = None
+    for _ in range(repeats):
+        report = _replay_once(trace, shards=shards, frame=frame, batch=batch)
+        assert report.ops == len(trace)
+        assert report.errors == 0, f"benchmark run saw {report.errors} errors"
+        if best is None or report.ops_per_second > best.ops_per_second:
+            best = report
+    return best
+
+
+def run_suite(length: int, repeats: int) -> dict:
+    """Measure every grid configuration; JSON-ready dict."""
+    trace = make_trace(length)
+    rows: dict[str, dict] = {}
+    for shards in SHARD_COUNTS:
+        for frame in FRAME_NAMES:
+            for batch in BATCH_SIZES:
+                report = _best_report(
+                    trace, shards=shards, frame=frame, batch=batch, repeats=repeats
+                )
+                rows[f"shards={shards}/{frame}/batch={batch}"] = {
+                    "ops_per_second": report.ops_per_second,
+                    "shards": shards,
+                    "frame": frame,
+                    "batch": batch,
+                    "connections": shards,
+                    "server_hit_rate": report.server_stats["hit_rate"],
+                    "p99_us": report.server_stats["latency"]["p99_us"],
+                }
+    baseline = rows[BASELINE_ROW]["ops_per_second"]
+    for row in rows.values():
+        row["speedup_vs_baseline"] = row["ops_per_second"] / baseline
+    return {
+        "schema": 1,
+        "generated_unix": time.time(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "policy": POLICY,
+        "capacity": CAPACITY,
+        "trace_length": length,
+        "repeats": repeats,
+        "baseline_row": BASELINE_ROW,
+        "gate_row": GATE_ROW,
+        "results": rows,
+    }
+
+
+def check(report: dict, *, threshold: float = 2.0) -> bool:
+    """CI gate: sharded + binary + batched >= threshold x the baseline."""
+    for name, row in report["results"].items():
+        print(
+            f"{name:28s} {row['ops_per_second']:>12,.0f} ops/s   "
+            f"{row['speedup_vs_baseline']:5.2f}x   "
+            f"p99 {row['p99_us']:>8,.0f} us"
+        )
+    speedup = report["results"][GATE_ROW]["speedup_vs_baseline"]
+    verdict = "OK" if speedup >= threshold else "FAIL"
+    print(f"gate: {GATE_ROW} speedup {speedup:.2f}x vs bound {threshold:.1f}x -> {verdict}")
+    return speedup >= threshold
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--length", type=int, default=20_000, help="trace length")
+    parser.add_argument("--repeats", type=int, default=3, help="best-of repeats")
+    parser.add_argument(
+        "--json", nargs="?", const="BENCH_service.json", default=None,
+        metavar="PATH", help="write the JSON report (default path when bare)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero unless the sharded+binary+batched gate holds",
+    )
+    parser.add_argument("--threshold", type=float, default=2.0, help="speedup gate")
+    args = parser.parse_args(argv)
+
+    report = run_suite(args.length, args.repeats)
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    passed = check(report, threshold=args.threshold)
+    return 0 if (passed or not args.check) else 1
+
+
+# -- pytest-benchmark entry points -------------------------------------------
+
+import pytest  # noqa: E402
+
+_PYTEST_LENGTH = 20_000
+_PYTEST_TRACE = make_trace(_PYTEST_LENGTH)
+
+
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+@pytest.mark.parametrize("frame", FRAME_NAMES)
+@pytest.mark.parametrize("batch", BATCH_SIZES)
+def test_service_throughput_grid(benchmark, shards, frame, batch):
     report = benchmark.pedantic(
-        lambda: _serve_and_replay(name, mode="pipeline", concurrency=64),
+        lambda: _replay_once(_PYTEST_TRACE, shards=shards, frame=frame, batch=batch),
         rounds=3,
         iterations=1,
         warmup_rounds=1,
     )
-    assert report.ops == LENGTH
+    assert report.ops == _PYTEST_LENGTH
     assert report.errors == 0
     benchmark.extra_info["ops_per_second"] = report.ops_per_second
     benchmark.extra_info["server_hit_rate"] = report.server_stats["hit_rate"]
@@ -61,12 +196,25 @@ def test_service_throughput_pipeline(benchmark, name):
 
 
 def test_service_throughput_concurrent_workers(benchmark):
-    report = benchmark.pedantic(
-        lambda: _serve_and_replay("heatsink", mode="workers", concurrency=8),
-        rounds=3,
-        iterations=1,
-        warmup_rounds=1,
-    )
-    assert report.ops == LENGTH
+    def run_once():
+        async def scenario():
+            store = ShardedPolicyStore.build(POLICY, CAPACITY, shards=1, seed=1)
+            async with running_server(store) as server:
+                return await replay_trace(
+                    _PYTEST_TRACE,
+                    host="127.0.0.1",
+                    port=server.port,
+                    mode="workers",
+                    concurrency=8,
+                )
+
+        return asyncio.run(scenario())
+
+    report = benchmark.pedantic(run_once, rounds=3, iterations=1, warmup_rounds=1)
+    assert report.ops == _PYTEST_LENGTH
     assert report.errors == 0
     benchmark.extra_info["ops_per_second"] = report.ops_per_second
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -87,6 +87,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--port", type=int, default=7070, help="TCP port (0 = ephemeral)"
     )
     serve_p.add_argument(
+        "--shards", type=int, default=1,
+        help="split capacity across N independent policy shards "
+        "(1 = single-store behaviour, bit-identical to earlier releases)",
+    )
+    serve_p.add_argument(
+        "--frame", default="auto", choices=["auto", "ndjson", "binary"],
+        help="accepted wire framings: auto = both (clients negotiate via "
+        "HELLO), ndjson/binary = that framing only for data ops",
+    )
+    serve_p.add_argument(
         "--max-connections", type=int, default=0,
         help="reject connections beyond this many with a fast 'overloaded' "
         "response (0 = unlimited)",
@@ -131,7 +141,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     load_p.add_argument(
         "--concurrency", type=int, default=32,
-        help="pipeline window size, or worker-connection count",
+        help="in-flight requests per connection (pipeline) or "
+        "worker-connection count (workers)",
+    )
+    load_p.add_argument(
+        "--batch", type=int, default=1,
+        help="keys per MGET frame (1 = plain per-key GETs)",
+    )
+    load_p.add_argument(
+        "--connections", type=int, default=1,
+        help="concurrent pipelined connections over strided trace shards "
+        "(pipeline mode only; needed to saturate a sharded server)",
+    )
+    load_p.add_argument(
+        "--frame", default="ndjson", choices=["ndjson", "binary"],
+        help="wire framing (binary negotiates via HELLO at connect)",
     )
     load_p.add_argument(
         "--timeout", type=float, default=30.0,
@@ -292,16 +316,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import contextlib
     import signal
 
-    from repro.core.registry import make_policy
+    from repro.service.loop import install_best_event_loop
+    from repro.service.protocol import FRAMES
     from repro.service.server import CacheServer
-    from repro.service.store import PolicyStore
+    from repro.service.sharding import ShardedPolicyStore
 
-    try:
-        policy = make_policy(args.policy, args.capacity, seed=args.seed)
-    except TypeError:
-        policy = make_policy(args.policy, args.capacity)
+    frames = FRAMES if args.frame == "auto" else (args.frame,)
 
-    async def _log_stats(store: "PolicyStore", interval: float) -> None:
+    async def _log_stats(store: "ShardedPolicyStore", interval: float) -> None:
         while True:
             await asyncio.sleep(interval)
             snap = await store.stats()
@@ -314,7 +336,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             )
 
     async def _serve() -> None:
-        store = PolicyStore(policy)
+        store = ShardedPolicyStore.build(
+            args.policy, args.capacity, shards=args.shards, seed=args.seed
+        )
         server = CacheServer(
             store,
             host=args.host,
@@ -322,6 +346,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_connections=args.max_connections or None,
             max_inflight=args.max_inflight,
             write_timeout=args.write_timeout or None,
+            frames=frames,
         )
         await server.start()
         exporter = None
@@ -342,7 +367,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         for sig in (signal.SIGINT, signal.SIGTERM):
             loop.add_signal_handler(sig, stop.set)
         print(
-            f"serving {policy.name} (capacity {policy.capacity}) "
+            f"serving {store.shards[0].policy.name} "
+            f"(capacity {store.capacity}, {store.num_shards} shard"
+            f"{'s' if store.num_shards != 1 else ''}, "
+            f"frames {'/'.join(frames)}) "
             f"on {args.host}:{server.port} — Ctrl-C to stop",
             flush=True,
         )
@@ -366,6 +394,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 f"hit rate {snap['hit_rate']:.4f}, {snap['errors']} errors"
             )
 
+    print(f"event loop: {install_best_event_loop()}", flush=True)
     asyncio.run(_serve())
     return 0
 
@@ -386,6 +415,10 @@ def _format_stats(snap: dict) -> str:
         f"conns      : {snap.get('connections_open')} open / "
         f"{snap.get('connections_total')} total",
     ]
+    if "shards" in snap:
+        per_shard = snap.get("per_shard", [])
+        resident = "/".join(str(s.get("resident")) for s in per_shard)
+        lines.append(f"shards     : {snap['shards']}  (resident {resident})")
     if "sink_occupancy" in snap:
         lines.append(f"sink occ.  : {snap['sink_occupancy']:.3f}")
     if lat:
@@ -428,6 +461,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 def _cmd_loadgen(args: argparse.Namespace) -> int:
     from repro.errors import ConfigurationError
     from repro.service.loadgen import run_replay
+    from repro.service.loop import install_best_event_loop
 
     def _parse_spec(spec: str, n_min: int, n_max: int, flag: str) -> list[float]:
         parts = [p.strip() for p in spec.split(",") if p.strip()]
@@ -476,12 +510,16 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         )
 
     print(f"replaying {trace} against {args.host}:{args.port} ...")
+    print(f"event loop: {install_best_event_loop()}", flush=True)
     report = run_replay(
         trace,
         host=args.host,
         port=args.port,
         mode=args.mode,
         concurrency=args.concurrency,
+        batch=args.batch,
+        connections=args.connections,
+        frame=args.frame,
         timeout=args.timeout or None,
         retry=retry,
         faults=faults,

@@ -17,17 +17,24 @@ misbehaviour so all of it is testable with exact assertions.
 
 Layout::
 
-    protocol.py   newline-delimited JSON framing + validation
+    protocol.py   message vocabulary + validation; two framings (NDJSON
+                  and tag+length binary), batched MGET/MPUT, HELLO
+    framing.py    FrameSplitter: incremental splitter that tells the
+                  framings apart per frame (shared by server and proxy)
     metrics.py    counters, latency histograms (combined + per-op),
                   gauges, Prometheus registry assembly
     store.py      PolicyStore: single-writer policy + payload dict
+    sharding.py   ShardedPolicyStore: keyspace split across N
+                  independent shards, merged stats/metrics
     server.py     CacheServer: asyncio TCP server, error isolation,
                   backpressure (connection cap, in-flight window,
-                  write timeouts)
-    client.py     ServiceClient (timeouts, pipelining) and
-                  ResilientClient (retries, backoff, reconnect)
+                  write timeouts), per-frame framing echo
+    client.py     ServiceClient (timeouts, pipelining, batching, frame
+                  negotiation) and ResilientClient (retries, backoff,
+                  reconnect)
     faults.py     FaultPlan / ChaosProxy: seeded fault injection
     loadgen.py    trace replay at a target concurrency, LoadReport
+    loop.py       optional uvloop installation for the CLI entry points
 
 CLI: ``repro-experiment serve`` / ``repro-experiment loadgen`` /
 ``repro-experiment stats``.
@@ -42,16 +49,25 @@ from repro.service.client import (
     ServiceClient,
 )
 from repro.service.faults import ChaosProxy, FaultPlan, FaultStats, running_proxy
+from repro.service.framing import Frame, FrameSplitter
 from repro.service.loadgen import LoadReport, replay_trace, run_replay
+from repro.service.loop import install_best_event_loop
 from repro.service.metrics import LatencyHistogram, ServiceMetrics, build_registry
 from repro.service.protocol import (
+    FRAME_BINARY,
+    FRAME_NDJSON,
+    FRAMES,
     Request,
+    batch_responses,
+    decode_frame,
     decode_request,
     decode_response,
+    encode_frame,
     encode_request,
     encode_response,
 )
 from repro.service.server import CacheServer, running_server
+from repro.service.sharding import ShardedPolicyStore, split_capacity
 from repro.service.store import PolicyStore
 
 __all__ = [
@@ -60,6 +76,17 @@ __all__ = [
     "decode_request",
     "encode_response",
     "decode_response",
+    "encode_frame",
+    "decode_frame",
+    "batch_responses",
+    "FRAME_NDJSON",
+    "FRAME_BINARY",
+    "FRAMES",
+    "Frame",
+    "FrameSplitter",
+    "ShardedPolicyStore",
+    "split_capacity",
+    "install_best_event_loop",
     "LatencyHistogram",
     "ServiceMetrics",
     "build_registry",

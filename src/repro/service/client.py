@@ -4,13 +4,18 @@ Two layers:
 
 :class:`ServiceClient`
     One TCP connection, ordered request/response, windowed pipelining
-    (`get_window`). Every awaited network step — connect, write-drain,
-    response read — carries a timeout (default
-    :data:`DEFAULT_TIMEOUT`) surfaced as
+    (`get_window`, optionally batched into ``MGET`` frames). Every
+    awaited network step — connect, write-drain, response read — carries
+    a timeout (default :data:`DEFAULT_TIMEOUT`) surfaced as
     :class:`~repro.errors.ServiceTimeout`, so an unresponsive peer can
     never hang the caller forever. Because the transport and the server
     both preserve per-connection order, pipelining changes throughput,
-    never semantics.
+    never semantics. ``frame="binary"`` negotiates the length-prefixed
+    binary framing at connect time via ``HELLO`` (the probe itself
+    travels as NDJSON, which every server accepts); after the switch,
+    truncated binary frames surface as
+    :class:`~repro.errors.ProtocolError`, never a hang — every read is
+    exact-length and deadline-bounded.
 
 :class:`ResilientClient`
     A reconnecting wrapper that adds bounded retries with exponential
@@ -39,10 +44,18 @@ from repro.errors import (
 )
 from repro.rng import derive_seed
 from repro.service.protocol import (
+    BINARY_HEADER_SIZE,
+    BINARY_TAG,
     CODE_OVERLOADED,
+    FRAME_BINARY,
+    FRAME_NDJSON,
+    FRAMES,
     IDEMPOTENT_OPS,
+    MAX_BATCH_KEYS,
+    MAX_FRAME_BYTES,
     MAX_LINE_BYTES,
     Request,
+    batch_responses,
     decode_response,
     encode_request,
 )
@@ -86,6 +99,7 @@ class ServiceClient:
         self._reader = reader
         self._writer = writer
         self.timeout = timeout
+        self.frame = FRAME_NDJSON
 
     @classmethod
     async def connect(
@@ -95,7 +109,10 @@ class ServiceClient:
         *,
         timeout: float | None = DEFAULT_TIMEOUT,
         connect_timeout: float | None = DEFAULT_CONNECT_TIMEOUT,
+        frame: str = FRAME_NDJSON,
     ) -> "ServiceClient":
+        if frame not in FRAMES:
+            raise ConfigurationError(f"unknown frame {frame!r}; expected one of {list(FRAMES)}")
         try:
             reader, writer = await asyncio.wait_for(
                 asyncio.open_connection(host, port, limit=MAX_LINE_BYTES),
@@ -107,7 +124,22 @@ class ServiceClient:
             ) from None
         except OSError as exc:
             raise ServiceError(f"cannot connect to {host}:{port}: {exc}") from exc
-        return cls(reader, writer, timeout=timeout)
+        client = cls(reader, writer, timeout=timeout)
+        if frame == FRAME_BINARY:
+            # probe in NDJSON (every server accepts it), switch only after
+            # the server confirms — never talk binary to a peer that won't
+            try:
+                response = await client.hello(frame=FRAME_BINARY)
+            except ServiceError:
+                await client.close()
+                raise
+            if not response.get("ok") or FRAME_BINARY not in response.get("frames", ()):
+                await client.close()
+                raise ServiceError(
+                    f"server does not accept binary framing: {response.get('error', response)}"
+                )
+            client.frame = FRAME_BINARY
+        return client
 
     async def close(self) -> None:
         self._writer.close()
@@ -125,7 +157,7 @@ class ServiceClient:
     # -- single requests ----------------------------------------------------
     async def request(self, req: Request) -> dict[str, Any]:
         """Send one request and await its response (raw payload dict)."""
-        await self._send(encode_request(req))
+        await self._send(encode_request(req, frame=self.frame))
         return await self._read_response()
 
     async def get(self, key: int) -> dict[str, Any]:
@@ -136,6 +168,18 @@ class ServiceClient:
 
     async def delete(self, key: int) -> dict[str, Any]:
         return await self.request(Request("DEL", key=key))
+
+    async def mget(self, keys: Sequence[int]) -> dict[str, Any]:
+        """Batched GET; the response carries parallel ``hits``/``values``."""
+        return await self.request(Request("MGET", keys=tuple(keys)))
+
+    async def mput(self, keys: Sequence[int], values: Sequence[Any]) -> dict[str, Any]:
+        """Batched PUT; the response carries per-key ``hits``."""
+        return await self.request(Request("MPUT", keys=tuple(keys), values=tuple(values)))
+
+    async def hello(self, frame: str | None = None) -> dict[str, Any]:
+        """Capability probe; the response lists accepted framings."""
+        return await self.request(Request("HELLO", frame=frame))
 
     async def stats(self) -> dict[str, Any]:
         response = await self.request(Request("STATS"))
@@ -155,17 +199,35 @@ class ServiceClient:
         return response["text"]
 
     # -- pipelining ---------------------------------------------------------
-    async def get_window(self, keys: Sequence[int]) -> list[dict[str, Any]]:
-        """Pipeline GETs for ``keys``; responses in the same order.
+    async def get_window(self, keys: Sequence[int], *, batch: int = 1) -> list[dict[str, Any]]:
+        """Pipeline GETs for ``keys``; per-key responses in the same order.
 
         All requests are written before any response is read, so the
         round-trip cost is paid once per window instead of once per key.
-        Each response read gets its own ``timeout`` budget.
+        ``batch > 1`` additionally groups keys into ``MGET`` frames of up
+        to ``batch`` keys, amortizing framing overhead; batched responses
+        are exploded back into per-key dicts
+        (:func:`~repro.service.protocol.batch_responses`), so callers see
+        the same shape either way. Each response read gets its own
+        ``timeout`` budget.
         """
+        if batch < 1 or batch > MAX_BATCH_KEYS:
+            raise ConfigurationError(f"batch must be in [1, {MAX_BATCH_KEYS}], got {batch}")
         if not keys:
             return []
-        await self._send(b"".join(encode_request(Request("GET", key=k)) for k in keys))
-        return [await self._read_response() for _ in keys]
+        if batch == 1:
+            await self._send(
+                b"".join(encode_request(Request("GET", key=k), frame=self.frame) for k in keys)
+            )
+            return [await self._read_response() for _ in keys]
+        chunks = [tuple(keys[i : i + batch]) for i in range(0, len(keys), batch)]
+        await self._send(
+            b"".join(encode_request(Request("MGET", keys=c), frame=self.frame) for c in chunks)
+        )
+        out: list[dict[str, Any]] = []
+        for chunk in chunks:
+            out.extend(batch_responses(await self._read_response(), len(chunk)))
+        return out
 
     # -- internals ----------------------------------------------------------
     async def _send(self, data: bytes) -> None:
@@ -178,6 +240,8 @@ class ServiceClient:
             raise ServiceError(f"connection lost while writing: {exc}") from exc
 
     async def _read_response(self) -> dict[str, Any]:
+        if self.frame == FRAME_BINARY:
+            return await self._read_binary_response()
         try:
             line = await self._await(self._reader.readline(), "response read")
         except ServiceError:
@@ -188,6 +252,39 @@ class ServiceClient:
             raise ServiceError("server closed the connection")
         try:
             return decode_response(line)
+        except ProtocolError as exc:
+            raise ServiceError(f"unparseable server response: {exc}") from exc
+
+    async def _read_binary_response(self) -> dict[str, Any]:
+        # exact-length reads under the operation deadline: a frame cut off
+        # mid-body fails fast with ProtocolError — it can never hang, and
+        # it can never be mistaken for a complete response
+        try:
+            header = await self._await(
+                self._reader.readexactly(BINARY_HEADER_SIZE), "response read"
+            )
+            tag, length = header[0], int.from_bytes(header[1:], "big")
+            if tag != BINARY_TAG:
+                raise ProtocolError(
+                    f"bad binary frame tag 0x{tag:02x}; expected 0x{BINARY_TAG:02x}"
+                )
+            if BINARY_HEADER_SIZE + length > MAX_FRAME_BYTES:
+                raise ProtocolError(
+                    f"binary frame of {BINARY_HEADER_SIZE + length} bytes exceeds {MAX_FRAME_BYTES}"
+                )
+            body = await self._await(self._reader.readexactly(length), "response read")
+        except asyncio.IncompleteReadError as exc:
+            if exc.partial:
+                raise ProtocolError(
+                    f"truncated binary frame: connection closed after {len(exc.partial)} bytes"
+                ) from None
+            raise ServiceError("server closed the connection") from None
+        except ServiceError:
+            raise
+        except OSError as exc:
+            raise ServiceError(f"connection lost while reading: {exc}") from exc
+        try:
+            return decode_response(body)
         except ProtocolError as exc:
             raise ServiceError(f"unparseable server response: {exc}") from exc
 
@@ -290,13 +387,17 @@ class ResilientClient:
         timeout: float | None = DEFAULT_TIMEOUT,
         connect_timeout: float | None = DEFAULT_CONNECT_TIMEOUT,
         retry_unsafe: bool = False,
+        frame: str = FRAME_NDJSON,
     ):
+        if frame not in FRAMES:
+            raise ConfigurationError(f"unknown frame {frame!r}; expected one of {list(FRAMES)}")
         self.host = host
         self.port = port
         self.retry = retry if retry is not None else RetryPolicy()
         self.timeout = timeout
         self.connect_timeout = connect_timeout
         self.retry_unsafe = retry_unsafe
+        self.frame = frame
         self.counters = ClientStats()
         self._client: ServiceClient | None = None
 
@@ -328,6 +429,16 @@ class ResilientClient:
     async def delete(self, key: int, *, idempotent: bool | None = None) -> dict[str, Any]:
         return await self.request(Request("DEL", key=key), idempotent=idempotent)
 
+    async def mget(self, keys: Sequence[int]) -> dict[str, Any]:
+        return await self.request(Request("MGET", keys=tuple(keys)))
+
+    async def mput(
+        self, keys: Sequence[int], values: Sequence[Any], *, idempotent: bool | None = None
+    ) -> dict[str, Any]:
+        return await self.request(
+            Request("MPUT", keys=tuple(keys), values=tuple(values)), idempotent=idempotent
+        )
+
     async def stats(self) -> dict[str, Any]:
         response = await self.request(Request("STATS"))
         if not response.get("ok"):
@@ -345,8 +456,8 @@ class ResilientClient:
             raise ServiceError(f"METRICS failed: {response.get('error')}")
         return response["text"]
 
-    async def get_window(self, keys: Sequence[int]) -> list[dict[str, Any]]:
-        """Pipelined GETs with whole-window retry.
+    async def get_window(self, keys: Sequence[int], *, batch: int = 1) -> list[dict[str, Any]]:
+        """Pipelined (optionally MGET-batched) GETs with whole-window retry.
 
         A window that fails mid-flight is discarded and replayed from its
         first key on a fresh connection (the framing of a half-read window
@@ -355,7 +466,7 @@ class ResilientClient:
         """
         if not keys:
             return []
-        responses = await self._call(lambda c: c.get_window(keys), retryable=True)
+        responses = await self._call(lambda c: c.get_window(keys, batch=batch), retryable=True)
         assert isinstance(responses, list)
         return responses
 
@@ -400,11 +511,15 @@ class ResilientClient:
 
     async def _ensure_connected(self) -> ServiceClient:
         if self._client is None:
+            # frame negotiation happens inside connect(), so every
+            # reconnect re-negotiates — a fresh connection starts in
+            # NDJSON no matter what the dead one had agreed to
             self._client = await ServiceClient.connect(
                 self.host,
                 self.port,
                 timeout=self.timeout,
                 connect_timeout=self.connect_timeout,
+                frame=self.frame,
             )
             self.counters.connects += 1
         return self._client

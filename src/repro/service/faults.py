@@ -22,10 +22,11 @@ Two pieces:
 
 :class:`ChaosProxy`
     An asyncio TCP proxy that sits between a client and a
-    :class:`~repro.service.server.CacheServer`, forwarding newline-framed
-    messages and applying one :class:`FaultPlan`. It never parses JSON —
-    faults happen at the byte/frame layer, exactly where a real network
-    would hurt you.
+    :class:`~repro.service.server.CacheServer`, forwarding whole wire
+    frames — either framing, split by the same
+    :class:`~repro.service.framing.FrameSplitter` the server uses — and
+    applying one :class:`FaultPlan`. It never parses JSON — faults happen
+    at the byte/frame layer, exactly where a real network would hurt you.
 
 Determinism caveat: fault *decisions* are deterministic per
 ``(connection, direction, frame index)``. With a single sequential client
@@ -44,9 +45,10 @@ import random
 from dataclasses import dataclass, field, fields
 from typing import Any, AsyncIterator
 
-from repro.errors import ConfigurationError, ServiceError
+from repro.errors import ConfigurationError, ProtocolError, ServiceError
 from repro.rng import derive_seed
-from repro.service.protocol import MAX_LINE_BYTES
+from repro.service.framing import FrameSplitter
+from repro.service.protocol import BINARY_HEADER_SIZE, BINARY_TAG, MAX_FRAME_BYTES, MAX_LINE_BYTES
 
 __all__ = [
     "FAULT_ACTIONS",
@@ -64,9 +66,14 @@ FAULT_ACTIONS = ("delay", "drop", "reset", "truncate", "corrupt")
 #: Traffic directions a plan may target: client-to-server, server-to-client.
 DIRECTIONS = ("c2s", "s2c", "both")
 
-#: Newline never appears inside a frame body; corruption must preserve that
-#: so a corrupted frame stays *one* frame (one response per request).
+#: Newline never appears inside an NDJSON frame body; corruption must
+#: preserve that so a corrupted frame stays *one* frame (one response per
+#: request). The binary tag byte is likewise off-limits at position 0 —
+#: it would reframe the line as a binary header and desync the stream.
 _NEWLINE = 0x0A
+
+#: Socket read size of the relay pumps.
+_READ_CHUNK = 1 << 16
 
 
 @dataclass(frozen=True)
@@ -156,16 +163,33 @@ class FaultStream:
                 return action
         return "forward"
 
-    def corrupt(self, frame: bytes) -> bytes:
-        """Rewrite 1–4 random body bytes (framing newline untouched)."""
+    def corrupt(self, frame: bytes, *, binary: bool = False) -> bytes:
+        """Rewrite 1–4 random body bytes; the framing always survives.
+
+        NDJSON: the trailing newline is untouched and position 0 never
+        becomes the binary tag (either would reframe the stream). Binary:
+        only body bytes past the 5-byte header are rewritten — the
+        declared length still matches, so the peer reads one complete
+        frame of garbage JSON and answers it with one error.
+        """
         body = bytearray(frame)
+        if binary:
+            if len(body) <= BINARY_HEADER_SIZE:
+                return frame
+            for _ in range(self._rng.randint(1, 4)):
+                pos = self._rng.randrange(BINARY_HEADER_SIZE, len(body))
+                body[pos] = self._rng.randrange(256)
+            return bytes(body)
         limit = len(body) - 1 if frame.endswith(b"\n") else len(body)
         if limit <= 0:
             return frame
         for _ in range(self._rng.randint(1, 4)):
             pos = self._rng.randrange(limit)
             byte = self._rng.randrange(255)
-            body[pos] = byte + 1 if byte >= _NEWLINE else byte  # skip 0x0A
+            byte = byte + 1 if byte >= _NEWLINE else byte  # skip 0x0A
+            if pos == 0 and byte == BINARY_TAG:
+                byte = BINARY_TAG + 1  # a leading tag byte would reframe the line
+            body[pos] = byte
         return bytes(body)
 
     def truncate(self, frame: bytes) -> bytes:
@@ -317,35 +341,44 @@ class ChaosProxy:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter, stream: FaultStream
     ) -> str:
         """Forward frames one way, applying the stream; returns why it ended."""
+        # the relay's frame bound is looser than the endpoints' so the
+        # proxy never rejects what a server would still answer
+        splitter = FrameSplitter(max_frame=2 * MAX_FRAME_BYTES)
         try:
             while True:
-                line = await reader.readline()
-                if not line:
+                chunk = await reader.read(_READ_CHUNK)
+                if not chunk:
                     return "eof"
-                action = stream.decide()
-                if action == "drop":
-                    self.stats.drops += 1
-                    continue
-                if action == "reset":
-                    self.stats.resets += 1
-                    return "reset"
-                if action == "truncate":
-                    self.stats.truncations += 1
-                    writer.write(stream.truncate(line))
-                    with contextlib.suppress(Exception):
-                        await writer.drain()
-                    return "reset"  # a mid-frame disconnect follows the prefix
-                if action == "delay":
-                    self.stats.delays += 1
-                    await asyncio.sleep(self.plan.delay_s)
-                elif action == "corrupt":
-                    self.stats.corruptions += 1
-                    line = stream.corrupt(line)
-                writer.write(line)
-                await writer.drain()
-                self.stats.frames += 1
+                try:
+                    frames = splitter.feed(chunk)
+                except ProtocolError:
+                    return "error"  # unparseable stream; drop the connection
+                for frame in frames:
+                    action = stream.decide()
+                    if action == "drop":
+                        self.stats.drops += 1
+                        continue
+                    if action == "reset":
+                        self.stats.resets += 1
+                        return "reset"
+                    if action == "truncate":
+                        self.stats.truncations += 1
+                        writer.write(stream.truncate(frame.raw))
+                        with contextlib.suppress(Exception):
+                            await writer.drain()
+                        return "reset"  # a mid-frame disconnect follows the prefix
+                    if action == "delay":
+                        self.stats.delays += 1
+                        await asyncio.sleep(self.plan.delay_s)
+                    data = frame.raw
+                    if action == "corrupt":
+                        self.stats.corruptions += 1
+                        data = stream.corrupt(frame.raw, binary=frame.binary)
+                    writer.write(data)
+                    await writer.drain()
+                    self.stats.frames += 1
         except (ConnectionResetError, BrokenPipeError, OSError, ValueError):
-            return "error"  # peer vanished or frame exceeded the relay limit
+            return "error"  # peer vanished or the relay write failed
 
 
 @contextlib.asynccontextmanager

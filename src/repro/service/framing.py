@@ -1,0 +1,106 @@
+"""Incremental frame splitting, shared by server, proxy, and tests.
+
+Both wire framings (newline-delimited JSON and tag + length binary, see
+:mod:`repro.service.protocol`) coexist on one TCP stream: a frame's first
+byte decides its framing. NDJSON frames begin with JSON text (always
+ASCII ``{`` in practice, never a UTF-8 continuation byte), binary frames
+begin with :data:`~repro.service.protocol.BINARY_TAG` (``0xB1``, a
+continuation byte). That one-byte disambiguation is what lets the server
+accept both framings without negotiation state, and lets the chaos proxy
+apply faults *per frame* without knowing what the endpoints agreed on.
+
+:class:`FrameSplitter` is a plain incremental parser: feed it byte
+chunks, get back complete :class:`Frame` objects. It never inspects JSON
+— only framing — so corrupted bodies pass straight through (the decoder
+at the endpoint answers them), while framing violations (an oversized
+line, a binary header declaring an oversized body) raise
+:class:`~repro.errors.ProtocolError`, after which the stream is
+unparseable and the connection must be dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ProtocolError
+from repro.service.protocol import BINARY_HEADER_SIZE, BINARY_TAG, MAX_FRAME_BYTES
+
+__all__ = ["Frame", "FrameSplitter"]
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One complete wire frame.
+
+    ``raw`` is the exact byte sequence on the wire (framing included) —
+    what a proxy forwards, truncates, or corrupts. ``payload`` is the
+    JSON body: for NDJSON it equals ``raw`` (the decoder strips the
+    newline), for binary it is ``raw`` minus the 5-byte header.
+    """
+
+    raw: bytes
+    payload: bytes
+    binary: bool
+
+
+class FrameSplitter:
+    """Split a byte stream into frames, auto-detecting the framing per frame.
+
+    ``feed`` returns every frame completed by the new chunk; partial
+    frames stay buffered. ``max_frame`` bounds both framings (for NDJSON,
+    the bound applies to the newline-terminated line; a buffer that grows
+    past it without a newline is already a violation — no need to wait
+    for one).
+    """
+
+    def __init__(self, *, max_frame: int = MAX_FRAME_BYTES):
+        if max_frame < BINARY_HEADER_SIZE + 1:
+            raise ValueError(f"max_frame must be >= {BINARY_HEADER_SIZE + 1}, got {max_frame}")
+        self.max_frame = max_frame
+        self._buf = bytearray()
+
+    @property
+    def pending(self) -> int:
+        """Bytes buffered toward an incomplete frame (0 = at a boundary)."""
+        return len(self._buf)
+
+    def feed(self, data: bytes | bytearray) -> list[Frame]:
+        """Consume a chunk; return the frames it completed, in order."""
+        self._buf += data
+        frames: list[Frame] = []
+        while True:
+            frame = self._next_frame()
+            if frame is None:
+                return frames
+            frames.append(frame)
+
+    def _next_frame(self) -> Frame | None:
+        buf = self._buf
+        if not buf:
+            return None
+        if buf[0] == BINARY_TAG:
+            if len(buf) < BINARY_HEADER_SIZE:
+                return None  # header still arriving
+            length = int.from_bytes(buf[1:BINARY_HEADER_SIZE], "big")
+            total = BINARY_HEADER_SIZE + length
+            if total > self.max_frame:
+                raise ProtocolError(
+                    f"binary frame of {total} bytes exceeds {self.max_frame}"
+                )
+            if len(buf) < total:
+                return None
+            raw = bytes(buf[:total])
+            del buf[:total]
+            return Frame(raw=raw, payload=raw[BINARY_HEADER_SIZE:], binary=True)
+        end = buf.find(b"\n")
+        if end < 0:
+            if len(buf) > self.max_frame:
+                raise ProtocolError(
+                    f"line of {len(buf)} bytes and no newline exceeds {self.max_frame}"
+                )
+            return None
+        if end + 1 > self.max_frame:
+            raise ProtocolError(f"line of {end + 1} bytes exceeds {self.max_frame}")
+        raw = bytes(buf[: end + 1])
+        del buf[: end + 1]
+        return Frame(raw=raw, payload=raw, binary=False)

@@ -4,16 +4,26 @@ Replays any :class:`~repro.traces.base.Trace` (synthetic or loaded from
 ``.npz``) against a running cache server as a stream of GETs. Two modes:
 
 - ``"pipeline"`` (default): one connection, requests pipelined in windows
-  of ``concurrency``. Per-connection ordering means the policy sees the
-  trace in **exact trace order**, so the server's STATS hit rate equals
-  the offline ``policy.run(trace)`` hit rate *bit for bit* — this mode is
-  both the throughput workhorse and the correctness cross-check.
+  of ``concurrency`` in-flight requests. Per-connection ordering means
+  the policy sees the trace in **exact trace order**, so the server's
+  STATS hit rate equals the offline ``policy.run(trace)`` hit rate *bit
+  for bit* — this mode is both the throughput workhorse and the
+  correctness cross-check. ``connections > 1`` runs that many pipelined
+  connections over strided shards of the trace (required to saturate a
+  sharded store); ordering — and exact parity — then holds only per
+  connection.
 - ``"workers"``: ``concurrency`` independent connections, each replaying
   a strided shard (worker ``i`` gets accesses ``i, i+N, i+2N, …``),
   windowed within the shard. The interleaving at the server is whatever
   the event loop produces — this is the "live concurrent traffic" regime,
   where the aggregate hit rate is only statistically (not bitwise)
   comparable to the offline run.
+
+Throughput knobs: ``batch`` groups every window's keys into ``MGET``
+frames of up to that many keys (one frame per batch instead of one per
+key — exact parity is preserved, accesses stay in order), and ``frame``
+selects the wire framing (``"binary"`` negotiates the length-prefixed
+codec at connect time).
 
 Robustness knobs: ``retry`` switches shards to
 :class:`~repro.service.client.ResilientClient` (bounded retries,
@@ -46,6 +56,7 @@ from repro.service.client import (
     ServiceClient,
 )
 from repro.service.faults import FaultPlan, running_proxy
+from repro.service.protocol import FRAME_NDJSON, FRAMES, MAX_BATCH_KEYS
 from repro.traces.base import Trace, as_page_array
 
 __all__ = ["LoadReport", "replay_trace", "run_replay"]
@@ -112,6 +123,13 @@ class LoadReport:
     #: so client-observed hits can be cross-checked against the server's own
     #: accounting even when the server was not freshly started.
     server_delta: dict[str, Any] = field(default_factory=dict)
+    #: Wire configuration of the run (defaults match the PR-2 behaviour).
+    batch: int = 1
+    frame: str = FRAME_NDJSON
+    connections: int = 1
+    #: One entry per replay connection: ops/hits/errors/seconds and the
+    #: connection's own ops-per-second, in shard order.
+    per_connection: list[dict[str, Any]] = field(default_factory=list)
 
     @property
     def hit_rate(self) -> float:
@@ -133,10 +151,19 @@ class LoadReport:
         lat = self.server_stats.get("latency", {})
         lines = [
             f"mode       : {self.mode} (concurrency {self.concurrency})",
+            f"wire       : frame={self.frame}, batch={self.batch}, "
+            f"connections={self.connections}",
             f"ops        : {self.ops}  ({self.ops_per_second:,.0f}/s over {self.seconds:.2f}s)",
             f"hits       : {self.hits}  (rate {self.hit_rate:.4f})",
             f"errors     : {self.errors}",
         ]
+        if len(self.per_connection) > 1:
+            for i, conn in enumerate(self.per_connection):
+                lines.append(
+                    f"  conn {i:<4d}: {conn['ops']} ops "
+                    f"({conn['ops_per_second']:,.0f}/s over {conn['seconds']:.2f}s), "
+                    f"{conn['hits']} hits, {conn['errors']} errors"
+                )
         if self.client_stats:
             c = self.client_stats
             lines.append(
@@ -186,6 +213,9 @@ async def replay_trace(
     port: int,
     mode: str = "pipeline",
     concurrency: int = 32,
+    batch: int = 1,
+    connections: int = 1,
+    frame: str = FRAME_NDJSON,
     fetch_stats: bool = True,
     timeout: float | None = DEFAULT_TIMEOUT,
     retry: RetryPolicy | None = None,
@@ -201,6 +231,17 @@ async def replay_trace(
         raise ConfigurationError(f"mode must be one of {MODES}, got {mode!r}")
     if concurrency < 1:
         raise ConfigurationError(f"concurrency must be >= 1, got {concurrency}")
+    if batch < 1 or batch > MAX_BATCH_KEYS:
+        raise ConfigurationError(f"batch must be in [1, {MAX_BATCH_KEYS}], got {batch}")
+    if connections < 1:
+        raise ConfigurationError(f"connections must be >= 1, got {connections}")
+    if mode == "workers" and connections > 1:
+        raise ConfigurationError(
+            "connections applies to pipeline mode only; workers mode already "
+            "opens one connection per worker (use concurrency)"
+        )
+    if frame not in FRAMES:
+        raise ConfigurationError(f"unknown frame {frame!r}; expected one of {list(FRAMES)}")
     if report_interval is not None and report_interval < 0:
         raise ConfigurationError(
             f"report_interval must be non-negative, got {report_interval}"
@@ -211,12 +252,14 @@ async def replay_trace(
         async with running_proxy(host, port, faults) as proxy:
             report = await _replay(
                 pages, proxy.host, proxy.port, mode=mode, concurrency=concurrency,
+                batch=batch, connections=connections, frame=frame,
                 fetch_stats=fetch_stats, timeout=timeout, retry=retry,
                 report_interval=report_interval,
             )
         return replace(report, fault_stats=proxy.stats.as_dict())
     return await _replay(
         pages, host, port, mode=mode, concurrency=concurrency,
+        batch=batch, connections=connections, frame=frame,
         fetch_stats=fetch_stats, timeout=timeout, retry=retry,
         report_interval=report_interval,
     )
@@ -229,6 +272,9 @@ async def _replay(
     *,
     mode: str,
     concurrency: int,
+    batch: int,
+    connections: int,
+    frame: str,
     fetch_stats: bool,
     timeout: float | None,
     retry: RetryPolicy | None,
@@ -241,6 +287,10 @@ async def _replay(
         with contextlib.suppress(ServiceError):
             before = await _fetch_stats(host, port, timeout=timeout, retry=retry)
 
+    # `concurrency` counts in-flight *requests*; with batching each MGET
+    # frame carries `batch` keys, so the key window per round trip scales
+    # with both.
+    window = concurrency * batch
     live = _LiveCounters(total=len(pages))
     reporter: asyncio.Task | None = None
     if report_interval:
@@ -248,16 +298,25 @@ async def _replay(
     start = time.perf_counter()
     try:
         if mode == "pipeline":
-            counts = [
-                await _replay_shard(pages, host, port, window=concurrency,
-                                    timeout=timeout, retry=retry, live=live)
-            ]
+            shards = (
+                [pages]
+                if connections == 1
+                else [pages[i::connections] for i in range(connections)]
+            )
+            counts = await asyncio.gather(
+                *(
+                    _replay_shard(shard, host, port, window=window, batch=batch,
+                                  frame=frame, timeout=timeout, retry=retry, live=live)
+                    for shard in shards
+                    if shard
+                )
+            )
         else:
             shards = [pages[i::concurrency] for i in range(concurrency)]
             counts = await asyncio.gather(
                 *(
-                    _replay_shard(shard, host, port, window=32, timeout=timeout,
-                                  retry=retry, live=live)
+                    _replay_shard(shard, host, port, window=32 * batch, batch=batch,
+                                  frame=frame, timeout=timeout, retry=retry, live=live)
                     for shard in shards
                     if shard
                 )
@@ -272,7 +331,7 @@ async def _replay(
     client_stats: dict[str, int] = {}
     if retry is not None:
         totals = ClientStats()
-        for _, _, _, stats in counts:
+        for _, _, _, stats, _ in counts:
             if stats is None:
                 continue
             for name in ("attempts", "retries", "timeouts", "overloaded", "connects", "failures"):
@@ -295,6 +354,19 @@ async def _replay(
         server_delta=_stats_delta(before, stats_snapshot)
         if before and stats_snapshot
         else {},
+        batch=batch,
+        frame=frame,
+        connections=connections if mode == "pipeline" else concurrency,
+        per_connection=[
+            {
+                "ops": c[0],
+                "hits": c[1],
+                "errors": c[2],
+                "seconds": round(c[4], 6),
+                "ops_per_second": c[0] / c[4] if c[4] > 0 else 0.0,
+            }
+            for c in counts
+        ],
     )
 
 
@@ -304,19 +376,22 @@ async def _replay_shard(
     port: int,
     *,
     window: int,
+    batch: int = 1,
+    frame: str = FRAME_NDJSON,
     timeout: float | None,
     retry: RetryPolicy | None,
     live: _LiveCounters | None = None,
-) -> tuple[int, int, int, ClientStats | None]:
+) -> tuple[int, int, int, ClientStats | None, float]:
     """Replay one ordered list of keys over one (logical) connection.
 
-    Returns ``(ops, hits, errors, client_stats)``. With a retry policy, a
-    window whose attempts are exhausted is charged to ``errors`` and the
-    replay presses on — graceful degradation is the point, a chaos run
-    must never crash the generator. ``live`` (shared across shards) feeds
-    the progress reporter.
+    Returns ``(ops, hits, errors, client_stats, seconds)``. With a retry
+    policy, a window whose attempts are exhausted is charged to ``errors``
+    and the replay presses on — graceful degradation is the point, a
+    chaos run must never crash the generator. ``live`` (shared across
+    shards) feeds the progress reporter.
     """
     ops = hits = errors = 0
+    start = time.perf_counter()
 
     def _count(response: dict[str, Any]) -> None:
         nonlocal ops, hits, errors
@@ -333,20 +408,24 @@ async def _replay_shard(
             live.errors += d_errors
 
     if retry is None:
-        async with await ServiceClient.connect(host, port, timeout=timeout) as client:
+        async with await ServiceClient.connect(
+            host, port, timeout=timeout, frame=frame
+        ) as client:
             for lo in range(0, len(pages), window):
                 o0, h0, e0 = ops, hits, errors
-                for response in await client.get_window(pages[lo : lo + window]):
+                for response in await client.get_window(pages[lo : lo + window], batch=batch):
                     _count(response)
                 _sync_live(ops - o0, hits - h0, errors - e0)
-        return ops, hits, errors, None
+        return ops, hits, errors, None, time.perf_counter() - start
 
-    async with ResilientClient(host, port, retry=retry, timeout=timeout) as client:
+    async with ResilientClient(
+        host, port, retry=retry, timeout=timeout, frame=frame
+    ) as client:
         for lo in range(0, len(pages), window):
             keys = pages[lo : lo + window]
             o0, h0, e0 = ops, hits, errors
             try:
-                responses = await client.get_window(keys)
+                responses = await client.get_window(keys, batch=batch)
             except ServiceError:
                 ops += len(keys)
                 errors += len(keys)
@@ -354,7 +433,7 @@ async def _replay_shard(
                 for response in responses:
                     _count(response)
             _sync_live(ops - o0, hits - h0, errors - e0)
-        return ops, hits, errors, client.counters
+        return ops, hits, errors, client.counters, time.perf_counter() - start
 
 
 async def _fetch_stats(

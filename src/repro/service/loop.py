@@ -1,0 +1,32 @@
+"""Event-loop selection: use ``uvloop`` when it is importable.
+
+``uvloop`` (a libuv-based drop-in replacement for the asyncio event
+loop) typically doubles socket-bound throughput; it is an *optional*
+dependency (the ``fast`` extra in ``pyproject.toml``) and nothing in
+this package imports it unconditionally — the pure-stdlib path is the
+default and stays fully supported.
+
+:func:`install_best_event_loop` is called by the ``serve`` and
+``loadgen`` CLI entry points *before* ``asyncio.run``; both print the
+returned name so every run states which loop it measured. Library code
+and tests never call it — they run on whatever loop the caller provides.
+"""
+
+from __future__ import annotations
+
+__all__ = ["install_best_event_loop"]
+
+
+def install_best_event_loop() -> str:
+    """Install uvloop's event-loop policy if available; return the loop name.
+
+    Returns ``"uvloop"`` after a successful install, ``"asyncio"`` when
+    uvloop is not importable (the stdlib default stays in place). Safe to
+    call more than once.
+    """
+    try:
+        import uvloop
+    except ImportError:
+        return "asyncio"
+    uvloop.install()
+    return "uvloop"

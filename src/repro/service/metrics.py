@@ -31,9 +31,9 @@ from repro.obs.metrics import Histogram, MetricsRegistry
 
 __all__ = ["LatencyHistogram", "ServiceMetrics", "build_registry"]
 
-#: Ops that get a dedicated latency histogram (METRICS/STATS/PING share
-#: only the combined one — they never touch the policy).
-PER_OP_LATENCY = ("GET", "PUT", "DEL")
+#: Ops that get a dedicated latency histogram (HELLO/METRICS/STATS/PING
+#: share only the combined one — they never touch the policy).
+PER_OP_LATENCY = ("GET", "PUT", "DEL", "MGET", "MPUT")
 
 
 class LatencyHistogram(Histogram):

@@ -1,10 +1,22 @@
-"""Wire protocol of the cache service: newline-delimited JSON.
+"""Wire protocol of the cache service: NDJSON and length-prefixed binary.
 
-One request per line, one response per line, in order. The framing is
-deliberately the simplest thing that works over TCP — every language can
-speak it with a socket and a JSON library, and ordered responses make
-client-side pipelining trivial (send a window of requests, read the same
-number of responses back).
+Two framings share one message vocabulary (JSON objects):
+
+**NDJSON** (default): one request per line, one response per line, in
+order. The framing is deliberately the simplest thing that works over
+TCP — every language can speak it with a socket and a JSON library, and
+ordered responses make client-side pipelining trivial (send a window of
+requests, read the same number of responses back).
+
+**Binary** (:func:`encode_frame` / :func:`decode_frame`): a one-byte
+format tag (:data:`BINARY_TAG`) + 4-byte big-endian body length + JSON
+body. No newline scanning, payloads may contain any byte, and the
+receiver knows the frame size before reading it. The tag byte can never
+begin a JSON text line (it is not valid leading UTF-8 for ``{``-rooted
+documents), so both framings can be told apart from the first byte of a
+frame — the server accepts either on one connection and answers each
+request in the framing it arrived in. Clients discover binary support
+with ``HELLO`` before switching (see ``docs/service.md``).
 
 Requests are JSON objects with an ``op`` field:
 
@@ -17,6 +29,17 @@ Requests are JSON objects with an ``op`` field:
 ``{"op": "DEL",  "key": 17}``
     Drops the stored payload (see ``docs/service.md`` for why residency
     itself is append-only under demand paging).
+``{"op": "MGET", "keys": [17, 4, 17]}``
+    Batched GET: one frame carries a key vector, accesses are applied in
+    vector order, and the response carries parallel ``hits``/``values``
+    arrays. Amortizes framing overhead across the batch.
+``{"op": "MPUT", "keys": [...], "values": [...]}``
+    Batched PUT (parallel key/value vectors); responds with ``hits``.
+``{"op": "HELLO", "frame": "binary"}``
+    Capability negotiation: the response lists the framings the server
+    accepts (``frames``) and echoes the requested one (``frame``). A
+    server that does not accept the requested framing answers
+    ``bad-request``, so a client probes before switching.
 ``{"op": "STATS"}``
     Metrics snapshot.
 ``{"op": "METRICS"}``
@@ -31,13 +54,21 @@ Responses always carry ``"ok"``; failures add ``"error"`` and ``"code"``.
 from __future__ import annotations
 
 import json
+import struct
 from dataclasses import dataclass
-from typing import Any, Mapping
+from typing import Any, Mapping, Sequence
 
 from repro.errors import ProtocolError
 
 __all__ = [
     "MAX_LINE_BYTES",
+    "MAX_FRAME_BYTES",
+    "MAX_BATCH_KEYS",
+    "BINARY_TAG",
+    "BINARY_HEADER_SIZE",
+    "FRAME_NDJSON",
+    "FRAME_BINARY",
+    "FRAMES",
     "OPS",
     "IDEMPOTENT_OPS",
     "CODE_BAD_REQUEST",
@@ -46,11 +77,17 @@ __all__ = [
     "CODE_INTERNAL",
     "CODE_OVERLOADED",
     "ERROR_CODES",
+    "RESPONSE_GET_HIT",
+    "RESPONSE_GET_MISS",
     "Request",
+    "request_payload",
     "decode_request",
     "encode_request",
     "decode_response",
     "encode_response",
+    "encode_frame",
+    "decode_frame",
+    "batch_responses",
     "error_payload",
     "overload_payload",
 ]
@@ -58,14 +95,36 @@ __all__ = [
 #: Hard cap on one wire line; protects the server from unbounded buffering.
 MAX_LINE_BYTES = 1 << 20
 
+#: The same cap for binary frames (header + body); one bound for both framings.
+MAX_FRAME_BYTES = MAX_LINE_BYTES
+
+#: Hard cap on the key vector of one MGET/MPUT frame.
+MAX_BATCH_KEYS = 4096
+
+#: Wire names of the two framings.
+FRAME_NDJSON = "ndjson"
+FRAME_BINARY = "binary"
+FRAMES = (FRAME_NDJSON, FRAME_BINARY)
+
+#: Version/format tag of a binary frame. Chosen so it can never start an
+#: NDJSON frame: 0xB1 is a UTF-8 continuation byte, invalid as the first
+#: byte of any JSON text — one byte suffices to tell the framings apart.
+BINARY_TAG = 0xB1
+
+_BINARY_HEADER = struct.Struct(">BI")  # tag, body length
+
+#: Bytes of the binary frame header (tag + length).
+BINARY_HEADER_SIZE = _BINARY_HEADER.size
+
 #: Operations a request may carry.
-OPS = frozenset({"GET", "PUT", "DEL", "STATS", "METRICS", "PING"})
+OPS = frozenset({"GET", "PUT", "DEL", "MGET", "MPUT", "HELLO", "STATS", "METRICS", "PING"})
 
 #: Operations a client may retry blindly. GET *does* advance the policy
 #: state machine, but re-accessing a key is semantically a cache lookup,
 #: not a state-corrupting write; PUT/DEL change stored payloads and are
-#: only retried when the caller opts in.
-IDEMPOTENT_OPS = frozenset({"GET", "STATS", "METRICS", "PING"})
+#: only retried when the caller opts in. MGET is a vector of GETs;
+#: HELLO is pure negotiation.
+IDEMPOTENT_OPS = frozenset({"GET", "MGET", "HELLO", "STATS", "METRICS", "PING"})
 
 #: Error-response ``code`` values the server emits.
 CODE_BAD_REQUEST = "bad-request"  # malformed message; connection keeps serving
@@ -81,6 +140,17 @@ ERROR_CODES = frozenset(
 #: Which operations require a ``key`` field.
 _KEYED_OPS = frozenset({"GET", "PUT", "DEL"})
 
+#: Which operations require a ``keys`` vector.
+_BATCH_OPS = frozenset({"MGET", "MPUT"})
+
+#: Shared response singletons for the dominant GET outcomes. The server's
+#: dispatch returns these exact objects for a GET with no stored payload,
+#: and the writer recognizes them *by identity* and emits pre-encoded
+#: bytes — the hot path never rebuilds or re-serializes these dicts.
+#: Treat them as frozen.
+RESPONSE_GET_HIT: dict[str, Any] = {"ok": True, "hit": True, "value": None}
+RESPONSE_GET_MISS: dict[str, Any] = {"ok": True, "hit": False, "value": None}
+
 
 @dataclass(frozen=True)
 class Request:
@@ -89,20 +159,36 @@ class Request:
     op: str
     key: int | None = None
     value: Any = None
+    keys: tuple[int, ...] | None = None
+    values: tuple[Any, ...] | None = None
+    frame: str | None = None
 
 
-def encode_request(req: Request) -> bytes:
-    """Serialize a request to one wire line (including the ``\\n``)."""
+def request_payload(req: Request) -> dict[str, Any]:
+    """The JSON-object body of a request (framing-independent)."""
     payload: dict[str, Any] = {"op": req.op}
     if req.key is not None:
         payload["key"] = req.key
     if req.op == "PUT":
         payload["value"] = req.value
-    return _encode_line(payload)
+    if req.keys is not None:
+        payload["keys"] = list(req.keys)
+    if req.op == "MPUT":
+        payload["values"] = list(req.values or ())
+    if req.op == "HELLO" and req.frame is not None:
+        payload["frame"] = req.frame
+    return payload
+
+
+def encode_request(req: Request, *, frame: str = FRAME_NDJSON) -> bytes:
+    """Serialize a request to one wire frame in the given framing."""
+    if frame == FRAME_BINARY:
+        return encode_frame(request_payload(req))
+    return _encode_line(request_payload(req))
 
 
 def decode_request(line: bytes | bytearray | str) -> Request:
-    """Parse and validate one request line.
+    """Parse and validate one request body (either framing's JSON payload).
 
     Raises :class:`~repro.errors.ProtocolError` on any malformation; the
     message is safe to echo back to the client.
@@ -114,11 +200,7 @@ def decode_request(line: bytes | bytearray | str) -> Request:
     op = op.upper()
     key = obj.get("key")
     if op in _KEYED_OPS:
-        # bool is an int subclass; reject it explicitly
-        if isinstance(key, bool) or not isinstance(key, int):
-            raise ProtocolError(f"{op} requires an integer 'key', got {key!r}")
-        if key < 0:
-            raise ProtocolError(f"'key' must be non-negative, got {key}")
+        _check_key(op, key)
     elif key is not None:
         raise ProtocolError(f"{op} does not take a 'key'")
     value = obj.get("value")
@@ -126,17 +208,99 @@ def decode_request(line: bytes | bytearray | str) -> Request:
         raise ProtocolError(f"{op} does not take a 'value'")
     if op == "PUT" and "value" not in obj:
         raise ProtocolError("PUT requires a 'value'")
-    return Request(op=op, key=key, value=value)
+    keys = obj.get("keys")
+    values = obj.get("values")
+    if op in _BATCH_OPS:
+        keys = _check_keys(op, keys)
+        if op == "MPUT":
+            if not isinstance(values, list):
+                raise ProtocolError("MPUT requires a 'values' array")
+            if len(values) != len(keys):
+                raise ProtocolError(
+                    f"MPUT 'values' length {len(values)} != 'keys' length {len(keys)}"
+                )
+            values = tuple(values)
+        elif values is not None:
+            raise ProtocolError("MGET does not take 'values'")
+    else:
+        if keys is not None:
+            raise ProtocolError(f"{op} does not take 'keys'")
+        if values is not None:
+            raise ProtocolError(f"{op} does not take 'values'")
+    frame = obj.get("frame")
+    if op == "HELLO":
+        if frame is not None and frame not in FRAMES:
+            raise ProtocolError(f"unknown frame {frame!r}; expected one of {list(FRAMES)}")
+    elif frame is not None:
+        raise ProtocolError(f"{op} does not take a 'frame'")
+    return Request(op=op, key=key, value=value, keys=keys, values=values, frame=frame)
 
 
-def encode_response(payload: Mapping[str, Any]) -> bytes:
-    """Serialize a response mapping to one wire line."""
+def _check_key(op: str, key: Any) -> None:
+    # bool is an int subclass; reject it explicitly
+    if isinstance(key, bool) or not isinstance(key, int):
+        raise ProtocolError(f"{op} requires an integer 'key', got {key!r}")
+    if key < 0:
+        raise ProtocolError(f"'key' must be non-negative, got {key}")
+
+
+def _check_keys(op: str, keys: Any) -> tuple[int, ...]:
+    if not isinstance(keys, list) or not keys:
+        raise ProtocolError(f"{op} requires a non-empty 'keys' array")
+    if len(keys) > MAX_BATCH_KEYS:
+        raise ProtocolError(f"{op} batch of {len(keys)} keys exceeds {MAX_BATCH_KEYS}")
+    for key in keys:
+        _check_key(op, key)
+    return tuple(keys)
+
+
+def encode_response(payload: Mapping[str, Any], *, frame: str = FRAME_NDJSON) -> bytes:
+    """Serialize a response mapping to one wire frame in the given framing."""
+    if frame == FRAME_BINARY:
+        return encode_frame(payload)
     return _encode_line(dict(payload))
 
 
 def decode_response(line: bytes | bytearray | str) -> dict[str, Any]:
-    """Parse one response line (client side)."""
+    """Parse one response body (client side; either framing's JSON payload)."""
     return _decode_line(line)
+
+
+def encode_frame(payload: Mapping[str, Any]) -> bytes:
+    """Serialize a mapping to one binary frame: tag + length + JSON body."""
+    body = json.dumps(dict(payload), separators=(",", ":"), default=_json_default).encode()
+    if BINARY_HEADER_SIZE + len(body) >= MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"binary frame of {BINARY_HEADER_SIZE + len(body)} bytes exceeds {MAX_FRAME_BYTES}"
+        )
+    return _BINARY_HEADER.pack(BINARY_TAG, len(body)) + body
+
+
+def decode_frame(frame: bytes | bytearray) -> dict[str, Any]:
+    """Parse one *complete* binary frame (header included) to a mapping.
+
+    Raises :class:`~repro.errors.ProtocolError` on a bad tag, an oversized
+    or mismatched declared length, or an unparseable body — the binary
+    twin of the total-decoding guarantee the NDJSON decoder gives.
+    """
+    if len(frame) < BINARY_HEADER_SIZE:
+        raise ProtocolError(
+            f"binary frame of {len(frame)} bytes is shorter than "
+            f"its {BINARY_HEADER_SIZE}-byte header"
+        )
+    tag, length = _BINARY_HEADER.unpack_from(bytes(frame[:BINARY_HEADER_SIZE]))
+    if tag != BINARY_TAG:
+        raise ProtocolError(f"bad binary frame tag 0x{tag:02x}; expected 0x{BINARY_TAG:02x}")
+    if BINARY_HEADER_SIZE + length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"binary frame of {BINARY_HEADER_SIZE + length} bytes exceeds {MAX_FRAME_BYTES}"
+        )
+    if len(frame) != BINARY_HEADER_SIZE + length:
+        raise ProtocolError(
+            f"truncated binary frame: header declares {length} body bytes, "
+            f"got {len(frame) - BINARY_HEADER_SIZE}"
+        )
+    return _decode_line(bytes(frame[BINARY_HEADER_SIZE:]))
 
 
 def error_payload(message: str, *, code: str = CODE_BAD_REQUEST) -> dict[str, Any]:
@@ -188,3 +352,24 @@ def _decode_line(line: bytes | bytearray | str) -> dict[str, Any]:
     if not isinstance(obj, dict):
         raise ProtocolError(f"expected a JSON object, got {type(obj).__name__}")
     return obj
+
+
+def batch_responses(payload: Mapping[str, Any], n: int) -> list[dict[str, Any]]:
+    """Explode one MGET/MPUT response into ``n`` per-key response dicts.
+
+    Client-side convenience so batched and unbatched replay paths can
+    share counting code. An error response (or a malformed batch body)
+    is replicated per key — every key in a failed batch counts as one
+    error, mirroring how exhausted retry windows are charged.
+    """
+    if payload.get("ok"):
+        hits = payload.get("hits")
+        values = payload.get("values")
+        if isinstance(hits, Sequence) and len(hits) == n:
+            if not isinstance(values, Sequence) or len(values) != n:
+                values = [None] * n
+            return [
+                {"ok": True, "hit": bool(h), "value": v} for h, v in zip(hits, values)
+            ]
+        payload = error_payload(f"batch response carried {hits!r} for {n} keys")
+    return [dict(payload) for _ in range(n)]

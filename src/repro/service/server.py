@@ -1,12 +1,25 @@
 """The asyncio TCP server.
 
-One :class:`CacheServer` owns one :class:`~repro.service.store.PolicyStore`
-and speaks the newline-delimited JSON protocol of
-:mod:`repro.service.protocol`. Design points:
+One :class:`CacheServer` owns one store — a
+:class:`~repro.service.store.PolicyStore` or a
+:class:`~repro.service.sharding.ShardedPolicyStore` — and speaks both
+wire framings of :mod:`repro.service.protocol` (newline-delimited JSON
+and tag + length binary). Design points:
 
-- **Per-connection error isolation.** Malformed lines get an error
+- **Per-frame framing.** The connection pump splits the byte stream with
+  :class:`~repro.service.framing.FrameSplitter`, which tells the framings
+  apart from each frame's first byte. The server answers every request in
+  the framing it arrived in — there is no per-connection mode to
+  negotiate or to race against pipelined bytes; ``HELLO`` is pure
+  capability discovery for clients that want to switch.
+- **Hot-path encode reuse.** The dominant responses — GET-hit and
+  GET-miss with no stored payload — are shared singleton dicts
+  (:data:`~repro.service.protocol.RESPONSE_GET_HIT` /
+  :data:`~repro.service.protocol.RESPONSE_GET_MISS`); the writer spots
+  them by identity and sends pre-encoded bytes, never re-serializing.
+- **Per-connection error isolation.** Malformed frames get an error
   response and the connection keeps serving; only framing violations
-  (oversized line, broken pipe) close *that* connection. An unexpected
+  (oversized frame, broken pipe) close *that* connection. An unexpected
   exception in a handler is answered with an ``internal-error`` response —
   one bad client, or one bug tickled by one request, never takes the
   server down.
@@ -29,23 +42,32 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
-from typing import Any, AsyncIterator
+from typing import Any, AsyncIterator, Union
 
 from repro.errors import ConfigurationError, ProtocolError, ReproError, ServiceError
+from repro.service.framing import Frame, FrameSplitter
 from repro.service.protocol import (
     CODE_OVERFLOW,
     CODE_INTERNAL,
     CODE_REJECTED,
+    FRAME_BINARY,
+    FRAME_NDJSON,
+    FRAMES,
     MAX_LINE_BYTES,
+    RESPONSE_GET_HIT,
+    RESPONSE_GET_MISS,
     Request,
     encode_response,
     error_payload,
     overload_payload,
     decode_request,
 )
+from repro.service.sharding import ShardedPolicyStore
 from repro.service.store import PolicyStore
 
 __all__ = ["DEFAULT_WRITE_TIMEOUT", "DEFAULT_MAX_INFLIGHT", "CacheServer", "running_server"]
+
+Store = Union[PolicyStore, ShardedPolicyStore]
 
 #: Default deadline for draining one response to a slow client, seconds.
 DEFAULT_WRITE_TIMEOUT = 30.0
@@ -54,18 +76,32 @@ DEFAULT_WRITE_TIMEOUT = 30.0
 #: the processor before the server stops reading that connection).
 DEFAULT_MAX_INFLIGHT = 32
 
+#: Socket read size of the connection pump.
+_READ_CHUNK = 1 << 16
+
 #: Queue sentinels from the per-connection reader task.
 _EOF = object()
 _OVERFLOW = object()
 
+#: Pre-encoded bytes of the template GET responses, indexed by ``binary``.
+_HIT_BYTES = (
+    encode_response(RESPONSE_GET_HIT),
+    encode_response(RESPONSE_GET_HIT, frame=FRAME_BINARY),
+)
+_MISS_BYTES = (
+    encode_response(RESPONSE_GET_MISS),
+    encode_response(RESPONSE_GET_MISS, frame=FRAME_BINARY),
+)
+
 
 class CacheServer:
-    """Serve one :class:`PolicyStore` over TCP.
+    """Serve one policy store over TCP.
 
     Parameters
     ----------
     store:
-        The policy-backed store all connections share.
+        The policy-backed store all connections share (single
+        :class:`PolicyStore` or :class:`ShardedPolicyStore`).
     host, port:
         Bind address. ``port=0`` (the default) binds an ephemeral port;
         read :attr:`port` after :meth:`start` for the actual one.
@@ -79,17 +115,23 @@ class CacheServer:
     write_timeout:
         Deadline for draining one response; a client that will not read
         for this long is disconnected. ``None`` = wait forever.
+    frames:
+        Framings accepted for data operations. ``HELLO`` is exempt (it is
+        the negotiation op and must be reachable in any framing); a data
+        request arriving in a framing not listed here gets a
+        ``bad-request`` answer in that framing.
     """
 
     def __init__(
         self,
-        store: PolicyStore,
+        store: Store,
         *,
         host: str = "127.0.0.1",
         port: int = 0,
         max_connections: int | None = None,
         max_inflight: int = DEFAULT_MAX_INFLIGHT,
         write_timeout: float | None = DEFAULT_WRITE_TIMEOUT,
+        frames: tuple[str, ...] = FRAMES,
     ):
         if max_connections is not None and max_connections < 1:
             raise ConfigurationError(
@@ -101,12 +143,17 @@ class CacheServer:
             raise ConfigurationError(
                 f"write_timeout must be positive or None, got {write_timeout}"
             )
+        if not frames or any(f not in FRAMES for f in frames):
+            raise ConfigurationError(
+                f"frames must be a non-empty subset of {list(FRAMES)}, got {frames!r}"
+            )
         self.store = store
         self.host = host
         self.port = port
         self.max_connections = max_connections
         self.max_inflight = max_inflight
         self.write_timeout = write_timeout
+        self.frames = tuple(frames)
         self._server: asyncio.Server | None = None
         self._conn_tasks: set[asyncio.Task] = set()
 
@@ -176,11 +223,12 @@ class CacheServer:
     async def _serve_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter, metrics: Any
     ) -> None:
-        # The reader task pulls lines into a bounded queue; this coroutine
-        # consumes them in order. The queue lets the server read ahead of a
-        # slow policy step (pipelining), while its maxsize is the in-flight
-        # window: when full, the reader blocks, the socket stops being read,
-        # and TCP pushes back on the client.
+        # The pump task splits the byte stream into frames and pushes them
+        # into a bounded queue; this coroutine consumes them in order. The
+        # queue lets the server read ahead of a slow policy step
+        # (pipelining), while its maxsize is the in-flight window: when
+        # full, the pump blocks, the socket stops being read, and TCP
+        # pushes back on the client.
         queue: asyncio.Queue[Any] = asyncio.Queue(maxsize=self.max_inflight)
         pump = asyncio.create_task(self._pump_requests(reader, queue))
         loop = asyncio.get_running_loop()
@@ -194,14 +242,14 @@ class CacheServer:
                     # report once and drop only this connection
                     metrics.errors += 1
                     writer.write(
-                        encode_response(error_payload("line too long", code=CODE_OVERFLOW))
+                        encode_response(error_payload("frame too long", code=CODE_OVERFLOW))
                     )
                     await self._drain(writer, metrics)
                     break
                 start = loop.time()
-                response, op = await self._handle_line(item)
+                response, op = await self._handle_frame(item)
                 metrics.record_op(op, loop.time() - start)
-                writer.write(encode_response(response))
+                writer.write(self._encode(response, item.binary))
                 if not await self._drain(writer, metrics):
                     break
         finally:
@@ -211,19 +259,31 @@ class CacheServer:
 
     @staticmethod
     async def _pump_requests(reader: asyncio.StreamReader, queue: asyncio.Queue) -> None:
+        splitter = FrameSplitter()
         while True:
             try:
-                line = await reader.readline()
-            except (asyncio.LimitOverrunError, ValueError):
-                await queue.put(_OVERFLOW)
-                return
+                chunk = await reader.read(_READ_CHUNK)
             except (ConnectionResetError, BrokenPipeError, OSError):
                 await queue.put(_EOF)
                 return
-            if not line:
+            if not chunk:
                 await queue.put(_EOF)
                 return
-            await queue.put(line)  # blocks when the in-flight window is full
+            try:
+                frames = splitter.feed(chunk)
+            except ProtocolError:
+                await queue.put(_OVERFLOW)
+                return
+            for frame in frames:
+                await queue.put(frame)  # blocks when the in-flight window is full
+
+    @staticmethod
+    def _encode(response: dict[str, Any], binary: bool) -> bytes:
+        if response is RESPONSE_GET_HIT:
+            return _HIT_BYTES[binary]
+        if response is RESPONSE_GET_MISS:
+            return _MISS_BYTES[binary]
+        return encode_response(response, frame=FRAME_BINARY if binary else FRAME_NDJSON)
 
     async def _drain(self, writer: asyncio.StreamWriter, metrics: Any) -> bool:
         """Flush to the client under ``write_timeout``; False = drop them."""
@@ -237,18 +297,27 @@ class CacheServer:
             return False
         return True
 
-    async def _handle_line(self, line: bytes) -> tuple[dict[str, Any], str | None]:
-        """Decode + dispatch one request; returns ``(response, op-or-None)``.
+    async def _handle_frame(self, frame: Frame) -> tuple[dict[str, Any], str | None]:
+        """Decode + dispatch one frame; returns ``(response, op-or-None)``.
 
-        The op is ``None`` when the line never parsed into a request —
+        The op is ``None`` when the frame never parsed into a request —
         the latency of answering garbage still lands in the combined
         histogram, just not in any per-op one.
         """
         try:
-            request = decode_request(line)
+            request = decode_request(frame.payload)
         except ProtocolError as exc:
             self.store.metrics.errors += 1
             return error_payload(str(exc)), None
+        arrived = FRAME_BINARY if frame.binary else FRAME_NDJSON
+        if arrived not in self.frames and request.op != "HELLO":
+            self.store.metrics.errors += 1
+            return (
+                error_payload(
+                    f"{arrived} framing not accepted here; negotiate via HELLO"
+                ),
+                request.op,
+            )
         try:
             return await self._dispatch(request), request.op
         except ReproError as exc:
@@ -265,6 +334,10 @@ class CacheServer:
         if op == "GET":
             assert request.key is not None
             hit, value = await self.store.get(request.key)
+            if value is None:
+                # template singletons: the writer recognizes these by
+                # identity and sends pre-encoded bytes
+                return RESPONSE_GET_HIT if hit else RESPONSE_GET_MISS
             return {"ok": True, "hit": hit, "value": value}
         if op == "PUT":
             assert request.key is not None
@@ -274,6 +347,25 @@ class CacheServer:
             assert request.key is not None
             existed = await self.store.delete(request.key)
             return {"ok": True, "deleted": existed}
+        if op == "MGET":
+            assert request.keys is not None
+            results = await self.store.get_many(request.keys)
+            return {
+                "ok": True,
+                "hits": [hit for hit, _ in results],
+                "values": [value for _, value in results],
+            }
+        if op == "MPUT":
+            assert request.keys is not None and request.values is not None
+            hits = await self.store.put_many(request.keys, request.values)
+            return {"ok": True, "hits": list(hits)}
+        if op == "HELLO":
+            requested = request.frame or FRAME_NDJSON
+            if requested not in self.frames:
+                return error_payload(
+                    f"{requested} framing not accepted here; server accepts {list(self.frames)}"
+                )
+            return {"ok": True, "frame": requested, "frames": list(self.frames)}
         if op == "STATS":
             return {"ok": True, "stats": await self.store.stats()}
         if op == "METRICS":
@@ -284,12 +376,12 @@ class CacheServer:
 
 @contextlib.asynccontextmanager
 async def running_server(
-    store: PolicyStore, *, host: str = "127.0.0.1", port: int = 0, **kwargs: Any
+    store: Store, *, host: str = "127.0.0.1", port: int = 0, **kwargs: Any
 ) -> AsyncIterator[CacheServer]:
     """``async with running_server(store) as server:`` — start/stop bracket.
 
     Keyword arguments (``max_connections``, ``max_inflight``,
-    ``write_timeout``) pass through to :class:`CacheServer`.
+    ``write_timeout``, ``frames``) pass through to :class:`CacheServer`.
     """
     server = CacheServer(store, host=host, port=port, **kwargs)
     await server.start()

@@ -22,7 +22,7 @@ the paper's competitive analysis describes.
 from __future__ import annotations
 
 import asyncio
-from typing import Any
+from typing import Any, Sequence
 
 from repro.core.base import CachePolicy
 from repro.errors import ConfigurationError
@@ -82,6 +82,37 @@ class PolicyStore:
             self._values[key] = value
             self._maybe_prune()
             return hit
+
+    async def get_many(self, keys: Sequence[int]) -> list[tuple[bool, Any]]:
+        """Batched :meth:`get`: all accesses under one lock acquisition.
+
+        Accesses are applied in vector order, so the policy sees exactly
+        the sequence a loop of single GETs would have produced — batching
+        changes locking overhead, never semantics.
+        """
+        async with self._lock:
+            out: list[tuple[bool, Any]] = []
+            for key in keys:
+                hit = self._access(key)
+                self.metrics.gets += 1
+                if hit:
+                    out.append((True, self._values.get(key)))
+                else:
+                    self._values.pop(key, None)  # miss ⇒ not resident ⇒ stale
+                    out.append((False, None))
+            return out
+
+    async def put_many(self, keys: Sequence[int], values: Sequence[Any]) -> list[bool]:
+        """Batched :meth:`put`; returns the per-key hit flags in order."""
+        async with self._lock:
+            hits: list[bool] = []
+            for key, value in zip(keys, values):
+                hit = self._access(key)
+                self.metrics.puts += 1
+                self._values[key] = value
+                hits.append(hit)
+            self._maybe_prune()
+            return hits
 
     async def delete(self, key: int) -> bool:
         """Drop the stored payload; returns whether one existed.

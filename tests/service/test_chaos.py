@@ -29,7 +29,9 @@ from repro.service.store import PolicyStore
 TRACE_LEN = 120
 
 
-def chaos_replay(seed, *, plan, policy="heatsink", capacity=64, **server_kwargs):
+def chaos_replay(
+    seed, *, plan, policy="heatsink", capacity=64, frame="ndjson", batch=1, **server_kwargs
+):
     """One server + proxy + resilient replay; returns (report, verify problems)."""
     trace = repro.zipf_trace(128, TRACE_LEN, alpha=1.0, seed=seed)
     retry = RetryPolicy(max_attempts=8, base_delay=0.005, max_delay=0.03, seed=seed)
@@ -49,6 +51,8 @@ def chaos_replay(seed, *, plan, policy="heatsink", capacity=64, **server_kwargs)
                 timeout=0.15,
                 retry=retry,
                 faults=plan,
+                frame=frame,
+                batch=batch,
             )
             problems = await server.store.verify()
             snapshot = await server.store.stats()
@@ -158,6 +162,45 @@ class TestChaosIntegration:
         assert report.ops == TRACE_LEN
         assert snapshot is not None and snapshot["accesses"] > 0  # stats fetch survived
         assert snapshot["rejected"] >= report.client_stats["overloaded"]
+
+
+class TestChaosBothFramings:
+    """The acceptance criterion: the fault proxy stays frame-aware for both
+    wire framings, so chaos runs survive (and stay consistent) whether the
+    client speaks NDJSON or binary, batched or not."""
+
+    @pytest.mark.parametrize("frame", ["ndjson", "binary"])
+    @pytest.mark.parametrize("seed", [3, 7])
+    def test_chaos_survives_either_framing(self, frame, seed):
+        report, problems, snapshot = chaos_replay(
+            seed, plan=mixed_plan(seed), frame=frame
+        )
+        assert report.ops == TRACE_LEN, f"{frame} seed {seed} lost ops"
+        assert report.frame == frame
+        assert problems == [], f"{frame} seed {seed}: {problems}"
+        assert snapshot["accesses"] == snapshot["hits"] + snapshot["misses"]
+
+    @pytest.mark.parametrize("frame", ["ndjson", "binary"])
+    def test_chaos_survives_batched_ops(self, frame):
+        report, problems, snapshot = chaos_replay(
+            9, plan=mixed_plan(9), frame=frame, batch=8
+        )
+        assert report.ops == TRACE_LEN
+        assert report.batch == 8
+        assert problems == []
+        assert snapshot["accesses"] == snapshot["hits"] + snapshot["misses"]
+
+    @pytest.mark.parametrize("frame", ["ndjson", "binary"])
+    def test_clean_plan_parity_holds_in_both_framings(self, frame):
+        trace = repro.zipf_trace(128, TRACE_LEN, alpha=1.0, seed=17)
+        offline = make_policy("lru", 64).run(trace)
+        report, problems, snapshot = chaos_replay(
+            17, plan=FaultPlan(seed=17), policy="lru", frame=frame, batch=4
+        )
+        assert problems == []
+        assert report.errors == 0 and report.fault_stats["faults"] == 0
+        assert snapshot["hits"] == offline.num_hits
+        assert snapshot["misses"] == offline.num_misses
 
 
 class TestChaosWorkersMode:

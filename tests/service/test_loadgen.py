@@ -59,6 +59,71 @@ class TestOfflineParity:
         assert report.server_stats["hit_rate"] == offline.hit_rate
 
 
+class TestBatchedAndMultiConnection:
+    def test_batched_pipeline_replay_keeps_exact_parity(self):
+        trace = repro.zipf_trace(1024, 8_000, alpha=1.0, seed=21)
+        offline = make("heatsink", 256, seed=9).run(trace)
+        report = serve_and_replay(
+            make("heatsink", 256, seed=9),
+            trace,
+            mode="pipeline",
+            concurrency=16,
+            batch=32,
+        )
+        assert report.ops == len(trace)
+        assert report.errors == 0
+        assert report.batch == 32
+        assert report.hits == offline.num_hits
+        assert report.server_stats["hit_rate"] == offline.hit_rate
+
+    def test_binary_frame_replay_keeps_exact_parity(self):
+        trace = repro.zipf_trace(512, 4_000, alpha=1.0, seed=6)
+        offline = make("lru", 128, seed=0).run(trace)
+        report = serve_and_replay(
+            make("lru", 128, seed=0), trace, frame="binary", batch=16
+        )
+        assert report.errors == 0
+        assert report.frame == "binary"
+        assert report.server_stats["hits"] == offline.num_hits
+
+    def test_multiple_connections_complete_and_report_per_connection(self):
+        trace = repro.zipf_trace(512, 4_000, alpha=1.0, seed=5)
+        report = serve_and_replay(
+            make("heatsink", 256, seed=2),
+            trace,
+            mode="pipeline",
+            concurrency=8,
+            connections=2,
+        )
+        assert report.ops == len(trace)
+        assert report.errors == 0
+        assert report.connections == 2
+        assert len(report.per_connection) == 2
+        assert sum(c["ops"] for c in report.per_connection) == len(trace)
+        for conn in report.per_connection:
+            assert conn["ops"] > 0 and conn["ops_per_second"] > 0
+        assert "conn" in report.summary()
+        # every access still reached the shared policy exactly once
+        assert report.server_stats["accesses"] == len(trace)
+
+    def test_connections_rejected_in_workers_mode(self):
+        trace = repro.uniform_trace(16, 10, seed=0)
+        with pytest.raises(ConfigurationError):
+            serve_and_replay(
+                make("lru", 8, seed=0), trace, mode="workers", connections=2
+            )
+
+    def test_bad_batch_rejected(self):
+        trace = repro.uniform_trace(16, 10, seed=0)
+        with pytest.raises(ConfigurationError):
+            serve_and_replay(make("lru", 8, seed=0), trace, batch=0)
+
+    def test_bad_frame_rejected(self):
+        trace = repro.uniform_trace(16, 10, seed=0)
+        with pytest.raises(ConfigurationError):
+            serve_and_replay(make("lru", 8, seed=0), trace, frame="carrier-pigeon")
+
+
 class TestWorkersMode:
     def test_concurrent_workers_complete_and_count(self):
         trace = repro.zipf_trace(512, 4_000, alpha=1.0, seed=3)

@@ -123,7 +123,7 @@ class TestPerOpLatency:
         metrics.record_op("GET", 5e-5)
         snap = metrics.snapshot()
         json.dumps(snap)  # must stay JSON-able
-        assert set(snap["latency_by_op"]) == {"get", "put", "del"}
+        assert set(snap["latency_by_op"]) == {"get", "put", "del", "mget", "mput"}
         assert snap["latency_by_op"]["get"]["count"] == 1
         assert snap["latency"]["count"] == 1
 

@@ -17,11 +17,19 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.errors import ProtocolError
+from repro.service.framing import FrameSplitter
 from repro.service.protocol import (
+    BINARY_HEADER_SIZE,
+    FRAME_BINARY,
+    MAX_BATCH_KEYS,
+    MAX_FRAME_BYTES,
     MAX_LINE_BYTES,
+    FRAMES,
     Request,
+    decode_frame,
     decode_request,
     decode_response,
+    encode_frame,
     encode_request,
     encode_response,
 )
@@ -41,10 +49,24 @@ json_values = st.recursive(
 
 keys = st.integers(min_value=0, max_value=2**63 - 1)
 
+key_batches = st.lists(keys, min_size=1, max_size=8).map(tuple)
+
+
+def _mput(key_tuple, values):
+    return Request("MPUT", keys=key_tuple, values=tuple(values[: len(key_tuple)]))
+
+
 requests = st.one_of(
     st.builds(Request, st.just("GET"), key=keys),
     st.builds(Request, st.just("DEL"), key=keys),
     st.builds(Request, st.just("PUT"), key=keys, value=json_values),
+    st.builds(Request, st.just("MGET"), keys=key_batches),
+    st.builds(
+        _mput,
+        key_batches,
+        st.lists(json_values, min_size=8, max_size=8),
+    ),
+    st.builds(Request, st.just("HELLO"), frame=st.none() | st.sampled_from(FRAMES)),
     st.builds(Request, st.sampled_from(["STATS", "PING"])),
 )
 
@@ -63,6 +85,47 @@ class TestRoundTrip:
     @given(requests)
     def test_encoding_is_deterministic(self, req):
         assert encode_request(req) == encode_request(req)
+
+
+class TestBinaryRoundTrip:
+    @given(requests)
+    def test_request_round_trips_through_splitter(self, req):
+        raw = encode_request(req, frame=FRAME_BINARY)
+        (frame,) = FrameSplitter().feed(raw)
+        assert frame.binary and frame.raw == raw
+        assert decode_request(frame.payload) == req
+
+    @given(st.dictionaries(st.text(max_size=10), json_values, max_size=6))
+    def test_frame_codec_identity(self, payload):
+        raw = encode_frame(payload)
+        assert raw[0] == 0xB1
+        assert int.from_bytes(raw[1:BINARY_HEADER_SIZE], "big") == len(raw) - BINARY_HEADER_SIZE
+        assert decode_frame(raw) == payload
+
+    @given(st.dictionaries(st.text(max_size=10), json_values, max_size=6))
+    def test_response_round_trips_binary(self, payload):
+        raw = encode_response(payload, frame=FRAME_BINARY)
+        assert decode_frame(raw) == payload
+
+    @given(requests)
+    def test_binary_encoding_is_deterministic(self, req):
+        assert encode_request(req, frame=FRAME_BINARY) == encode_request(
+            req, frame=FRAME_BINARY
+        )
+
+    @given(requests, st.data())
+    def test_every_proper_prefix_is_rejected(self, req, data):
+        raw = encode_request(req, frame=FRAME_BINARY)
+        cut = data.draw(st.integers(min_value=0, max_value=len(raw) - 1))
+        with pytest.raises(ProtocolError):
+            decode_frame(raw[:cut])
+
+    @given(st.binary(max_size=200))
+    def test_arbitrary_bytes_total(self, garbage):
+        try:
+            decode_frame(garbage)
+        except ProtocolError:
+            pass
 
 
 class TestTotalDecoding:
@@ -118,6 +181,27 @@ class TestLineCap:
         # largest payload whose encoded line stays below the cap
         req = Request("PUT", key=1, value="x" * (MAX_LINE_BYTES - 64))
         assert decode_request(encode_request(req)) == req
+
+    def test_oversized_binary_encode_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode_request(
+                Request("PUT", key=1, value="x" * MAX_FRAME_BYTES), frame=FRAME_BINARY
+            )
+
+    def test_oversized_binary_decode_rejected(self):
+        # header honestly declaring an oversized body must be refused
+        # before any body bytes are trusted
+        length = MAX_FRAME_BYTES
+        frame = bytes([0xB1]) + length.to_bytes(4, "big") + b"x" * 8
+        with pytest.raises(ProtocolError, match="exceeds"):
+            decode_frame(frame)
+
+    def test_oversized_batch_rejected(self):
+        too_many = list(range(MAX_BATCH_KEYS + 1))
+        with pytest.raises(ProtocolError, match="exceeds"):
+            decode_request(
+                b'{"op": "MGET", "keys": ' + str(too_many).encode() + b"}"
+            )
 
     @given(st.integers(min_value=0, max_value=8))
     def test_cap_boundary_is_exact(self, slack):

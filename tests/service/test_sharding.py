@@ -1,0 +1,271 @@
+"""ShardedPolicyStore: routing, differential identity, merged accounting.
+
+The two load-bearing claims:
+
+1. ``shards=1`` is *behaviourally identical* to a plain single
+   :class:`PolicyStore` — and hence, transitively, to the offline sim
+   engine (hit for hit), the same anchor ``test_differential.py`` pins
+   for the unsharded store.
+2. ``shards=N`` is exactly ``N`` independent single stores: each shard's
+   counters equal an offline run of that shard's key subsequence with
+   the shard's own derived seed, and batched ops are indistinguishable
+   from loops of single ops.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.registry import make_policy
+from repro.errors import ConfigurationError
+from repro.hashing import hash_to_range, splitmix64
+from repro.rng import derive_seed
+from repro.service.sharding import ShardedPolicyStore, split_capacity
+from repro.service.store import PolicyStore
+from repro.sim.engine import run_policy
+
+POLICIES = ("lru", "2-random", "heatsink")
+
+capacities = st.integers(min_value=3, max_value=16)
+ops = st.lists(
+    st.tuples(st.sampled_from(["GET", "PUT", "DEL"]), st.integers(min_value=0, max_value=24)),
+    max_size=80,
+)
+
+
+def make(name: str, capacity: int, seed: int):
+    try:
+        return make_policy(name, capacity, seed=seed)
+    except TypeError:
+        return make_policy(name, capacity)
+
+
+def drive(store, op_list):
+    """Apply an op mix; returns (stats snapshot, verify problems)."""
+
+    async def scenario():
+        for op, key in op_list:
+            if op == "GET":
+                await store.get(key)
+            elif op == "PUT":
+                await store.put(key, f"v{key}")
+            else:
+                await store.delete(key)
+        return await store.stats(), await store.verify()
+
+    return asyncio.run(scenario())
+
+
+class TestSplitCapacity:
+    def test_sums_and_fairness(self):
+        for capacity in range(4, 40):
+            for shards in range(1, capacity + 1):
+                parts = split_capacity(capacity, shards)
+                assert sum(parts) == capacity
+                assert len(parts) == shards
+                assert max(parts) - min(parts) <= 1
+                assert min(parts) >= 1
+
+    def test_bad_configs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            split_capacity(8, 0)
+        with pytest.raises(ConfigurationError):
+            split_capacity(3, 4)
+        with pytest.raises(ConfigurationError):
+            ShardedPolicyStore([])
+
+
+class TestRouting:
+    def test_shard_of_matches_documented_hash(self):
+        store = ShardedPolicyStore.build("lru", 64, shards=4)
+        for key in range(200):
+            assert store.shard_of(key) == int(hash_to_range(int(splitmix64(key)), 4))
+
+    def test_single_shard_routes_everything_to_zero(self):
+        store = ShardedPolicyStore.build("lru", 8, shards=1)
+        assert all(store.shard_of(k) == 0 for k in range(100))
+
+    def test_routing_covers_all_shards(self):
+        store = ShardedPolicyStore.build("lru", 64, shards=4)
+        seen = {store.shard_of(k) for k in range(1000)}
+        assert seen == {0, 1, 2, 3}
+
+
+class TestSingleShardIdentity:
+    """shards=1 ≡ plain PolicyStore ≡ offline engine (the tentpole claim)."""
+
+    @settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(op_list=ops, capacity=capacities, name=st.sampled_from(POLICIES), seed=st.integers(0, 7))
+    def test_identical_to_unsharded_store(self, op_list, capacity, name, seed):
+        sharded = ShardedPolicyStore.build(name, capacity, shards=1, seed=seed)
+        plain = PolicyStore(make(name, capacity, seed))
+        s_snap, s_problems = drive(sharded, op_list)
+        p_snap, p_problems = drive(plain, op_list)
+        assert s_problems == p_problems == []
+        for field in ("gets", "puts", "dels", "hits", "misses", "resident", "evictions"):
+            assert s_snap[field] == p_snap[field], field
+
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(op_list=ops, capacity=capacities, name=st.sampled_from(POLICIES), seed=st.integers(0, 7))
+    def test_identical_to_offline_engine(self, op_list, capacity, name, seed):
+        snapshot, problems = drive(
+            ShardedPolicyStore.build(name, capacity, shards=1, seed=seed), op_list
+        )
+        assert problems == []
+        accesses = [key for op, key in op_list if op != "DEL"]
+        if not accesses:
+            assert snapshot["hits"] == snapshot["misses"] == 0
+            return
+        reference = make(name, capacity, seed)
+        row = run_policy(reference, np.asarray(accesses, dtype=np.int64))
+        assert snapshot["hits"] == row["accesses"] - row["misses"]
+        assert snapshot["misses"] == row["misses"]
+        assert snapshot["resident"] == len(reference)
+
+
+class TestShardIndependence:
+    """Each shard behaves as its own single store over its key subsequence."""
+
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        op_list=ops,
+        name=st.sampled_from(POLICIES),
+        seed=st.integers(0, 7),
+        shards=st.integers(2, 4),
+    )
+    def test_per_shard_counters_match_offline_subsequences(self, op_list, name, seed, shards):
+        capacity = 4 * shards
+        store = ShardedPolicyStore.build(name, capacity, shards=shards, seed=seed)
+        snapshot, problems = drive(store, op_list)
+        assert problems == []
+        accesses = [key for op, key in op_list if op != "DEL"]
+        groups: dict[int, list[int]] = {i: [] for i in range(shards)}
+        for key in accesses:
+            groups[store.shard_of(key)].append(key)
+        for index, shard in enumerate(store.shards):
+            keys = groups[index]
+            entry = snapshot["per_shard"][index]
+            if not keys:
+                assert entry["hits"] == entry["misses"] == 0
+                continue
+            reference = make(name, shard.policy.capacity, derive_seed(seed, "shard", index))
+            row = run_policy(reference, np.asarray(keys, dtype=np.int64))
+            assert entry["hits"] == row["accesses"] - row["misses"], f"shard {index}"
+            assert entry["misses"] == row["misses"], f"shard {index}"
+
+    def test_routing_invariant_enforced_by_verify(self):
+        async def scenario():
+            store = ShardedPolicyStore.build("lru", 16, shards=4)
+            for key in range(64):
+                await store.put(key, key)
+            assert await store.verify() == []
+            # plant a mis-routed key directly in a shard's policy
+            victim = next(k for k in range(1000) if store.shard_of(k) != 0)
+            store.shards[0].policy.access(victim)
+            problems = await store.verify()
+            assert any("routes to shard" in p for p in problems)
+
+        asyncio.run(scenario())
+
+
+class TestBatchedOps:
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        keys=st.lists(st.integers(0, 24), min_size=1, max_size=60),
+        shards=st.integers(1, 4),
+        seed=st.integers(0, 3),
+    )
+    def test_get_many_equals_single_gets(self, keys, shards, seed):
+        async def scenario(batched: bool):
+            store = ShardedPolicyStore.build("heatsink", 4 * shards, shards=shards, seed=seed)
+            if batched:
+                results = await store.get_many(keys)
+            else:
+                results = [await store.get(k) for k in keys]
+            return results, await store.stats()
+
+        r_batch, s_batch = asyncio.run(scenario(True))
+        r_single, s_single = asyncio.run(scenario(False))
+        assert r_batch == r_single
+        for field in ("gets", "hits", "misses", "resident"):
+            assert s_batch[field] == s_single[field], field
+
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        keys=st.lists(st.integers(0, 24), min_size=1, max_size=60),
+        shards=st.integers(1, 4),
+    )
+    def test_put_many_equals_single_puts(self, keys, shards):
+        values = [f"v{k}" for k in keys]
+
+        async def scenario(batched: bool):
+            store = ShardedPolicyStore.build("lru", 4 * shards, shards=shards)
+            if batched:
+                hits = await store.put_many(keys, values)
+            else:
+                hits = [await store.put(k, v) for k, v in zip(keys, values)]
+            return hits, await store.stats()
+
+        h_batch, s_batch = asyncio.run(scenario(True))
+        h_single, s_single = asyncio.run(scenario(False))
+        assert h_batch == h_single
+        for field in ("puts", "hits", "misses", "resident"):
+            assert s_batch[field] == s_single[field], field
+
+    def test_get_many_returns_results_in_input_order(self):
+        async def scenario():
+            store = ShardedPolicyStore.build("lru", 16, shards=4)
+            keys = [7, 3, 7, 11, 3]
+            await store.put_many(keys, [f"v{k}" for k in keys])
+            results = await store.get_many(keys)
+            assert [v for _, v in results] == ["v7", "v3", "v7", "v11", "v3"]
+            assert all(hit for hit, _ in results)
+
+        asyncio.run(scenario())
+
+
+class TestMergedAccounting:
+    def test_stats_merge_and_per_shard_section(self):
+        async def scenario():
+            store = ShardedPolicyStore.build("heatsink", 20, shards=4, seed=1)
+            for key in range(120):
+                await store.put(key, key)
+            for key in range(60):
+                await store.get(key)
+            snap = await store.stats()
+            assert snap["shards"] == 4
+            assert snap["capacity"] == 20
+            assert len(snap["per_shard"]) == 4
+            assert snap["gets"] == 60 and snap["puts"] == 120
+            assert snap["hits"] == sum(s["hits"] for s in snap["per_shard"])
+            assert snap["misses"] == sum(s["misses"] for s in snap["per_shard"])
+            assert snap["resident"] == sum(s["resident"] for s in snap["per_shard"])
+            assert snap["accesses"] == snap["hits"] + snap["misses"] == 180
+            assert 0.0 <= snap["sink_occupancy"] <= 1.0
+
+        asyncio.run(scenario())
+
+    def test_metrics_registry_has_per_shard_gauges(self):
+        async def scenario():
+            store = ShardedPolicyStore.build("heatsink", 16, shards=2, seed=0)
+            for key in range(40):
+                await store.put(key, key)
+            text = await store.metrics_text()
+            for shard in ("0", "1"):
+                assert f'repro_shard_resident_pages{{shard="{shard}"}}' in text
+                assert f'repro_shard_capacity_slots{{shard="{shard}"}}' in text
+                assert f'repro_shard_sink_occupancy_ratio{{shard="{shard}"}}' in text
+            assert "repro_shards 2" in text
+            assert "repro_ops_total" in text
+
+        asyncio.run(scenario())
+
+    def test_build_rejects_bad_shard_counts(self):
+        with pytest.raises(ConfigurationError):
+            ShardedPolicyStore.build("lru", 8, shards=0)
+        with pytest.raises(ConfigurationError):
+            ShardedPolicyStore.build("lru", 2, shards=3)

@@ -91,6 +91,28 @@ class TestServiceCommands:
         assert args.policy == "heatsink"
         assert args.capacity == 1024
         assert args.port == 7070
+        assert args.shards == 1
+        assert args.frame == "auto"
+
+    def test_serve_parser_sharding_and_framing_flags(self):
+        args = build_parser().parse_args(["serve", "--shards", "4", "--frame", "binary"])
+        assert args.shards == 4
+        assert args.frame == "binary"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--frame", "carrier-pigeon"])
+
+    def test_loadgen_parser_wire_flags(self):
+        args = build_parser().parse_args(["loadgen", "--zipf", "64,100"])
+        assert args.batch == 1
+        assert args.connections == 1
+        assert args.frame == "ndjson"
+        args = build_parser().parse_args(
+            ["loadgen", "--zipf", "64,100", "--batch", "32",
+             "--connections", "2", "--frame", "binary"]
+        )
+        assert args.batch == 32
+        assert args.connections == 2
+        assert args.frame == "binary"
 
     def test_loadgen_requires_a_trace_source(self):
         with pytest.raises(SystemExit):
