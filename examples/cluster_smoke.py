@@ -1,0 +1,84 @@
+"""Cluster smoke: router + 4 worker processes, replay, exact parity.
+
+This is the acceptance script CI runs for the cluster tier. Three acts:
+
+1. spawn a 4-worker cluster (one process per shard) behind a
+   consistent-hash router on an ephemeral port;
+2. replay a 50k-access Zipf trace through the router on one pipelined
+   binary connection — the same load generator the single server uses;
+3. cross-check the replayed hit count against the offline
+   ring-partitioned reference (each worker's key subsequence through its
+   own seeded policy) — the cluster must match the simulator *exactly*,
+   hit for hit.
+
+Run:  python examples/cluster_smoke.py [workers]
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+
+import repro
+from repro.cluster import cluster_reference, running_cluster
+from repro.service import ServiceClient, replay_trace
+
+POLICY = "heatsink"
+CAPACITY = 2_048
+SEED = 42
+TRACE = repro.zipf_trace(num_pages=8 * CAPACITY, length=50_000, alpha=1.0, seed=SEED)
+
+
+async def main() -> int:
+    workers = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+    async with running_cluster(POLICY, CAPACITY, workers=workers, seed=SEED) as cluster:
+        print(
+            f"cluster: {workers} worker processes behind the router on "
+            f"127.0.0.1:{cluster.port}"
+        )
+
+        # -- the protocol by hand, through the router --------------------
+        async with await ServiceClient.connect("127.0.0.1", cluster.port) as client:
+            print("PING   ->", await client.ping())
+            print("PUT 7  ->", await client.put(7, {"user": "ada"}))
+            print("GET 7  ->", await client.get(7))
+            status = await client.reshard()
+            print("RESHARD->", {k: status[k] for k in ("ok", "migrating", "workers")})
+
+        # -- fresh cluster for the parity replay (the manual ops above
+        # already advanced one worker's policy state) ---------------------
+    async with running_cluster(POLICY, CAPACITY, workers=workers, seed=SEED) as cluster:
+        report = await replay_trace(
+            TRACE,
+            host="127.0.0.1",
+            port=cluster.port,
+            mode="pipeline",
+            concurrency=64,
+            frame="binary",
+        )
+        print("\npipelined replay through the router:")
+        print(report.summary())
+        stats = await cluster.stats()
+        print(
+            f"router: {stats['router']['forwarded']} forwarded, "
+            f"{stats['router']['fanouts']} fanouts, errors={stats['errors']}"
+        )
+
+    reference = cluster_reference(POLICY, CAPACITY, workers, TRACE, seed=SEED)
+    print(f"\noffline reference hit rate : {reference['hit_rate']:.4f}")
+    print(f"cluster replayed hit rate  : {report.hit_rate:.4f}")
+    if report.hits != reference["hits"]:
+        print(
+            f"PARITY FAILURE: cluster {report.hits} hits != "
+            f"reference {reference['hits']}"
+        )
+        return 1
+    if report.errors:
+        print(f"REPLAY ERRORS: {report.errors}")
+        return 1
+    print("exact parity with the ring-partitioned simulator ✓")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(asyncio.run(main()))

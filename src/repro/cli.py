@@ -120,6 +120,70 @@ def build_parser() -> argparse.ArgumentParser:
         help="print a one-line stats snapshot every N seconds (0 = never)",
     )
 
+    cluster_p = sub.add_parser(
+        "cluster",
+        help="serve a policy-backed cache across worker processes behind a router",
+    )
+    cluster_p.add_argument("--policy", default="heatsink", help="registered policy name")
+    cluster_p.add_argument(
+        "--capacity", type=int, default=1024,
+        help="total cache slots, split evenly across workers",
+    )
+    cluster_p.add_argument("--seed", type=int, default=0)
+    cluster_p.add_argument("--host", default="127.0.0.1")
+    cluster_p.add_argument(
+        "--port", type=int, default=7070, help="router TCP port (0 = ephemeral)"
+    )
+    cluster_p.add_argument(
+        "--workers", type=int, default=4,
+        help="worker processes (each owns one policy shard, seeded like "
+        "--shards of the same count)",
+    )
+    cluster_p.add_argument(
+        "--vnodes", type=int, default=64,
+        help="virtual nodes per worker on the consistent-hash ring",
+    )
+    cluster_p.add_argument(
+        "--frame", default="auto", choices=["auto", "ndjson", "binary"],
+        help="accepted wire framings: auto = both (clients negotiate via "
+        "HELLO), ndjson/binary = that framing only for data ops",
+    )
+    cluster_p.add_argument(
+        "--max-connections", type=int, default=0,
+        help="reject client connections beyond this many (0 = unlimited)",
+    )
+    cluster_p.add_argument(
+        "--max-inflight", type=int, default=32,
+        help="per-connection pipelined-request window before TCP backpressure",
+    )
+    cluster_p.add_argument(
+        "--write-timeout", type=float, default=30.0,
+        help="drop a client that will not read responses for this many "
+        "seconds (0 = wait forever)",
+    )
+    cluster_p.add_argument(
+        "--pool", type=int, default=2,
+        help="persistent router connections per worker",
+    )
+    cluster_p.add_argument(
+        "--upstream-retries", type=int, default=1,
+        help="replays of an idempotent request after a worker link failure",
+    )
+    cluster_p.add_argument(
+        "--drain", type=float, default=5.0,
+        help="seconds to let in-flight client connections finish on "
+        "SIGTERM/Ctrl-C before cutting them (0 = cut immediately)",
+    )
+    cluster_p.add_argument(
+        "--metrics-port", type=int, default=0,
+        help="also serve merged Prometheus text on http://HOST:PORT/metrics "
+        "(0 = disabled)",
+    )
+    cluster_p.add_argument(
+        "--stats-interval", type=float, default=0.0,
+        help="print a one-line merged stats snapshot every N seconds (0 = never)",
+    )
+
     load_p = sub.add_parser("loadgen", help="replay a trace against a running server")
     load_p.add_argument("--host", default="127.0.0.1")
     load_p.add_argument("--port", type=int, default=7070)
@@ -399,6 +463,102 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    import asyncio
+    import contextlib
+    import signal
+
+    from repro.cluster.supervisor import ClusterSupervisor
+    from repro.service.loop import install_best_event_loop
+    from repro.service.protocol import FRAMES
+
+    frames = FRAMES if args.frame == "auto" else (args.frame,)
+
+    async def _log_stats(supervisor: "ClusterSupervisor", interval: float) -> None:
+        while True:
+            await asyncio.sleep(interval)
+            snap = await supervisor.stats()
+            print(
+                f"stats: accesses={snap['accesses']} "
+                f"hit_rate={snap['hit_rate']:.4f} "
+                f"resident={snap['resident']}/{snap['capacity']} "
+                f"workers={snap['workers']} "
+                f"conns={snap['connections_open']} errors={snap['errors']}",
+                flush=True,
+            )
+
+    async def _serve() -> None:
+        supervisor = ClusterSupervisor(
+            args.policy,
+            args.capacity,
+            workers=args.workers,
+            seed=args.seed,
+            host=args.host,
+            port=args.port,
+            vnodes=args.vnodes,
+            frames=frames,
+            max_connections=args.max_connections or None,
+            max_inflight=args.max_inflight,
+            write_timeout=args.write_timeout or None,
+            pool=args.pool,
+            upstream_retries=args.upstream_retries,
+        )
+        await supervisor.start()
+        router = supervisor.router
+        assert router is not None
+        exporter = None
+        if args.metrics_port:
+            from repro.obs.httpexpo import MetricsExporter
+
+            exporter = MetricsExporter(
+                router.metrics_text, host=args.host, port=args.metrics_port
+            )
+            await exporter.start()
+        stats_task = (
+            asyncio.create_task(_log_stats(supervisor, args.stats_interval))
+            if args.stats_interval > 0
+            else None
+        )
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(sig, stop.set)
+        print(
+            f"cluster: {args.policy} (capacity {args.capacity}, "
+            f"{args.workers} worker{'s' if args.workers != 1 else ''}, "
+            f"frames {'/'.join(frames)}) "
+            f"router on {args.host}:{supervisor.port} — Ctrl-C to stop",
+            flush=True,
+        )
+        if exporter is not None:
+            print(
+                f"metrics on http://{args.host}:{exporter.port}/metrics", flush=True
+            )
+        snap = None
+        try:
+            await stop.wait()
+        finally:
+            if stats_task is not None:
+                stats_task.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await stats_task
+            if exporter is not None:
+                await exporter.stop()
+            with contextlib.suppress(Exception):
+                snap = await supervisor.stats()
+            await supervisor.stop(drain=args.drain or None)
+            if snap is not None:
+                print(
+                    f"\nstopped after {snap['uptime_s']}s: "
+                    f"{snap['accesses']} accesses, "
+                    f"hit rate {snap['hit_rate']:.4f}, {snap['errors']} errors"
+                )
+
+    print(f"event loop: {install_best_event_loop()}", flush=True)
+    asyncio.run(_serve())
+    return 0
+
+
 def _format_stats(snap: dict) -> str:
     """Render one STATS snapshot for terminal eyes."""
     lat = snap.get("latency", {})
@@ -419,6 +579,19 @@ def _format_stats(snap: dict) -> str:
         per_shard = snap.get("per_shard", [])
         resident = "/".join(str(s.get("resident")) for s in per_shard)
         lines.append(f"shards     : {snap['shards']}  (resident {resident})")
+    if "workers" in snap:
+        per_worker = snap.get("per_worker", [])
+        resident = "/".join(str(w.get("resident", "?")) for w in per_worker)
+        lines.append(f"workers    : {snap['workers']}  (resident {resident})")
+        router = snap.get("router", {})
+        if router:
+            lines.append(
+                f"router     : {router.get('forwarded')} forwarded / "
+                f"{router.get('fanouts')} fanouts / {router.get('local')} local"
+                f"  (retries {router.get('upstream_retries')}, "
+                f"timeouts {router.get('upstream_timeouts')}, "
+                f"migrated {router.get('migrated_keys')})"
+            )
     if "sink_occupancy" in snap:
         lines.append(f"sink occ.  : {snap['sink_occupancy']:.3f}")
     if lat:
@@ -552,6 +725,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_policies()
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "cluster":
+        return _cmd_cluster(args)
     if args.command == "loadgen":
         return _cmd_loadgen(args)
     if args.command == "stats":

@@ -1,0 +1,58 @@
+"""repro.cluster: multi-process sharded serving behind a hash-ring router.
+
+The single-process service (:mod:`repro.service`) tops out at one GIL no
+matter how many in-process shards it runs — the committed service
+benchmark shows ``shards=4`` *losing* to ``shards=1`` on one event loop.
+This package breaks that ceiling without changing the wire contract:
+
+- :mod:`~repro.cluster.worker` — one process per shard, each an ordinary
+  :class:`~repro.service.server.CacheServer`, seeded and sized exactly
+  like ``ShardedPolicyStore.build`` so results stay pinned to the
+  simulator;
+- :mod:`~repro.cluster.ring` — deterministic consistent-hash ring with
+  virtual nodes (who owns which key, stable under worker churn);
+- :mod:`~repro.cluster.link` — pipelined FIFO connections from router to
+  workers, with link-fatal failure semantics and retry accounting;
+- :mod:`~repro.cluster.router` — the client-facing tier: same framings,
+  same ops, per-connection ordering preserved, batches fanned out and
+  reassembled, ``RESHARD`` migrating keys live under a double-read
+  window;
+- :mod:`~repro.cluster.supervisor` — spawn/drain the whole arrangement
+  (the CLI ``cluster`` command is a thin wrapper over it).
+
+Clients need no changes: anything that speaks to a ``CacheServer`` —
+:class:`~repro.service.client.ServiceClient`, the load generator, the
+chaos proxy — works against a router unmodified.
+"""
+
+from repro.cluster.link import WorkerChannel, WorkerLink
+from repro.cluster.ring import DEFAULT_VNODES, HashRing, node_token
+from repro.cluster.router import RouterMetrics, RouterServer, running_router
+from repro.cluster.supervisor import ClusterSupervisor, running_cluster
+from repro.cluster.worker import (
+    WorkerHandle,
+    WorkerSpec,
+    build_specs,
+    build_worker_store,
+    cluster_reference,
+    spawn_worker,
+)
+
+__all__ = [
+    "DEFAULT_VNODES",
+    "HashRing",
+    "node_token",
+    "WorkerChannel",
+    "WorkerLink",
+    "RouterMetrics",
+    "RouterServer",
+    "running_router",
+    "ClusterSupervisor",
+    "running_cluster",
+    "WorkerHandle",
+    "WorkerSpec",
+    "build_specs",
+    "build_worker_store",
+    "cluster_reference",
+    "spawn_worker",
+]

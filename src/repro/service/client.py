@@ -177,6 +177,30 @@ class ServiceClient:
         """Batched PUT; the response carries per-key ``hits``."""
         return await self.request(Request("MPUT", keys=tuple(keys), values=tuple(values)))
 
+    async def peek(self, key: int) -> dict[str, Any]:
+        """Non-mutating residency probe (no policy access on the server)."""
+        return await self.request(Request("PEEK", key=key))
+
+    async def keys(self) -> list[int]:
+        """The server's sorted resident key set (admin/migration op)."""
+        response = await self.request(Request("KEYS"))
+        if not response.get("ok"):
+            raise ServiceError(f"KEYS failed: {response.get('error')}")
+        return list(response.get("keys", []))
+
+    async def reshard(
+        self,
+        node: str | None = None,
+        *,
+        host: str | None = None,
+        port: int | None = None,
+        remove: bool = False,
+    ) -> dict[str, Any]:
+        """Cluster-router admin op: add/remove a worker, or query status."""
+        return await self.request(
+            Request("RESHARD", node=node, host=host, port=port, remove=remove)
+        )
+
     async def hello(self, frame: str | None = None) -> dict[str, Any]:
         """Capability probe; the response lists accepted framings."""
         return await self.request(Request("HELLO", frame=frame))

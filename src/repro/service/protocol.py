@@ -40,6 +40,22 @@ Requests are JSON objects with an ``op`` field:
     accepts (``frames``) and echoes the requested one (``frame``). A
     server that does not accept the requested framing answers
     ``bad-request``, so a client probes before switching.
+``{"op": "PEEK", "key": 17}``
+    Non-mutating residency probe: reports ``hit`` (resident) and the
+    stored ``value`` *without* a policy access — the policy state machine
+    does not advance. The cluster router's migration path is built on it
+    (reading the old owner during a reshard must not perturb its policy).
+``{"op": "KEYS"}``
+    The sorted resident key set (``"keys"`` field). An administrative op
+    for migration sweeps and debugging; the response must fit one frame,
+    which caps it at roughly 100k keys — fine for the capacities this
+    repo serves.
+``{"op": "RESHARD", ...}``
+    Cluster-router admin op (see ``docs/service.md``): with ``node`` /
+    ``host`` / ``port`` it adds a worker to the hash ring and starts key
+    migration; with ``node`` + ``remove: true`` it drains a worker out;
+    bare ``{"op": "RESHARD"}`` queries migration status. A plain
+    (non-router) server answers it with ``rejected``.
 ``{"op": "STATS"}``
     Metrics snapshot.
 ``{"op": "METRICS"}``
@@ -76,6 +92,7 @@ __all__ = [
     "CODE_OVERFLOW",
     "CODE_INTERNAL",
     "CODE_OVERLOADED",
+    "CODE_UPSTREAM",
     "ERROR_CODES",
     "RESPONSE_GET_HIT",
     "RESPONSE_GET_MISS",
@@ -117,14 +134,31 @@ _BINARY_HEADER = struct.Struct(">BI")  # tag, body length
 BINARY_HEADER_SIZE = _BINARY_HEADER.size
 
 #: Operations a request may carry.
-OPS = frozenset({"GET", "PUT", "DEL", "MGET", "MPUT", "HELLO", "STATS", "METRICS", "PING"})
+OPS = frozenset(
+    {
+        "GET",
+        "PUT",
+        "DEL",
+        "MGET",
+        "MPUT",
+        "PEEK",
+        "KEYS",
+        "RESHARD",
+        "HELLO",
+        "STATS",
+        "METRICS",
+        "PING",
+    }
+)
 
 #: Operations a client may retry blindly. GET *does* advance the policy
 #: state machine, but re-accessing a key is semantically a cache lookup,
 #: not a state-corrupting write; PUT/DEL change stored payloads and are
 #: only retried when the caller opts in. MGET is a vector of GETs;
-#: HELLO is pure negotiation.
-IDEMPOTENT_OPS = frozenset({"GET", "MGET", "HELLO", "STATS", "METRICS", "PING"})
+#: HELLO is pure negotiation; PEEK/KEYS never touch the policy at all.
+IDEMPOTENT_OPS = frozenset(
+    {"GET", "MGET", "PEEK", "KEYS", "HELLO", "STATS", "METRICS", "PING"}
+)
 
 #: Error-response ``code`` values the server emits.
 CODE_BAD_REQUEST = "bad-request"  # malformed message; connection keeps serving
@@ -132,13 +166,21 @@ CODE_REJECTED = "rejected"  # library-level refusal (ReproError)
 CODE_OVERFLOW = "overflow"  # oversized line; connection is closed after this
 CODE_INTERNAL = "internal-error"  # handler bug; connection keeps serving
 CODE_OVERLOADED = "overloaded"  # connection cap hit; sent once, then closed
+CODE_UPSTREAM = "upstream-error"  # a cluster router could not reach the owning worker
 
 ERROR_CODES = frozenset(
-    {CODE_BAD_REQUEST, CODE_REJECTED, CODE_OVERFLOW, CODE_INTERNAL, CODE_OVERLOADED}
+    {
+        CODE_BAD_REQUEST,
+        CODE_REJECTED,
+        CODE_OVERFLOW,
+        CODE_INTERNAL,
+        CODE_OVERLOADED,
+        CODE_UPSTREAM,
+    }
 )
 
 #: Which operations require a ``key`` field.
-_KEYED_OPS = frozenset({"GET", "PUT", "DEL"})
+_KEYED_OPS = frozenset({"GET", "PUT", "DEL", "PEEK"})
 
 #: Which operations require a ``keys`` vector.
 _BATCH_OPS = frozenset({"MGET", "MPUT"})
@@ -162,6 +204,11 @@ class Request:
     keys: tuple[int, ...] | None = None
     values: tuple[Any, ...] | None = None
     frame: str | None = None
+    # RESHARD-only fields (the cluster router's admin vocabulary)
+    node: str | None = None
+    host: str | None = None
+    port: int | None = None
+    remove: bool = False
 
 
 def request_payload(req: Request) -> dict[str, Any]:
@@ -177,6 +224,15 @@ def request_payload(req: Request) -> dict[str, Any]:
         payload["values"] = list(req.values or ())
     if req.op == "HELLO" and req.frame is not None:
         payload["frame"] = req.frame
+    if req.op == "RESHARD":
+        if req.node is not None:
+            payload["node"] = req.node
+        if req.host is not None:
+            payload["host"] = req.host
+        if req.port is not None:
+            payload["port"] = req.port
+        if req.remove:
+            payload["remove"] = True
     return payload
 
 
@@ -233,7 +289,19 @@ def decode_request(line: bytes | bytearray | str) -> Request:
             raise ProtocolError(f"unknown frame {frame!r}; expected one of {list(FRAMES)}")
     elif frame is not None:
         raise ProtocolError(f"{op} does not take a 'frame'")
-    return Request(op=op, key=key, value=value, keys=keys, values=values, frame=frame)
+    node, host, port, remove = _check_reshard_fields(op, obj)
+    return Request(
+        op=op,
+        key=key,
+        value=value,
+        keys=keys,
+        values=values,
+        frame=frame,
+        node=node,
+        host=host,
+        port=port,
+        remove=remove,
+    )
 
 
 def _check_key(op: str, key: Any) -> None:
@@ -242,6 +310,39 @@ def _check_key(op: str, key: Any) -> None:
         raise ProtocolError(f"{op} requires an integer 'key', got {key!r}")
     if key < 0:
         raise ProtocolError(f"'key' must be non-negative, got {key}")
+
+
+def _check_reshard_fields(
+    op: str, obj: Mapping[str, Any]
+) -> tuple[str | None, str | None, int | None, bool]:
+    node = obj.get("node")
+    host = obj.get("host")
+    port = obj.get("port")
+    remove = obj.get("remove")
+    if op != "RESHARD":
+        for name, value in (("node", node), ("host", host), ("port", port), ("remove", remove)):
+            if value is not None:
+                raise ProtocolError(f"{op} does not take '{name}'")
+        return None, None, None, False
+    if remove is not None and not isinstance(remove, bool):
+        raise ProtocolError(f"RESHARD 'remove' must be a boolean, got {remove!r}")
+    remove = bool(remove)
+    if node is None:
+        # bare RESHARD = status query; it takes no other field
+        if host is not None or port is not None or remove:
+            raise ProtocolError("RESHARD without 'node' is a status query and takes no other field")
+        return None, None, None, False
+    if not isinstance(node, str) or not node:
+        raise ProtocolError(f"RESHARD 'node' must be a non-empty string, got {node!r}")
+    if remove:
+        if host is not None or port is not None:
+            raise ProtocolError("RESHARD remove takes only 'node'")
+        return node, None, None, True
+    if not isinstance(host, str) or not host:
+        raise ProtocolError(f"RESHARD add requires a 'host' string, got {host!r}")
+    if isinstance(port, bool) or not isinstance(port, int) or not 1 <= port <= 65535:
+        raise ProtocolError(f"RESHARD add requires a 'port' in [1, 65535], got {port!r}")
+    return node, host, port, False
 
 
 def _check_keys(op: str, keys: Any) -> tuple[int, ...]:

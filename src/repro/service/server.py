@@ -217,7 +217,10 @@ class CacheServer:
             metrics.connections_closed += 1
             self._conn_tasks.discard(task)
             writer.close()
-            with contextlib.suppress(Exception):
+            # CancelledError is a BaseException: during shutdown the task
+            # is cancelled while awaiting wait_closed, and letting it
+            # escape here prints "exception never retrieved" noise.
+            with contextlib.suppress(Exception, asyncio.CancelledError):
                 await writer.wait_closed()
 
     async def _serve_connection(
@@ -359,6 +362,17 @@ class CacheServer:
             assert request.keys is not None and request.values is not None
             hits = await self.store.put_many(request.keys, request.values)
             return {"ok": True, "hits": list(hits)}
+        if op == "PEEK":
+            assert request.key is not None
+            resident, value, stored = await self.store.peek(request.key)
+            return {"ok": True, "hit": resident, "value": value, "stored": stored}
+        if op == "KEYS":
+            return {"ok": True, "keys": [int(k) for k in await self.store.keys()]}
+        if op == "RESHARD":
+            return error_payload(
+                "RESHARD is a cluster-router operation; this server fronts a single store",
+                code=CODE_REJECTED,
+            )
         if op == "HELLO":
             requested = request.frame or FRAME_NDJSON
             if requested not in self.frames:

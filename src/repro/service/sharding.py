@@ -137,6 +137,17 @@ class ShardedPolicyStore:
     async def delete(self, key: int) -> bool:
         return await self.shards[self.shard_of(key)].delete(key)
 
+    async def peek(self, key: int) -> tuple[bool, Any, bool]:
+        """Non-mutating residency probe against the owning shard."""
+        return await self.shards[self.shard_of(key)].peek(key)
+
+    async def keys(self) -> list[int]:
+        """The sorted resident key set across every shard."""
+        merged: list[int] = []
+        for shard in self.shards:
+            merged.extend(await shard.keys())
+        return sorted(merged)
+
     # -- batched operations (shard-grouped execution) ------------------------
     async def get_many(self, keys: Sequence[int]) -> list[tuple[bool, Any]]:
         """Batched GET: group by shard, one lock acquisition per group.

@@ -114,6 +114,30 @@ class PolicyStore:
             self._maybe_prune()
             return hits
 
+    async def peek(self, key: int) -> tuple[bool, Any, bool]:
+        """Non-mutating probe: ``(resident, payload-or-None, stored)``.
+
+        Unlike :meth:`get` this is *not* a policy access — the state
+        machine does not advance, no hit/miss is counted, and the
+        offline-parity guarantee is untouched. The cluster router's
+        migration double-read depends on exactly that: reading the old
+        owner during a reshard must not perturb its policy.
+
+        ``stored`` distinguishes a resident key whose payload exists
+        (even a stored ``None``) from one whose payload was dropped by
+        :meth:`delete` — residency and payload diverge here by design,
+        and the migration sweep must move only actual payloads.
+        """
+        async with self._lock:
+            if key in self.policy.contents():
+                return True, self._values.get(key), key in self._values
+            return False, None, False
+
+    async def keys(self) -> list[int]:
+        """The sorted resident key set (admin/migration op, not a policy access)."""
+        async with self._lock:
+            return sorted(self.policy.contents())
+
     async def delete(self, key: int) -> bool:
         """Drop the stored payload; returns whether one existed.
 

@@ -1,0 +1,208 @@
+"""HashRing: determinism, balance, and the minimal-disruption contract.
+
+The load-bearing claims:
+
+1. **Determinism** — ownership is a pure function of the node *set* and
+   ``vnodes``: insertion order, copies, and fresh processes (BLAKE2b,
+   not the salted builtin ``hash``) all agree. The router, the offline
+   reference partitioner, and the supervisor all rely on this.
+2. **Balance** — with the default 64 vnodes, every worker's key share
+   stays within the bound stated in the module docs (~±25% of ideal for
+   ≤8 workers), and more vnodes tighten it.
+3. **Minimal disruption** — adding a node only moves keys *to* it;
+   removing a node only moves keys *from* it. This is the property the
+   live-reshard sweep depends on: the set of keys to migrate is exactly
+   the ownership diff.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.ring import DEFAULT_VNODES, HashRing, node_token
+from repro.errors import ConfigurationError, ServiceError
+
+KEYS = np.random.default_rng(0xC0FFEE).integers(0, 1 << 48, size=50_000)
+
+node_names = st.lists(
+    st.text(
+        alphabet=st.characters(min_codepoint=33, max_codepoint=126), min_size=1, max_size=12
+    ),
+    min_size=1,
+    max_size=8,
+    unique=True,
+)
+
+
+class TestConstruction:
+    def test_empty_ring_lookup_raises(self):
+        with pytest.raises(ServiceError, match="empty"):
+            HashRing().owner(1)
+        with pytest.raises(ServiceError, match="empty"):
+            HashRing().owners([1, 2])
+
+    def test_bad_vnodes(self):
+        with pytest.raises(ConfigurationError, match="vnodes"):
+            HashRing(["a"], vnodes=0)
+
+    def test_bad_node_name(self):
+        with pytest.raises(ConfigurationError, match="non-empty"):
+            HashRing([""])
+        with pytest.raises(ConfigurationError, match="non-empty"):
+            HashRing().add_node(3)  # type: ignore[arg-type]
+
+    def test_duplicate_add_raises(self):
+        ring = HashRing(["a"])
+        with pytest.raises(ConfigurationError, match="already"):
+            ring.add_node("a")
+
+    def test_remove_absent_raises(self):
+        with pytest.raises(ConfigurationError, match="not on the ring"):
+            HashRing(["a"]).remove_node("b")
+
+    def test_remove_last_raises(self):
+        with pytest.raises(ConfigurationError, match="last node"):
+            HashRing(["a"]).remove_node("a")
+
+    def test_membership(self):
+        ring = HashRing(["a", "b"])
+        assert "a" in ring and "b" in ring and "c" not in ring
+        assert len(ring) == 2
+        assert ring.nodes == {"a", "b"}
+
+    def test_node_token_is_process_stable(self):
+        # pinned value: a changed hash function would silently remap every
+        # key in every deployed cluster
+        assert node_token("w0") == int.from_bytes(
+            __import__("hashlib").blake2b(b"w0", digest_size=8).digest(), "big"
+        )
+
+
+class TestDeterminism:
+    @given(names=node_names)
+    @settings(max_examples=50, deadline=None)
+    def test_insertion_order_is_irrelevant(self, names):
+        forward = HashRing(names)
+        backward = HashRing(reversed(names))
+        keys = KEYS[:500]
+        assert forward.owners(keys) == backward.owners(keys)
+
+    @given(names=node_names)
+    @settings(max_examples=25, deadline=None)
+    def test_incremental_equals_fresh(self, names):
+        """add_node one at a time == constructing with the full set."""
+        grown = HashRing()
+        for name in names:
+            grown.add_node(name)
+        fresh = HashRing(names)
+        keys = KEYS[:300]
+        assert grown.owners(keys) == fresh.owners(keys)
+
+    def test_copy_is_independent(self):
+        ring = HashRing(["a", "b", "c"])
+        snapshot = ring.copy()
+        ring.remove_node("c")
+        keys = KEYS[:1000]
+        fresh = HashRing(["a", "b", "c"])
+        assert snapshot.owners(keys) == fresh.owners(keys)
+        assert snapshot.nodes == {"a", "b", "c"}
+        assert ring.nodes == {"a", "b"}
+
+    def test_owners_matches_scalar_owner(self):
+        ring = HashRing([f"w{i}" for i in range(5)])
+        keys = KEYS[:2000]
+        assert ring.owners(keys) == [ring.owner(int(k)) for k in keys]
+
+    def test_negative_and_huge_keys(self):
+        ring = HashRing(["a", "b"])
+        for key in (-1, 0, 2**63 - 1, -(2**63)):
+            assert ring.owner(key) in ("a", "b")
+
+
+class TestBalance:
+    @pytest.mark.parametrize("workers", [2, 3, 4, 5, 8])
+    def test_default_vnodes_balance_bound(self, workers):
+        """The bound stated in the module docs: shares within ~±25% of
+        ideal at 64 vnodes for clusters up to 8 workers (measured worst
+        deviation factor 1.23 over this key set; asserted with margin)."""
+        ring = HashRing([f"w{i}" for i in range(workers)], vnodes=DEFAULT_VNODES)
+        owners = ring.owners(KEYS)
+        counts = {node: 0 for node in ring.nodes}
+        for owner in owners:
+            counts[owner] += 1
+        ideal = len(KEYS) / workers
+        assert max(counts.values()) <= 1.30 * ideal
+        assert min(counts.values()) >= 0.70 * ideal
+
+    def test_more_vnodes_tighten_the_spread(self):
+        """Average imbalance must shrink as vnodes grow (the O(1/sqrt(v))
+        claim, checked coarsely across a 16x vnode range)."""
+
+        def spread(vnodes: int) -> float:
+            total = 0.0
+            for workers in (2, 3, 4, 5, 8):
+                ring = HashRing([f"w{i}" for i in range(workers)], vnodes=vnodes)
+                counts = {node: 0 for node in ring.nodes}
+                for owner in ring.owners(KEYS[:20_000]):
+                    counts[owner] += 1
+                ideal = 20_000 / workers
+                total += max(abs(c - ideal) / ideal for c in counts.values())
+            return total
+
+        loose, tight = spread(8), spread(128)
+        assert tight < loose / 2
+
+    def test_every_node_owns_something(self):
+        ring = HashRing([f"w{i}" for i in range(8)])
+        assert set(ring.owners(KEYS[:20_000])) == ring.nodes
+
+
+class TestDisruption:
+    @given(names=node_names, extra=st.text(min_size=1, max_size=12))
+    @settings(max_examples=50, deadline=None)
+    def test_add_moves_keys_only_to_the_new_node(self, names, extra):
+        if extra in names:
+            return
+        before = HashRing(names)
+        after = before.copy()
+        after.add_node(extra)
+        keys = KEYS[:500]
+        for old, new in zip(before.owners(keys), after.owners(keys)):
+            assert new == old or new == extra
+
+    @given(names=node_names.filter(lambda n: len(n) >= 2))
+    @settings(max_examples=50, deadline=None)
+    def test_remove_moves_keys_only_from_the_removed_node(self, names):
+        removed = names[0]
+        before = HashRing(names)
+        after = before.copy()
+        after.remove_node(removed)
+        keys = KEYS[:500]
+        for old, new in zip(before.owners(keys), after.owners(keys)):
+            if old != removed:
+                assert new == old
+            else:
+                assert new != removed
+
+    def test_add_then_remove_round_trips(self):
+        ring = HashRing([f"w{i}" for i in range(4)])
+        keys = KEYS[:5000]
+        before = ring.owners(keys)
+        ring.add_node("w4")
+        ring.remove_node("w4")
+        assert ring.owners(keys) == before
+
+    def test_add_moves_roughly_one_share(self):
+        """Adding the (N+1)th node should claim about 1/(N+1) of the keys,
+        not rehash the world — the whole point of consistent hashing."""
+        before = HashRing([f"w{i}" for i in range(4)])
+        after = before.copy()
+        after.add_node("w4")
+        keys = KEYS[:20_000]
+        moved = sum(
+            1 for old, new in zip(before.owners(keys), after.owners(keys)) if old != new
+        )
+        share = len(keys) / 5
+        assert 0.5 * share <= moved <= 1.6 * share

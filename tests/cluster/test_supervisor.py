@@ -1,0 +1,98 @@
+"""The real thing: spawned worker processes under a ClusterSupervisor.
+
+Everything else in ``tests/cluster/`` runs workers in-process for speed;
+these tests pay the spawn cost once per test to prove the multi-process
+arrangement — spawn handshake, cross-process replay parity, graceful
+stop, and live grow/shrink — works end to end.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.cluster.supervisor import running_cluster
+from repro.cluster.worker import cluster_reference
+from repro.errors import ServiceError
+from repro.service.client import ServiceClient
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def small_trace(length: int = 400, pages: int = 96, seed: int = 13) -> list[int]:
+    rng = np.random.default_rng(seed)
+    return [int(p) for p in rng.zipf(1.2, size=length * 4) % pages][:length]
+
+
+class TestSpawnedCluster:
+    def test_replay_matches_offline_reference(self):
+        """A pipelined replay through router + spawned workers produces
+        the same hit sequence as the offline ring-partitioned simulation:
+        the cluster is differentially pinned to the simulator."""
+        trace = small_trace()
+
+        async def scenario():
+            async with running_cluster("lru", 64, workers=2, seed=9) as cluster:
+                assert sorted(cluster.workers) == ["w0", "w1"]
+                hits = 0
+                async with await ServiceClient.connect(
+                    "127.0.0.1", cluster.port, frame="binary"
+                ) as c:
+                    assert await c.ping() is True
+                    for page in trace:
+                        response = await c.get(page)
+                        assert response["ok"] is True
+                        hits += bool(response["hit"])
+                    stats = await c.stats()
+                return hits, stats
+
+        hits, stats = run(scenario())
+        reference = cluster_reference("lru", 64, 2, small_trace(), seed=9)
+        assert hits == reference["hits"]
+        assert stats["accesses"] == reference["accesses"]
+        assert stats["hit_rate"] == pytest.approx(reference["hit_rate"])
+        assert stats["workers"] == 2
+        assert len(stats["per_worker"]) == 2
+        assert stats["errors"] == 0
+
+    def test_grow_then_shrink_live(self):
+        """add_worker reshards a spawned process into the ring; every
+        value stays readable; remove_worker drains it back out."""
+
+        async def scenario():
+            async with running_cluster("lru", 120, workers=2, seed=4) as cluster:
+                keys = list(range(50))
+                async with await ServiceClient.connect("127.0.0.1", cluster.port) as c:
+                    await c.mput(keys, [f"v{k}" for k in keys])
+                    handle = await cluster.add_worker()
+                    assert handle.node == "w2"
+                    await cluster.router.wait_reshard(60)
+                    assert cluster.router.last_reshard["error"] is None
+                    assert sorted(cluster.workers) == ["w0", "w1", "w2"]
+                    got = await c.mget(keys)
+                    assert got["values"] == [f"v{k}" for k in keys]
+                    await cluster.remove_worker("w2")
+                    assert sorted(cluster.workers) == ["w0", "w1"]
+                    got = await c.mget(keys)
+                    assert got["values"] == [f"v{k}" for k in keys]
+                    stats = await c.stats()
+                    assert stats["errors"] == 0
+                assert "w2" not in cluster.handles
+
+        run(scenario())
+
+    def test_stats_and_double_start_guard(self):
+        async def scenario():
+            async with running_cluster("heatsink", 64, workers=2, seed=2) as cluster:
+                with pytest.raises(ServiceError):
+                    await cluster.start()
+                stats = await cluster.stats()
+                assert stats["policy"].startswith("HEAT-SINK")
+                assert stats["capacity"] == 64
+                assert stats["router"]["migrating"] is False
+
+        run(scenario())

@@ -1,0 +1,71 @@
+"""Shared scaffolding for cluster tests: in-process worker tiers.
+
+Most router behaviour needs real sockets but not real *processes* —
+an in-process :class:`CacheServer` per worker keeps the tests fast and
+debuggable while exercising the identical wire path the spawned tier
+uses (`test_supervisor.py` covers the true multi-process arrangement).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Any, AsyncIterator
+
+from repro.cluster.router import RouterServer
+from repro.cluster.worker import WorkerSpec, build_specs, build_worker_store
+from repro.service.server import CacheServer
+
+
+class InProcessTier:
+    """N worker servers in this event loop, plus a router over them."""
+
+    def __init__(self, specs: list[WorkerSpec], servers: list[CacheServer], router: RouterServer):
+        self.specs = specs
+        self.servers = servers
+        self.router = router
+
+    @property
+    def port(self) -> int:
+        return self.router.port
+
+    def server_for(self, node: str) -> CacheServer:
+        for spec, server in zip(self.specs, self.servers):
+            if spec.node == node:
+                return server
+        raise KeyError(node)
+
+
+async def start_worker(spec: WorkerSpec, *, port: int = 0) -> CacheServer:
+    server = CacheServer(
+        build_worker_store(spec), port=port, max_inflight=spec.max_inflight
+    )
+    await server.start()
+    return server
+
+
+@contextlib.asynccontextmanager
+async def running_tier(
+    policy: str = "lru",
+    capacity: int = 64,
+    workers: int = 2,
+    *,
+    seed: int = 5,
+    **router_kwargs: Any,
+) -> AsyncIterator[InProcessTier]:
+    specs = build_specs(policy, capacity, workers, seed=seed)
+    servers: list[CacheServer] = []
+    try:
+        for spec in specs:
+            servers.append(await start_worker(spec))
+        router = RouterServer(
+            [(spec.node, "127.0.0.1", server.port) for spec, server in zip(specs, servers)],
+            **router_kwargs,
+        )
+        await router.start()
+        try:
+            yield InProcessTier(specs, servers, router)
+        finally:
+            await router.stop()
+    finally:
+        for server in servers:
+            await server.stop()

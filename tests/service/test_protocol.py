@@ -94,3 +94,45 @@ class TestResponses:
         assert payload["ok"] is False
         assert payload["code"] == "rejected"
         assert "boom" in payload["error"]
+
+
+class TestClusterAdminOps:
+    """PEEK/KEYS/RESHARD — the vocabulary the cluster router rides on."""
+
+    @pytest.mark.parametrize(
+        "req",
+        [
+            Request("PEEK", key=5),
+            Request("KEYS"),
+            Request("RESHARD"),  # bare = status query
+            Request("RESHARD", node="w2", host="10.0.0.5", port=7070),
+            Request("RESHARD", node="w1", remove=True),
+        ],
+    )
+    def test_round_trip(self, req):
+        assert decode_request(encode_request(req)) == req
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            b'{"op": "PEEK"}\n',  # missing key
+            b'{"op": "PEEK", "key": true}\n',
+            b'{"op": "KEYS", "key": 3}\n',  # KEYS takes nothing
+            b'{"op": "GET", "key": 1, "node": "w2"}\n',  # reshard field on a data op
+            b'{"op": "RESHARD", "host": "h"}\n',  # status query takes no field
+            b'{"op": "RESHARD", "node": ""}\n',
+            b'{"op": "RESHARD", "node": "w2"}\n',  # add without host/port
+            b'{"op": "RESHARD", "node": "w2", "host": "h", "port": 0}\n',
+            b'{"op": "RESHARD", "node": "w2", "host": "h", "port": true}\n',
+            b'{"op": "RESHARD", "node": "w2", "remove": true, "host": "h"}\n',
+            b'{"op": "RESHARD", "node": "w2", "remove": "yes"}\n',
+        ],
+    )
+    def test_rejected(self, line):
+        with pytest.raises(ProtocolError):
+            decode_request(line)
+
+    def test_remove_flag_defaults_false(self):
+        req = decode_request(b'{"op": "RESHARD", "node": "w3", "host": "h", "port": 9}\n')
+        assert req.remove is False
+        assert (req.node, req.host, req.port) == ("w3", "h", 9)

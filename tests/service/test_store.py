@@ -152,3 +152,50 @@ def _make(name, capacity, *, seed):
         return make_policy(name, capacity, seed=seed)
     except TypeError:
         return make_policy(name, capacity)
+
+
+class TestPeekAndKeys:
+    """The non-mutating admin surface the cluster migration sweep uses."""
+
+    def test_peek_never_advances_the_policy(self):
+        store = PolicyStore(repro.LRUCache(4))
+
+        async def scenario():
+            await store.put(1, "v1")
+            before = (store.metrics.hits, store.metrics.misses)
+            assert await store.peek(1) == (True, "v1", True)
+            assert await store.peek(99) == (False, None, False)
+            assert (store.metrics.hits, store.metrics.misses) == before
+
+        run(scenario())
+
+    def test_peek_distinguishes_resident_from_stored(self):
+        """After DEL the key stays resident but its payload is gone —
+        ``stored`` is the only signal that tells the two apart (the
+        migration sweep must skip resident-but-unstored keys)."""
+        store = PolicyStore(repro.LRUCache(4))
+
+        async def scenario():
+            await store.put(5, "payload")
+            assert await store.peek(5) == (True, "payload", True)
+            await store.delete(5)
+            assert await store.peek(5) == (True, None, False)
+            # a stored None is still stored — not the same as deleted
+            await store.put(6, None)
+            assert await store.peek(6) == (True, None, True)
+
+        run(scenario())
+
+    def test_keys_lists_sorted_residents(self):
+        store = PolicyStore(repro.LRUCache(3))
+
+        async def scenario():
+            for key in (9, 2, 7):
+                await store.put(key, str(key))
+            assert await store.keys() == [2, 7, 9]
+            await store.put(1, "evictor")  # capacity 3: LRU drops 9
+            assert await store.keys() == [1, 2, 7]
+            await store.delete(2)  # DEL keeps residency
+            assert await store.keys() == [1, 2, 7]
+
+        run(scenario())

@@ -236,3 +236,41 @@ class TestStatsCommand:
         parsed = parse_prometheus(out)
         assert parsed.value("repro_hits_total") == 0.0
         assert parsed.types["repro_op_latency_seconds"] == "histogram"
+
+
+class TestClusterCommand:
+    def test_cluster_parser_defaults(self):
+        args = build_parser().parse_args(["cluster"])
+        assert args.command == "cluster"
+        assert args.policy == "heatsink"
+        assert args.workers == 4
+        assert args.vnodes == 64
+        assert args.frame == "auto"
+        assert args.pool == 2
+        assert args.upstream_retries == 1
+        assert args.drain == 5.0
+
+    def test_cluster_parser_flags(self):
+        args = build_parser().parse_args(
+            [
+                "cluster",
+                "--policy", "lru",
+                "--capacity", "4096",
+                "--workers", "8",
+                "--frame", "binary",
+                "--vnodes", "128",
+                "--pool", "3",
+                "--metrics-port", "9100",
+            ]
+        )
+        assert args.policy == "lru"
+        assert args.capacity == 4096
+        assert args.workers == 8
+        assert args.frame == "binary"
+        assert args.vnodes == 128
+        assert args.pool == 3
+        assert args.metrics_port == 9100
+
+    def test_cluster_rejects_unknown_frame(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cluster", "--frame", "smoke-signal"])
