@@ -1,0 +1,256 @@
+"""Policy shoot-out: the adaptive zoo vs the low-associativity designs.
+
+Runs every headline policy — LRU, SLRU, ARC, LRFU, W-TinyLFU, 2-RANDOM,
+HEAT-SINK (fixed / adaptive / sketch-gated) — over four workload regimes
+x several capacities x several seeds, and writes a machine-readable
+``BENCH_policies.json`` of miss rates so the policy-quality trajectory is
+diffable across commits:
+
+    python benchmarks/bench_policies.py --json BENCH_policies.json
+    python benchmarks/bench_policies.py --check            # CI gate
+    python benchmarks/bench_policies.py --quick --check    # CI-sized grid
+    python benchmarks/bench_policies.py --markdown         # EXPERIMENTS table
+
+The workloads target the regimes the paper (and the hybrid) care about:
+
+- ``adversarial``: the §3 Theorem-2 sequence — oblivious worst case for
+  low-associativity LRU; the heat-sink's raison d'être.
+- ``zipf``: skewed popularity, the friendly steady state. A frequency
+  gate must not tax it.
+- ``scan``: a warm working set periodically swept by one-shot cold pages
+  — the classic LRU-pollution pathology TinyLFU-style admission kills.
+- ``phase``: abrupt working-set changes; punishes policies that cling to
+  stale frequency state.
+
+``--check`` encodes the hybrid's contract (see
+``src/repro/core/assoc/heatsink_tinylfu.py``): at every capacity, the
+sketch-gated heat-sink must **beat vanilla HEAT-SINK on the scan mix**
+(by at least ``SCAN_MARGIN`` miss-rate), and stay **within noise on the
+adversarial and Zipf workloads** (``EPSILON`` tolerance). The gate runs
+on seed-averaged miss rates, so single-seed flukes don't flap CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+
+import numpy as np
+
+import repro
+from repro.core.registry import make_policy
+
+#: the shoot-out lineup, in table order (registry names)
+POLICIES = (
+    "lru",
+    "slru",
+    "arc",
+    "lrfu",
+    "tinylfu",
+    "2-random",
+    "heatsink",
+    "adaptive-heatsink",
+    "sketch-heatsink",
+)
+
+WORKLOADS = ("adversarial", "zipf", "scan", "phase")
+
+FULL_CAPACITIES = (128, 256)
+FULL_SEEDS = (0, 1, 2)
+QUICK_CAPACITIES = (128,)
+QUICK_SEEDS = (0, 1)
+
+#: the hybrid-vs-vanilla gate bounds (seed-averaged miss rates)
+GATE_HYBRID = "sketch-heatsink"
+GATE_BASELINE = "heatsink"
+SCAN_MARGIN = 0.002  # hybrid must beat vanilla by >= 0.2pp on the scan mix
+EPSILON = 0.01  # and stay within 1pp on adversarial / zipf
+
+
+def make_trace(workload: str, capacity: int, seed: int) -> np.ndarray:
+    """Build one workload instance sized to the cache under test."""
+    if workload == "adversarial":
+        return build_adversarial(capacity, seed)
+    if workload == "zipf":
+        return repro.zipf_trace(8 * capacity, 120 * capacity, alpha=1.1, seed=seed)
+    if workload == "scan":
+        return build_scan_mix(capacity, seed)
+    if workload == "phase":
+        return repro.phase_change_trace(
+            capacity // 2, 8 * capacity, 10, overlap=0.2, seed=seed
+        )
+    raise ValueError(f"unknown workload {workload!r}")
+
+
+def build_adversarial(capacity: int, seed: int) -> np.ndarray:
+    return repro.build_theorem2_sequence(capacity, rounds=30, seed=seed).trace
+
+
+def build_scan_mix(capacity: int, seed: int) -> np.ndarray:
+    """A warm hot set swept by periodic one-shot scans.
+
+    The hot set is sized to fit the bins comfortably (~half the cache), so
+    every hot-page eviction caused by scan pollution is a *recoverable*
+    loss — exactly the regime where routing cold pages into the sink pays.
+    """
+    rng = np.random.Generator(np.random.PCG64(seed))
+    hot_pages = capacity // 2
+    burst = 8 * capacity
+    sweep = 2 * capacity + capacity // 2
+    chunks = [rng.integers(0, hot_pages, size=burst)]
+    next_cold = 1_000_000
+    for _ in range(20):
+        chunks.append(rng.integers(0, hot_pages, size=burst))
+        chunks.append(np.arange(next_cold, next_cold + sweep))
+        next_cold += sweep
+    return np.concatenate(chunks).astype(np.int64)
+
+
+def build_policy(name: str, capacity: int, seed: int):
+    """Registry policy with defaults; deterministic ones take no seed."""
+    try:
+        return make_policy(name, capacity, seed=seed)
+    except TypeError:
+        return make_policy(name, capacity)
+
+
+def measure(name: str, workload: str, capacity: int, seeds) -> dict:
+    """Seed-averaged miss rate of one (policy, workload, capacity) cell."""
+    rates = []
+    for seed in seeds:
+        trace = make_trace(workload, capacity, seed)
+        result = build_policy(name, capacity, seed).run(trace)
+        rates.append(result.num_misses / result.num_accesses)
+    return {
+        "miss_rate": float(np.mean(rates)),
+        "miss_rate_std": float(np.std(rates)),
+        "per_seed": [float(r) for r in rates],
+    }
+
+
+def run_suite(capacities, seeds) -> dict:
+    """Measure the full grid; JSON-ready dict."""
+    rows: dict[str, dict] = {}
+    for capacity in capacities:
+        for workload in WORKLOADS:
+            for name in POLICIES:
+                key = f"{name}/{workload}/cap={capacity}"
+                rows[key] = measure(name, workload, capacity, seeds)
+                rows[key].update(policy=name, workload=workload, capacity=capacity)
+    return {
+        "schema": 1,
+        "generated_unix": time.time(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "policies": list(POLICIES),
+        "workloads": list(WORKLOADS),
+        "capacities": list(capacities),
+        "seeds": list(seeds),
+        "gate": {
+            "hybrid": GATE_HYBRID,
+            "baseline": GATE_BASELINE,
+            "scan_margin": SCAN_MARGIN,
+            "epsilon": EPSILON,
+        },
+        "results": rows,
+    }
+
+
+def check(report: dict) -> bool:
+    """The hybrid's contract, on seed-averaged miss rates per capacity:
+
+    - ``scan``:        hybrid <= vanilla - SCAN_MARGIN  (must actually win)
+    - ``adversarial``: hybrid <= vanilla + EPSILON      (within noise)
+    - ``zipf``:        hybrid <= vanilla + EPSILON      (within noise)
+    """
+    rows = report["results"]
+    passed = True
+    for capacity in report["capacities"]:
+        for workload, bound_kind in (
+            ("scan", "win"),
+            ("adversarial", "noise"),
+            ("zipf", "noise"),
+        ):
+            hybrid = rows[f"{GATE_HYBRID}/{workload}/cap={capacity}"]["miss_rate"]
+            vanilla = rows[f"{GATE_BASELINE}/{workload}/cap={capacity}"]["miss_rate"]
+            if bound_kind == "win":
+                ok = hybrid <= vanilla - SCAN_MARGIN
+                bound = f"<= vanilla - {SCAN_MARGIN}"
+            else:
+                ok = hybrid <= vanilla + EPSILON
+                bound = f"<= vanilla + {EPSILON}"
+            verdict = "OK" if ok else "FAIL"
+            print(
+                f"gate cap={capacity:4d} {workload:12s} hybrid {hybrid:.4f} "
+                f"vs vanilla {vanilla:.4f} ({bound}) -> {verdict}"
+            )
+            passed = passed and ok
+    return passed
+
+
+def format_markdown(report: dict, capacity: int | None = None) -> str:
+    """Miss-rate table (policies x workloads) at one capacity."""
+    capacity = capacity if capacity is not None else max(report["capacities"])
+    lines = [
+        f"| policy | {' | '.join(report['workloads'])} |",
+        f"|---|{'---|' * len(report['workloads'])}",
+    ]
+    best = {
+        w: min(
+            report["results"][f"{p}/{w}/cap={capacity}"]["miss_rate"]
+            for p in report["policies"]
+        )
+        for w in report["workloads"]
+    }
+    for name in report["policies"]:
+        cells = []
+        for workload in report["workloads"]:
+            rate = report["results"][f"{name}/{workload}/cap={capacity}"]["miss_rate"]
+            text = f"{rate:.4f}"
+            if rate == best[workload]:
+                text = f"**{text}**"
+            cells.append(text)
+        lines.append(f"| {name} | {' | '.join(cells)} |")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI-sized grid (one capacity, two seeds)",
+    )
+    parser.add_argument(
+        "--json", nargs="?", const="BENCH_policies.json", default=None,
+        metavar="PATH", help="write the JSON report (default path when bare)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero unless the hybrid-vs-vanilla gate holds",
+    )
+    parser.add_argument(
+        "--markdown", action="store_true",
+        help="print the EXPERIMENTS.md miss-rate table",
+    )
+    args = parser.parse_args(argv)
+
+    capacities = QUICK_CAPACITIES if args.quick else FULL_CAPACITIES
+    seeds = QUICK_SEEDS if args.quick else FULL_SEEDS
+    report = run_suite(capacities, seeds)
+
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    if args.markdown:
+        print(format_markdown(report))
+    passed = check(report)
+    return 0 if (passed or not args.check) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

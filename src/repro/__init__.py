@@ -29,6 +29,7 @@ from repro.errors import (
     CapacityError,
     ConfigurationError,
     ExperimentError,
+    KernelUnavailable,
     ReproError,
     SimulationError,
     TraceError,
@@ -59,6 +60,7 @@ from repro.core.assoc import (
     SetAssociativeHashes,
     SetAssociativeLRU,
     SkewedAssociativeLRU,
+    SketchHeatSinkLRU,
     SkewedHashes,
     TreePLRUCache,
     UniformHashes,
@@ -68,6 +70,7 @@ from repro.core.fully import (
     ARCCache,
     CountMinSketch,
     LIRSCache,
+    LRFUCache,
     SLRUCache,
     TinyLFUCache,
     BeladyCache,
@@ -114,6 +117,7 @@ __all__ = [
     "CapacityError",
     "TraceError",
     "SimulationError",
+    "KernelUnavailable",
     "ExperimentError",
     # core contract
     "CachePolicy",
@@ -135,6 +139,7 @@ __all__ = [
     "TwoQCache",
     "LRUKCache",
     "LIRSCache",
+    "LRFUCache",
     "SLRUCache",
     "TinyLFUCache",
     "CountMinSketch",
@@ -162,6 +167,7 @@ __all__ = [
     "CompanionCache",
     "HeatSinkLRU",
     "AdaptiveHeatSinkLRU",
+    "SketchHeatSinkLRU",
     # traces
     "Trace",
     "uniform_trace",

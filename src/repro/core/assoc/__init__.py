@@ -31,6 +31,7 @@ from repro.core.assoc.cuckoo import CuckooCache
 from repro.core.assoc.rearrange import RearrangingCache
 from repro.core.assoc.heatsink import HeatSinkLRU
 from repro.core.assoc.heatsink_adaptive import AdaptiveHeatSinkLRU
+from repro.core.assoc.heatsink_tinylfu import SketchHeatSinkLRU
 
 __all__ = [
     "HashDistribution",
@@ -54,4 +55,5 @@ __all__ = [
     "CompanionCache",
     "HeatSinkLRU",
     "AdaptiveHeatSinkLRU",
+    "SketchHeatSinkLRU",
 ]

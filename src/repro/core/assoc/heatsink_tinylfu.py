@@ -1,0 +1,169 @@
+"""Sketch-gated HEAT-SINK LRU — the heat-sink × TinyLFU hybrid.
+
+The paper's HEAT-SINK LRU flips an *oblivious* per-miss coin ``p = ε²``
+to route a missed page into the heat-sink instead of its bin. TinyLFU's
+insight is that a Count–Min sketch makes "is this page worth caching?"
+answerable in O(1). This hybrid fuses the two: the routing coin is
+**biased by the page's sketch frequency estimate** —
+
+- a *cold* page (estimate 0: a one-shot scan, a compulsory miss of a page
+  never coming back) routes to the sink with high probability, where
+  2-RANDOM churns it out cheaply and the bins' LRU stacks stay unpolluted;
+- a *hot* page (estimate ≥ ``hot_threshold``) routes at the base rate
+  ``sink_prob``, keeping the paper's negative-feedback drain: a thrashing
+  bin still sheds genuinely hot pages into the sink at rate ε² per miss.
+
+The estimate is taken *after* counting the current access (TinyLFU's
+count-then-decide), so a first-ever sighting reads ``e = 1``. The ramp is
+therefore anchored at 1 — "cold" means *first sighting inside the aging
+window*, the sharpest available one-shot-scan detector::
+
+    coldness  = clip((hot_threshold - e) / max(1, hot_threshold - 1), 0, 1)
+    p_sketch  = hot_prob + (cold_prob - hot_prob) · coldness
+    p(page)   = (1 - bias) · sink_prob + bias · p_sketch
+
+With the default ``hot_threshold = 2`` this is a step function: a page
+never seen before routes at ``cold_prob``, anything seen twice within the
+aging window routes at ``hot_prob``. Frequent aging (every
+``10·capacity`` increments, the Caffeine sample size) doubles as
+collision control: without it the sketch's counters saturate and scan
+pages stop reading as cold — measured directly in the shoot-out.
+
+``bias`` is the single tunable that interpolates between the paper's
+design and the fully sketch-driven router. **``bias = 0`` is exactly the
+vanilla policy, bit for bit**: one uniform is consumed per miss either
+way and the threshold degenerates to ``sink_prob``, so with equal seeds
+the hybrid and :class:`~repro.core.assoc.heatsink.HeatSinkLRU` produce
+identical hit sequences and identical post-run state (pinned by
+``tests/assoc/test_heatsink_tinylfu.py``).
+
+Like the adaptive variant, this is an *extension* the paper's conclusion
+invites, not a theorem: Lemma 13's coin flips must be independent of the
+conditioning event, which a frequency-driven coin is not. The shoot-out
+(``benchmarks/bench_policies.py``) quantifies what the bias buys.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.assoc.heatsink import HeatSinkLRU
+from repro.core.fully.sketch import CountMinSketch
+from repro.errors import ConfigurationError
+from repro.rng import SeedLike
+
+__all__ = ["SketchHeatSinkLRU"]
+
+
+class SketchHeatSinkLRU(HeatSinkLRU):
+    """HEAT-SINK LRU whose routing coin is biased by a CM-sketch estimate.
+
+    Parameters (beyond :class:`HeatSinkLRU`'s)
+    ------------------------------------------
+    bias:
+        Weight of the sketch-driven probability in ``[0, 1]``; ``0``
+        recovers the vanilla per-miss coin exactly.
+    hot_threshold:
+        Sketch estimate at (or above) which a page counts as fully hot.
+    cold_prob:
+        Routing probability for a stone-cold page (estimate 1 after
+        counting the current access: a first sighting).
+    hot_prob:
+        Routing probability for a fully hot page; defaults to
+        ``sink_prob`` so hot pages keep the paper's drain rate.
+    sketch_width / sketch_depth / aging_window / conservative:
+        Count–Min sketch shape (defaults mirror W-TinyLFU's sizing:
+        ``max(64, 4·capacity)`` counters per row, aging every
+        ``10·capacity`` increments, conservative update on).
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        *,
+        bin_size: int,
+        sink_size: int,
+        sink_prob: float,
+        bias: float = 1.0,
+        hot_threshold: int = 2,
+        cold_prob: float = 0.9,
+        hot_prob: float | None = None,
+        sketch_width: int | None = None,
+        sketch_depth: int = 4,
+        aging_window: int | None = None,
+        conservative: bool = True,
+        seed: SeedLike = 0,
+    ):
+        super().__init__(
+            capacity,
+            bin_size=bin_size,
+            sink_size=sink_size,
+            sink_prob=sink_prob,
+            seed=seed,
+        )
+        if not 0.0 <= bias <= 1.0:
+            raise ConfigurationError(f"bias must be in [0,1], got {bias}")
+        if hot_threshold < 1:
+            raise ConfigurationError(f"hot_threshold must be >= 1, got {hot_threshold}")
+        if not 0.0 <= cold_prob <= 1.0:
+            raise ConfigurationError(f"cold_prob must be in [0,1], got {cold_prob}")
+        if hot_prob is not None and not 0.0 <= hot_prob <= 1.0:
+            raise ConfigurationError(f"hot_prob must be in [0,1], got {hot_prob}")
+        self.bias = float(bias)
+        self.hot_threshold = int(hot_threshold)
+        self.cold_prob = float(cold_prob)
+        self.hot_prob = self.sink_prob if hot_prob is None else float(hot_prob)
+        width = sketch_width if sketch_width is not None else max(64, 4 * capacity)
+        self._sketch = CountMinSketch(
+            width,
+            depth=sketch_depth,
+            aging_window=aging_window if aging_window is not None else 10 * capacity,
+            conservative=conservative,
+            seed=seed,
+        )
+        self._cold_routings = 0  # sink routings of pages with estimate 0
+
+    @property
+    def name(self) -> str:
+        return (
+            f"SKETCH-HEAT-SINK(b={self.bin_size},s={self.sink_size},"
+            f"p={self.sink_prob:.3g},bias={self.bias:g})"
+        )
+
+    def routing_probability(self, page: int) -> float:
+        """The current sink probability the coin would use for ``page``."""
+        if self.bias == 0.0:
+            return self.sink_prob
+        estimate = self._sketch.estimate(page)
+        coldness = (self.hot_threshold - estimate) / max(1, self.hot_threshold - 1)
+        coldness = min(1.0, max(0.0, coldness))
+        p_sketch = self.hot_prob + (self.cold_prob - self.hot_prob) * coldness
+        return (1.0 - self.bias) * self.sink_prob + self.bias * p_sketch
+
+    def _route_to_sink(self, page: int, bin_idx: int) -> bool:
+        # the estimate already includes this access (incremented below in
+        # `access` before routing), matching TinyLFU's count-then-decide
+        p = self.routing_probability(page)
+        routed = self._next_uniform() < p
+        if routed and self._sketch.estimate(page) <= 1:
+            self._cold_routings += 1
+        return routed
+
+    def access(self, page: int) -> bool:
+        self._sketch.increment(page)
+        return super().access(page)
+
+    def reset(self) -> None:
+        super().reset()
+        self._sketch.reset()
+        self._cold_routings = 0
+
+    def sketch_estimate(self, page: int) -> int:
+        """Current decayed frequency estimate of a page (diagnostic)."""
+        return self._sketch.estimate(page)
+
+    def _instrumentation(self) -> dict[str, Any]:
+        data = super()._instrumentation()
+        data["cold_routings"] = self._cold_routings
+        data["sketch_agings"] = self._sketch.agings
+        return data

@@ -26,7 +26,7 @@ from typing import Any, Mapping
 
 import numpy as np
 
-from repro.errors import ConfigurationError, SimulationError
+from repro.errors import ConfigurationError, KernelUnavailable, SimulationError
 from repro.obs import hooks as obs_hooks
 from repro.traces.base import Trace, as_page_array
 
@@ -140,8 +140,8 @@ class CachePolicy(abc.ABC):
       registered, it reports the instance configuration as supported, and
       observability hooks are disabled; otherwise the reference loop runs;
     - ``fast=True`` forces the kernel and raises
-      :class:`~repro.errors.SimulationError` when none is eligible;
-      ``fast=False`` forces the reference loop;
+      :class:`~repro.errors.KernelUnavailable` (naming the policy) when
+      none is eligible; ``fast=False`` forces the reference loop;
     - a kernel must be **bit-for-bit equivalent** to the reference loop:
       same seed ⇒ identical ``SimResult.hits`` *and* identical
       post-run policy state (so ``reset=False`` continuations — under
@@ -205,7 +205,7 @@ class CachePolicy(abc.ABC):
         ``fast`` selects between that reference loop and a registered
         array-backed kernel (see the class docstring for the dispatch
         rules): ``None`` auto-selects, ``True`` forces the kernel (raising
-        :class:`~repro.errors.SimulationError` when none is eligible),
+        :class:`~repro.errors.KernelUnavailable` when none is eligible),
         ``False`` forces the reference loop. Both paths are bit-for-bit
         identical in results and post-run state.
 
@@ -236,11 +236,14 @@ class CachePolicy(abc.ABC):
                         "fast=False (or detach the sink) for traced runs."
                     )
                 if kernel is None:
-                    raise SimulationError(
-                        f"no fast kernel is eligible for {self.name}: either "
-                        "none is registered for this exact policy type or the "
-                        "instance configuration (recorder attached, "
-                        "unsupported variant) is not kernelizable"
+                    raise KernelUnavailable(
+                        f"no fast kernel is eligible for policy {self.name!r} "
+                        f"(type {type(self).__name__}): either none is "
+                        "registered for this exact policy type — subclasses "
+                        "never inherit a parent's kernel — or the instance "
+                        "configuration (recorder attached, unsupported "
+                        "variant) vetoed it. Use fast=None to fall back to "
+                        "the reference loop automatically."
                     )
                 # pages.size == 0: an empty trace is trivially bit-identical
                 # under either path; fall through to the reference loop

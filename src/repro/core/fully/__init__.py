@@ -18,6 +18,7 @@ from repro.core.fully.arc import ARCCache
 from repro.core.fully.two_q import TwoQCache
 from repro.core.fully.lru_k import LRUKCache
 from repro.core.fully.lirs import LIRSCache
+from repro.core.fully.lrfu import LRFUCache
 from repro.core.fully.slru import SLRUCache
 from repro.core.fully.sketch import CountMinSketch
 from repro.core.fully.tinylfu import TinyLFUCache
@@ -36,6 +37,7 @@ __all__ = [
     "TwoQCache",
     "LRUKCache",
     "LIRSCache",
+    "LRFUCache",
     "SLRUCache",
     "CountMinSketch",
     "TinyLFUCache",

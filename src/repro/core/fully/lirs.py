@@ -100,7 +100,15 @@ class LIRSCache(CachePolicy):
             del self._stack[page]
 
     def _demote_bottom_lir(self) -> None:
-        """Stack-bottom LIR page becomes a resident HIR page (tail of Q)."""
+        """Stack-bottom LIR page becomes a resident HIR page (tail of Q).
+
+        The bottom-is-LIR invariant only holds while LIR pages exist; in
+        the degenerate ``lir_capacity = 0`` sizing (capacity 1) the stack
+        bottom can be a ghost, and demoting *that* would resurrect a
+        non-resident page into the queue — prune first so the entry we
+        demote is the bottom-most actual LIR page.
+        """
+        self._stack_prune()
         page, _ = next(iter(self._stack.items()))
         del self._stack[page]
         self._lir_count -= 1

@@ -1,0 +1,106 @@
+"""LRFU — Least Recently/Frequently Used (Lee et al., IEEE ToC 2001).
+
+LRFU scores every resident page with a *Combined Recency and Frequency*
+(CRF) value
+
+    F(x, t) = Σ_i (1/2)^(λ · (t - t_i))
+
+summed over all past access times ``t_i`` of ``x``. The decay rate ``λ``
+spans the whole recency↔frequency spectrum:
+
+- ``λ = 0``: every access weighs 1 forever — CRF is the access count and
+  LRFU *is* LFU (ties broken toward the least recently used page);
+- ``λ → 1``: only the last access matters — the victim is the page with
+  the oldest last access, i.e. exact LRU (Lee et al., Theorem 1).
+
+The implementation uses the standard O(1)-per-access incremental form:
+on an access at time ``t`` to a page last touched at ``t'`` holding score
+``F'``, the new score is ``1 + 2^(-λ(t-t')) · F'`` (Horner evaluation of
+the definition, newest term first). Victim selection scans residents for
+the minimum current-time score — ``O(capacity)`` per miss, which is the
+"obviously correct" regime this zoo targets; the differential test pins
+the incremental scores against a from-scratch recomputation.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.base import CachePolicy
+from repro.errors import ConfigurationError
+
+__all__ = ["LRFUCache"]
+
+
+class LRFUCache(CachePolicy):
+    """Fully-associative LRFU with exponentially decayed CRF scoring."""
+
+    def __init__(self, capacity: int, *, lam: float = 0.1):
+        super().__init__(capacity)
+        if not 0.0 <= lam <= 1.0:
+            raise ConfigurationError(f"lam must be in [0,1], got {lam}")
+        self.lam = float(lam)
+        self._weight = 2.0 ** (-self.lam)  # per-step decay factor
+        self._clock = 0
+        # page -> (crf as of last access, last access time)
+        self._scores: dict[int, tuple[float, int]] = {}
+
+    @property
+    def name(self) -> str:
+        return f"LRFU(λ={self.lam:g})"
+
+    def _decayed(self, page: int, now: int) -> float:
+        """The page's CRF evaluated at time ``now``."""
+        crf, last = self._scores[page]
+        return crf * self._weight ** (now - last)
+
+    def crf(self, page: int) -> float:
+        """Current-time CRF of a resident page (diagnostic / tests)."""
+        if page not in self._scores:
+            raise KeyError(page)
+        return self._decayed(page, self._clock)
+
+    def _victim(self, now: int) -> int:
+        """Resident page with minimal current CRF; ties -> least recent.
+
+        The scan iterates in insertion order of ``_scores`` re-keyed on
+        every access (delete + reinsert), so among equal scores the first
+        seen is the least recently used — deterministic without an extra
+        recency structure.
+        """
+        best_page = -1
+        best_score = float("inf")
+        for page in self._scores:
+            score = self._decayed(page, now)
+            if score < best_score:
+                best_score = score
+                best_page = page
+        return best_page
+
+    def access(self, page: int) -> bool:
+        self._clock += 1
+        now = self._clock
+        entry = self._scores.get(page)
+        if entry is not None:
+            crf, last = entry
+            del self._scores[page]  # reinsert: keeps dict in recency order
+            self._scores[page] = (1.0 + crf * self._weight ** (now - last), now)
+            return True
+        if len(self._scores) >= self.capacity:
+            victim = self._victim(now)
+            del self._scores[victim]
+        self._scores[page] = (1.0, now)
+        return False
+
+    def reset(self) -> None:
+        self._clock = 0
+        self._scores.clear()
+
+    def contents(self) -> frozenset[int]:
+        return frozenset(self._scores)
+
+    def __len__(self) -> int:
+        return len(self._scores)
+
+    def _instrumentation(self) -> dict[str, Any]:
+        return {"clock": self._clock}

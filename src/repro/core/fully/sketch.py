@@ -1,4 +1,4 @@
-"""Count–Min sketch with periodic aging — TinyLFU's frequency substrate.
+"""Count–Min sketch with conservative update and periodic aging.
 
 A Count–Min sketch estimates access frequencies in ``O(width × depth)``
 counters with one-sided error (never under-counts). TinyLFU (Einziger,
@@ -6,9 +6,18 @@ Friedman & Manes 2017) ages it by halving all counters every ``W``
 increments, turning raw counts into an exponentially decayed frequency
 estimate — the "recent popularity" signal its admission filter compares.
 
-The implementation uses 4-bit-equivalent saturation (counters cap at
-``cap``) like the reference Caffeine implementation, and salted
-splitmix64 row hashes (no Python-level ``hash``).
+Two refinements over the textbook sketch, both preserving the one-sided
+guarantee:
+
+- **Conservative update** (Estan & Varghese 2002, default): an increment
+  only bumps the row counters currently *equal to the estimate* (the
+  minimum). Counters above the minimum already over-count this key, so
+  raising them further buys nothing; skipping them strictly reduces
+  over-estimation from collisions while ``estimate ≥ true count`` still
+  holds row-wise.
+- **4-bit-equivalent saturation** (counters cap at ``cap``) like the
+  reference Caffeine implementation, with salted splitmix64 row hashes
+  (no Python-level ``hash``).
 """
 
 from __future__ import annotations
@@ -20,7 +29,7 @@ __all__ = ["CountMinSketch"]
 
 
 class CountMinSketch:
-    """Conservative counting sketch with halving-based aging."""
+    """Counting sketch with conservative update and halving-based aging."""
 
     def __init__(
         self,
@@ -29,6 +38,7 @@ class CountMinSketch:
         depth: int = 4,
         cap: int = 15,
         aging_window: int | None = None,
+        conservative: bool = True,
         seed: SeedLike = 0,
     ):
         if width <= 0:
@@ -43,6 +53,7 @@ class CountMinSketch:
         self.depth = int(depth)
         self.cap = int(cap)
         self.aging_window = aging_window if aging_window is not None else 10 * width
+        self.conservative = bool(conservative)
         self._salts = [derive_seed(seed, "cms", j) for j in range(depth)]
         # plain lists: scalar counter updates are ~4x faster than numpy
         # element access in this once-per-access path
@@ -79,10 +90,20 @@ class CountMinSketch:
     def increment(self, key: int) -> None:
         """Count one occurrence of ``key`` (saturating at ``cap``)."""
         cap = self.cap
-        for j, col in enumerate(self._rows(key)):
-            row = self._table[j]
-            if row[col] < cap:
-                row[col] += 1
+        rows = self._rows(key)
+        table = self._table
+        if self.conservative:
+            current = min(table[j][col] for j, col in enumerate(rows))
+            if current < cap:
+                target = current + 1
+                for j, col in enumerate(rows):
+                    if table[j][col] < target:
+                        table[j][col] = target
+        else:
+            for j, col in enumerate(rows):
+                row = table[j]
+                if row[col] < cap:
+                    row[col] += 1
         self._increments += 1
         if self._increments >= self.aging_window:
             self._age()

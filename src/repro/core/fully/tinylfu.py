@@ -43,6 +43,11 @@ class TinyLFUCache(CachePolicy):
         seed: SeedLike = 0,
     ):
         super().__init__(capacity)
+        if capacity < 2:
+            raise ConfigurationError(
+                "W-TinyLFU needs capacity >= 2: one window slot plus a "
+                f"non-empty SLRU main region, got {capacity}"
+            )
         if not 0.0 < window_fraction < 1.0:
             raise ConfigurationError(
                 f"window_fraction must be in (0,1), got {window_fraction}"

@@ -99,6 +99,7 @@ def _register_builtins() -> None:
     # imported here to avoid import cycles (policies import core.base)
     from repro.core.assoc import (
         AdaptiveHeatSinkLRU,
+        SketchHeatSinkLRU,
         CompanionCache,
         CuckooCache,
         DBeladyCache,
@@ -119,6 +120,7 @@ def _register_builtins() -> None:
         FIFOCache,
         LFUCache,
         LIRSCache,
+        LRFUCache,
         LRUCache,
         LRUKCache,
         MarkingCache,
@@ -146,6 +148,7 @@ def _register_builtins() -> None:
     register_policy("2q", lambda capacity, **kw: TwoQCache(capacity, **kw), cls=TwoQCache)
     register_policy("lru-k", lambda capacity, **kw: LRUKCache(capacity, **kw), cls=LRUKCache)
     register_policy("lirs", lambda capacity, **kw: LIRSCache(capacity, **kw), cls=LIRSCache)
+    register_policy("lrfu", lambda capacity, **kw: LRFUCache(capacity, **kw), cls=LRFUCache)
     register_policy("slru", lambda capacity, **kw: SLRUCache(capacity, **kw), cls=SLRUCache)
     register_policy(
         "tinylfu", lambda capacity, **kw: TinyLFUCache(capacity, **kw), cls=TinyLFUCache
@@ -200,6 +203,13 @@ def _register_builtins() -> None:
             capacity, **_heatsink_defaults(capacity, kw)
         ),
         cls=AdaptiveHeatSinkLRU,
+    )
+    register_policy(
+        "sketch-heatsink",
+        lambda capacity, **kw: SketchHeatSinkLRU(
+            capacity, **_heatsink_defaults(capacity, kw)
+        ),
+        cls=SketchHeatSinkLRU,
     )
     register_policy(
         "d-belady", lambda capacity, **kw: DBeladyCache(capacity, **kw), cls=DBeladyCache

@@ -35,6 +35,16 @@ class SimulationError(ReproError, RuntimeError):
     """
 
 
+class KernelUnavailable(SimulationError):
+    """``run(fast=True)`` was forced but no fast kernel is eligible for
+    the policy: none is registered for its exact type (subclasses never
+    inherit a parent's kernel), or the instance configuration vetoed it.
+
+    The message always names the policy. Under ``fast=None`` the same
+    condition silently falls back to the reference loop instead.
+    """
+
+
 class ExperimentError(ReproError, RuntimeError):
     """An experiment could not be run (unknown id, bad scale, etc.)."""
 

@@ -1,0 +1,140 @@
+"""Tests for the sketch-gated (heat-sink × TinyLFU) hybrid."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.assoc.heatsink import HeatSinkLRU
+from repro.core.assoc.heatsink_tinylfu import SketchHeatSinkLRU
+from repro.errors import ConfigurationError
+from repro.traces.synthetic import zipf_trace
+
+
+def mk(**kw) -> SketchHeatSinkLRU:
+    defaults = dict(capacity=128, bin_size=4, sink_size=16, sink_prob=0.05, seed=1)
+    defaults.update(kw)
+    return SketchHeatSinkLRU(**defaults)
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            mk(bias=1.5)
+        with pytest.raises(ConfigurationError):
+            mk(bias=-0.1)
+        with pytest.raises(ConfigurationError):
+            mk(hot_threshold=0)
+        with pytest.raises(ConfigurationError):
+            mk(cold_prob=2.0)
+        with pytest.raises(ConfigurationError):
+            mk(hot_prob=-0.5)
+
+    def test_hot_prob_defaults_to_sink_prob(self):
+        assert mk().hot_prob == pytest.approx(0.05)
+        assert mk(hot_prob=0.2).hot_prob == pytest.approx(0.2)
+
+    def test_name_carries_bias(self):
+        assert "bias=0.5" in mk(bias=0.5).name
+
+
+class TestDegenerateBias:
+    def test_bias_zero_is_vanilla_heatsink_bit_for_bit(self):
+        """bias=0 must reproduce HeatSinkLRU exactly: one uniform per miss
+        either way, so equal seeds give identical hits AND final state."""
+        for seed in (0, 3, 11):
+            rng = np.random.Generator(np.random.PCG64(seed))
+            pages = rng.integers(0, 600, size=6000, dtype=np.int64)
+            vanilla = HeatSinkLRU(128, bin_size=4, sink_size=16, sink_prob=0.05, seed=seed)
+            hybrid = mk(bias=0.0, seed=seed)
+            assert np.array_equal(vanilla.run(pages).hits, hybrid.run(pages).hits)
+            assert vanilla.contents() == hybrid.contents()
+
+    def test_bias_zero_skips_the_sketch_lookup_in_probability(self):
+        hs = mk(bias=0.0)
+        assert hs.routing_probability(42) == pytest.approx(hs.sink_prob)
+
+
+class TestRoutingProbability:
+    def test_first_sighting_routes_at_cold_prob(self):
+        hs = mk(bias=1.0, cold_prob=0.9)
+        hs._sketch.increment(7)  # what access() does before routing
+        assert hs.routing_probability(7) == pytest.approx(0.9)
+
+    def test_hot_page_routes_at_hot_prob(self):
+        hs = mk(bias=1.0, cold_prob=0.9)
+        for _ in range(5):
+            hs._sketch.increment(7)
+        assert hs.routing_probability(7) == pytest.approx(hs.hot_prob)
+
+    def test_partial_bias_interpolates(self):
+        hs = mk(bias=0.5, cold_prob=0.9)
+        hs._sketch.increment(7)
+        expected = 0.5 * hs.sink_prob + 0.5 * 0.9
+        assert hs.routing_probability(7) == pytest.approx(expected)
+
+    def test_wide_threshold_ramps_linearly(self):
+        hs = mk(bias=1.0, hot_threshold=5, cold_prob=0.9, hot_prob=0.1)
+        hs._sketch.increment(7)  # estimate 1 -> coldness 1
+        assert hs.routing_probability(7) == pytest.approx(0.9)
+        for _ in range(2):
+            hs._sketch.increment(7)  # estimate 3 -> coldness 0.5
+        assert hs.routing_probability(7) == pytest.approx(0.5)
+        for _ in range(10):
+            hs._sketch.increment(7)  # saturated hot
+        assert hs.routing_probability(7) == pytest.approx(0.1)
+
+
+class TestStateAndInstrumentation:
+    def test_reset_clears_sketch_and_counters(self):
+        hs = mk()
+        hs.run(np.arange(3000, dtype=np.int64))
+        assert hs.sketch_estimate(2999) >= 1
+        hs.reset()
+        assert hs.sketch_estimate(2999) == 0
+        assert hs._cold_routings == 0
+        assert len(hs) == 0
+
+    def test_cold_scan_is_counted_as_cold_routings(self):
+        hs = mk(bias=1.0, cold_prob=1.0)
+        result = hs.run(np.arange(5000, dtype=np.int64))  # pure one-shot scan
+        # every one-shot page routes (cold_prob=1), but sketch collisions
+        # can make a fresh page read estimate > 1 — the counter tracks the
+        # subset that *provably* looked cold, so it is a strict majority,
+        # not the full count
+        assert 2000 < result.extra["cold_routings"] <= 5000
+        assert result.extra["sketch_agings"] > 0
+
+    def test_instrumentation_includes_base_fields(self):
+        result = mk().run(np.arange(2000, dtype=np.int64))
+        assert "sink_routings" in result.extra
+        assert "cold_routings" in result.extra
+
+
+class TestBehaviour:
+    def test_scan_protection_beats_vanilla(self):
+        """The hybrid's reason to exist: on a hot-set + cold-scan mix the
+        sketch routes one-shot pages into the sink and the bins' LRU
+        stacks stay warm. Seeded, margin well below the measured gain."""
+        rng = np.random.Generator(np.random.PCG64(21))
+        hot = rng.integers(0, 120, size=2000)
+        chunks = []
+        next_cold = 10_000
+        for _ in range(20):
+            chunks.append(rng.integers(0, 120, size=2000))
+            chunks.append(np.arange(next_cold, next_cold + 600))
+            next_cold += 600
+        trace = np.concatenate([hot, *chunks]).astype(np.int64)
+        kw = dict(capacity=256, bin_size=4, sink_size=32, sink_prob=0.05, seed=9)
+        vanilla = HeatSinkLRU(**kw).run(trace).num_misses
+        hybrid = SketchHeatSinkLRU(**kw).run(trace).num_misses
+        assert hybrid < vanilla
+
+    def test_zipf_not_degraded(self):
+        """On the skew-friendly workload the bias must not hurt: repeat
+        pages read hot and route at sink_prob, preserving the drain."""
+        trace = zipf_trace(2000, 30_000, alpha=1.1, seed=13)
+        kw = dict(capacity=256, bin_size=4, sink_size=32, sink_prob=0.05, seed=5)
+        vanilla = HeatSinkLRU(**kw).run(trace).num_misses
+        hybrid = SketchHeatSinkLRU(**kw).run(trace).num_misses
+        assert hybrid <= vanilla * 1.02

@@ -1,0 +1,150 @@
+"""LRFU: differential tests against the CRF definition and its λ-limits.
+
+Three independent anchors pin the implementation:
+
+- the incremental O(1) score update is replayed against a slow
+  obviously-correct model that recomputes every CRF from the page's full
+  access history at every step (Horner evaluation of the definition, so
+  the floating-point operation order is identical — exact equality);
+- ``λ = 1`` must reproduce LRU *exactly* (Lee et al.); ``λ = 0`` is LFU
+  with LRU tie-breaking, checked against a count model;
+- hypothesis drives random traces through the victim-choice comparison.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.fully.lrfu import LRFUCache
+from repro.core.fully.lru import LRUCache
+from repro.errors import ConfigurationError
+
+traces = st.lists(st.integers(0, 20), min_size=1, max_size=150)
+
+
+class SlowLRFUModel:
+    """Recompute-from-history LRFU: obviously correct, O(n·T) per access."""
+
+    def __init__(self, capacity: int, lam: float):
+        self.capacity = capacity
+        self.weight = 2.0 ** (-lam)
+        self.clock = 0
+        self.history: dict[int, list[int]] = {}  # resident page -> access times
+        self.recency: list[int] = []  # LRU .. MRU among residents
+
+    def _crf(self, page: int, now: int) -> float:
+        # newest-first Horner form: 1 + w^(d1)·(1 + w^(d2)·(...)) — the
+        # same operation order the incremental update performs
+        times = self.history[page]
+        crf = 0.0
+        prev = None
+        for t in times:  # oldest .. newest
+            crf = 1.0 + crf * self.weight ** (t - prev) if prev is not None else 1.0
+            prev = t
+        return crf * self.weight ** (now - prev)
+
+    def access(self, page: int) -> bool:
+        self.clock += 1
+        now = self.clock
+        if page in self.history:
+            self.history[page].append(now)
+            self.recency.remove(page)
+            self.recency.append(page)
+            return True
+        if len(self.history) >= self.capacity:
+            best = min(
+                self.recency, key=lambda p: (self._crf(p, now), self.recency.index(p))
+            )
+            del self.history[best]
+            self.recency.remove(best)
+        self.history[page] = [now]
+        self.recency.append(page)
+        return False
+
+
+@pytest.mark.parametrize("lam", [0.0, 0.1, 0.5, 1.0])
+def test_matches_slow_model(lam):
+    rng = np.random.Generator(np.random.PCG64(3))
+    pages = rng.integers(0, 25, size=600).tolist()
+    fast = LRFUCache(8, lam=lam)
+    slow = SlowLRFUModel(8, lam)
+    for i, page in enumerate(pages):
+        assert fast.access(page) == slow.access(page), (lam, i)
+        assert fast.contents() == frozenset(slow.history), (lam, i)
+
+
+@settings(max_examples=40, deadline=None)
+@given(trace=traces, lam=st.sampled_from([0.0, 0.25, 1.0]))
+def test_matches_slow_model_hypothesis(trace, lam):
+    fast = LRFUCache(4, lam=lam)
+    slow = SlowLRFUModel(4, lam)
+    for page in trace:
+        assert fast.access(page) == slow.access(page)
+    assert fast.contents() == frozenset(slow.history)
+
+
+def test_lambda_one_is_exactly_lru():
+    rng = np.random.Generator(np.random.PCG64(5))
+    pages = rng.integers(0, 40, size=2000, dtype=np.int64)
+    lrfu = LRFUCache(16, lam=1.0).run(pages)
+    lru = LRUCache(16).run(pages)
+    assert np.array_equal(lrfu.hits, lru.hits)
+
+
+def test_lambda_zero_is_lfu_with_lru_ties():
+    """λ=0: CRF is the exact access count; victim = min count, then LRU."""
+    rng = np.random.Generator(np.random.PCG64(6))
+    pages = rng.integers(0, 30, size=800).tolist()
+    policy = LRFUCache(8, lam=0.0)
+    counts: dict[int, int] = {}
+    recency: list[int] = []
+    for page in pages:
+        if page in recency:
+            assert policy.access(page) is True
+            counts[page] += 1
+            recency.remove(page)
+            recency.append(page)
+            continue
+        if len(recency) >= 8:
+            victim = min(recency, key=lambda p: (counts[p], recency.index(p)))
+            recency.remove(victim)
+            del counts[victim]
+        assert policy.access(page) is False
+        counts[page] = counts.get(page, 0) + 1
+        recency.append(page)
+        assert policy.contents() == frozenset(recency)
+
+
+def test_decay_spectrum_is_monotone_in_behaviour():
+    """On a frequency-skewed trace, small λ (frequency-leaning) must beat
+    or match large λ (recency-leaning) — the knob points the right way."""
+    rng = np.random.Generator(np.random.PCG64(8))
+    hot = rng.integers(0, 8, size=4000)  # heavy reuse
+    scan = np.arange(1000, 1000 + 4000)  # one-shot pollution
+    mix = np.empty(8000, dtype=np.int64)
+    mix[0::2] = hot
+    mix[1::2] = scan
+    misses = {
+        lam: LRFUCache(16, lam=lam).run(mix).num_misses for lam in (0.01, 1.0)
+    }
+    assert misses[0.01] <= misses[1.0]
+
+
+def test_crf_diagnostic_and_validation():
+    policy = LRFUCache(4, lam=0.5)
+    policy.access(1)
+    assert policy.crf(1) == 1.0
+    policy.access(2)
+    assert policy.crf(1) == pytest.approx(2.0 ** -0.5)
+    with pytest.raises(KeyError):
+        policy.crf(99)
+    with pytest.raises(ConfigurationError):
+        LRFUCache(4, lam=1.5)
+    with pytest.raises(ConfigurationError):
+        LRFUCache(4, lam=-0.1)
+
+
+def test_name_carries_lambda():
+    assert "0.25" in LRFUCache(4, lam=0.25).name

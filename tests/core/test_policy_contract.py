@@ -1,0 +1,140 @@
+"""Registry conformance suite: the shared contract, checked once for all.
+
+Every *registered* online policy — including ones added after this file
+was written — is auto-discovered and pushed through the same wall:
+
+- seed determinism: same seed ⇒ identical hit sequences and final state;
+- ``reset=False`` continuation: running a trace in two halves on one
+  instance equals one full run on a fresh instance with the same seed;
+- ``PolicyStore.verify()`` invariants after serving a mixed op stream;
+- capacity-1 and capacity-≥-working-set edge cases;
+- the demand-paging reference check (hit iff resident, occupancy bound).
+
+A future policy registered via :func:`repro.register_policy` gets all of
+this for free just by existing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core.registry import available_policies, make_policy
+from repro.errors import ConfigurationError
+from repro.service.store import PolicyStore
+from tests.helpers import (
+    all_online_policy_factories,
+    make_seeded_policy,
+    reference_policy_check,
+)
+
+CAPACITY = 8
+NAMES = sorted(all_online_policy_factories(CAPACITY))
+
+
+def _trace(seed: int, *, pages: int = 24, length: int = 300) -> np.ndarray:
+    rng = np.random.Generator(np.random.PCG64(seed))
+    return rng.integers(0, pages, size=length, dtype=np.int64)
+
+
+def test_discovery_includes_the_adaptive_zoo():
+    """The suite must actually be covering the policies this PR ships."""
+    assert {"slru", "arc", "lrfu", "tinylfu", "sketch-heatsink"} <= set(NAMES)
+
+
+@pytest.mark.parametrize("name", NAMES)
+class TestPolicyContract:
+    def test_seed_determinism(self, name):
+        pages = _trace(1)
+        a = make_seeded_policy(name, CAPACITY, seed=5).run(pages, fast=False)
+        b = make_seeded_policy(name, CAPACITY, seed=5).run(pages, fast=False)
+        assert np.array_equal(a.hits, b.hits)
+        assert (
+            make_seeded_policy(name, CAPACITY, seed=5).run(pages, fast=False).num_misses
+            == a.num_misses
+        )
+
+    def test_final_state_determinism(self, name):
+        pages = _trace(2)
+        a = make_seeded_policy(name, CAPACITY, seed=3)
+        b = make_seeded_policy(name, CAPACITY, seed=3)
+        a.run(pages, fast=False)
+        b.run(pages, fast=False)
+        assert a.contents() == b.contents()
+
+    def test_reset_false_continuation(self, name):
+        """Split run ≡ full run: no hidden cross-run state beyond reset()."""
+        pages = _trace(3, length=400)
+        full = make_seeded_policy(name, CAPACITY, seed=7).run(pages, fast=False)
+        split = make_seeded_policy(name, CAPACITY, seed=7)
+        first = split.run(pages[:150], fast=False)
+        second = split.run(pages[150:], reset=False, fast=False)
+        assert np.array_equal(full.hits, np.concatenate([first.hits, second.hits]))
+
+    def test_store_verify_invariants(self, name):
+        """Serving a mixed GET/PUT/DEL stream keeps accounting consistent."""
+        rng = np.random.Generator(np.random.PCG64(4))
+        keys = rng.integers(0, 24, size=200).tolist()
+        ops = rng.integers(0, 3, size=200).tolist()
+
+        async def scenario():
+            store = PolicyStore(make_seeded_policy(name, CAPACITY, seed=1))
+            for key, op in zip(keys, ops):
+                if op == 0:
+                    await store.get(int(key))
+                elif op == 1:
+                    await store.put(int(key), b"v")
+                else:
+                    await store.delete(int(key))
+            return await store.verify()
+
+        assert asyncio.run(scenario()) == []
+
+    def test_capacity_one_works_or_rejects(self, name):
+        """Capacity 1 is either served correctly or rejected loudly."""
+        try:
+            policy = make_seeded_policy(name, 1, seed=2)
+        except ConfigurationError:
+            return  # a documented sizing constraint (e.g. heatsink's sink>=2)
+        reference_policy_check(policy, _trace(5, pages=4, length=60))
+        policy.reset()
+        assert policy.access(9) is False
+        assert policy.access(9) is True  # the one resident page hits
+
+    def test_capacity_exceeding_working_set(self, name):
+        """With capacity ≥ distinct pages, residency converges and never
+        exceeds the working set (fully-assoc policies stop missing;
+        low-associativity ones may still conflict, but must stay bounded)."""
+        pages = _trace(6, pages=5, length=120)
+        policy = make_seeded_policy(name, CAPACITY, seed=3)
+        result = policy.run(pages, fast=False)
+        assert result.num_misses >= np.unique(pages).size  # cold misses at least
+        assert len(policy) <= min(policy.capacity, np.unique(pages).size)
+        assert policy.contents() <= set(np.unique(pages).tolist())
+
+    def test_reference_invariants_on_adversarial_mix(self, name):
+        """The step-by-step demand-paging contract on a scan-heavy mix."""
+        scan = np.concatenate(
+            [_trace(7, pages=6, length=60), np.arange(100, 140), _trace(8, pages=6, length=60)]
+        ).astype(np.int64)
+        reference_policy_check(make_seeded_policy(name, CAPACITY, seed=4), scan)
+
+
+class TestDiscoveryMechanics:
+    def test_every_registered_online_policy_is_in_the_suite(self):
+        covered = set(NAMES)
+        for name in available_policies():
+            try:
+                policy = make_policy(name, CAPACITY, **_probe_kwargs(name))
+            except ConfigurationError:
+                continue
+            if not policy.is_offline:
+                assert name in covered, f"{name} escaped the conformance suite"
+
+
+def _probe_kwargs(name: str) -> dict:
+    from tests.helpers import _extra_kwargs
+
+    return _extra_kwargs(name, CAPACITY)

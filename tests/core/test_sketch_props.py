@@ -1,0 +1,225 @@
+"""Hypothesis property & stateful tests: CM-sketch and SLRU promotion.
+
+The sketch's one guarantee the whole TinyLFU/hybrid family leans on is
+**one-sided error**: ``estimate(k)`` never under-counts the (aged,
+saturated) true frequency, under plain *and* conservative update, through
+any interleaving of increments and halving events. The stateful machines
+below drive both structures against exact reference models; everything is
+seeded and bounded to stay inside the chaos-suite runtime budget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.core.fully.sketch import CountMinSketch
+from repro.core.fully.slru import SLRUCache
+
+keys = st.integers(min_value=0, max_value=200)
+streams = st.lists(keys, min_size=1, max_size=400)
+
+
+class TestOneSidedError:
+    @settings(max_examples=40, deadline=None)
+    @given(stream=streams, conservative=st.booleans(), seed=st.integers(0, 7))
+    def test_estimate_never_undercounts_without_aging(self, stream, conservative, seed):
+        sketch = CountMinSketch(
+            32, depth=3, cap=10**9, aging_window=10**9, conservative=conservative, seed=seed
+        )
+        truth: dict[int, int] = {}
+        for key in stream:
+            sketch.increment(key)
+            truth[key] = truth.get(key, 0) + 1
+        for key, count in truth.items():
+            assert sketch.estimate(key) >= count
+
+    @settings(max_examples=40, deadline=None)
+    @given(stream=streams, conservative=st.booleans(), seed=st.integers(0, 7))
+    def test_estimate_never_undercounts_with_aging_and_cap(self, stream, conservative, seed):
+        """With saturation and halving, the floor is the identically aged,
+        identically saturated true count."""
+        sketch = CountMinSketch(
+            16, depth=3, cap=8, aging_window=25, conservative=conservative, seed=seed
+        )
+        floor: dict[int, int] = {}
+        agings = 0
+        for key in stream:
+            sketch.increment(key)
+            floor[key] = min(floor.get(key, 0) + 1, sketch.cap)
+            if sketch.agings > agings:  # mirror the halving event exactly
+                agings = sketch.agings
+                floor = {k: v >> 1 for k, v in floor.items()}
+            assert sketch.estimate(key) >= floor[key]
+
+    @settings(max_examples=30, deadline=None)
+    @given(stream=streams, seed=st.integers(0, 7))
+    def test_conservative_never_exceeds_plain(self, stream, seed):
+        """Conservative update is a pointwise refinement: same hash rows,
+        same stream ⇒ estimates bounded by the plain sketch's."""
+        plain = CountMinSketch(16, depth=3, aging_window=10**9, conservative=False, seed=seed)
+        cons = CountMinSketch(16, depth=3, aging_window=10**9, conservative=True, seed=seed)
+        for key in stream:
+            plain.increment(key)
+            cons.increment(key)
+        for key in set(stream):
+            assert cons.estimate(key) <= plain.estimate(key)
+
+
+class TestAging:
+    @settings(max_examples=30, deadline=None)
+    @given(stream=st.lists(keys, min_size=10, max_size=120), seed=st.integers(0, 7))
+    def test_aging_halves_every_counter(self, stream, seed):
+        sketch = CountMinSketch(16, depth=3, cap=10**9, aging_window=10**9, seed=seed)
+        for key in stream:
+            sketch.increment(key)
+        before = [row[:] for row in sketch._table]
+        sketch._age()
+        for row_before, row_after in zip(before, sketch._table):
+            assert row_after == [c >> 1 for c in row_before]
+        assert sketch.agings == 1
+
+    def test_aging_triggers_exactly_on_window(self):
+        sketch = CountMinSketch(8, aging_window=50, seed=1)
+        for i in range(49):
+            sketch.increment(i % 5)
+        assert sketch.agings == 0
+        sketch.increment(0)
+        assert sketch.agings == 1
+
+
+class TestErrorBounds:
+    def test_width_bounds_mean_overestimate(self):
+        """On a random stream the mean overestimate must be within a few
+        multiples of the textbook N/width noise bound (seeded, so exact
+        reproducibility — this is a regression pin, not a flaky tail test)."""
+        rng = np.random.Generator(np.random.PCG64(9))
+        stream = rng.integers(0, 500, size=4000).tolist()
+        for conservative in (False, True):
+            sketch = CountMinSketch(
+                128, depth=4, cap=10**9, aging_window=10**9,
+                conservative=conservative, seed=3,
+            )
+            truth: dict[int, int] = {}
+            for key in stream:
+                sketch.increment(int(key))
+                truth[key] = truth.get(key, 0) + 1
+            errors = [sketch.estimate(k) - c for k, c in truth.items()]
+            assert min(errors) >= 0
+            assert np.mean(errors) <= 3 * len(stream) / 128
+
+    def test_deeper_sketch_is_no_worse(self):
+        rng = np.random.Generator(np.random.PCG64(11))
+        stream = rng.integers(0, 300, size=2000).tolist()
+        means = []
+        for depth in (1, 4):
+            sketch = CountMinSketch(
+                64, depth=depth, cap=10**9, aging_window=10**9, seed=5
+            )
+            truth: dict[int, int] = {}
+            for key in stream:
+                sketch.increment(int(key))
+                truth[key] = truth.get(key, 0) + 1
+            means.append(np.mean([sketch.estimate(k) - c for k, c in truth.items()]))
+        assert means[1] <= means[0]
+
+
+class SketchMachine(RuleBasedStateMachine):
+    """Stateful: arbitrary increment interleavings vs the exact floor model."""
+
+    def __init__(self):
+        super().__init__()
+        self.sketch = CountMinSketch(8, depth=2, cap=12, aging_window=30, seed=2)
+        self.floor: dict[int, int] = {}
+        self.agings_seen = 0
+
+    @rule(key=st.integers(0, 40))
+    def increment(self, key):
+        self.sketch.increment(key)
+        self.floor[key] = min(self.floor.get(key, 0) + 1, self.sketch.cap)
+        if self.sketch.agings > self.agings_seen:
+            self.agings_seen = self.sketch.agings
+            self.floor = {k: v >> 1 for k, v in self.floor.items()}
+
+    @rule()
+    def reset(self):
+        self.sketch.reset()
+        self.floor.clear()
+        self.agings_seen = 0
+
+    @invariant()
+    def estimates_dominate_floor(self):
+        for key, count in self.floor.items():
+            assert self.sketch.estimate(key) >= count
+
+
+SketchMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=40, deadline=None
+)
+TestSketchStateful = SketchMachine.TestCase
+
+
+class SLRUMachine(RuleBasedStateMachine):
+    """Stateful: SLRU vs an exact two-segment reference model.
+
+    The model mirrors the promotion/demotion rules with plain lists;
+    every step compares hit flags, both segment contents *in order*, and
+    the occupancy bounds.
+    """
+
+    CAPACITY = 6
+    PROTECTED = 3
+
+    def __init__(self):
+        super().__init__()
+        self.slru = SLRUCache(self.CAPACITY, protected_fraction=0.5)
+        self.probation: list[int] = []  # LRU .. MRU
+        self.protected: list[int] = []
+
+    def _model_access(self, page: int) -> bool:
+        if page in self.protected:
+            self.protected.remove(page)
+            self.protected.append(page)
+            return True
+        if page in self.probation:
+            self.probation.remove(page)
+            self.protected.append(page)
+            while len(self.protected) > self.PROTECTED:
+                self.probation.append(self.protected.pop(0))
+            return True
+        if len(self.probation) + len(self.protected) >= self.CAPACITY:
+            if self.probation:
+                self.probation.pop(0)
+            else:
+                self.protected.pop(0)
+        self.probation.append(page)
+        return False
+
+    @rule(page=st.integers(0, 12))
+    def access(self, page):
+        assert self.slru.access(page) == self._model_access(page)
+
+    @rule()
+    def reset(self):
+        self.slru.reset()
+        self.probation.clear()
+        self.protected.clear()
+
+    @invariant()
+    def segments_match_model_exactly(self):
+        assert list(self.slru._probation) == self.probation
+        assert list(self.slru._protected) == self.protected
+        assert len(self.slru) <= self.CAPACITY
+        assert len(self.slru._protected) <= self.PROTECTED
+        # segments are disjoint and victim reporting agrees with the model
+        assert not (set(self.probation) & set(self.protected))
+        if len(self.slru) >= self.CAPACITY:
+            expected = self.probation[0] if self.probation else self.protected[0]
+            assert self.slru.victim() == expected
+
+
+SLRUMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=50, deadline=None
+)
+TestSLRUStateful = SLRUMachine.TestCase

@@ -87,15 +87,20 @@ def _extra_kwargs(name: str, capacity: int) -> dict:
     """Constructor kwargs needed for registry policies in small tests."""
     if name in {"random", "marking", "d-random", "2-random", "cuckoo", "rearrange"}:
         return {"seed": 11}
-    if name in {"d-lru", "2-lru", "d-fifo", "set-assoc", "skew-assoc"}:
+    if name in {"d-lru", "2-lru", "d-fifo", "skew-assoc"}:
         return {"seed": 11}
+    if name == "set-assoc":
+        # the hardware layout needs d | capacity; pick the largest power
+        # of two (<= 8) that divides it so tiny capacities stay valid
+        d = next(d for d in (8, 4, 2, 1) if capacity % d == 0)
+        return {"d": d, "seed": 11}
     if name == "tree-plru":
         return {"ways": 4, "seed": 11}
     if name == "companion":
         return {"ways": 2, "companion_size": max(1, capacity // 4), "seed": 11}
     if name == "victim":
         return {"victim_size": max(1, capacity // 4), "seed": 11}
-    if name in {"heatsink", "adaptive-heatsink"}:
+    if name in {"heatsink", "adaptive-heatsink", "sketch-heatsink"}:
         sink = max(2, capacity // 8)
         return {
             "bin_size": max(1, min(8, capacity - sink)),
@@ -104,3 +109,19 @@ def _extra_kwargs(name: str, capacity: int) -> dict:
             "seed": 11,
         }
     return {}
+
+
+def make_seeded_policy(name: str, capacity: int, seed: int) -> CachePolicy:
+    """Registry policy with small-capacity kwargs and an explicit seed.
+
+    Policies without a ``seed`` parameter are deterministic and are built
+    without one; raises :class:`~repro.errors.ConfigurationError` when the
+    configuration is invalid at this capacity (callers typically skip).
+    """
+    kwargs = dict(_extra_kwargs(name, capacity))
+    kwargs["seed"] = seed
+    try:
+        return make_policy(name, capacity, **kwargs)
+    except TypeError:  # deterministic policies take no seed
+        kwargs.pop("seed")
+        return make_policy(name, capacity, **kwargs)

@@ -6,8 +6,12 @@ exactly one ``CachePolicy.access`` step and DEL maps to none. So for
 running the GET/PUT key subsequence through the offline
 :mod:`repro.sim.engine` reference with the same policy/capacity/seed must
 agree on hit, miss and eviction counts — bit for bit, including for the
-randomized policies (2-random, heatsink), whose seeds pin their coin
-flips.
+randomized policies, whose seeds pin their coin flips.
+
+The parity test runs against **every registered online policy** — the
+whole adaptive zoo (SLRU/ARC/LRFU/TinyLFU/the sketch hybrid) included —
+via the same auto-discovery the conformance suite uses, so a new
+``register_policy`` call is automatically pulled into serving parity.
 """
 
 from __future__ import annotations
@@ -15,15 +19,16 @@ from __future__ import annotations
 import asyncio
 
 import numpy as np
-from hypothesis import HealthCheck, given, settings, strategies as st
+import pytest
+from hypothesis import HealthCheck, assume, given, settings, strategies as st
 
-from repro.core.registry import make_policy
+from repro.errors import ConfigurationError
 from repro.service.store import PolicyStore
 from repro.sim.engine import run_policy
+from tests.helpers import all_online_policy_factories, make_seeded_policy
 
-POLICIES = ("lru", "2-random", "heatsink")
+POLICIES = sorted(all_online_policy_factories(8))
 
-# capacities >= 3: heatsink needs room for its sink region plus one bin
 capacities = st.integers(min_value=3, max_value=16)
 
 ops = st.lists(
@@ -33,10 +38,11 @@ ops = st.lists(
 
 
 def make(name: str, capacity: int, seed: int):
+    """Build a seeded registry policy; assume-away invalid tiny sizings."""
     try:
-        return make_policy(name, capacity, seed=seed)
-    except TypeError:  # deterministic policies take no seed
-        return make_policy(name, capacity)
+        return make_seeded_policy(name, capacity, seed)
+    except ConfigurationError:
+        assume(False)
 
 
 def drive_store(policy, op_list):
@@ -58,9 +64,10 @@ def drive_store(policy, op_list):
     return asyncio.run(scenario())
 
 
-@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
-@given(op_list=ops, capacity=capacities, name=st.sampled_from(POLICIES), seed=st.integers(0, 7))
-def test_store_agrees_with_offline_engine(op_list, capacity, name, seed):
+@pytest.mark.parametrize("name", POLICIES)
+@settings(max_examples=12, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(op_list=ops, capacity=capacities, seed=st.integers(0, 7))
+def test_store_agrees_with_offline_engine(name, op_list, capacity, seed):
     _, snapshot, problems = drive_store(make(name, capacity, seed), op_list)
     assert problems == []
 
@@ -78,13 +85,14 @@ def test_store_agrees_with_offline_engine(op_list, capacity, name, seed):
     assert snapshot["evictions"] == row["misses"] - len(reference)
 
 
-@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@pytest.mark.parametrize("name", ["heatsink", "sketch-heatsink", "tinylfu", "arc"])
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
 @given(op_list=ops, capacity=capacities, seed=st.integers(0, 7))
-def test_del_never_touches_residency(op_list, capacity, seed):
+def test_del_never_touches_residency(name, op_list, capacity, seed):
     """DELs interleaved anywhere must not change what is resident."""
-    with_dels = drive_store(make("heatsink", capacity, seed), op_list)[1]
+    with_dels = drive_store(make(name, capacity, seed), op_list)[1]
     without_dels = drive_store(
-        make("heatsink", capacity, seed), [(op, k) for op, k in op_list if op != "DEL"]
+        make(name, capacity, seed), [(op, k) for op, k in op_list if op != "DEL"]
     )[1]
     for field in ("hits", "misses", "resident", "evictions"):
         assert with_dels[field] == without_dels[field]

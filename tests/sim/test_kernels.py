@@ -250,3 +250,46 @@ def test_available_kernels_lists_all_four():
         "SetAssociativeLRU",
         "DRandomCache",
     }
+
+
+# -- KernelUnavailable: the loud fast=True failure mode ------------------------
+
+
+class TestKernelUnavailable:
+    def test_is_a_simulation_error(self):
+        assert issubclass(repro.KernelUnavailable, SimulationError)
+
+    def test_error_names_the_policy(self):
+        """The message must say WHICH policy had no kernel and point at the
+        fast=None fallback — the debugging breadcrumb the exception exists
+        to provide."""
+        p = repro.LRUCache(CAP)
+        with pytest.raises(repro.KernelUnavailable) as excinfo:
+            p.run(TRACES["zipf"](), fast=True)
+        message = str(excinfo.value)
+        assert p.name in message
+        assert "LRUCache" in message
+        assert "fast=None" in message
+
+    def test_sketch_heatsink_does_not_inherit_parent_kernel(self):
+        """Subclassing HeatSinkLRU must NOT pick up its kernel: the hybrid
+        overrides routing, so the parent kernel would silently compute the
+        wrong thing. Exact-type dispatch is the guard."""
+        p = repro.SketchHeatSinkLRU(
+            CAP, bin_size=8, sink_size=32, sink_prob=0.1, seed=0
+        )
+        assert kernel_for(p) is None
+        with pytest.raises(repro.KernelUnavailable) as excinfo:
+            p.run(TRACES["zipf"](), fast=True)
+        assert "SketchHeatSinkLRU" in str(excinfo.value)
+
+    def test_fast_none_falls_back_and_matches_reference(self):
+        """Auto dispatch on a kernel-less policy = the reference loop."""
+        trace = TRACES["zipf"]()
+        auto = repro.SketchHeatSinkLRU(
+            CAP, bin_size=8, sink_size=32, sink_prob=0.1, seed=4
+        ).run(trace)  # fast=None
+        ref = repro.SketchHeatSinkLRU(
+            CAP, bin_size=8, sink_size=32, sink_prob=0.1, seed=4
+        ).run(trace, fast=False)
+        assert np.array_equal(auto.hits, ref.hits)
