@@ -1,6 +1,6 @@
 """Price the observability layer (engineering, not paper-reproduction).
 
-Two questions, one file:
+Three questions, one file:
 
 1. **What do disabled hooks cost?** The whole design contract of
    :mod:`repro.obs.hooks` is *zero-cost when off*: emission sites are
@@ -10,7 +10,13 @@ Two questions, one file:
    baseline subclass whose ``access`` is the pre-instrumentation code
    with every hook guard stripped. The acceptance bound is ≤ 5 %
    (``--check`` mode exits non-zero beyond it; CI runs that).
-2. **What does capturing cost?** Benchmarks with a ``NullSink`` (pure
+2. **What does disabled request tracing cost?** :mod:`repro.obs.tracing`
+   makes the same promise for the serving hot path: every span site in
+   :class:`~repro.service.store.PolicyStore` is guarded by
+   ``tracing.ENABLED``. Racing the instrumented store against a subclass
+   with the pre-tracing ``get``/``put`` bodies bounds the guard cost at
+   the same ≤ 5 %.
+3. **What does capturing cost?** Benchmarks with a ``NullSink`` (pure
    emission machinery), a ``RingBufferSink`` (flight recorder) and a
    ``SamplingSink`` wrapper show what turning tracing *on* costs, so the
    docs can quote real numbers.
@@ -26,18 +32,28 @@ or standalone (CI's observability job)::
 
 from __future__ import annotations
 
+import asyncio
 import sys
 import time
+from typing import Any
 
 import repro
 from repro.core.assoc.heatsink import _EMPTY, HeatSinkLRU
-from repro.obs import hooks
+from repro.core.registry import make_policy as make_registered_policy
+from repro.obs import hooks, tracing
 from repro.obs.sinks import NullSink, RingBufferSink, SamplingSink
+from repro.service.store import PolicyStore
 from repro.sim.engine import run_policy
+from repro.traces.base import as_page_array
 
 CAPACITY = 1_088  # 64 bins of 16 + 64-slot sink
 LENGTH = 200_000
 TRACE = repro.zipf_trace(4 * CAPACITY, LENGTH, alpha=1.0, seed=1)
+
+#: Store ops per tracing-overhead pass (store ops cost an await each, so
+#: the loop is shorter than the raw-policy race).
+STORE_OPS = 50_000
+STORE_KEYS = as_page_array(TRACE).tolist()[:STORE_OPS]
 
 
 def make_policy(seed: int = 1) -> HeatSinkLRU:
@@ -128,16 +144,69 @@ def disabled_overhead_ratio(repeats: int = 5) -> tuple[float, float, float]:
     return bare, instrumented, instrumented / bare
 
 
+class BarePolicyStore(PolicyStore):
+    """``get``/``put`` exactly as they were before tracing instrumentation.
+
+    No ``tracing.ENABLED`` guard, no ``clock()`` read; racing this
+    against the instrumented parent (tracing off) isolates the guard
+    cost on the serving hot path.
+    """
+
+    async def get(self, key: int) -> tuple[bool, Any]:
+        async with self._lock:
+            return self._get_locked(key)
+
+    async def put(self, key: int, value: Any) -> bool:
+        async with self._lock:
+            return self._put_locked(key, value)
+
+
+def _store_pass_seconds(cls: type[PolicyStore]) -> float:
+    """Wall time of STORE_OPS sequential ``get`` calls on a fresh store."""
+
+    async def _run(store: PolicyStore) -> None:
+        get = store.get
+        for key in STORE_KEYS:
+            await get(key)
+
+    store = cls(make_registered_policy("lru", CAPACITY))
+    start = time.perf_counter()
+    asyncio.run(_run(store))
+    return time.perf_counter() - start
+
+
+def disabled_tracing_ratio(repeats: int = 5) -> tuple[float, float, float]:
+    """(bare_seconds, instrumented_seconds, ratio) with tracing disabled.
+
+    Bare and instrumented passes are interleaved so a transient machine
+    slowdown hits both sides instead of inflating whichever ran last.
+    """
+    assert not tracing.ENABLED, "a trace sink is installed; comparison would be unfair"
+    bare = instrumented = float("inf")
+    for _ in range(repeats):
+        bare = min(bare, _store_pass_seconds(BarePolicyStore))
+        instrumented = min(instrumented, _store_pass_seconds(PolicyStore))
+    return bare, instrumented, instrumented / bare
+
+
 def check(threshold: float = 1.05, repeats: int = 5) -> bool:
-    """CI gate: disabled-hook slowdown must stay within ``threshold``."""
+    """CI gate: disabled-hook AND disabled-tracing slowdowns within ``threshold``."""
     bare, instrumented, ratio = disabled_overhead_ratio(repeats)
     rate = LENGTH / instrumented
     print(
-        f"bare        : {bare * 1e3:8.1f} ms  ({LENGTH / bare:,.0f} acc/s)\n"
-        f"instrumented: {instrumented * 1e3:8.1f} ms  ({rate:,.0f} acc/s)\n"
-        f"ratio       : {ratio:.4f}  (bound {threshold:.2f})"
+        f"hooks   bare        : {bare * 1e3:8.1f} ms  ({LENGTH / bare:,.0f} acc/s)\n"
+        f"hooks   instrumented: {instrumented * 1e3:8.1f} ms  ({rate:,.0f} acc/s)\n"
+        f"hooks   ratio       : {ratio:.4f}  (bound {threshold:.2f})"
     )
-    return ratio <= threshold
+    t_bare, t_instr, t_ratio = disabled_tracing_ratio(repeats)
+    print(
+        f"tracing bare        : {t_bare * 1e3:8.1f} ms  "
+        f"({STORE_OPS / t_bare:,.0f} op/s)\n"
+        f"tracing instrumented: {t_instr * 1e3:8.1f} ms  "
+        f"({STORE_OPS / t_instr:,.0f} op/s)\n"
+        f"tracing ratio       : {t_ratio:.4f}  (bound {threshold:.2f})"
+    )
+    return ratio <= threshold and t_ratio <= threshold
 
 
 # -- pytest-benchmark entry points ------------------------------------------
@@ -183,6 +252,12 @@ def test_disabled_overhead_within_bound():
     """The acceptance bound itself, runnable without --benchmark-only."""
     _, _, ratio = disabled_overhead_ratio(repeats=3)
     assert ratio <= 1.10, f"disabled-hook overhead ratio {ratio:.3f} exceeds 1.10"
+
+
+def test_disabled_tracing_within_bound():
+    """Same contract for the serving hot path's tracing guards."""
+    _, _, ratio = disabled_tracing_ratio(repeats=3)
+    assert ratio <= 1.10, f"disabled-tracing overhead ratio {ratio:.3f} exceeds 1.10"
 
 
 if __name__ == "__main__":

@@ -11,7 +11,13 @@ This is the acceptance script CI runs for the cluster tier. Three acts:
    own seeded policy) — the cluster must match the simulator *exactly*,
    hit for hit.
 
-Run:  python examples/cluster_smoke.py [workers]
+With ``--trace-dir DIR`` the whole run is traced: every tier writes a
+span NDJSON file into DIR (``spans-router.ndjson`` for the router process
+— client roots included — plus one per worker), and the script stitches
+them afterwards to assert every request formed a complete
+client → router → worker tree. Summarize with ``repro trace DIR/*.ndjson``.
+
+Run:  python examples/cluster_smoke.py [workers] [--trace-dir DIR]
 """
 
 from __future__ import annotations
@@ -29,8 +35,56 @@ SEED = 42
 TRACE = repro.zipf_trace(num_pages=8 * CAPACITY, length=50_000, alpha=1.0, seed=SEED)
 
 
+def _trace_dir(argv: list[str]) -> str | None:
+    if "--trace-dir" in argv:
+        i = argv.index("--trace-dir")
+        if i + 1 >= len(argv):
+            raise SystemExit("--trace-dir needs a directory argument")
+        del argv[i]
+        return argv.pop(i)
+    return None
+
+
+def _check_spans(trace_dir: str) -> int:
+    from pathlib import Path
+
+    from repro.obs.spans import format_summary, read_spans, stitch, summarize
+
+    paths = sorted(Path(trace_dir).glob("spans-*.ndjson"))
+    spans = read_spans(paths)
+    trees = stitch(spans)
+    print(
+        f"\nspans: {len(spans)} records in {len(paths)} files, "
+        f"{len(trees['traces'])} traces"
+    )
+    print(format_summary(summarize(spans)))
+    if trees["orphans"] or trees["multi_root"]:
+        print(
+            f"SPAN STITCH FAILURE: {len(trees['orphans'])} orphan spans, "
+            f"{len(trees['multi_root'])} multi-root traces"
+        )
+        return 1
+    # HELLO/PING answer at the router, so only data ops must reach a worker
+    incomplete = [
+        tid
+        for tid, root in trees["roots"].items()
+        if root["name"] == "client.request"
+        and not root.get("error")
+        and root.get("op") in ("GET", "PUT", "DEL", "MGET", "MPUT")
+        and not {"client.request", "router.request", "server.request"}
+        <= {s["name"] for s in trees["traces"][tid]}
+    ]
+    if incomplete:
+        print(f"SPAN STITCH FAILURE: {len(incomplete)} client traces missing a tier")
+        return 1
+    print("every client request stitched into a complete client→router→worker tree ✓")
+    return 0
+
+
 async def main() -> int:
-    workers = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+    argv = sys.argv[1:]
+    trace_dir = _trace_dir(argv)
+    workers = int(argv[0]) if argv else 4
     async with running_cluster(POLICY, CAPACITY, workers=workers, seed=SEED) as cluster:
         print(
             f"cluster: {workers} worker processes behind the router on "
@@ -47,7 +101,10 @@ async def main() -> int:
 
         # -- fresh cluster for the parity replay (the manual ops above
         # already advanced one worker's policy state) ---------------------
-    async with running_cluster(POLICY, CAPACITY, workers=workers, seed=SEED) as cluster:
+    # span files are truncated on open, so only the replay cluster traces
+    async with running_cluster(
+        POLICY, CAPACITY, workers=workers, seed=SEED, trace_dir=trace_dir
+    ) as cluster:
         report = await replay_trace(
             TRACE,
             host="127.0.0.1",
@@ -77,6 +134,8 @@ async def main() -> int:
         print(f"REPLAY ERRORS: {report.errors}")
         return 1
     print("exact parity with the ring-partitioned simulator ✓")
+    if trace_dir is not None:
+        return _check_spans(trace_dir)
     return 0
 
 

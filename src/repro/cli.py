@@ -10,7 +10,10 @@ Usage::
     repro-experiment mrc --trace t.npz --sizes 256,1024,4096 [--shards 0.1]
     repro-experiment serve --policy heatsink --capacity 1024 --port 7070
     repro-experiment loadgen --port 7070 --zipf 4096,200000,1.0
+    repro-experiment loadgen --port 7070 --zipf 4096,50000 \
+        --arrival-rate 2000 --burst 4 --slo 5
     repro-experiment stats --port 7070 [--prom] [--watch 2]
+    repro-experiment trace spans/*.ndjson
 
 Experiment runs print their rows as markdown tables and can persist CSV;
 ``simulate`` and ``mrc`` make the library usable as a one-shot trace
@@ -183,6 +186,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats-interval", type=float, default=0.0,
         help="print a one-line merged stats snapshot every N seconds (0 = never)",
     )
+    cluster_p.add_argument(
+        "--trace-dir", type=Path, default=None,
+        help="write request-tracing span NDJSON files into this directory "
+        "(spans-router.ndjson + one per worker; summarize with `trace`)",
+    )
+    cluster_p.add_argument(
+        "--trace-sample", type=float, default=1.0,
+        help="per-trace keep probability when --trace-dir is set",
+    )
 
     load_p = sub.add_parser("loadgen", help="replay a trace against a running server")
     load_p.add_argument("--host", default="127.0.0.1")
@@ -249,6 +261,37 @@ def build_parser() -> argparse.ArgumentParser:
     load_p.add_argument(
         "--report-interval", type=float, default=0.0,
         help="print a progress line every N seconds while replaying (0 = never)",
+    )
+    load_p.add_argument(
+        "--arrival-rate", type=float, default=0.0, metavar="REQ_PER_S",
+        help="open-loop mode: offer the trace at this fixed Poisson arrival "
+        "rate and report latency-under-SLO (ignores --mode/--concurrency/"
+        "--batch; measures from scheduled arrival, no coordinated omission)",
+    )
+    load_p.add_argument(
+        "--burst", type=float, default=1.0,
+        help="open-loop burstiness: mean arrivals per clump (1 = Poisson)",
+    )
+    load_p.add_argument(
+        "--slo", type=float, default=0.0, metavar="MS",
+        help="open-loop latency objective in milliseconds; the report "
+        "counts violations against it (0 = report percentiles only)",
+    )
+    load_p.add_argument(
+        "--slo-json", type=Path, default=None, metavar="FILE",
+        help="also write the open-loop SLO report as JSON to FILE",
+    )
+
+    trace_p = sub.add_parser(
+        "trace", help="summarize span NDJSON files (where p99 time goes)"
+    )
+    trace_p.add_argument(
+        "paths", nargs="+", type=Path,
+        help="span files written by repro.obs.tracing (one per process)",
+    )
+    trace_p.add_argument(
+        "--tail", type=float, default=0.99,
+        help="tail quantile whose traces get the per-op breakdown",
     )
 
     stats_p = sub.add_parser("stats", help="query a running server's metrics")
@@ -502,6 +545,8 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             write_timeout=args.write_timeout or None,
             pool=args.pool,
             upstream_retries=args.upstream_retries,
+            trace_dir=str(args.trace_dir) if args.trace_dir is not None else None,
+            trace_sample=args.trace_sample,
         )
         await supervisor.start()
         router = supervisor.router
@@ -594,6 +639,13 @@ def _format_stats(snap: dict) -> str:
             )
     if "sink_occupancy" in snap:
         lines.append(f"sink occ.  : {snap['sink_occupancy']:.3f}")
+    recent = snap.get("recent", {})
+    if recent:
+        lines.append(
+            f"recent     : {recent.get('rate', 0.0):,.0f}/s over last "
+            f"{recent.get('window_s')}s  p50 {recent.get('p50_us')}µs  "
+            f"p99 {recent.get('p99_us')}µs  (n={recent.get('count')})"
+        )
     if lat:
         lines.append(
             f"latency    : p50 {lat.get('p50_us')}µs  p99 {lat.get('p99_us')}µs  "
@@ -605,6 +657,25 @@ def _format_stats(snap: dict) -> str:
             f"max {hist.get('max_us')}µs  (n={hist.get('count')})"
         )
     return "\n".join(lines)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.spans import format_summary, read_spans, stitch, summarize
+
+    spans = read_spans(args.paths)
+    if not spans:
+        print("no span records found")
+        return 1
+    trees = stitch(spans)
+    print(format_summary(summarize(spans, tail_quantile=args.tail)))
+    if trees["orphans"] or trees["multi_root"]:
+        print(
+            f"\nWARNING: {len(trees['orphans'])} orphan spans, "
+            f"{len(trees['multi_root'])} multi-root traces — "
+            "span files are incomplete (missing a tier's file?)"
+        )
+        return 1
+    return 0
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -682,6 +753,34 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             **{f"{name}_rate": rate for name, rate in fault_rates.items()},
         )
 
+    if args.arrival_rate > 0:
+        import json
+
+        from repro.service.openloop import run_open_loop
+
+        print(
+            f"offering {trace} to {args.host}:{args.port} at "
+            f"{args.arrival_rate:,.0f} req/s (open loop) ..."
+        )
+        print(f"event loop: {install_best_event_loop()}", flush=True)
+        slo_report = run_open_loop(
+            trace,
+            host=args.host,
+            port=args.port,
+            rate=args.arrival_rate,
+            burst=args.burst,
+            connections=max(1, args.connections),
+            frame=args.frame,
+            slo_ms=args.slo or None,
+            timeout=args.timeout or None,
+            seed=args.seed,
+        )
+        print(slo_report.summary())
+        if args.slo_json is not None:
+            args.slo_json.write_text(json.dumps(slo_report.as_dict(), indent=2) + "\n")
+            print(f"wrote {args.slo_json}")
+        return 0 if slo_report.lag_ok else 1
+
     print(f"replaying {trace} against {args.host}:{args.port} ...")
     print(f"event loop: {install_best_event_loop()}", flush=True)
     report = run_replay(
@@ -729,6 +828,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_cluster(args)
     if args.command == "loadgen":
         return _cmd_loadgen(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "stats":
         return _cmd_stats(args)
     return 2  # pragma: no cover - argparse enforces choices

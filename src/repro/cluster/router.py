@@ -66,14 +66,16 @@ from repro.cluster.link import (
 )
 from repro.cluster.ring import DEFAULT_VNODES, HashRing
 from repro.hashing import splitmix64
+from repro.obs import tracing
 from repro.obs.metrics import MetricsRegistry
 from repro.service.framing import Frame
-from repro.service.metrics import LatencyHistogram, PER_OP_LATENCY
+from repro.service.metrics import LatencyHistogram, PER_OP_LATENCY, RecentWindow
 from repro.service.protocol import (
     BINARY_TAG,
     CODE_OVERFLOW,
     CODE_REJECTED,
     CODE_UPSTREAM,
+    FEATURES,
     FRAME_BINARY,
     FRAME_NDJSON,
     FRAMES,
@@ -84,8 +86,10 @@ from repro.service.protocol import (
     decode_response,
     encode_frame,
     encode_response,
+    encode_traced_frame,
     error_payload,
     overload_payload,
+    wrap_traced_body,
 )
 from repro.service.server import (
     _EOF as _EOF_FRAME,
@@ -127,6 +131,19 @@ def _to_binary_frame(frame: Frame) -> bytes:
     return BINARY_TAG.to_bytes(1, "big") + len(body).to_bytes(4, "big") + body
 
 
+def _upstream_frame(frame: Frame, ctx: str | None) -> bytes:
+    """The upstream bytes for a forwarded frame, splicing ``ctx`` if tracing.
+
+    With a context, the body bytes are still forwarded verbatim — only
+    the traced-frame header around them changes, so the worker's spans
+    parent to the router's link span instead of the client's root.
+    """
+    if ctx is None:
+        return _to_binary_frame(frame)
+    body = frame.payload if frame.binary else frame.payload.rstrip(b"\r\n")
+    return wrap_traced_body(body, ctx)
+
+
 class RouterMetrics:
     """Router-side counters; worker counters live in the workers."""
 
@@ -149,9 +166,11 @@ class RouterMetrics:
         self.reshards = 0
         self.latency = LatencyHistogram()
         self.latency_by_op = {op: LatencyHistogram() for op in PER_OP_LATENCY}
+        self.recent = RecentWindow()
 
     def record_op(self, op: str | None, seconds: float) -> None:
         self.latency.record(seconds)
+        self.recent.record(seconds)
         per_op = self.latency_by_op.get(op) if op is not None else None
         if per_op is not None:
             per_op.record(seconds)
@@ -406,8 +425,12 @@ class RouterServer:
         metrics = self.metrics
         if frame is _OVERFLOW_FRAME:
             metrics.errors += 1
-            await responses.put(
-                (start, None, encode_response(error_payload("frame too long", code=CODE_OVERFLOW)))
+            await self._enqueue(
+                responses,
+                start,
+                None,
+                encode_response(error_payload("frame too long", code=CODE_OVERFLOW)),
+                None,
             )
             return
         metrics.requests += 1
@@ -416,16 +439,27 @@ class RouterServer:
             request = decode_request(frame.payload)
         except ProtocolError as exc:
             metrics.errors += 1
-            await responses.put(
-                (start, None, _frame_body(_json_body(error_payload(str(exc))), binary))
+            await self._enqueue(
+                responses, start, None, _frame_body(_json_body(error_payload(str(exc))), binary), None
             )
             return
         op = request.op
+        # The router never roots traces — it joins the client's (header
+        # context wins over the body field, matching the worker's rule).
+        rspan = (
+            tracing.start_remote(
+                frame.trace or request.trace, "router.request", op=op, activate=False
+            )
+            if tracing.ENABLED
+            else None
+        )
         arrived = FRAME_BINARY if binary else FRAME_NDJSON
         if arrived not in self.frames and op != "HELLO":
             metrics.errors += 1
             payload = error_payload(f"{arrived} framing not accepted here; negotiate via HELLO")
-            await responses.put((start, op, _frame_body(_json_body(payload), binary)))
+            await self._enqueue(
+                responses, start, op, _frame_body(_json_body(payload), binary), rspan
+            )
             return
 
         slot: bytes | Coroutine[Any, Any, bytes]
@@ -435,14 +469,14 @@ class RouterServer:
                 metrics.migration_ops += 1
                 slot = self._finish_migrating_single(request, binary)
             else:
-                slot = await self._forward_single(request, frame, conn_index, binary)
+                slot = await self._forward_single(request, frame, conn_index, binary, rspan)
         elif op in ("MGET", "MPUT"):
             assert request.keys is not None
             if self._migration is not None:
                 metrics.migration_ops += 1
                 slot = self._finish_migrating_batch(request, binary)
             else:
-                slot = await self._forward_batch(request, frame, conn_index, binary)
+                slot = await self._forward_batch(request, frame, conn_index, binary, rspan)
         elif op == "PING":
             metrics.local += 1
             slot = _frame_body(_json_body({"ok": True, "pong": True}), binary)
@@ -455,7 +489,12 @@ class RouterServer:
                     f"router accepts {list(self.frames)}"
                 )
             else:
-                payload = {"ok": True, "frame": requested, "frames": list(self.frames)}
+                payload = {
+                    "ok": True,
+                    "frame": requested,
+                    "frames": list(self.frames),
+                    "features": list(FEATURES),
+                }
             slot = _frame_body(_json_body(payload), binary)
         elif op == "STATS":
             slot = self._finish_stats(binary)
@@ -466,7 +505,24 @@ class RouterServer:
         else:
             assert op == "RESHARD"
             slot = self._finish_reshard(request, binary)
-        await responses.put((start, op, slot))
+        await self._enqueue(responses, start, op, slot, rspan)
+
+    @staticmethod
+    async def _enqueue(
+        responses: asyncio.Queue,
+        start: float,
+        op: str | None,
+        slot: Any,
+        rspan: Any,
+    ) -> None:
+        """Queue a response slot, opening its ``router.queue`` wait span.
+
+        The queue span is opened here (enqueue time) and ended by the
+        flusher when it pops the item, so head-of-line blocking behind
+        earlier in-flight responses shows up as its own tree node.
+        """
+        qspan = rspan.start_child("router.queue") if rspan is not None else None
+        await responses.put((start, op, slot, rspan, qspan))
 
     async def _flush_responses(
         self, writer: asyncio.StreamWriter, responses: asyncio.Queue, state: _ConnState
@@ -483,7 +539,9 @@ class RouterServer:
             item = await responses.get()
             if item is _EOF:
                 return
-            start, op, slot = item
+            start, op, slot, rspan, qspan = item
+            if qspan is not None:
+                qspan.end()
             if isinstance(slot, (bytes, bytearray)):
                 data = slot
             else:
@@ -494,12 +552,19 @@ class RouterServer:
                     # never wedge it (the dispatch loop would block on a
                     # full queue while the client waits forever)
                     self.metrics.errors += 1
+                    if rspan is not None:
+                        rspan.end(error=True)
                     state.broken = True
                     return
             if state.broken:
+                if rspan is not None:
+                    rspan.end(aborted=True)
                 continue
             writer.write(data)
-            if not await self._drain(writer):
+            ok = await self._drain(writer)
+            if rspan is not None:
+                rspan.end()
+            if not ok:
                 state.broken = True
                 continue
             metrics.record_op(op, loop.time() - start)
@@ -529,6 +594,9 @@ class RouterServer:
                 slot = item[2]
                 if not isinstance(slot, (bytes, bytearray)) and slot is not None:
                     slot.close()
+                for sp in item[4:2:-1]:  # qspan, then its parent rspan
+                    if sp is not None:
+                        sp.end(aborted=True)
 
     # -- routing -------------------------------------------------------------
     def _owner_of(self, key: int) -> str:
@@ -545,23 +613,24 @@ class RouterServer:
         return self._key_locks[int(splitmix64(key)) & 0xFF]
 
     async def _forward_single(
-        self, request: Request, frame: Frame, conn_index: int, binary: bool
+        self, request: Request, frame: Frame, conn_index: int, binary: bool, rspan: Any = None
     ) -> Coroutine[Any, Any, bytes] | bytes:
         """Send a single-key op to its owner now; return the settle slot."""
         assert request.key is not None
         link = self._channels[self._owner_of(request.key)].link_for(conn_index)
-        upstream = _to_binary_frame(frame)
+        lspan = rspan.start_child("router.link", node=link.node) if rspan is not None else None
+        upstream = _upstream_frame(frame, lspan.ctx if lspan is not None else None)
         retryable = request.op in IDEMPOTENT_OPS
         self.metrics.forwarded += 1
         try:
             future = await link.send(upstream)
         except ServiceError:
             self.metrics.upstream_errors += 1
-            return self._finish_resend(link, upstream, retryable, binary)
-        return self._finish_forward(link, future, upstream, retryable, binary)
+            return self._finish_resend(link, upstream, retryable, binary, lspan)
+        return self._finish_forward(link, future, upstream, retryable, binary, lspan)
 
     async def _forward_batch(
-        self, request: Request, frame: Frame, conn_index: int, binary: bool
+        self, request: Request, frame: Frame, conn_index: int, binary: bool, rspan: Any = None
     ) -> Coroutine[Any, Any, bytes] | bytes:
         """Split an MGET/MPUT by owner; send sub-batches now, merge later."""
         assert request.keys is not None
@@ -574,16 +643,19 @@ class RouterServer:
             # one owner: the worker's response is exactly the client's
             (node,) = groups
             link = self._channels[node].link_for(conn_index)
-            upstream = _to_binary_frame(frame)
+            lspan = (
+                rspan.start_child("router.link", node=link.node) if rspan is not None else None
+            )
+            upstream = _upstream_frame(frame, lspan.ctx if lspan is not None else None)
             self.metrics.forwarded += 1
             try:
                 future = await link.send(upstream)
             except ServiceError:
                 self.metrics.upstream_errors += 1
-                return self._finish_resend(link, upstream, retryable, binary)
-            return self._finish_forward(link, future, upstream, retryable, binary)
+                return self._finish_resend(link, upstream, retryable, binary, lspan)
+            return self._finish_forward(link, future, upstream, retryable, binary, lspan)
         self.metrics.fanouts += 1
-        parts: list[tuple[WorkerLink, asyncio.Future | None, bytes, list[int]]] = []
+        parts: list[tuple[WorkerLink, asyncio.Future | None, bytes, list[int], Any]] = []
         for node, positions in groups.items():
             sub_payload: dict[str, Any] = {
                 "op": request.op,
@@ -592,14 +664,22 @@ class RouterServer:
             if request.op == "MPUT":
                 assert request.values is not None
                 sub_payload["values"] = [request.values[i] for i in positions]
-            sub_frame = encode_frame(sub_payload)
             link = self._channels[node].link_for(conn_index)
+            lspan = (
+                rspan.start_child("router.link", node=link.node, n=len(positions))
+                if rspan is not None
+                else None
+            )
+            if lspan is not None:
+                sub_frame = encode_traced_frame(sub_payload, lspan.ctx)
+            else:
+                sub_frame = encode_frame(sub_payload)
             try:
                 future: asyncio.Future | None = await link.send(sub_frame)
             except ServiceError:
                 self.metrics.upstream_errors += 1
                 future = None  # the finisher will retry or fail this part
-            parts.append((link, future, sub_frame, positions))
+            parts.append((link, future, sub_frame, positions, lspan))
         return self._finish_batch(request.op, parts, len(keys), retryable, binary)
 
     # -- response finishers (run inside the flusher, in request order) -------
@@ -610,15 +690,29 @@ class RouterServer:
         upstream: bytes,
         retryable: bool,
         binary: bool,
+        lspan: Any = None,
     ) -> bytes:
-        body = await self._settle_or_retry(link, future, upstream, retryable)
+        try:
+            body = await self._settle_or_retry(link, future, upstream, retryable)
+        finally:
+            if lspan is not None:
+                lspan.end()
         return _frame_body(body, binary)
 
     async def _finish_resend(
-        self, link: WorkerLink, upstream: bytes, retryable: bool, binary: bool
+        self,
+        link: WorkerLink,
+        upstream: bytes,
+        retryable: bool,
+        binary: bool,
+        lspan: Any = None,
     ) -> bytes:
         """The send itself failed (e.g. worker down): retry path only."""
-        body = await self._retry_body(link, upstream, retryable, "link unavailable")
+        try:
+            body = await self._retry_body(link, upstream, retryable, "link unavailable")
+        finally:
+            if lspan is not None:
+                lspan.end()
         return _frame_body(body, binary)
 
     async def _settle_or_retry(
@@ -655,18 +749,38 @@ class RouterServer:
     async def _finish_batch(
         self,
         op: str,
-        parts: list[tuple[WorkerLink, asyncio.Future | None, bytes, list[int]]],
+        parts: list[tuple[WorkerLink, asyncio.Future | None, bytes, list[int], Any]],
+        total: int,
+        retryable: bool,
+        binary: bool,
+    ) -> bytes:
+        try:
+            return await self._finish_batch_inner(op, parts, total, retryable, binary)
+        finally:
+            # early-error returns above leave later parts unsettled in span
+            # terms only (FIFO links still deliver); close their link spans
+            for part in parts:
+                if part[4] is not None:
+                    part[4].end()
+
+    async def _finish_batch_inner(
+        self,
+        op: str,
+        parts: list[tuple[WorkerLink, asyncio.Future | None, bytes, list[int], Any]],
         total: int,
         retryable: bool,
         binary: bool,
     ) -> bytes:
         hits: list[Any] = [False] * total
         values: list[Any] = [None] * total
-        for link, future, upstream, positions in parts:
+        for index, (link, future, upstream, positions, lspan) in enumerate(parts):
             if future is None:
                 body = await self._retry_body(link, upstream, retryable, "link unavailable")
             else:
                 body = await self._settle_or_retry(link, future, upstream, retryable)
+            if lspan is not None:
+                lspan.end()
+                parts[index] = (link, future, upstream, positions, None)
             try:
                 payload = decode_response(body)
             except ProtocolError as exc:
@@ -810,6 +924,7 @@ class RouterServer:
             "latency_by_op": {
                 op.lower(): hist.snapshot() for op, hist in m.latency_by_op.items()
             },
+            "recent": m.recent.snapshot(),
             "router": {
                 "requests": m.requests,
                 "forwarded": m.forwarded,
@@ -902,6 +1017,13 @@ class RouterServer:
             m.latency,
             "router-observed request service time, all ops",
         )
+        for op, hist in m.latency_by_op.items():
+            reg.register(
+                "repro_op_latency_seconds",
+                hist,
+                "router-observed request service time, by op",
+                labels={"op": op.lower()},
+            )
         return reg
 
     async def metrics_text(self) -> str:

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+from pathlib import Path
 from typing import Any, AsyncIterator
 
 from repro.cluster.ring import DEFAULT_VNODES
@@ -29,6 +30,7 @@ from repro.cluster.worker import (
     spawn_worker,
 )
 from repro.errors import ConfigurationError, ServiceError
+from repro.obs import tracing
 from repro.rng import derive_seed
 from repro.service.protocol import FRAMES
 from repro.service.server import DEFAULT_MAX_INFLIGHT, DEFAULT_WRITE_TIMEOUT
@@ -63,6 +65,8 @@ class ClusterSupervisor:
         pool: int = 2,
         upstream_retries: int = 1,
         upstream_timeout: float | None = None,
+        trace_dir: str | None = None,
+        trace_sample: float = 1.0,
     ):
         if workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
@@ -80,16 +84,21 @@ class ClusterSupervisor:
         self.pool = pool
         self.upstream_retries = upstream_retries
         self.upstream_timeout = upstream_timeout
+        self.trace_dir = trace_dir
+        self.trace_sample = trace_sample
         self.specs = build_specs(
             policy,
             capacity,
             workers,
             seed=seed,
             max_inflight=worker_max_inflight,
+            trace_dir=trace_dir,
+            trace_sample=trace_sample,
         )
         self._next_index = workers  # reshard-added workers continue the series
         self.handles: dict[str, WorkerHandle] = {}
         self.router: RouterServer | None = None
+        self._trace_sink: Any = None
 
     # -- lifecycle -----------------------------------------------------------
     @property
@@ -103,6 +112,17 @@ class ClusterSupervisor:
     async def start(self) -> None:
         if self.router is not None:
             raise ServiceError("cluster is already running")
+        if self.trace_dir is not None and self._trace_sink is None:
+            # one tracing config per process: the supervisor's process hosts
+            # the router (and often the driving client), so its spans —
+            # client roots included — land in spans-router.ndjson
+            Path(self.trace_dir).mkdir(parents=True, exist_ok=True)
+            self._trace_sink = tracing.configure(
+                path=str(Path(self.trace_dir) / "spans-router.ndjson"),
+                service="router",
+                seed=self.seed,
+                sample=self.trace_sample,
+            )
         results = await asyncio.gather(
             *(asyncio.to_thread(spawn_worker, spec) for spec in self.specs),
             return_exceptions=True,
@@ -157,6 +177,11 @@ class ClusterSupervisor:
             await asyncio.gather(
                 *(asyncio.to_thread(handle.terminate) for handle in handles)
             )
+        sink, self._trace_sink = self._trace_sink, None
+        if sink is not None:
+            tracing.uninstall(sink)
+            with contextlib.suppress(Exception):
+                sink.close()
 
     # -- live resharding -----------------------------------------------------
     async def add_worker(self, *, capacity: int | None = None) -> WorkerHandle:
@@ -181,6 +206,12 @@ class ClusterSupervisor:
             seed=derive_seed(self.seed, "shard", index),
             host=self.host if self.host != "0.0.0.0" else "127.0.0.1",
             max_inflight=self.worker_max_inflight,
+            trace_path=(
+                str(Path(self.trace_dir) / f"spans-w{index}.ndjson")
+                if self.trace_dir is not None
+                else None
+            ),
+            trace_sample=self.trace_sample,
         )
         handle = await asyncio.to_thread(spawn_worker, spec)
         try:

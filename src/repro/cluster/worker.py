@@ -34,6 +34,7 @@ import multiprocessing
 import signal
 from dataclasses import dataclass
 from multiprocessing.connection import Connection
+from pathlib import Path
 from typing import Any, Sequence
 
 import numpy as np
@@ -68,7 +69,13 @@ SPAWN_TIMEOUT = 60.0
 
 @dataclass(frozen=True)
 class WorkerSpec:
-    """Everything a worker process needs to build itself (picklable)."""
+    """Everything a worker process needs to build itself (picklable).
+
+    ``trace_path`` turns on request tracing inside the worker process:
+    spans land in an NDJSON file at that path, stamped with the worker's
+    node name as the service and seeded per-worker so span ids stay
+    deterministic and collision-free across the tier.
+    """
 
     index: int
     node: str
@@ -78,6 +85,8 @@ class WorkerSpec:
     host: str = "127.0.0.1"
     port: int = 0  # 0 = ephemeral; the actual port comes back over the pipe
     max_inflight: int = WORKER_MAX_INFLIGHT
+    trace_path: str | None = None
+    trace_sample: float = 1.0
 
 
 def build_specs(
@@ -88,6 +97,8 @@ def build_specs(
     seed: int = 0,
     host: str = "127.0.0.1",
     max_inflight: int = WORKER_MAX_INFLIGHT,
+    trace_dir: str | None = None,
+    trace_sample: float = 1.0,
 ) -> list[WorkerSpec]:
     """Specs for an ``N``-worker tier, seeded like ``ShardedPolicyStore``.
 
@@ -95,12 +106,16 @@ def build_specs(
     extra slot); worker ``i`` is named ``w{i}`` and seeded
     ``derive_seed(seed, "shard", i)`` — or ``seed`` itself when
     ``workers == 1``, so a one-worker cluster is pin-identical to the
-    unsharded single-process server.
+    unsharded single-process server. ``trace_dir`` gives each worker a
+    span file ``spans-w{i}.ndjson`` there (see :mod:`repro.obs.tracing`).
     """
     capacities = split_capacity(capacity, workers)
     specs = []
     for index, worker_capacity in enumerate(capacities):
         worker_seed = seed if workers == 1 else derive_seed(seed, "shard", index)
+        trace_path = None
+        if trace_dir is not None:
+            trace_path = str(Path(trace_dir) / f"spans-w{index}.ndjson")
         specs.append(
             WorkerSpec(
                 index=index,
@@ -110,6 +125,8 @@ def build_specs(
                 seed=worker_seed,
                 host=host,
                 max_inflight=max_inflight,
+                trace_path=trace_path,
+                trace_sample=trace_sample,
             )
         )
     return specs
@@ -134,6 +151,15 @@ def _worker_entry(spec: WorkerSpec, conn: Connection) -> None:
 
 
 async def _worker_main(spec: WorkerSpec, conn: Connection) -> None:
+    if spec.trace_path is not None:
+        from repro.obs import tracing
+
+        tracing.configure(
+            path=spec.trace_path,
+            service=spec.node,
+            seed=spec.seed,
+            sample=spec.trace_sample,
+        )
     server = CacheServer(
         build_worker_store(spec),
         host=spec.host,
@@ -155,6 +181,10 @@ async def _worker_main(spec: WorkerSpec, conn: Connection) -> None:
     conn.close()
     await stop.wait()
     await server.stop()
+    if spec.trace_path is not None:
+        from repro.obs import tracing
+
+        tracing.shutdown()  # flush + close the owned span file
 
 
 class WorkerHandle:

@@ -25,15 +25,24 @@ Layout::
 
     hooks.py       module-level enabled flag, sink fan-out, logical clock
     sinks.py       ListSink, RingBufferSink, NDJSONSink, SamplingSink
+    tracing.py     distributed request spans (deterministic ids, contextvars)
+    spans.py       span-file stitching + tail-latency summaries
     metrics.py     Counter / Gauge / Histogram, MetricsRegistry
     exposition.py  Prometheus text render + parse
     lifetimes.py   placement lifetimes, occupancy series (import lazily)
-    httpexpo.py    GET /metrics exposition endpoint (import lazily)
+    httpexpo.py    GET /metrics + /healthz endpoints (import lazily)
+
+A third half arrived with the cluster: **request tracing**
+(:mod:`repro.obs.tracing`) — per-request spans with deterministic ids
+that propagate client → router → worker over the wire and stitch into
+one tree per request (:mod:`repro.obs.spans`, ``repro trace`` CLI). Like
+the event hooks it is zero-cost while disabled, and its records flow
+through the same sink classes.
 
 Event schema, metric names and overhead numbers: ``docs/observability.md``.
 """
 
-from repro.obs import hooks
+from repro.obs import hooks, tracing
 from repro.obs.exposition import (
     CONTENT_TYPE,
     ParsedExposition,
@@ -53,6 +62,7 @@ from repro.obs.sinks import ListSink, NDJSONSink, NullSink, RingBufferSink, Samp
 
 __all__ = [
     "hooks",
+    "tracing",
     "TraceSink",
     "capturing",
     "ListSink",

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import time
 from typing import AsyncIterator, Awaitable, Callable
 
 from repro.errors import ServiceError
@@ -29,6 +30,10 @@ _MAX_REQUEST_BYTES = 16 * 1024
 
 class MetricsExporter:
     """Serve ``render()``'s text at ``GET /metrics`` (and ``/``).
+
+    ``GET /healthz`` answers ``200 ok`` with the exporter's uptime,
+    without invoking ``render`` — a liveness probe must stay cheap and
+    must not take the store's lock.
 
     Parameters
     ----------
@@ -50,6 +55,7 @@ class MetricsExporter:
         self.host = host
         self.port = port
         self._server: asyncio.Server | None = None
+        self._started = time.monotonic()
 
     async def start(self) -> None:
         if self._server is not None:
@@ -63,6 +69,7 @@ class MetricsExporter:
                 f"cannot bind metrics endpoint {self.host}:{self.port}: {exc}"
             ) from exc
         self.port = self._server.sockets[0].getsockname()[1]
+        self._started = time.monotonic()
 
     async def stop(self) -> None:
         if self._server is None:
@@ -90,8 +97,11 @@ class MetricsExporter:
             elif path.split("?", 1)[0] in ("/metrics", "/"):
                 body = await self._render()
                 await self._respond(writer, 200, body, content_type=CONTENT_TYPE)
+            elif path.split("?", 1)[0] == "/healthz":
+                uptime = time.monotonic() - self._started
+                await self._respond(writer, 200, f"ok uptime_s={uptime:.3f}\n")
             else:
-                await self._respond(writer, 404, "try /metrics\n")
+                await self._respond(writer, 404, "try /metrics or /healthz\n")
         except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError, ValueError):
             pass  # scraper vanished or sent garbage; nothing to answer
         finally:

@@ -33,7 +33,8 @@ Layout::
                   negotiation) and ResilientClient (retries, backoff,
                   reconnect)
     faults.py     FaultPlan / ChaosProxy: seeded fault injection
-    loadgen.py    trace replay at a target concurrency, LoadReport
+    loadgen.py    closed-loop trace replay at a target concurrency
+    openloop.py   open-loop arrivals at a fixed rate, SLO latency report
     loop.py       optional uvloop installation for the CLI entry points
 
 CLI: ``repro-experiment serve`` / ``repro-experiment loadgen`` /
@@ -52,7 +53,13 @@ from repro.service.faults import ChaosProxy, FaultPlan, FaultStats, running_prox
 from repro.service.framing import Frame, FrameSplitter
 from repro.service.loadgen import LoadReport, replay_trace, run_replay
 from repro.service.loop import install_best_event_loop
-from repro.service.metrics import LatencyHistogram, ServiceMetrics, build_registry
+from repro.service.metrics import (
+    LatencyHistogram,
+    RecentWindow,
+    ServiceMetrics,
+    build_registry,
+)
+from repro.service.openloop import SLOReport, open_loop_replay, run_open_loop
 from repro.service.protocol import (
     FRAME_BINARY,
     FRAME_NDJSON,
@@ -104,4 +111,8 @@ __all__ = [
     "LoadReport",
     "replay_trace",
     "run_replay",
+    "RecentWindow",
+    "SLOReport",
+    "open_loop_replay",
+    "run_open_loop",
 ]

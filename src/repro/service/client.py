@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import asyncio
 import random
-from dataclasses import dataclass, fields
+from dataclasses import dataclass, fields, replace
 from typing import Any, Awaitable, Callable, Iterator, Sequence, TypeVar
 
 from repro.errors import (
@@ -42,11 +42,13 @@ from repro.errors import (
     ServiceOverloaded,
     ServiceTimeout,
 )
+from repro.obs import tracing
 from repro.rng import derive_seed
 from repro.service.protocol import (
     BINARY_HEADER_SIZE,
     BINARY_TAG,
     CODE_OVERLOADED,
+    FEATURE_TRACE,
     FRAME_BINARY,
     FRAME_NDJSON,
     FRAMES,
@@ -57,7 +59,10 @@ from repro.service.protocol import (
     Request,
     batch_responses,
     decode_response,
+    encode_frame,
     encode_request,
+    encode_traced_frame,
+    request_payload,
 )
 
 __all__ = [
@@ -100,6 +105,8 @@ class ServiceClient:
         self._writer = writer
         self.timeout = timeout
         self.frame = FRAME_NDJSON
+        #: Capabilities the server's HELLO advertised (empty until a probe).
+        self.features: tuple[str, ...] = ()
 
     @classmethod
     async def connect(
@@ -139,6 +146,7 @@ class ServiceClient:
                     f"server does not accept binary framing: {response.get('error', response)}"
                 )
             client.frame = FRAME_BINARY
+            client.features = tuple(response.get("features", ()))
         return client
 
     async def close(self) -> None:
@@ -156,7 +164,20 @@ class ServiceClient:
 
     # -- single requests ----------------------------------------------------
     async def request(self, req: Request) -> dict[str, Any]:
-        """Send one request and await its response (raw payload dict)."""
+        """Send one request and await its response (raw payload dict).
+
+        With tracing configured, each request becomes the root span of a
+        new trace (``client.request``) and its context rides the wire, so
+        server/router/worker spans stitch under it.
+        """
+        if tracing.ENABLED:
+            root = tracing.start_trace("client.request", op=req.op, activate=False)
+            if root is not None:
+                try:
+                    await self._send(self._traced_bytes(req, root))
+                    return await self._read_response()
+                finally:
+                    root.end()
         await self._send(encode_request(req, frame=self.frame))
         return await self._read_response()
 
@@ -239,6 +260,8 @@ class ServiceClient:
             raise ConfigurationError(f"batch must be in [1, {MAX_BATCH_KEYS}], got {batch}")
         if not keys:
             return []
+        if tracing.ENABLED:
+            return await self._get_window_traced(keys, batch)
         if batch == 1:
             await self._send(
                 b"".join(encode_request(Request("GET", key=k), frame=self.frame) for k in keys)
@@ -254,6 +277,58 @@ class ServiceClient:
         return out
 
     # -- internals ----------------------------------------------------------
+    async def _get_window_traced(self, keys: Sequence[int], batch: int) -> list[dict[str, Any]]:
+        """:meth:`get_window` with one root span per pipelined frame.
+
+        Roots end as their responses arrive (FIFO); a window that dies
+        mid-read still ends the outstanding roots (``error`` attribute)
+        so sampled traces never lose their root.
+        """
+        if batch == 1:
+            requests = [(Request("GET", key=k), 0) for k in keys]
+        else:
+            requests = [
+                (Request("MGET", keys=tuple(keys[i : i + batch])), len(keys[i : i + batch]))
+                for i in range(0, len(keys), batch)
+            ]
+        roots: list[tracing.Span | None] = []
+        parts: list[bytes] = []
+        for req, _ in requests:
+            root = tracing.start_trace("client.request", op=req.op, activate=False)
+            roots.append(root)
+            parts.append(self._traced_bytes(req, root))
+        await self._send(b"".join(parts))
+        out: list[dict[str, Any]] = []
+        try:
+            for i, (_, n) in enumerate(requests):
+                response = await self._read_response()
+                root, roots[i] = roots[i], None
+                if root is not None:
+                    root.end()
+                if n:
+                    out.extend(batch_responses(response, n))
+                else:
+                    out.append(response)
+        finally:
+            for root in roots:
+                if root is not None:
+                    root.end(error=True)
+        return out
+
+    def _traced_bytes(self, req: Request, root: "tracing.Span | None") -> bytes:
+        """Encode ``req`` carrying ``root``'s context (or plainly if unsampled)."""
+        if root is None:
+            return encode_request(req, frame=self.frame)
+        if self.frame == FRAME_BINARY:
+            if FEATURE_TRACE in self.features:
+                return encode_traced_frame(request_payload(req), root.ctx)
+            # pre-tracing server: the context travels as a JSON field,
+            # which old decoders ignore — never send an unnegotiated 0xB2
+            payload = request_payload(req)
+            payload["trace"] = root.ctx
+            return encode_frame(payload)
+        return encode_request(replace(req, trace=root.ctx), frame=self.frame)
+
     async def _send(self, data: bytes) -> None:
         try:
             self._writer.write(data)

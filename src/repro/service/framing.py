@@ -23,7 +23,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import ProtocolError
-from repro.service.protocol import BINARY_HEADER_SIZE, BINARY_TAG, MAX_FRAME_BYTES
+from repro.service.protocol import (
+    BINARY_HEADER_SIZE,
+    BINARY_TAG,
+    MAX_FRAME_BYTES,
+    TRACE_TAG,
+)
 
 __all__ = ["Frame", "FrameSplitter"]
 
@@ -35,12 +40,15 @@ class Frame:
     ``raw`` is the exact byte sequence on the wire (framing included) —
     what a proxy forwards, truncates, or corrupts. ``payload`` is the
     JSON body: for NDJSON it equals ``raw`` (the decoder strips the
-    newline), for binary it is ``raw`` minus the 5-byte header.
+    newline), for binary it is ``raw`` minus the 5-byte header — and
+    minus the context prefix for traced frames (tag 0xB2), whose wire
+    trace context lands in ``trace`` instead.
     """
 
     raw: bytes
     payload: bytes
     binary: bool
+    trace: str | None = None
 
 
 class FrameSplitter:
@@ -78,7 +86,7 @@ class FrameSplitter:
         buf = self._buf
         if not buf:
             return None
-        if buf[0] == BINARY_TAG:
+        if buf[0] == BINARY_TAG or buf[0] == TRACE_TAG:
             if len(buf) < BINARY_HEADER_SIZE:
                 return None  # header still arriving
             length = int.from_bytes(buf[1:BINARY_HEADER_SIZE], "big")
@@ -91,8 +99,30 @@ class FrameSplitter:
                 return None
             raw = bytes(buf[:total])
             del buf[:total]
-            return Frame(raw=raw, payload=raw[BINARY_HEADER_SIZE:], binary=True)
+            if raw[0] == BINARY_TAG:
+                return Frame(raw=raw, payload=raw[BINARY_HEADER_SIZE:], binary=True)
+            return self._traced_frame(raw, length)
         end = buf.find(b"\n")
+        return self._ndjson_frame(buf, end)
+
+    @staticmethod
+    def _traced_frame(raw: bytes, length: int) -> Frame:
+        # traced body region: 1-byte context length, ASCII context, JSON body
+        if length < 2:
+            raise ProtocolError(f"traced frame body of {length} bytes has no room for a context")
+        ctx_len = raw[BINARY_HEADER_SIZE]
+        if ctx_len == 0 or 1 + ctx_len >= length:
+            raise ProtocolError(
+                f"traced frame declares a {ctx_len}-byte context in a {length}-byte body"
+            )
+        ctx_start = BINARY_HEADER_SIZE + 1
+        try:
+            trace = raw[ctx_start : ctx_start + ctx_len].decode("ascii")
+        except UnicodeDecodeError:
+            raise ProtocolError("traced frame context is not ASCII") from None
+        return Frame(raw=raw, payload=raw[ctx_start + ctx_len :], binary=True, trace=trace)
+
+    def _ndjson_frame(self, buf: bytearray, end: int) -> Frame | None:
         if end < 0:
             if len(buf) > self.max_frame:
                 raise ProtocolError(

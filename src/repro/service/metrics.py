@@ -29,7 +29,7 @@ from typing import Any, Mapping
 
 from repro.obs.metrics import Histogram, MetricsRegistry
 
-__all__ = ["LatencyHistogram", "ServiceMetrics", "build_registry"]
+__all__ = ["LatencyHistogram", "RecentWindow", "ServiceMetrics", "build_registry"]
 
 #: Ops that get a dedicated latency histogram (HELLO/METRICS/STATS/PING
 #: share only the combined one — they never touch the policy).
@@ -74,6 +74,67 @@ class LatencyHistogram(Histogram):
         }
 
 
+class RecentWindow:
+    """Sliding-window request rate + latency percentiles (last ~30 s).
+
+    Lifetime histograms answer "how has this server behaved since boot";
+    a watcher staring at ``stats --watch`` wants "how is it behaving *now*".
+    This keeps ``slices`` rotating sub-histograms of ``window_s / slices``
+    seconds each: a record lands in the slice owning its timestamp
+    (stale slices are reset lazily, O(1) per record, no timer task), and
+    a snapshot merges the slices still inside the window — so tails decay
+    within ``window_s`` instead of being pinned forever by one bad spike.
+    """
+
+    def __init__(self, *, window_s: float = 30.0, slices: int = 6):
+        if window_s <= 0 or slices < 2:
+            raise ValueError(f"bad window shape: window_s={window_s}, slices={slices}")
+        self.window_s = window_s
+        self.slice_s = window_s / slices
+        self._epochs = [-1] * slices
+        self._hists = [LatencyHistogram() for _ in range(slices)]
+        self._born = time.monotonic()
+
+    def record(self, seconds: float, *, now: float | None = None) -> None:
+        if now is None:
+            now = time.monotonic()
+        epoch = int(now / self.slice_s)
+        idx = epoch % len(self._hists)
+        if self._epochs[idx] != epoch:
+            self._epochs[idx] = epoch
+            self._hists[idx] = LatencyHistogram()
+        self._hists[idx].record(seconds)
+
+    def snapshot(self, *, now: float | None = None) -> dict[str, Any]:
+        """Merged view of the live slices (microseconds, like ``STATS``)."""
+        if now is None:
+            now = time.monotonic()
+        epoch = int(now / self.slice_s)
+        slices = len(self._hists)
+        merged = LatencyHistogram()
+        for idx, hist_epoch in enumerate(self._epochs):
+            if epoch - slices < hist_epoch <= epoch:
+                hist = self._hists[idx]
+                for i, c in enumerate(hist._counts):
+                    merged._counts[i] += c
+                merged.count += hist.count
+                merged.total += hist.total
+                merged.max = max(merged.max, hist.max)
+        # the live slices start at (epoch - slices + 1) * slice_s; a young
+        # window is clamped to its own age so early rates are not diluted
+        covered = min(now - (epoch - slices + 1) * self.slice_s, now - self._born)
+        covered = max(covered, self.slice_s * 1e-3)
+        return {
+            "window_s": round(min(covered, self.window_s), 3),
+            "count": merged.count,
+            "rate": round(merged.count / covered, 3),
+            "mean_us": round(merged.mean * 1e6, 3),
+            "p50_us": round(merged.percentile(0.50) * 1e6, 3),
+            "p99_us": round(merged.percentile(0.99) * 1e6, 3),
+            "max_us": round(merged.max * 1e6, 3),
+        }
+
+
 class ServiceMetrics:
     """Counters and gauges for one :class:`~repro.service.store.PolicyStore`.
 
@@ -97,6 +158,7 @@ class ServiceMetrics:
         self.connections_closed = 0
         self.latency = LatencyHistogram()
         self.latency_by_op = {op: LatencyHistogram() for op in PER_OP_LATENCY}
+        self.recent = RecentWindow()
 
     @property
     def accesses(self) -> int:
@@ -107,8 +169,9 @@ class ServiceMetrics:
         return self.hits / self.accesses if self.accesses else 0.0
 
     def record_op(self, op: str | None, seconds: float) -> None:
-        """Record one request's service time (combined + per-op)."""
+        """Record one request's service time (combined + per-op + recent)."""
         self.latency.record(seconds)
+        self.recent.record(seconds)
         per_op = self.latency_by_op.get(op) if op is not None else None
         if per_op is not None:
             per_op.record(seconds)
@@ -132,6 +195,7 @@ class ServiceMetrics:
             "latency_by_op": {
                 op.lower(): hist.snapshot() for op, hist in self.latency_by_op.items()
             },
+            "recent": self.recent.snapshot(),
         }
 
 

@@ -1,0 +1,316 @@
+"""Open-loop SLO load generation: fixed arrival rate, honest tails.
+
+The replay generator (:mod:`repro.service.loadgen`) is *closed-loop*:
+each window of requests waits for the previous window's responses, so
+when the server slows down the generator slows down with it — the
+classic *coordinated omission* failure mode, where the measured p99
+politely excludes exactly the moments the server was drowning.
+
+This module measures the question an SLO actually asks: **at a fixed
+offered rate, what latency do clients see?** Requests are released on a
+precomputed arrival schedule regardless of completions (Poisson arrivals
+at ``rate``/s, or bursty clumps with ``burst`` mean size at the same
+long-run rate), and every request's latency is measured from its
+*scheduled* arrival time — a request that queued behind a stall is
+charged the stall, exactly as a real client would experience it.
+
+Honesty requires one more check: if the *generator* cannot keep up (the
+event loop scheduled a send late), the run is measuring the load
+generator and not the server. Each send records its scheduler lag, and
+the report carries the p99 lag plus a ``lag_ok`` verdict against
+:data:`MAX_LAG_FRACTION` of the SLO (absolute floor
+:data:`MAX_LAG_SECONDS`); a report with ``lag_ok == False`` should be
+discarded, not celebrated.
+
+Determinism: the schedule is drawn from a seeded generator
+(``derive_seed(seed, "open-loop")``), so two runs at the same rate
+offer byte-identical arrival processes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.rng import derive_seed
+from repro.service.client import DEFAULT_TIMEOUT, ServiceClient
+from repro.service.protocol import FRAME_NDJSON, FRAMES, Request, encode_request
+from repro.traces.base import Trace, as_page_array
+
+__all__ = ["SLOReport", "arrival_schedule", "open_loop_replay", "run_open_loop"]
+
+#: Scheduler lag p99 must stay under this fraction of the SLO bound...
+MAX_LAG_FRACTION = 0.25
+#: ...and under this absolute floor when no SLO bound was given (seconds).
+MAX_LAG_SECONDS = 0.005
+
+
+def arrival_schedule(
+    n: int, rate: float, *, burst: float = 1.0, seed: int = 0
+) -> np.ndarray:
+    """``n`` arrival offsets (seconds from start) at ``rate`` requests/s.
+
+    ``burst == 1`` gives a Poisson process (i.i.d. exponential gaps).
+    ``burst > 1`` clumps arrivals: burst sizes are geometric with mean
+    ``burst``, burst gaps exponential with mean ``burst / rate``, so the
+    long-run rate is still ``rate`` but arrivals land in simultaneous
+    spikes — the adversarial shape for queue-depth tails.
+    """
+    if n < 1:
+        raise ConfigurationError(f"n must be >= 1, got {n}")
+    if rate <= 0:
+        raise ConfigurationError(f"rate must be > 0, got {rate}")
+    if burst < 1.0:
+        raise ConfigurationError(f"burst must be >= 1, got {burst}")
+    rng = np.random.default_rng(derive_seed(seed, "open-loop"))
+    if burst == 1.0:
+        return np.cumsum(rng.exponential(1.0 / rate, size=n))
+    out = np.empty(n)
+    i = 0
+    t = 0.0
+    while i < n:
+        t += rng.exponential(burst / rate)
+        size = min(int(rng.geometric(1.0 / burst)), n - i)
+        out[i : i + size] = t
+        i += size
+    return out
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Exact nearest-rank percentile of an ascending list (0 when empty)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, min(len(sorted_values), int(q * len(sorted_values) + 0.5)))
+    return sorted_values[rank - 1]
+
+
+@dataclass(frozen=True)
+class SLOReport:
+    """One open-loop run: offered rate, observed tails, SLO verdict."""
+
+    ops: int
+    hits: int
+    errors: int
+    seconds: float
+    rate: float  # offered (requested) arrival rate, req/s
+    burst: float
+    connections: int
+    frame: str
+    #: Exact client-observed latencies (scheduled arrival → response), ms.
+    p50_ms: float
+    p90_ms: float
+    p99_ms: float
+    p999_ms: float
+    max_ms: float
+    mean_ms: float
+    #: SLO accounting (zero / 0.0 when no bound was given).
+    slo_ms: float | None = None
+    violations: int = 0
+    violation_fraction: float = 0.0
+    #: Generator self-check: p99 lag between scheduled and actual send.
+    lag_p99_ms: float = 0.0
+    lag_max_ms: float = 0.0
+    lag_ok: bool = True
+    server_stats: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def achieved_rate(self) -> float:
+        return self.ops / self.seconds if self.seconds > 0 else 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-able form (``--slo-json`` / ``BENCH_slo.json``)."""
+        return {
+            "ops": self.ops,
+            "hits": self.hits,
+            "errors": self.errors,
+            "seconds": round(self.seconds, 6),
+            "rate": self.rate,
+            "achieved_rate": round(self.achieved_rate, 3),
+            "burst": self.burst,
+            "connections": self.connections,
+            "frame": self.frame,
+            "p50_ms": round(self.p50_ms, 4),
+            "p90_ms": round(self.p90_ms, 4),
+            "p99_ms": round(self.p99_ms, 4),
+            "p999_ms": round(self.p999_ms, 4),
+            "max_ms": round(self.max_ms, 4),
+            "mean_ms": round(self.mean_ms, 4),
+            "slo_ms": self.slo_ms,
+            "violations": self.violations,
+            "violation_fraction": round(self.violation_fraction, 6),
+            "lag_p99_ms": round(self.lag_p99_ms, 4),
+            "lag_max_ms": round(self.lag_max_ms, 4),
+            "lag_ok": self.lag_ok,
+        }
+
+    def summary(self) -> str:
+        lines = [
+            f"open-loop  : {self.rate:,.0f} req/s offered "
+            f"(achieved {self.achieved_rate:,.0f}/s, burst {self.burst:g}, "
+            f"{self.connections} connections, frame={self.frame})",
+            f"ops        : {self.ops}  ({self.hits} hits, {self.errors} errors, "
+            f"{self.seconds:.2f}s)",
+            f"latency    : p50 {self.p50_ms:.3f}ms  p90 {self.p90_ms:.3f}ms  "
+            f"p99 {self.p99_ms:.3f}ms  p99.9 {self.p999_ms:.3f}ms  "
+            f"max {self.max_ms:.3f}ms",
+        ]
+        if self.slo_ms is not None:
+            lines.append(
+                f"SLO {self.slo_ms:g}ms : {self.violations} violations "
+                f"({100.0 * self.violation_fraction:.3f}% of requests)"
+            )
+        lag = (
+            f"lag        : p99 {self.lag_p99_ms:.3f}ms  max {self.lag_max_ms:.3f}ms"
+        )
+        lines.append(lag + ("" if self.lag_ok else "  ** GENERATOR LAGGED — discard **"))
+        return "\n".join(lines)
+
+
+async def open_loop_replay(
+    trace: Trace | np.ndarray,
+    *,
+    host: str,
+    port: int,
+    rate: float,
+    burst: float = 1.0,
+    connections: int = 4,
+    frame: str = FRAME_NDJSON,
+    slo_ms: float | None = None,
+    timeout: float | None = DEFAULT_TIMEOUT,
+    seed: int = 0,
+    fetch_stats: bool = True,
+) -> SLOReport:
+    """Offer ``trace`` as GETs at a fixed arrival rate; see module docs.
+
+    Arrivals round-robin across ``connections`` pipelined connections
+    (each connection is FIFO, so per-connection response matching is
+    positional); sends never wait for completions, so queueing delay
+    under overload lands in the measured latency instead of silently
+    throttling the offered load.
+    """
+    if connections < 1:
+        raise ConfigurationError(f"connections must be >= 1, got {connections}")
+    if frame not in FRAMES:
+        raise ConfigurationError(f"unknown frame {frame!r}; expected one of {list(FRAMES)}")
+    if slo_ms is not None and slo_ms <= 0:
+        raise ConfigurationError(f"slo_ms must be > 0, got {slo_ms}")
+    pages = as_page_array(trace).tolist()
+    offsets = arrival_schedule(len(pages), rate, burst=burst, seed=seed).tolist()
+
+    clients = [
+        await ServiceClient.connect(host, port, timeout=timeout, frame=frame)
+        for _ in range(connections)
+    ]
+    latencies: list[float] = []
+    lags: list[float] = []
+    counts = {"hits": 0, "errors": 0}
+    try:
+        start = time.perf_counter() + 0.01  # small lead so arrival 0 is not late
+        await asyncio.gather(
+            *(
+                _drive_connection(
+                    clients[c],
+                    [(offsets[i], pages[i]) for i in range(c, len(pages), connections)],
+                    start,
+                    latencies,
+                    lags,
+                    counts,
+                )
+                for c in range(connections)
+            )
+        )
+        seconds = time.perf_counter() - start
+        server_stats: dict[str, Any] = {}
+        if fetch_stats:
+            server_stats = await clients[0].stats()
+    finally:
+        await asyncio.gather(*(c.close() for c in clients), return_exceptions=True)
+
+    latencies.sort()
+    lags.sort()
+    lag_p99 = _percentile(lags, 0.99)
+    lag_bound = (
+        MAX_LAG_FRACTION * slo_ms / 1e3 if slo_ms is not None else MAX_LAG_SECONDS
+    )
+    violations = 0
+    if slo_ms is not None:
+        bound = slo_ms / 1e3
+        violations = sum(1 for v in latencies if v > bound)
+    return SLOReport(
+        ops=len(latencies),
+        hits=counts["hits"],
+        errors=counts["errors"],
+        seconds=seconds,
+        rate=rate,
+        burst=burst,
+        connections=connections,
+        frame=frame,
+        p50_ms=_percentile(latencies, 0.50) * 1e3,
+        p90_ms=_percentile(latencies, 0.90) * 1e3,
+        p99_ms=_percentile(latencies, 0.99) * 1e3,
+        p999_ms=_percentile(latencies, 0.999) * 1e3,
+        max_ms=(latencies[-1] if latencies else 0.0) * 1e3,
+        mean_ms=(sum(latencies) / len(latencies) if latencies else 0.0) * 1e3,
+        slo_ms=slo_ms,
+        violations=violations,
+        violation_fraction=violations / len(latencies) if latencies else 0.0,
+        lag_p99_ms=lag_p99 * 1e3,
+        lag_max_ms=(lags[-1] if lags else 0.0) * 1e3,
+        lag_ok=lag_p99 <= lag_bound,
+        server_stats=server_stats,
+    )
+
+
+async def _drive_connection(
+    client: ServiceClient,
+    items: list[tuple[float, int]],
+    start: float,
+    latencies: list[float],
+    lags: list[float],
+    counts: dict[str, int],
+) -> None:
+    """Send this connection's arrivals on schedule; read responses FIFO.
+
+    The reader runs as its own task so a slow response never delays the
+    next send — that decoupling *is* the open loop. Latency is measured
+    from the scheduled arrival, so send-queue time counts too.
+    """
+    if not items:
+        return
+    pending: deque[float] = deque()
+
+    async def _read_all() -> None:
+        for _ in range(len(items)):
+            response = await client._read_response()
+            now = time.perf_counter()
+            scheduled = pending.popleft()
+            latencies.append(now - (start + scheduled))
+            if not response.get("ok"):
+                counts["errors"] += 1
+            elif response.get("hit"):
+                counts["hits"] += 1
+
+    reader = asyncio.create_task(_read_all())
+    try:
+        for offset, key in items:
+            delay = start + offset - time.perf_counter()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            lags.append(max(0.0, time.perf_counter() - (start + offset)))
+            pending.append(offset)
+            await client._send(encode_request(Request("GET", key=key), frame=client.frame))
+        await reader
+    except BaseException:
+        reader.cancel()
+        raise
+
+
+def run_open_loop(trace: Trace | np.ndarray, **kwargs: Any) -> SLOReport:
+    """Synchronous wrapper: ``asyncio.run`` the open-loop run (CLI entry)."""
+    return asyncio.run(open_loop_replay(trace, **kwargs))

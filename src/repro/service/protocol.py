@@ -81,7 +81,11 @@ __all__ = [
     "MAX_FRAME_BYTES",
     "MAX_BATCH_KEYS",
     "BINARY_TAG",
+    "TRACE_TAG",
+    "MAX_TRACE_CONTEXT",
     "BINARY_HEADER_SIZE",
+    "FEATURE_TRACE",
+    "FEATURES",
     "FRAME_NDJSON",
     "FRAME_BINARY",
     "FRAMES",
@@ -104,6 +108,8 @@ __all__ = [
     "encode_response",
     "encode_frame",
     "decode_frame",
+    "encode_traced_frame",
+    "wrap_traced_body",
     "batch_responses",
     "error_payload",
     "overload_payload",
@@ -128,10 +134,27 @@ FRAMES = (FRAME_NDJSON, FRAME_BINARY)
 #: byte of any JSON text — one byte suffices to tell the framings apart.
 BINARY_TAG = 0xB1
 
+#: Tag of a *traced* binary frame: the same tag + length header, but the
+#: length-counted region starts with a 1-byte context length, the ASCII
+#: trace context (``"<trace>:<span>"``), and then the ordinary JSON body.
+#: 0xB2 is also a UTF-8 continuation byte, so per-frame auto-detection
+#: keeps working; peers only emit it after ``HELLO`` advertises the
+#: ``"trace"`` feature (:data:`FEATURE_TRACE`). The context rides outside
+#: the JSON so a router can splice its own span in with a header rewrite —
+#: re-framing stays a header swap, never a re-serialization.
+TRACE_TAG = 0xB2
+
+#: Hard cap on one wire trace context (fits the 1-byte length prefix).
+MAX_TRACE_CONTEXT = 255
+
 _BINARY_HEADER = struct.Struct(">BI")  # tag, body length
 
 #: Bytes of the binary frame header (tag + length).
 BINARY_HEADER_SIZE = _BINARY_HEADER.size
+
+#: Optional capabilities a ``HELLO`` response advertises (``"features"``).
+FEATURE_TRACE = "trace"
+FEATURES = (FEATURE_TRACE,)
 
 #: Operations a request may carry.
 OPS = frozenset(
@@ -204,6 +227,9 @@ class Request:
     keys: tuple[int, ...] | None = None
     values: tuple[Any, ...] | None = None
     frame: str | None = None
+    #: Wire trace context (``"<trace>:<span>"``); any op may carry one.
+    #: Servers that predate tracing ignore the field — it is additive.
+    trace: str | None = None
     # RESHARD-only fields (the cluster router's admin vocabulary)
     node: str | None = None
     host: str | None = None
@@ -224,6 +250,8 @@ def request_payload(req: Request) -> dict[str, Any]:
         payload["values"] = list(req.values or ())
     if req.op == "HELLO" and req.frame is not None:
         payload["frame"] = req.frame
+    if req.trace is not None:
+        payload["trace"] = req.trace
     if req.op == "RESHARD":
         if req.node is not None:
             payload["node"] = req.node
@@ -289,6 +317,12 @@ def decode_request(line: bytes | bytearray | str) -> Request:
             raise ProtocolError(f"unknown frame {frame!r}; expected one of {list(FRAMES)}")
     elif frame is not None:
         raise ProtocolError(f"{op} does not take a 'frame'")
+    trace = obj.get("trace")
+    if trace is not None:
+        if not isinstance(trace, str) or not trace or len(trace) > MAX_TRACE_CONTEXT:
+            raise ProtocolError(
+                f"'trace' must be a string of at most {MAX_TRACE_CONTEXT} chars"
+            )
     node, host, port, remove = _check_reshard_fields(op, obj)
     return Request(
         op=op,
@@ -297,6 +331,7 @@ def decode_request(line: bytes | bytearray | str) -> Request:
         keys=keys,
         values=values,
         frame=frame,
+        trace=trace,
         node=node,
         host=host,
         port=port,
@@ -402,6 +437,43 @@ def decode_frame(frame: bytes | bytearray) -> dict[str, Any]:
             f"got {len(frame) - BINARY_HEADER_SIZE}"
         )
     return _decode_line(bytes(frame[BINARY_HEADER_SIZE:]))
+
+
+def encode_traced_frame(payload: Mapping[str, Any], ctx: str) -> bytes:
+    """Serialize a mapping to one *traced* binary frame (tag 0xB2).
+
+    ``ctx`` is the wire trace context (``"<trace>:<span>"``); it rides
+    between the header and the JSON body so intermediaries can rewrite it
+    without touching the body. Only send this to a peer whose ``HELLO``
+    advertised :data:`FEATURE_TRACE`.
+    """
+    body = json.dumps(dict(payload), separators=(",", ":"), default=_json_default).encode()
+    return wrap_traced_body(body, ctx)
+
+
+def wrap_traced_body(body: bytes, ctx: str) -> bytes:
+    """Frame an already-serialized JSON body as a traced binary frame.
+
+    This is the router's splice path: the client's body bytes are
+    forwarded verbatim while the context is replaced with the router's
+    own span — a header rewrite, never a re-serialization.
+    """
+    try:
+        ctx_bytes = ctx.encode("ascii")
+    except UnicodeEncodeError as exc:
+        raise ProtocolError(f"trace context is not ASCII: {ctx!r}") from exc
+    if not ctx_bytes or len(ctx_bytes) > MAX_TRACE_CONTEXT:
+        raise ProtocolError(
+            f"trace context must be 1..{MAX_TRACE_CONTEXT} bytes, got {len(ctx_bytes)}"
+        )
+    length = 1 + len(ctx_bytes) + len(body)
+    if BINARY_HEADER_SIZE + length >= MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"binary frame of {BINARY_HEADER_SIZE + length} bytes exceeds {MAX_FRAME_BYTES}"
+        )
+    return (
+        _BINARY_HEADER.pack(TRACE_TAG, length) + bytes((len(ctx_bytes),)) + ctx_bytes + body
+    )
 
 
 def error_payload(message: str, *, code: str = CODE_BAD_REQUEST) -> dict[str, Any]:

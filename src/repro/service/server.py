@@ -45,11 +45,13 @@ import contextlib
 from typing import Any, AsyncIterator, Union
 
 from repro.errors import ConfigurationError, ProtocolError, ReproError, ServiceError
+from repro.obs import tracing
 from repro.service.framing import Frame, FrameSplitter
 from repro.service.protocol import (
     CODE_OVERFLOW,
     CODE_INTERNAL,
     CODE_REJECTED,
+    FEATURES,
     FRAME_BINARY,
     FRAME_NDJSON,
     FRAMES,
@@ -307,30 +309,45 @@ class CacheServer:
         the latency of answering garbage still lands in the combined
         histogram, just not in any per-op one.
         """
+        t0 = tracing.clock() if tracing.ENABLED else 0
         try:
             request = decode_request(frame.payload)
         except ProtocolError as exc:
             self.store.metrics.errors += 1
             return error_payload(str(exc)), None
-        arrived = FRAME_BINARY if frame.binary else FRAME_NDJSON
-        if arrived not in self.frames and request.op != "HELLO":
-            self.store.metrics.errors += 1
-            return (
-                error_payload(
-                    f"{arrived} framing not accepted here; negotiate via HELLO"
-                ),
-                request.op,
+        tspan = None
+        if tracing.ENABLED:
+            # a traced binary frame carries the context in its header, an
+            # NDJSON request in its "trace" field; header wins (the router
+            # splices its own span there when forwarding)
+            tspan = tracing.start_remote(
+                frame.trace or request.trace, "server.request", op=request.op
             )
+            if tspan is not None:
+                tspan.child("server.parse", start_ns=t0)
         try:
-            return await self._dispatch(request), request.op
-        except ReproError as exc:
-            self.store.metrics.errors += 1
-            return error_payload(str(exc), code=CODE_REJECTED), request.op
-        except Exception as exc:  # noqa: BLE001 - isolation boundary
-            self.store.metrics.errors += 1
-            return error_payload(
-                f"{type(exc).__name__}: {exc}", code=CODE_INTERNAL
-            ), request.op
+            arrived = FRAME_BINARY if frame.binary else FRAME_NDJSON
+            if arrived not in self.frames and request.op != "HELLO":
+                self.store.metrics.errors += 1
+                return (
+                    error_payload(
+                        f"{arrived} framing not accepted here; negotiate via HELLO"
+                    ),
+                    request.op,
+                )
+            try:
+                return await self._dispatch(request), request.op
+            except ReproError as exc:
+                self.store.metrics.errors += 1
+                return error_payload(str(exc), code=CODE_REJECTED), request.op
+            except Exception as exc:  # noqa: BLE001 - isolation boundary
+                self.store.metrics.errors += 1
+                return error_payload(
+                    f"{type(exc).__name__}: {exc}", code=CODE_INTERNAL
+                ), request.op
+        finally:
+            if tspan is not None:
+                tspan.end()
 
     async def _dispatch(self, request: Request) -> dict[str, Any]:
         op = request.op
@@ -379,7 +396,12 @@ class CacheServer:
                 return error_payload(
                     f"{requested} framing not accepted here; server accepts {list(self.frames)}"
                 )
-            return {"ok": True, "frame": requested, "frames": list(self.frames)}
+            return {
+                "ok": True,
+                "frame": requested,
+                "frames": list(self.frames),
+                "features": list(FEATURES),
+            }
         if op == "STATS":
             return {"ok": True, "stats": await self.store.stats()}
         if op == "METRICS":

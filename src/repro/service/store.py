@@ -22,11 +22,13 @@ the paper's competitive analysis describes.
 from __future__ import annotations
 
 import asyncio
-from typing import Any, Sequence
+import contextlib
+from typing import Any, Iterator, Sequence
 
 from repro.core.base import CachePolicy
 from repro.errors import ConfigurationError
 from repro.obs import hooks as obs_hooks
+from repro.obs import tracing
 from repro.obs.metrics import MetricsRegistry
 from repro.service.metrics import ServiceMetrics, build_registry
 
@@ -66,22 +68,23 @@ class PolicyStore:
     # -- operations ---------------------------------------------------------
     async def get(self, key: int) -> tuple[bool, Any]:
         """One demand-paging access; returns ``(hit, payload-or-None)``."""
+        if not tracing.ENABLED:
+            async with self._lock:
+                return self._get_locked(key)
+        t0 = tracing.clock()
         async with self._lock:
-            hit = self._access(key)
-            self.metrics.gets += 1
-            if hit:
-                return True, self._values.get(key)
-            self._values.pop(key, None)  # miss ⇒ not resident ⇒ payload is stale
-            return False, None
+            with self._traced("GET", t0):
+                return self._get_locked(key)
 
     async def put(self, key: int, value: Any) -> bool:
         """Access ``key`` and store its payload; returns the hit flag."""
+        if not tracing.ENABLED:
+            async with self._lock:
+                return self._put_locked(key, value)
+        t0 = tracing.clock()
         async with self._lock:
-            hit = self._access(key)
-            self.metrics.puts += 1
-            self._values[key] = value
-            self._maybe_prune()
-            return hit
+            with self._traced("PUT", t0):
+                return self._put_locked(key, value)
 
     async def get_many(self, keys: Sequence[int]) -> list[tuple[bool, Any]]:
         """Batched :meth:`get`: all accesses under one lock acquisition.
@@ -90,29 +93,23 @@ class PolicyStore:
         the sequence a loop of single GETs would have produced — batching
         changes locking overhead, never semantics.
         """
+        if not tracing.ENABLED:
+            async with self._lock:
+                return self._get_many_locked(keys)
+        t0 = tracing.clock()
         async with self._lock:
-            out: list[tuple[bool, Any]] = []
-            for key in keys:
-                hit = self._access(key)
-                self.metrics.gets += 1
-                if hit:
-                    out.append((True, self._values.get(key)))
-                else:
-                    self._values.pop(key, None)  # miss ⇒ not resident ⇒ stale
-                    out.append((False, None))
-            return out
+            with self._traced("MGET", t0, n=len(keys)):
+                return self._get_many_locked(keys)
 
     async def put_many(self, keys: Sequence[int], values: Sequence[Any]) -> list[bool]:
         """Batched :meth:`put`; returns the per-key hit flags in order."""
+        if not tracing.ENABLED:
+            async with self._lock:
+                return self._put_many_locked(keys, values)
+        t0 = tracing.clock()
         async with self._lock:
-            hits: list[bool] = []
-            for key, value in zip(keys, values):
-                hit = self._access(key)
-                self.metrics.puts += 1
-                self._values[key] = value
-                hits.append(hit)
-            self._maybe_prune()
-            return hits
+            with self._traced("MPUT", t0, n=len(keys)):
+                return self._put_many_locked(keys, values)
 
     async def peek(self, key: int) -> tuple[bool, Any, bool]:
         """Non-mutating probe: ``(resident, payload-or-None, stored)``.
@@ -231,6 +228,58 @@ class PolicyStore:
         return (await self.metrics_registry()).render()
 
     # -- internals ----------------------------------------------------------
+    def _get_locked(self, key: int) -> tuple[bool, Any]:
+        hit = self._access(key)
+        self.metrics.gets += 1
+        if hit:
+            return True, self._values.get(key)
+        self._values.pop(key, None)  # miss ⇒ not resident ⇒ payload is stale
+        return False, None
+
+    def _put_locked(self, key: int, value: Any) -> bool:
+        hit = self._access(key)
+        self.metrics.puts += 1
+        self._values[key] = value
+        self._maybe_prune()
+        return hit
+
+    def _get_many_locked(self, keys: Sequence[int]) -> list[tuple[bool, Any]]:
+        out: list[tuple[bool, Any]] = []
+        for key in keys:
+            hit = self._access(key)
+            self.metrics.gets += 1
+            if hit:
+                out.append((True, self._values.get(key)))
+            else:
+                self._values.pop(key, None)  # miss ⇒ not resident ⇒ stale
+                out.append((False, None))
+        return out
+
+    def _put_many_locked(self, keys: Sequence[int], values: Sequence[Any]) -> list[bool]:
+        hits: list[bool] = []
+        for key, value in zip(keys, values):
+            hit = self._access(key)
+            self.metrics.puts += 1
+            self._values[key] = value
+            hits.append(hit)
+        self._maybe_prune()
+        return hits
+
+    @contextlib.contextmanager
+    def _traced(self, op: str, t0: int, **attrs: Any) -> Iterator[None]:
+        """``store.op`` span over the locked section; its ``store.lock.wait``
+        child back-dates to ``t0`` (taken before the lock) so queueing on
+        the single-writer lock is visible separately from the work."""
+        sp = tracing.start_span("store.op", op=op, **attrs)
+        if sp is None:
+            yield
+            return
+        sp.child("store.lock.wait", start_ns=t0)
+        try:
+            yield
+        finally:
+            sp.end()
+
     def _access(self, key: int) -> bool:
         # one logical-clock step per policy access, mirroring the
         # simulator's run loop, so served and simulated event streams are

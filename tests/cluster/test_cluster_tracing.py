@@ -1,0 +1,196 @@
+"""Distributed tracing across the cluster: every request, one tree.
+
+The acceptance bar for the telemetry plane: a traced client request
+must stitch into a single client → router → worker span tree with no
+orphans, in both framings, in-process and across real spawned worker
+processes (separate span file per process).
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.obs import tracing
+from repro.obs.sinks import ListSink
+from repro.obs.spans import read_spans, stitch, summarize
+from repro.service.client import ServiceClient
+
+from tests.cluster.util import running_tier
+
+DATA_OPS = {"GET", "PUT", "DEL", "MGET", "MPUT"}
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def assert_clean_trees(spans):
+    trees = stitch(spans)
+    assert trees["orphans"] == [], f"orphaned spans: {trees['orphans'][:3]}"
+    assert trees["multi_root"] == []
+    return trees
+
+
+def data_roots(trees):
+    return {
+        tid: root
+        for tid, root in trees["roots"].items()
+        if root["name"] == "client.request" and root.get("op") in DATA_OPS
+    }
+
+
+class TestInProcessTier:
+    """Workers in this event loop: one shared sink catches all three tiers."""
+
+    def traced_workout(self, frame):
+        async def scenario(sink):
+            with tracing.recording(sink, service="test", seed=3):
+                async with running_tier(workers=2, capacity=64) as tier:
+                    async with await ServiceClient.connect(
+                        "127.0.0.1", tier.port, frame=frame
+                    ) as c:
+                        await c.put(1, "a")
+                        await c.get(1)
+                        await c.get(999)
+                        await c.mput([2, 3, 4], ["x", "y", "z"])
+                        await c.mget([1, 2, 3, 4])
+                        await c.delete(2)
+                        assert await c.ping() is True
+
+        sink = ListSink()
+        run(scenario(sink))
+        return [e for e in sink.events if e.get("ev") == "span"]
+
+    @pytest.mark.parametrize("frame", ["ndjson", "binary"])
+    def test_every_data_op_stitches_through_all_tiers(self, frame):
+        spans = self.traced_workout(frame)
+        trees = assert_clean_trees(spans)
+        roots = data_roots(trees)
+        assert len(roots) >= 6  # put, get x2, mput, mget, del
+        for tid in roots:
+            names = {s["name"] for s in trees["traces"][tid]}
+            assert {"client.request", "router.request", "server.request"} <= names, (
+                f"incomplete tree for {roots[tid]['op']}: {sorted(names)}"
+            )
+
+    def test_router_spans_decompose_the_request(self, frame="binary"):
+        spans = self.traced_workout(frame)
+        trees = assert_clean_trees(spans)
+        by_parent = {}
+        for s in spans:
+            if "parent" in s:
+                by_parent.setdefault(s["parent"], []).append(s)
+        for tid, root in data_roots(trees).items():
+            (router,) = [
+                s for s in by_parent.get(root["span"], ())
+                if s["name"] == "router.request"
+            ]
+            child_names = {s["name"] for s in by_parent.get(router["span"], ())}
+            assert "router.queue" in child_names
+            assert "router.link" in child_names
+
+    def test_link_spans_carry_the_owner_node(self):
+        spans = self.traced_workout("binary")
+        links = [s for s in spans if s["name"] == "router.link"]
+        assert links
+        assert all(s.get("node", "").startswith("w") for s in links)
+
+    def test_multi_owner_batch_fans_out_links(self):
+        async def scenario(sink):
+            with tracing.recording(sink, service="test", seed=3):
+                async with running_tier(workers=3, capacity=90) as tier:
+                    async with await ServiceClient.connect(
+                        "127.0.0.1", tier.port
+                    ) as c:
+                        # 30 keys spread over 3 owners: one MGET, many links
+                        keys = list(range(30))
+                        await c.mput(keys, [str(k) for k in keys])
+                        await c.mget(keys)
+
+        sink = ListSink()
+        run(scenario(sink))
+        trees = assert_clean_trees(sink.events)
+        mgets = [r for r in data_roots(trees).values() if r["op"] == "MGET"]
+        assert mgets
+        (mget_root,) = mgets
+        members = trees["traces"][mget_root["trace"]]
+        links = [s for s in members if s["name"] == "router.link"]
+        assert len(links) >= 2  # split across owners
+        assert len({s["node"] for s in links}) == len(links)
+
+    def test_untraced_client_stays_invisible(self):
+        """The router joins traces, never roots them: no client context
+        in means no spans out, for every tier."""
+
+        async def scenario(sink):
+            async with running_tier(workers=2) as tier:
+                async with await ServiceClient.connect("127.0.0.1", tier.port) as c:
+                    await c.put(1, "a")
+                    await c.get(1)
+                # trace only *after* the untraced traffic, to prove the
+                # earlier requests really emitted nothing
+                with tracing.recording(sink, service="late", seed=1):
+                    pass
+
+        sink = ListSink()
+        run(scenario(sink))
+        assert sink.events == []
+
+    def test_sampled_traces_are_complete_not_torsos(self):
+        async def scenario(sink):
+            with tracing.recording(sink, service="test", seed=5, sample=0.3):
+                async with running_tier(workers=2) as tier:
+                    async with await ServiceClient.connect(
+                        "127.0.0.1", tier.port
+                    ) as c:
+                        for key in range(40):
+                            await c.get(key)
+
+        sink = ListSink()
+        run(scenario(sink))
+        trees = assert_clean_trees(sink.events)
+        roots = data_roots(trees)
+        assert 0 < len(roots) < 40  # sampled, not all-or-nothing
+        for tid in roots:
+            names = {s["name"] for s in trees["traces"][tid]}
+            assert {"client.request", "router.request", "server.request"} <= names
+
+
+class TestSpawnedCluster:
+    """Real worker processes, one span file per process, stitched offline."""
+
+    def test_span_files_stitch_across_processes(self, tmp_path):
+        from repro.cluster.supervisor import running_cluster
+
+        async def scenario():
+            async with running_cluster(
+                "lru", 64, workers=2, seed=9, trace_dir=str(tmp_path)
+            ) as cluster:
+                async with await ServiceClient.connect(
+                    "127.0.0.1", cluster.port, frame="binary"
+                ) as c:
+                    for key in range(60):
+                        await c.put(key, f"v{key}")
+                    for key in range(60):
+                        await c.get(key)
+
+        run(scenario())
+        files = sorted(tmp_path.glob("spans-*.ndjson"))
+        assert len(files) == 3  # router + 2 workers
+        spans = read_spans(files)
+        trees = assert_clean_trees(spans)
+        roots = data_roots(trees)
+        assert len(roots) >= 120
+        services = {s["svc"] for s in spans}
+        assert {"router", "w0", "w1"} <= services
+        for tid, root in roots.items():
+            names = {s["name"] for s in trees["traces"][tid]}
+            assert {"client.request", "router.request", "server.request",
+                    "store.op"} <= names, (
+                f"incomplete {root['op']} tree: {sorted(names)}"
+            )
+        summary = summarize(spans)
+        assert summary["orphans"] == 0
+        assert summary["names"]["server.request"]["count"] >= 120

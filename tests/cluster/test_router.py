@@ -365,3 +365,35 @@ class TestLifecycle:
         assert 'repro_worker_up{node="w1"} 1' in text
         assert "repro_router_forwarded_total" in text
         assert "repro_request_latency_seconds_bucket" in text
+
+    def test_merged_exposition_parses_round_trip(self):
+        """The router's merged METRICS must survive the repro.obs
+        exposition parser — families, types, labels, histogram buckets —
+        so a real Prometheus (or our own stats CLI) can scrape a cluster
+        exactly like a single server."""
+        from repro.obs.exposition import parse_prometheus
+
+        async def scenario():
+            async with running_tier(workers=2) as tier:
+                async with await ServiceClient.connect("127.0.0.1", tier.port) as c:
+                    for key in range(8):
+                        await c.put(key, "x")
+                    for key in range(8):
+                        await c.get(key)
+                    await c.delete(3)
+                    return await c.metrics()
+
+        parsed = parse_prometheus(run(scenario()))
+        assert parsed.value("repro_cluster_workers") == 2.0
+        assert parsed.value("repro_worker_up", node="w0") == 1.0
+        assert parsed.value("repro_worker_up", node="w1") == 1.0
+        # router-observed request latency: combined + per-op (parity with
+        # the single server's exposition)
+        assert parsed.types["repro_request_latency_seconds"] == "histogram"
+        assert parsed.types["repro_op_latency_seconds"] == "histogram"
+        assert parsed.value("repro_op_latency_seconds_count", op="get") == 8.0
+        assert parsed.value("repro_op_latency_seconds_count", op="put") == 8.0
+        assert parsed.value("repro_op_latency_seconds_count", op="del") == 1.0
+        assert parsed.value("repro_request_latency_seconds_count") >= 17.0
+        # worker counters merged across the tier survive the round trip
+        assert parsed.value("repro_hits_total") >= 8.0

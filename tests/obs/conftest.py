@@ -1,10 +1,10 @@
-"""Obs tests share one global hook switchboard — scrub it around each test."""
+"""Obs tests share global switchboards (hooks + tracing) — scrub both."""
 
 from __future__ import annotations
 
 import pytest
 
-from repro.obs import hooks
+from repro.obs import hooks, tracing
 
 
 @pytest.fixture(autouse=True)
@@ -12,8 +12,11 @@ def clean_hooks():
     for sink in hooks.active_sinks():
         hooks.uninstall(sink)
     hooks.reset_clock()
+    tracing.shutdown()
     yield
     for sink in hooks.active_sinks():
         hooks.uninstall(sink)
     hooks.reset_clock()
     assert hooks.ENABLED is False
+    tracing.shutdown()
+    assert tracing.ENABLED is False

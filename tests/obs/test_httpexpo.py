@@ -64,6 +64,31 @@ class TestExporter:
 
         assert b"demo_total 42" in run(scenario())
 
+    def test_healthz_answers_200_with_uptime(self):
+        async def scenario():
+            async with running_exporter(_render) as exporter:
+                return await _raw_request(
+                    "127.0.0.1", exporter.port, b"GET /healthz HTTP/1.0\r\n\r\n"
+                )
+
+        raw = run(scenario())
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.0 200 OK")
+        assert body.startswith(b"ok uptime_s=")
+        assert float(body.split(b"=", 1)[1]) >= 0.0
+
+    def test_healthz_never_invokes_render(self):
+        async def broken_render() -> str:
+            raise RuntimeError("liveness must not depend on the registry")
+
+        async def scenario():
+            async with running_exporter(broken_render) as exporter:
+                return await _raw_request(
+                    "127.0.0.1", exporter.port, b"GET /healthz?probe=1 HTTP/1.0\r\n\r\n"
+                )
+
+        assert run(scenario()).startswith(b"HTTP/1.0 200 OK")
+
     def test_unknown_path_404(self):
         async def scenario():
             async with running_exporter(_render) as exporter:

@@ -1,0 +1,186 @@
+"""The request-tracing runtime: ids, context, sampling, zero-cost contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import tracing
+from repro.obs.sinks import ListSink
+
+
+def record_names(sink: ListSink) -> list[str]:
+    return [event["name"] for event in sink.events]
+
+
+class TestDisabled:
+    def test_everything_is_none_when_off(self):
+        assert tracing.ENABLED is False
+        assert tracing.start_trace("client.request") is None
+        assert tracing.start_span("store.op") is None
+        assert tracing.start_remote("aa:bb", "server.request") is None
+        assert tracing.current_context() is None
+
+    def test_span_context_manager_is_noop_when_off(self):
+        with tracing.span("store.op") as sp:
+            assert sp is None
+
+
+class TestSpans:
+    def test_root_record_shape(self):
+        with tracing.recording(ListSink(), service="api", seed=1) as sink:
+            root = tracing.start_trace("client.request", op="GET")
+            root.end()
+        (event,) = sink.events
+        assert event["ev"] == "span"
+        assert event["name"] == "client.request"
+        assert event["svc"] == "api"
+        assert event["op"] == "GET"
+        assert len(event["trace"]) == 16 and len(event["span"]) == 16
+        assert "parent" not in event  # roots carry no parent key
+        assert event["us"] >= 0 and event["ts"] > 0
+
+    def test_ambient_nesting_parents_and_restores(self):
+        with tracing.recording(ListSink(), seed=1) as sink:
+            root = tracing.start_trace("client.request")
+            assert tracing.current_context() == root.ctx
+            child = tracing.start_span("store.op")
+            assert child.trace == root.trace
+            assert child.parent == root.span
+            assert tracing.current_context() == child.ctx
+            child.end()
+            assert tracing.current_context() == root.ctx
+            root.end()
+            assert tracing.current_context() is None
+        assert record_names(sink) == ["store.op", "client.request"]
+
+    def test_activate_false_never_touches_ambient(self):
+        with tracing.recording(ListSink(), seed=1):
+            root = tracing.start_trace("client.request", activate=False)
+            assert root is not None
+            assert tracing.current_context() is None
+            root.end()
+
+    def test_start_child_is_explicit_parenting(self):
+        with tracing.recording(ListSink(), seed=1):
+            root = tracing.start_trace("router.request", activate=False)
+            link = root.start_child("router.link", node="w1")
+            assert link.trace == root.trace
+            assert link.parent == root.span
+            assert tracing.current_context() is None
+            link.end()
+            root.end()
+
+    def test_backdated_child_emits_finished_record(self):
+        with tracing.recording(ListSink(), seed=1) as sink:
+            t0 = tracing.clock()
+            root = tracing.start_trace("server.request")
+            root.child("server.parse", start_ns=t0)
+            root.end()
+        parse, request = sink.events
+        assert parse["name"] == "server.parse"
+        assert parse["parent"] == request["span"]
+        assert parse["us"] >= 0
+        assert parse["ts"] <= request["ts"]
+
+    def test_end_attrs_merge_into_record(self):
+        with tracing.recording(ListSink(), seed=1) as sink:
+            root = tracing.start_trace("router.request", op="GET")
+            root.end(aborted=True)
+        (event,) = sink.events
+        assert event["op"] == "GET" and event["aborted"] is True
+
+
+class TestRemote:
+    def test_joins_wire_context(self):
+        with tracing.recording(ListSink(), service="w0", seed=1):
+            sp = tracing.start_remote("aaaa:bbbb", "server.request")
+            assert sp.trace == "aaaa"
+            assert sp.parent == "bbbb"
+            sp.end()
+
+    def test_none_and_garbage_contexts_stay_silent(self):
+        with tracing.recording(ListSink(), seed=1):
+            assert tracing.start_remote(None, "server.request") is None
+            assert tracing.start_remote("no-separator", "server.request") is None
+            assert tracing.start_remote(":half", "server.request") is None
+
+    @pytest.mark.parametrize(
+        "ctx", [None, 42, "", "nocolon", ":x", "x:", "a" * 300]
+    )
+    def test_parse_context_never_raises(self, ctx):
+        assert tracing.parse_context(ctx) is None
+
+    def test_parse_context_round_trip(self):
+        assert tracing.parse_context("abc:def") == ("abc", "def")
+
+
+class TestDeterminism:
+    def capture_ids(self, seed: int, service: str = "svc") -> list[str]:
+        with tracing.recording(ListSink(), service=service, seed=seed) as sink:
+            for _ in range(5):
+                tracing.start_trace("client.request").end()
+        return [e["trace"] + e["span"] for e in sink.events]
+
+    def test_same_seed_same_ids(self):
+        assert self.capture_ids(7) == self.capture_ids(7)
+
+    def test_different_seed_or_service_different_ids(self):
+        assert self.capture_ids(7) != self.capture_ids(8)
+        assert self.capture_ids(7, "a") != self.capture_ids(7, "b")
+
+
+class TestSampling:
+    def test_sample_zero_roots_nothing(self):
+        with tracing.recording(ListSink(), seed=1, sample=0.0) as sink:
+            for _ in range(20):
+                assert tracing.start_trace("client.request") is None
+        assert sink.events == []
+
+    def test_sample_decision_is_seeded(self):
+        def pattern(seed):
+            with tracing.recording(ListSink(), seed=seed, sample=0.5):
+                return [tracing.start_trace("r", activate=False) is not None
+                        for _ in range(64)]
+
+        kept = pattern(3)
+        assert kept == pattern(3)
+        assert 0 < sum(kept) < 64  # actually samples, not all-or-nothing
+
+    def test_unsampled_root_leaves_no_context(self):
+        with tracing.recording(ListSink(), seed=1, sample=0.0):
+            assert tracing.start_trace("client.request") is None
+            # downstream guards see no ambient context -> whole trace silent
+            assert tracing.start_span("store.op") is None
+
+
+class TestSwitchboard:
+    def test_configure_requires_exactly_one_source(self, tmp_path):
+        with pytest.raises(ValueError, match="exactly one"):
+            tracing.configure()
+        with pytest.raises(ValueError, match="exactly one"):
+            tracing.configure(ListSink(), path=str(tmp_path / "x.ndjson"))
+
+    def test_configure_rejects_bad_sample(self):
+        with pytest.raises(ValueError, match="sample"):
+            tracing.configure(ListSink(), sample=1.5)
+        assert tracing.ENABLED is False
+
+    def test_path_sink_owned_and_closed_by_shutdown(self, tmp_path):
+        path = tmp_path / "spans.ndjson"
+        tracing.configure(path=str(path), service="api", seed=1)
+        assert tracing.ENABLED is True
+        tracing.start_trace("client.request").end()
+        tracing.shutdown()
+        assert tracing.ENABLED is False
+        from repro.obs.spans import read_spans
+
+        (event,) = read_spans([path])
+        assert event["name"] == "client.request"
+
+    def test_install_uninstall_flag(self):
+        sink = ListSink()
+        tracing.install(sink)
+        assert tracing.ENABLED is True
+        tracing.uninstall(sink)
+        assert tracing.ENABLED is False
+        tracing.uninstall(sink)  # missing is fine

@@ -166,3 +166,66 @@ class TestBuildRegistry:
         metrics.record_op("GET", 1e-4)  # after registry construction
         text = reg.render()
         assert 'repro_op_latency_seconds_count{op="get"} 1' in text
+
+
+class TestRecentWindow:
+    """The sliding window behind STATS' `recent` block (fake clock throughout)."""
+
+    def test_bad_shape_rejected(self):
+        from repro.service.metrics import RecentWindow
+
+        with pytest.raises(ValueError):
+            RecentWindow(window_s=0)
+        with pytest.raises(ValueError):
+            RecentWindow(slices=1)
+
+    def test_snapshot_counts_and_rate(self):
+        from repro.service.metrics import RecentWindow
+
+        window = RecentWindow(window_s=30.0, slices=6)
+        base = window._born + 100.0
+        for i in range(60):
+            window.record(1e-4, now=base + i * 0.1)  # 10/s for 6s
+        snap = window.snapshot(now=base + 6.0)
+        assert snap["count"] == 60
+        assert snap["rate"] > 0
+        assert snap["p50_us"] >= 100.0  # bucket upper bound of 100µs
+        assert snap["max_us"] == pytest.approx(100.0)
+
+    def test_old_observations_expire(self):
+        from repro.service.metrics import RecentWindow
+
+        window = RecentWindow(window_s=30.0, slices=6)
+        base = window._born + 100.0
+        window.record(5e-3, now=base)           # one slow request
+        inside = window.snapshot(now=base + 10.0)
+        assert inside["count"] == 1
+        after = window.snapshot(now=base + 40.0)  # > window_s later
+        assert after["count"] == 0
+        assert after["max_us"] == 0.0
+
+    def test_spike_decays_but_recent_traffic_stays(self):
+        from repro.service.metrics import RecentWindow
+
+        window = RecentWindow(window_s=30.0, slices=6)
+        base = window._born + 100.0
+        window.record(1.0, now=base)  # pathological 1s request
+        for i in range(20):
+            window.record(1e-4, now=base + 25.0 + i * 0.01)
+        snap = window.snapshot(now=base + 40.0)  # spike slice rotated out
+        assert snap["count"] == 20
+        assert snap["max_us"] == pytest.approx(100.0)
+
+    def test_window_s_clamped_to_age_when_young(self):
+        from repro.service.metrics import RecentWindow
+
+        window = RecentWindow(window_s=30.0, slices=6)
+        snap = window.snapshot(now=window._born + 2.0)
+        assert snap["window_s"] <= 2.0 + 1e-6
+
+    def test_service_metrics_snapshot_carries_recent(self):
+        metrics = ServiceMetrics()
+        metrics.record_op("GET", 2e-4)
+        snap = metrics.snapshot()
+        assert snap["recent"]["count"] == 1
+        assert snap["recent"]["p99_us"] > 0
