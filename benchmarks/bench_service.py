@@ -32,6 +32,13 @@ per-frame protocol work across 32 keys, binary framing drops the
 newline-scan + UTF-8 validation per frame, and sharding splits the
 policy-step critical section.
 
+Two extra ``batch=4096`` rows measure the batch-kernel path: a
+protocol-max MGET group served as *one* vectorized kernel call under one
+lock (``kernel``) vs the same group as 4096 per-key store calls
+(``per-key``, ``PolicyStore(batch_kernel=False)``). ``--check`` gates
+the kernel row beating the per-key row with ``kernel_batches > 0``
+(proof the kernel path actually served the batches).
+
 On top of the in-process grid, ``cluster=4`` rows replay the same trace
 through the multi-process tier (``repro.cluster``: 4 spawned workers
 behind the consistent-hash router). The in-process ``shards=4`` rows
@@ -89,6 +96,13 @@ CLUSTER_BASELINE_ROW = "shards=1/binary/batch=32"
 #: and with fewer cores than this there is no parallelism to win with.
 CLUSTER_GATE_MIN_CPUS = 4
 
+#: the batch-kernel gate: a full-width MGET batch served as ONE kernel
+#: call under one lock must beat the same batch served as 4096 per-key
+#: store calls (PolicyStore(batch_kernel=False))
+KERNEL_BATCH = 4096
+KERNEL_GATE_ROW = f"shards=1/binary/batch={KERNEL_BATCH}/kernel"
+KERNEL_BASELINE_ROW = f"shards=1/binary/batch={KERNEL_BATCH}/per-key"
+
 
 def _available_cpus() -> int:
     try:
@@ -110,9 +124,19 @@ def make_trace(length: int) -> "repro.Trace":
     return repro.zipf_trace(8 * CAPACITY, length, alpha=1.0, seed=1)
 
 
-def _replay_once(trace, *, shards: int, frame: str, batch: int, concurrency: int = 64):
+def _replay_once(
+    trace,
+    *,
+    shards: int,
+    frame: str,
+    batch: int,
+    concurrency: int = 64,
+    batch_kernel: bool = True,
+):
     async def scenario():
-        store = ShardedPolicyStore.build(POLICY, CAPACITY, shards=shards, seed=1)
+        store = ShardedPolicyStore.build(
+            POLICY, CAPACITY, shards=shards, seed=1, batch_kernel=batch_kernel
+        )
         async with running_server(store) as server:
             return await replay_trace(
                 trace,
@@ -148,11 +172,15 @@ def _replay_cluster_once(trace, *, workers: int, frame: str, batch: int, concurr
     return asyncio.run(scenario())
 
 
-def _best_report(trace, *, shards: int, frame: str, batch: int, repeats: int):
+def _best_report(
+    trace, *, shards: int, frame: str, batch: int, repeats: int, batch_kernel: bool = True
+):
     """Best-of-N replay (fresh server + store per run); returns the fastest."""
     best = None
     for _ in range(repeats):
-        report = _replay_once(trace, shards=shards, frame=frame, batch=batch)
+        report = _replay_once(
+            trace, shards=shards, frame=frame, batch=batch, batch_kernel=batch_kernel
+        )
         assert report.ops == len(trace)
         assert report.errors == 0, f"benchmark run saw {report.errors} errors"
         if best is None or report.ops_per_second > best.ops_per_second:
@@ -205,13 +233,34 @@ def run_suite(length: int, repeats: int) -> dict:
                 "server_hit_rate": report.server_stats["hit_rate"],
                 "p99_us": report.server_stats["latency"]["p99_us"],
             }
+    for batch_kernel in (True, False):
+        label = "kernel" if batch_kernel else "per-key"
+        report = _best_report(
+            trace,
+            shards=1,
+            frame="binary",
+            batch=KERNEL_BATCH,
+            repeats=repeats,
+            batch_kernel=batch_kernel,
+        )
+        rows[f"shards=1/binary/batch={KERNEL_BATCH}/{label}"] = {
+            "ops_per_second": report.ops_per_second,
+            "shards": 1,
+            "frame": "binary",
+            "batch": KERNEL_BATCH,
+            "batch_kernel": batch_kernel,
+            "connections": 1,
+            "kernel_batches": report.server_stats.get("kernel_batches", 0),
+            "server_hit_rate": report.server_stats["hit_rate"],
+            "p99_us": report.server_stats["latency"]["p99_us"],
+        }
     baseline = rows[BASELINE_ROW]["ops_per_second"]
     for row in rows.values():
         row["speedup_vs_baseline"] = row["ops_per_second"] / baseline
     from repro.service.loop import install_best_event_loop
 
     return {
-        "schema": 2,
+        "schema": 3,
         "generated_unix": time.time(),
         "python": platform.python_version(),
         "machine": platform.machine(),
@@ -225,6 +274,8 @@ def run_suite(length: int, repeats: int) -> dict:
         "gate_row": GATE_ROW,
         "cluster_baseline_row": CLUSTER_BASELINE_ROW,
         "cluster_gate_row": CLUSTER_GATE_ROW,
+        "kernel_baseline_row": KERNEL_BASELINE_ROW,
+        "kernel_gate_row": KERNEL_GATE_ROW,
         "results": rows,
     }
 
@@ -271,6 +322,20 @@ def check(report: dict, *, threshold: float = 2.0) -> bool:
         print(f"gate: {gate_name} is {ratio:.2f}x {base_name} (bound > 1.0x) -> {outcome}")
         if enforced:
             passed = passed and cluster_ok
+
+    kernel_rows = report.get("kernel_gate_row"), report.get("kernel_baseline_row")
+    if all(name in report["results"] for name in kernel_rows):
+        gate_name, base_name = kernel_rows
+        gate_row = report["results"][gate_name]
+        ratio = gate_row["ops_per_second"] / report["results"][base_name]["ops_per_second"]
+        kernel_ok = ratio > 1.0 and gate_row.get("kernel_batches", 0) > 0
+        outcome = "OK" if kernel_ok else "FAIL"
+        print(
+            f"gate: {gate_name} is {ratio:.2f}x {base_name} "
+            f"(bound > 1.0x, kernel_batches={gate_row.get('kernel_batches', 0)}) "
+            f"-> {outcome}"
+        )
+        passed = passed and kernel_ok
     return passed
 
 

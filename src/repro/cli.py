@@ -56,6 +56,11 @@ def build_parser() -> argparse.ArgumentParser:
     sim_p.add_argument("--capacity", type=int, required=True, help="cache slots")
     sim_p.add_argument("--seed", type=int, default=0)
     sim_p.add_argument(
+        "--fast", default="auto", choices=["auto", "on", "off"],
+        help="vectorized kernel dispatch: auto = use one when eligible, "
+        "on = require one (error if none), off = reference loop",
+    )
+    sim_p.add_argument(
         "--window", type=int, default=None,
         help="also print a windowed miss-rate sparkline with this window",
     )
@@ -121,6 +126,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument(
         "--stats-interval", type=float, default=0.0,
         help="print a one-line stats snapshot every N seconds (0 = never)",
+    )
+    serve_p.add_argument(
+        "--no-batch-kernel", action="store_true",
+        help="serve MGET/MPUT as per-key loops even when the policy has a "
+        "fast kernel (default: batch through the kernel)",
     )
 
     cluster_p = sub.add_parser(
@@ -194,6 +204,11 @@ def build_parser() -> argparse.ArgumentParser:
     cluster_p.add_argument(
         "--trace-sample", type=float, default=1.0,
         help="per-trace keep probability when --trace-dir is set",
+    )
+    cluster_p.add_argument(
+        "--no-batch-kernel", action="store_true",
+        help="workers serve MGET/MPUT as per-key loops even when the policy "
+        "has a fast kernel (default: batch through the kernel)",
     )
 
     load_p = sub.add_parser("loadgen", help="replay a trace against a running server")
@@ -327,12 +342,24 @@ def _add_run_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--out", type=Path, default=None, help="directory to write CSV results into"
     )
+    parser.add_argument(
+        "--fast", default="auto", choices=["auto", "on", "off"],
+        help="vectorized kernel dispatch for kernel-aware experiments: "
+        "auto = use one when eligible, on = require one (error if a "
+        "policy has none), off = reference loop",
+    )
 
 
 def _run_one(experiment: str, args: argparse.Namespace) -> None:
+    from repro.experiments.common import resolve_fast
+
     start = time.perf_counter()
     table = run_experiment(
-        experiment, args.scale, seed=args.seed, workers=args.workers
+        experiment,
+        args.scale,
+        seed=args.seed,
+        workers=args.workers,
+        fast=resolve_fast(args.fast),
     )
     elapsed = time.perf_counter() - start
     print(f"\n== {experiment} (scale={args.scale}, seed={args.seed}, {elapsed:.1f}s) ==")
@@ -346,6 +373,7 @@ def _run_one(experiment: str, args: argparse.Namespace) -> None:
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.core.registry import make_policy
+    from repro.experiments.common import resolve_fast
     from repro.traces.io import load_trace
 
     trace = load_trace(args.trace)
@@ -355,7 +383,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         # deterministic policies (lru, fifo, ...) take no seed argument
         policy = make_policy(args.policy, args.capacity)
     start = time.perf_counter()
-    result = policy.run(trace)
+    result = policy.run(trace, fast=resolve_fast(args.fast))
     elapsed = time.perf_counter() - start
     print(f"trace    : {trace}")
     print(f"policy   : {policy.name} (capacity {policy.capacity})")
@@ -444,7 +472,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     async def _serve() -> None:
         store = ShardedPolicyStore.build(
-            args.policy, args.capacity, shards=args.shards, seed=args.seed
+            args.policy,
+            args.capacity,
+            shards=args.shards,
+            seed=args.seed,
+            batch_kernel=not args.no_batch_kernel,
         )
         server = CacheServer(
             store,
@@ -547,6 +579,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             upstream_retries=args.upstream_retries,
             trace_dir=str(args.trace_dir) if args.trace_dir is not None else None,
             trace_sample=args.trace_sample,
+            batch_kernel=not args.no_batch_kernel,
         )
         await supervisor.start()
         router = supervisor.router
@@ -807,15 +840,22 @@ def main(argv: list[str] | None = None) -> int:
         for exp_id in available_experiments():
             print(exp_id)
         return 0
-    if args.command == "run":
-        _run_one(args.experiment, args)
-        return 0
-    if args.command == "run-all":
-        for exp_id in available_experiments():
-            _run_one(exp_id, args)
-        return 0
-    if args.command == "simulate":
-        return _cmd_simulate(args)
+    if args.command in ("run", "run-all", "simulate"):
+        from repro.errors import KernelUnavailable
+
+        try:
+            if args.command == "run":
+                _run_one(args.experiment, args)
+                return 0
+            if args.command == "run-all":
+                for exp_id in available_experiments():
+                    _run_one(exp_id, args)
+                return 0
+            return _cmd_simulate(args)
+        except KernelUnavailable as exc:
+            # --fast on with a kernel-less policy: say which one, cleanly
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
     if args.command == "mrc":
         return _cmd_mrc(args)
     if args.command == "characterize":

@@ -67,6 +67,7 @@ class ClusterSupervisor:
         upstream_timeout: float | None = None,
         trace_dir: str | None = None,
         trace_sample: float = 1.0,
+        batch_kernel: bool = True,
     ):
         if workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
@@ -86,6 +87,7 @@ class ClusterSupervisor:
         self.upstream_timeout = upstream_timeout
         self.trace_dir = trace_dir
         self.trace_sample = trace_sample
+        self.batch_kernel = batch_kernel
         self.specs = build_specs(
             policy,
             capacity,
@@ -94,6 +96,7 @@ class ClusterSupervisor:
             max_inflight=worker_max_inflight,
             trace_dir=trace_dir,
             trace_sample=trace_sample,
+            batch_kernel=batch_kernel,
         )
         self._next_index = workers  # reshard-added workers continue the series
         self.handles: dict[str, WorkerHandle] = {}
@@ -212,6 +215,7 @@ class ClusterSupervisor:
                 else None
             ),
             trace_sample=self.trace_sample,
+            batch_kernel=self.batch_kernel,
         )
         handle = await asyncio.to_thread(spawn_worker, spec)
         try:

@@ -87,6 +87,7 @@ class WorkerSpec:
     max_inflight: int = WORKER_MAX_INFLIGHT
     trace_path: str | None = None
     trace_sample: float = 1.0
+    batch_kernel: bool = True
 
 
 def build_specs(
@@ -99,6 +100,7 @@ def build_specs(
     max_inflight: int = WORKER_MAX_INFLIGHT,
     trace_dir: str | None = None,
     trace_sample: float = 1.0,
+    batch_kernel: bool = True,
 ) -> list[WorkerSpec]:
     """Specs for an ``N``-worker tier, seeded like ``ShardedPolicyStore``.
 
@@ -127,6 +129,7 @@ def build_specs(
                 max_inflight=max_inflight,
                 trace_path=trace_path,
                 trace_sample=trace_sample,
+                batch_kernel=batch_kernel,
             )
         )
     return specs
@@ -138,7 +141,7 @@ def build_worker_store(spec: WorkerSpec) -> PolicyStore:
         policy = make_policy(spec.policy, spec.capacity, seed=spec.seed)
     except TypeError:  # deterministic policies take no seed
         policy = make_policy(spec.policy, spec.capacity)
-    return PolicyStore(policy)
+    return PolicyStore(policy, batch_kernel=spec.batch_kernel)
 
 
 # -- process entry (must be module-level for the spawn start method) ----------

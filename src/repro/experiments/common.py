@@ -14,11 +14,33 @@ from __future__ import annotations
 
 from typing import Any, Mapping
 
-from repro.errors import ExperimentError
+from repro.errors import ConfigurationError, ExperimentError
 
-__all__ = ["pick_scale", "SCALES"]
+__all__ = ["pick_scale", "resolve_fast", "SCALES"]
 
 SCALES = ("smoke", "small", "full")
+
+#: CLI spelling of the kernel-dispatch tri-state (``--fast``).
+FAST_MODES = {"auto": None, "on": True, "off": False}
+
+
+def resolve_fast(mode: str | bool | None) -> bool | None:
+    """Map a ``--fast`` spelling onto ``CachePolicy.run``'s ``fast=``.
+
+    ``"auto"`` → ``None`` (use a kernel when one is eligible), ``"on"`` →
+    ``True`` (require a kernel; :class:`~repro.errors.KernelUnavailable`
+    names the policy when it has none), ``"off"`` → ``False`` (reference
+    loop). Already-resolved values pass through so runners can forward
+    whatever they were given.
+    """
+    if mode is None or isinstance(mode, bool):
+        return mode
+    try:
+        return FAST_MODES[mode]
+    except KeyError:
+        raise ConfigurationError(
+            f"bad fast mode {mode!r}; expected one of {', '.join(FAST_MODES)}"
+        ) from None
 
 
 def pick_scale(table: Mapping[str, Mapping[str, Any]], scale: str) -> dict[str, Any]:

@@ -52,7 +52,13 @@ _SCALES = {
 }
 
 
-def run(scale: str = "small", *, seed: SeedLike = 0, workers: int | None = None) -> ResultsTable:
+def run(
+    scale: str = "small",
+    *,
+    seed: SeedLike = 0,
+    workers: int | None = None,
+    fast: bool | None = None,
+) -> ResultsTable:
     cfg = pick_scale(_SCALES, scale)
     n, length, eps = cfg["n"], cfg["length"], cfg["epsilon"]
     warm = length // 5
@@ -82,7 +88,7 @@ def run(scale: str = "small", *, seed: SeedLike = 0, workers: int | None = None)
         ref_misses = int((~lru_ref.run(trace).hits[warm:]).sum())
 
         def add(label: str, knob: str, policy, **extra) -> None:
-            result = policy.run(trace)
+            result = policy.run(trace, fast=fast)
             misses = int((~result.hits[warm:]).sum())
             table.append(
                 experiment=EXPERIMENT_ID,

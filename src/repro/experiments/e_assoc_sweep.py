@@ -92,11 +92,19 @@ def _workloads(n: int, length: int, seed: int):
     )
 
 
-def run(scale: str = "small", *, seed: SeedLike = 0, workers: int | None = None) -> ResultsTable:
+def run(
+    scale: str = "small",
+    *,
+    seed: SeedLike = 0,
+    workers: int | None = None,
+    fast: bool | None = None,
+) -> ResultsTable:
     cfg = pick_scale(_SCALES, scale)
     n, length = cfg["n"], cfg["length"]
     table = ResultsTable()
     for workload, trace in _workloads(n, length, derive_seed(seed, "wl")):
+        # anchors stay on auto dispatch: LRU/OPT have no kernels, and
+        # fast="on" means "require kernels for the designs under test"
         lru_rate = steady_state_miss_rate(LRUCache(n).run(trace))
         opt_rate = steady_state_miss_rate(BeladyCache(n).run(trace))
         table.append(
@@ -110,7 +118,7 @@ def run(scale: str = "small", *, seed: SeedLike = 0, workers: int | None = None)
         )
         for d in cfg["ds"]:
             for design, policy in _designs(n, d, derive_seed(seed, "designs")):
-                rate = steady_state_miss_rate(policy.run(trace))
+                rate = steady_state_miss_rate(policy.run(trace, fast=fast))
                 table.append(
                     experiment=EXPERIMENT_ID,
                     workload=workload,

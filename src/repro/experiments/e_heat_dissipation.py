@@ -56,7 +56,13 @@ def _per_page_miss_tail(trace_suffix: np.ndarray, hits_suffix: np.ndarray, max_i
     return tail
 
 
-def run(scale: str = "small", *, seed: SeedLike = 0, workers: int | None = None) -> ResultsTable:
+def run(
+    scale: str = "small",
+    *,
+    seed: SeedLike = 0,
+    workers: int | None = None,
+    fast: bool | None = None,
+) -> ResultsTable:
     cfg = pick_scale(_SCALES, scale)
     n, rounds = cfg["n"], cfg["rounds"]
     seq = build_theorem2_sequence(n, rounds=rounds, seed=derive_seed(seed, "seq"))
@@ -71,7 +77,7 @@ def run(scale: str = "small", *, seed: SeedLike = 0, workers: int | None = None)
     for label, factory in policies.items():
         # warm the policy on the populate prefix, then watch windows
         policy = factory()
-        policy.run(seq.trace[: seq.t0])
+        policy.run(seq.trace[: seq.t0], fast=fast)
         prev = policy.eviction_counts()
         from repro.analysis.heat import eviction_gini, hot_fraction
 
@@ -80,7 +86,7 @@ def run(scale: str = "small", *, seed: SeedLike = 0, workers: int | None = None)
             chunk = pages[w * window : (w + 1) * window]
             if chunk.size == 0:
                 break
-            result = policy.run(chunk, reset=False)
+            result = policy.run(chunk, reset=False, fast=fast)
             now = policy.eviction_counts()
             delta = now - prev
             prev = now
@@ -97,8 +103,8 @@ def run(scale: str = "small", *, seed: SeedLike = 0, workers: int | None = None)
             )
         # per-page miss tail over the whole suffix (fresh policy)
         policy2 = factory()
-        policy2.run(seq.trace[: seq.t0])
-        res = policy2.run(suffix, reset=False)
+        policy2.run(seq.trace[: seq.t0], fast=fast)
+        res = policy2.run(suffix, reset=False, fast=fast)
         tail = _per_page_miss_tail(suffix.pages, res.hits, cfg["tail_max"])
         for i in range(cfg["tail_max"] + 1):
             table.append(

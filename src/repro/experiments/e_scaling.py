@@ -46,12 +46,13 @@ def scaling_task(params: dict, seed: np.random.SeedSequence) -> dict:
     """One (n, seed) measurement cell — module-level for process pools."""
     n = int(params["n"])
     rounds = int(params["rounds"])
+    fast = params.get("fast")  # rides the grid so pool workers see it too
     seed_int = int(seed.generate_state(1, dtype=np.uint64)[0] >> np.uint64(1))
     seq = build_theorem2_sequence(n, rounds=rounds, seed=derive_seed(seed_int, "seq"))
     per = (len(seq.trace) - seq.t0) // rounds
 
     def late_misses(policy) -> float:
-        result = policy.run(seq.trace)
+        result = policy.run(seq.trace, fast=fast)
         miss = ~result.hits[seq.t0 :]
         per_round = miss[: per * rounds].reshape(rounds, per).sum(axis=1)
         return float(per_round[-10:].mean())
@@ -67,11 +68,17 @@ def scaling_task(params: dict, seed: np.random.SeedSequence) -> dict:
     }
 
 
-def run(scale: str = "small", *, seed: SeedLike = 0, workers: int | None = None) -> ResultsTable:
+def run(
+    scale: str = "small",
+    *,
+    seed: SeedLike = 0,
+    workers: int | None = None,
+    fast: bool | None = None,
+) -> ResultsTable:
     cfg = pick_scale(_SCALES, scale)
     raw = run_sweep(
         scaling_task,
-        ParameterGrid(n=cfg["ns"], rounds=[cfg["rounds"]]),
+        ParameterGrid(n=cfg["ns"], rounds=[cfg["rounds"]], fast=[fast]),
         repetitions=cfg["repetitions"],
         seed=seed,
         workers=workers,

@@ -60,7 +60,13 @@ def _distributions(n: int, d: int, seed: int):
     )
 
 
-def run(scale: str = "small", *, seed: SeedLike = 0, workers: int | None = None) -> ResultsTable:
+def run(
+    scale: str = "small",
+    *,
+    seed: SeedLike = 0,
+    workers: int | None = None,
+    fast: bool | None = None,
+) -> ResultsTable:
     cfg = pick_scale(_SCALES, scale)
     n, d, rounds = cfg["n"], cfg["d"], cfg["rounds"]
     seq = build_theorem2_sequence(n, rounds=rounds, seed=derive_seed(seed, "seq"))
@@ -70,7 +76,7 @@ def run(scale: str = "small", *, seed: SeedLike = 0, workers: int | None = None)
     table = ResultsTable()
     for label, dist in _distributions(n, d, derive_seed(seed, "dists")):
         policy = PLruCache(n, dist=dist)
-        result = policy.run(seq.trace)
+        result = policy.run(seq.trace, fast=fast)
         miss_after = ~result.hits[seq.t0 :]
         per = miss_after.size // rounds
         per_round = miss_after[: per * rounds].reshape(rounds, per).sum(axis=1)

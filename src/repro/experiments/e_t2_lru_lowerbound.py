@@ -65,7 +65,13 @@ def _per_round(miss_flags: np.ndarray, rounds: int) -> np.ndarray:
     return miss_flags[: per * rounds].reshape(rounds, per).sum(axis=1)
 
 
-def run(scale: str = "small", *, seed: SeedLike = 0, workers: int | None = None) -> ResultsTable:
+def run(
+    scale: str = "small",
+    *,
+    seed: SeedLike = 0,
+    workers: int | None = None,
+    fast: bool | None = None,
+) -> ResultsTable:
     """Run the experiment; one row per (n, d) plus ratio-vs-K rows."""
     cfg = pick_scale(_SCALES, scale)
     table = ResultsTable()
@@ -79,7 +85,7 @@ def run(scale: str = "small", *, seed: SeedLike = 0, workers: int | None = None)
         for d in cfg["ds"]:
             policy_seed = derive_seed(seed, "plru", n, d)
             policy = PLruCache(n, d=d, seed=policy_seed)
-            result = policy.run(seq.trace)
+            result = policy.run(seq.trace, fast=fast)
             miss_after = ~result.hits[seq.t0 :]
             per_round = _per_round(miss_after, cfg["rounds"])
             pairs = find_happy_pairs(seq, PLruCache(n, d=d, seed=policy_seed))

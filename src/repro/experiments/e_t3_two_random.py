@@ -68,7 +68,13 @@ def _workloads(n: int, length: int, rounds: int, seed: int):
     )
 
 
-def run(scale: str = "small", *, seed: SeedLike = 0, workers: int | None = None) -> ResultsTable:
+def run(
+    scale: str = "small",
+    *,
+    seed: SeedLike = 0,
+    workers: int | None = None,
+    fast: bool | None = None,
+) -> ResultsTable:
     cfg = pick_scale(_SCALES, scale)
     n = cfg["n"]
     table = ResultsTable()
@@ -77,8 +83,8 @@ def run(scale: str = "small", *, seed: SeedLike = 0, workers: int | None = None)
     ):
         two_random = DRandomCache(n, d=2, seed=derive_seed(seed, "rnd"))
         two_lru = PLruCache(n, d=2, seed=derive_seed(seed, "lru"))
-        rnd_result = two_random.run(trace)
-        lru_result = two_lru.run(trace)
+        rnd_result = two_random.run(trace, fast=fast)
+        lru_result = two_lru.run(trace, fast=fast)
         rnd_after = ~rnd_result.hits[warm_end:]
         lru_after = ~lru_result.hits[warm_end:]
 

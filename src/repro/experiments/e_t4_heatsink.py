@@ -68,7 +68,13 @@ def _workloads(n: int, length: int, seed: int):
     )
 
 
-def run(scale: str = "small", *, seed: SeedLike = 0, workers: int | None = None) -> ResultsTable:
+def run(
+    scale: str = "small",
+    *,
+    seed: SeedLike = 0,
+    workers: int | None = None,
+    fast: bool | None = None,
+) -> ResultsTable:
     cfg = pick_scale(_SCALES, scale)
     n, length = cfg["n"], cfg["length"]
     warm = length // 5
@@ -76,9 +82,10 @@ def run(scale: str = "small", *, seed: SeedLike = 0, workers: int | None = None)
     for workload, trace in _workloads(n, length, derive_seed(seed, "wl")):
         for eps in cfg["epsilons"]:
             hs = HeatSinkLRU.from_epsilon(n, eps, seed=derive_seed(seed, "hs"))
-            hs_result = hs.run(trace)
+            hs_result = hs.run(trace, fast=fast)
             hs_misses = int((~hs_result.hits[warm:]).sum())
 
+            # LRU anchors have no kernels; they stay on auto dispatch
             lru_small = LRUCache(max(16, int((1 - 2 * eps) * n)))
             small_misses = int((~lru_small.run(trace).hits[warm:]).sum())
             lru_nominal = LRUCache(n)
@@ -89,7 +96,7 @@ def run(scale: str = "small", *, seed: SeedLike = 0, workers: int | None = None)
             dlru = PLruCache(
                 hs.capacity, d=hs.associativity, seed=derive_seed(seed, "dlru")
             )
-            dlru_misses = int((~dlru.run(trace).hits[warm:]).sum())
+            dlru_misses = int((~dlru.run(trace, fast=fast).hits[warm:]).sum())
 
             sink_share = hs_result.extra["sink_routings"] / max(
                 1, hs_result.extra["sink_routings"] + hs_result.extra["bin_routings"]

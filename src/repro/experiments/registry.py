@@ -2,11 +2,16 @@
 
 The ids here are the ones DESIGN.md's per-experiment index, the CLI, and
 the benchmark modules use. Each runner has signature
-``run(scale="small", *, seed=0, workers=None) -> ResultsTable``.
+``run(scale="small", *, seed=0, workers=None) -> ResultsTable``;
+kernel-aware runners additionally accept ``fast=None`` and thread it to
+:meth:`~repro.core.base.CachePolicy.run`. :func:`run_experiment` forwards
+``fast`` only to runners that declare it, so simulation-free experiments
+keep their narrow signature.
 """
 
 from __future__ import annotations
 
+import inspect
 from typing import Callable, Protocol
 
 from repro.errors import ExperimentError
@@ -70,7 +75,23 @@ def get_experiment(experiment_id: str) -> Callable:
 
 
 def run_experiment(
-    experiment_id: str, scale: str = "small", *, seed=0, workers: int | None = None
+    experiment_id: str,
+    scale: str = "small",
+    *,
+    seed=0,
+    workers: int | None = None,
+    fast: bool | None = None,
 ) -> ResultsTable:
-    """Run an experiment by id."""
-    return get_experiment(experiment_id)(scale, seed=seed, workers=workers)
+    """Run an experiment by id.
+
+    ``fast`` follows the :meth:`~repro.core.base.CachePolicy.run`
+    convention (``None`` auto / ``True`` require kernels / ``False``
+    reference loop) and reaches only runners that declare the keyword —
+    forcing ``fast=True`` on an experiment that never simulates is a
+    no-op, not an error.
+    """
+    runner = get_experiment(experiment_id)
+    kwargs: dict = {"seed": seed, "workers": workers}
+    if fast is not None and "fast" in inspect.signature(runner).parameters:
+        kwargs["fast"] = fast
+    return runner(scale, **kwargs)

@@ -151,6 +151,7 @@ class ServiceMetrics:
         self.dels = 0
         self.hits = 0
         self.misses = 0
+        self.kernel_batches = 0  # MGET/MPUT groups served by one kernel call
         self.errors = 0
         self.rejected = 0  # connections shed by the max_connections cap
         self.write_timeouts = 0  # connections dropped for not reading responses
@@ -186,6 +187,7 @@ class ServiceMetrics:
             "misses": self.misses,
             "accesses": self.accesses,
             "hit_rate": self.hit_rate,
+            "kernel_batches": self.kernel_batches,
             "errors": self.errors,
             "rejected": self.rejected,
             "write_timeouts": self.write_timeouts,
@@ -222,6 +224,9 @@ def build_registry(
         ).inc(value)
     reg.counter("repro_hits_total", "policy-access hits").inc(metrics.hits)
     reg.counter("repro_misses_total", "policy-access misses").inc(metrics.misses)
+    reg.counter(
+        "repro_kernel_batches_total", "batched ops served by one kernel call"
+    ).inc(metrics.kernel_batches)
     reg.counter("repro_errors_total", "protocol/internal errors answered").inc(
         metrics.errors
     )

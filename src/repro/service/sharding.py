@@ -82,10 +82,12 @@ class ShardedPolicyStore:
     the shards and are summed into the merged :meth:`stats` snapshot.
     """
 
-    def __init__(self, policies: Sequence[CachePolicy]):
+    def __init__(self, policies: Sequence[CachePolicy], *, batch_kernel: bool = True):
         if not policies:
             raise ConfigurationError("ShardedPolicyStore needs at least one policy")
-        self.shards = [PolicyStore(policy) for policy in policies]
+        self.shards = [
+            PolicyStore(policy, batch_kernel=batch_kernel) for policy in policies
+        ]
         self.num_shards = len(self.shards)
         self.metrics = ServiceMetrics()
 
@@ -97,6 +99,7 @@ class ShardedPolicyStore:
         *,
         shards: int = 1,
         seed: int = 0,
+        batch_kernel: bool = True,
     ) -> "ShardedPolicyStore":
         """The standard construction: even capacity split, derived seeds.
 
@@ -114,7 +117,7 @@ class ShardedPolicyStore:
                 policies.append(make_policy(policy_name, shard_capacity, seed=shard_seed))
             except TypeError:  # deterministic policies take no seed
                 policies.append(make_policy(policy_name, shard_capacity))
-        return cls(policies)
+        return cls(policies, batch_kernel=batch_kernel)
 
     # -- routing ------------------------------------------------------------
     def shard_of(self, key: int) -> int:
@@ -196,7 +199,9 @@ class ShardedPolicyStore:
         summed, and a ``per_shard`` section carries each shard's gauges.
         """
         snap = self.metrics.snapshot()
-        totals = dict.fromkeys(("gets", "puts", "dels", "hits", "misses"), 0)
+        totals = dict.fromkeys(
+            ("gets", "puts", "dels", "hits", "misses", "kernel_batches"), 0
+        )
         per_shard: list[dict[str, Any]] = []
         resident = 0
         shard_errors = 0
@@ -266,6 +271,7 @@ class ShardedPolicyStore:
             merged.dels += shard.metrics.dels
             merged.hits += shard.metrics.hits
             merged.misses += shard.metrics.misses
+            merged.kernel_batches += shard.metrics.kernel_batches
         merged.errors = self.metrics.errors + sum(s.metrics.errors for s in self.shards)
         merged.rejected = self.metrics.rejected
         merged.write_timeouts = self.metrics.write_timeouts

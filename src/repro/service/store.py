@@ -31,8 +31,13 @@ from repro.obs import hooks as obs_hooks
 from repro.obs import tracing
 from repro.obs.metrics import MetricsRegistry
 from repro.service.metrics import ServiceMetrics, build_registry
+from repro.sim.kernels.batched import batch_hits
 
-__all__ = ["PolicyStore"]
+__all__ = ["PolicyStore", "BATCH_KERNEL_MIN"]
+
+#: smallest MGET/MPUT group routed through the batch kernel — below this
+#: the kernel's state import/export costs more than the per-key loop
+BATCH_KERNEL_MIN = 64
 
 
 class PolicyStore:
@@ -43,6 +48,16 @@ class PolicyStore:
     policy:
         Any registered *online* policy instance (offline policies need the
         whole trace up front and cannot field live traffic).
+    batch_kernel:
+        When ``True`` (default), MGET/MPUT groups of at least
+        ``BATCH_KERNEL_MIN`` keys execute as **one fast-kernel call**
+        (:func:`repro.sim.kernels.batched.batch_hits`) instead of a
+        per-key loop, whenever the kernel registry deems the policy
+        eligible. Kernels are bit-for-bit continuations of the reference
+        loop, so hit flags, policy state, and the offline-parity
+        guarantee are unchanged — only the per-access interpreter
+        overhead disappears. Ineligible configurations (hooks enabled,
+        recorders, kernel-less policies) silently keep the loop.
 
     Notes
     -----
@@ -55,12 +70,13 @@ class PolicyStore:
     without an eviction callback on the policy API.
     """
 
-    def __init__(self, policy: CachePolicy):
+    def __init__(self, policy: CachePolicy, *, batch_kernel: bool = True):
         if policy.is_offline:
             raise ConfigurationError(
                 f"{policy.name} is an offline policy and cannot serve live traffic"
             )
         self.policy = policy
+        self.batch_kernel = bool(batch_kernel)
         self.metrics = ServiceMetrics()
         self._values: dict[int, Any] = {}
         self._lock = asyncio.Lock()
@@ -243,8 +259,40 @@ class PolicyStore:
         self._maybe_prune()
         return hit
 
+    def _batch_access(self, keys: Sequence[int]) -> "list[bool] | None":
+        """Run a whole batch through the policy's fast kernel, if eligible.
+
+        Returns per-key hit flags in key order, or ``None`` when the
+        per-key loop must run (kernel disabled, group too small, hooks
+        enabled, policy ineligible). On the kernel path the access-level
+        metrics are rebuilt post-hoc from the hit flags — the totals a
+        loop of ``_access`` calls would have produced — and
+        ``kernel_batches`` counts the dispatch.
+        """
+        if not self.batch_kernel or len(keys) < BATCH_KERNEL_MIN:
+            return None
+        hits = batch_hits(self.policy, keys)
+        if hits is None:
+            return None
+        num_hits = int(hits.sum())
+        self.metrics.hits += num_hits
+        self.metrics.misses += len(keys) - num_hits
+        self.metrics.kernel_batches += 1
+        return hits.tolist()
+
     def _get_many_locked(self, keys: Sequence[int]) -> list[tuple[bool, Any]]:
+        batched = self._batch_access(keys)
         out: list[tuple[bool, Any]] = []
+        if batched is not None:
+            self.metrics.gets += len(keys)
+            values = self._values
+            for key, hit in zip(keys, batched):
+                if hit:
+                    out.append((True, values.get(key)))
+                else:
+                    values.pop(key, None)  # miss ⇒ not resident ⇒ stale
+                    out.append((False, None))
+            return out
         for key in keys:
             hit = self._access(key)
             self.metrics.gets += 1
@@ -256,6 +304,14 @@ class PolicyStore:
         return out
 
     def _put_many_locked(self, keys: Sequence[int], values: Sequence[Any]) -> list[bool]:
+        batched = self._batch_access(keys)
+        if batched is not None:
+            self.metrics.puts += len(keys)
+            stored = self._values
+            for key, value in zip(keys, values):
+                stored[key] = value
+            self._maybe_prune()
+            return batched
         hits: list[bool] = []
         for key, value in zip(keys, values):
             hit = self._access(key)

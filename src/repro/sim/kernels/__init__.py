@@ -8,8 +8,11 @@ for the dispatch rules and ``docs/performance.md`` for the user guide.
 
 from repro.sim.kernels.registry import Kernel, available_kernels, kernel_for, register
 
-# importing the kernel modules is what registers them
+# importing the kernel modules is what registers them; tracelevel must come
+# last — its adaptive drivers re-register over the per-access kernels
 from repro.sim.kernels import heatsink as _heatsink  # noqa: E402,F401
 from repro.sim.kernels import slotted as _slotted  # noqa: E402,F401
+from repro.sim.kernels import tracelevel as _tracelevel  # noqa: E402,F401
+from repro.sim.kernels.batched import batch_hits
 
-__all__ = ["Kernel", "available_kernels", "kernel_for", "register"]
+__all__ = ["Kernel", "available_kernels", "batch_hits", "kernel_for", "register"]

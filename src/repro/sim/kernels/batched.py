@@ -1,0 +1,53 @@
+"""Batch kernel entry for the serving layer.
+
+:class:`~repro.service.store.PolicyStore` executes an MGET/MPUT group as
+``N`` individual ``policy.access`` calls under one lock. When the wrapped
+policy has an eligible fast kernel, the whole group can instead run as
+*one* kernel call: kernels are bit-for-bit ``reset=False`` continuations
+of the reference loop, so the policy state, hit flags, and coin-stream
+position after the batch are identical to the per-key loop's — batching
+changes constant factors, never semantics.
+
+:func:`batch_hits` is the eligibility gate plus the call. It returns
+``None`` — "use the per-key loop" — whenever the kernel registry would
+not have dispatched in :meth:`~repro.core.base.CachePolicy.run`:
+
+- observability hooks are enabled (kernels emit no per-access events, and
+  the store's loop steps the logical clock per access);
+- no kernel is registered for the exact policy type, or the instance
+  configuration vetoes it (recorder attached, unsupported variant).
+
+Serving batches are capped at ``MAX_BATCH_KEYS`` (4096) keys, well below
+the adaptive drivers' ``MIN_TRACE``, so a batch always takes the
+per-access kernel path — no probe overhead on the serving hot path.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.base import CachePolicy
+from repro.obs import hooks as obs_hooks
+from repro.sim.kernels.registry import kernel_for
+
+__all__ = ["batch_hits"]
+
+
+def batch_hits(policy: CachePolicy, keys: Sequence[int]) -> np.ndarray | None:
+    """Run one access batch through the policy's kernel, if eligible.
+
+    Returns the per-key hit flags (bool array, one per key, in order), or
+    ``None`` when the caller must fall back to the per-key loop. The
+    policy state afterwards is exactly what the loop would have produced.
+    """
+    if obs_hooks.ENABLED:
+        return None
+    kernel = kernel_for(policy)
+    if kernel is None:
+        return None
+    pages = np.ascontiguousarray(keys, dtype=np.int64)
+    if pages.size == 0:
+        return np.zeros(0, dtype=bool)
+    return kernel.run(policy, pages).hits

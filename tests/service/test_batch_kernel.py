@@ -1,0 +1,213 @@
+"""Batch kernels in the serving hot path: MGET/MPUT groups as one kernel call.
+
+`PolicyStore` routes batched operations of at least ``BATCH_KERNEL_MIN``
+keys through the policy's fast kernel (one call, one lock hold) instead
+of the per-key loop. Because kernels are bit-for-bit continuations of
+the reference access loop, every observable — hit flags, payload
+bookkeeping, metrics totals, policy state, offline parity — must be
+identical on both paths; only the ``kernel_batches`` counter tells them
+apart. These tests pin that equivalence and every fallback edge.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.registry import make_policy
+from repro.obs import hooks
+from repro.obs.sinks import ListSink
+from repro.service.loadgen import replay_trace
+from repro.service.server import running_server
+from repro.service.store import BATCH_KERNEL_MIN, PolicyStore
+
+
+def make(name, capacity, *, seed):
+    try:
+        return make_policy(name, capacity, seed=seed)
+    except TypeError:
+        return make_policy(name, capacity)
+
+
+def serve_and_replay(store, trace, **kwargs):
+    async def scenario():
+        async with running_server(store) as server:
+            return await replay_trace(
+                trace, host="127.0.0.1", port=server.port, **kwargs
+            )
+
+    return asyncio.run(scenario())
+
+
+def _batches(seed, *, count=6, size=4 * BATCH_KERNEL_MIN, universe=512):
+    """Key batches over a small universe — duplicates within a batch are
+    near-certain, which is exactly the ordering case worth pinning."""
+    rng = np.random.default_rng(seed)
+    return [rng.integers(0, universe, size=size).tolist() for _ in range(count)]
+
+
+def _drive_get_many(store, batches):
+    async def go():
+        return [await store.get_many(keys) for keys in batches]
+
+    return asyncio.run(go())
+
+
+def _drive_put_many(store, batches):
+    async def go():
+        out = []
+        for b, keys in enumerate(batches):
+            values = [f"payload-{b}-{i}" for i in range(len(keys))]
+            out.append(await store.put_many(keys, values))
+        return out
+
+    return asyncio.run(go())
+
+
+def _paired_stores(name="heatsink", capacity=256, seed=9):
+    kernel = PolicyStore(make(name, capacity, seed=seed), batch_kernel=True)
+    loop = PolicyStore(make(name, capacity, seed=seed), batch_kernel=False)
+    return kernel, loop
+
+
+#: deterministic snapshot fields — everything except wall-clock noise
+#: (uptime, latency windows) and ``kernel_batches`` itself
+_COUNTER_FIELDS = (
+    "accesses", "gets", "puts", "dels", "hits", "misses", "hit_rate",
+    "evictions", "resident", "policy", "capacity",
+)
+
+
+def _comparable_snapshot(store):
+    snap = asyncio.run(store.stats())
+    return {field: snap[field] for field in _COUNTER_FIELDS}
+
+
+class TestStoreParity:
+    """Kernel path vs per-key loop on identical stores: everything but
+    ``kernel_batches`` must match."""
+
+    def test_get_many_matches_per_key_loop(self):
+        kernel, loop = _paired_stores()
+        batches = _batches(1)
+        assert _drive_get_many(kernel, batches) == _drive_get_many(loop, batches)
+        assert kernel.metrics.kernel_batches == len(batches)
+        assert loop.metrics.kernel_batches == 0
+        assert kernel.policy.contents() == loop.policy.contents()
+        assert _comparable_snapshot(kernel) == _comparable_snapshot(loop)
+
+    def test_put_many_matches_and_stores_payloads(self):
+        kernel, loop = _paired_stores()
+        batches = _batches(2)
+        assert _drive_put_many(kernel, batches) == _drive_put_many(loop, batches)
+        assert kernel.metrics.kernel_batches == len(batches)
+        assert kernel._values == loop._values
+        # resident keys must serve their last-written payload back
+        follow = [sorted(kernel.policy.contents())[: 2 * BATCH_KERNEL_MIN]]
+        assert _drive_get_many(kernel, follow) == _drive_get_many(loop, follow)
+
+    def test_duplicate_keys_within_a_batch_keep_access_order(self):
+        kernel, loop = _paired_stores()
+        # one key repeated across the whole batch: first access may miss,
+        # every later one must hit — a pure ordering observable
+        keys = [42] * (2 * BATCH_KERNEL_MIN)
+        results_k = _drive_get_many(kernel, [keys])
+        assert results_k == _drive_get_many(loop, [keys])
+        hits = [hit for hit, _ in results_k[0]]
+        assert hits[0] is False and all(hits[1:])
+        assert kernel.metrics.kernel_batches == 1
+
+    def test_mixed_puts_and_gets_interleave_consistently(self):
+        kernel, loop = _paired_stores()
+        for b, keys in enumerate(_batches(3, count=4)):
+            if b % 2 == 0:
+                _drive_put_many(kernel, [keys])
+                _drive_put_many(loop, [keys])
+            else:
+                assert _drive_get_many(kernel, [keys]) == _drive_get_many(loop, [keys])
+        assert kernel.metrics.kernel_batches == 4
+        assert kernel._values == loop._values
+        assert _comparable_snapshot(kernel) == _comparable_snapshot(loop)
+        assert asyncio.run(kernel.verify()) == []
+
+    def test_snapshot_and_prometheus_expose_kernel_batches(self):
+        kernel, _ = _paired_stores()
+        _drive_get_many(kernel, _batches(4, count=2))
+        assert asyncio.run(kernel.stats())["kernel_batches"] == 2
+        text = asyncio.run(kernel.metrics_text())
+        assert "repro_kernel_batches_total 2" in text
+
+
+class TestFallbacks:
+    """Every veto keeps the per-key loop — silently, with identical results."""
+
+    def test_small_batches_stay_on_the_loop(self):
+        kernel, _ = _paired_stores()
+        _drive_get_many(kernel, [[k for k in range(BATCH_KERNEL_MIN - 1)]])
+        assert kernel.metrics.kernel_batches == 0
+        _drive_get_many(kernel, [[k for k in range(BATCH_KERNEL_MIN)]])
+        assert kernel.metrics.kernel_batches == 1
+
+    def test_batch_kernel_false_disables_dispatch(self):
+        store = PolicyStore(make("heatsink", 256, seed=9), batch_kernel=False)
+        _drive_get_many(store, _batches(5))
+        assert store.metrics.kernel_batches == 0
+
+    def test_kernel_less_policy_falls_back(self):
+        store = PolicyStore(make("lru", 256, seed=0), batch_kernel=True)
+        batches = _batches(6)
+        results = _drive_get_many(store, batches)
+        assert store.metrics.kernel_batches == 0
+        offline = make("lru", 256, seed=0)
+        flat_keys = [k for keys in batches for k in keys]
+        flat_hits = [hit for group in results for hit, _ in group]
+        assert flat_hits == offline.run(np.asarray(flat_keys)).hits.tolist()
+
+    def test_obs_hooks_force_the_loop_and_capture_every_access(self):
+        store = PolicyStore(make("heatsink", 256, seed=9), batch_kernel=True)
+        keys = _batches(7, count=1)[0]
+        sink = ListSink()
+        with hooks.capturing(sink):
+            _drive_get_many(store, [keys])
+        assert store.metrics.kernel_batches == 0
+        accesses = [ev for ev in sink.events if ev.get("ev") == "access"]
+        assert len(accesses) == len(keys)
+
+
+class TestLoadgenParity:
+    """The acceptance criterion end-to-end: a ``--batch`` replay against
+    a kernel-backed store keeps *exact* hit-rate parity with the offline
+    simulator while actually dispatching batch kernels."""
+
+    @pytest.mark.parametrize("batch_kernel", [True, False])
+    def test_batched_replay_matches_offline_hit_rate(self, batch_kernel):
+        trace = repro.zipf_trace(1024, 8_000, alpha=1.0, seed=21)
+        offline = make("heatsink", 256, seed=9).run(trace)
+        store = PolicyStore(make("heatsink", 256, seed=9), batch_kernel=batch_kernel)
+        report = serve_and_replay(
+            store,
+            trace,
+            mode="pipeline",
+            frame="binary",
+            batch=4 * BATCH_KERNEL_MIN,
+        )
+        assert report.ops == len(trace)
+        assert report.errors == 0
+        assert report.hits == offline.num_hits
+        assert report.server_stats["hit_rate"] == offline.hit_rate
+        assert report.server_stats["misses"] == offline.num_misses
+        if batch_kernel:
+            assert report.server_stats["kernel_batches"] > 0
+        else:
+            assert report.server_stats["kernel_batches"] == 0
+
+    def test_small_batch_replay_reports_zero_kernel_batches(self):
+        trace = repro.zipf_trace(512, 2_000, alpha=1.0, seed=6)
+        offline = make("heatsink", 128, seed=2).run(trace)
+        store = PolicyStore(make("heatsink", 128, seed=2), batch_kernel=True)
+        report = serve_and_replay(store, trace, batch=16)
+        assert report.server_stats["hit_rate"] == offline.hit_rate
+        assert report.server_stats["kernel_batches"] == 0

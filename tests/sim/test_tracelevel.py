@@ -1,0 +1,225 @@
+"""Property tests for the trace-level scan engine (`repro.sim.kernels.tracelevel`).
+
+The per-access differential wall (``test_kernels.py``) already proves the
+registered adaptive kernels bit-equal to the reference loops at the
+production knob settings — where most test-sized traces never leave the
+per-access path. These tests shrink the module-level knobs (``PROBE``,
+``MIN_TRACE``, ``CHUNK``, ``BAIL_FRAC``, ``MISS_THRESHOLD`` are read at
+call time, by design) so that *small* traces exercise the probe, the
+chunked residency scan, the victim re-arm heap, the bail-out, and the
+per-access stitch — then assert the same contract: identical miss
+positions, identical instrumentation, identical exported policy state,
+and an identical logical future-coin stream.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.sim.kernels import tracelevel as tl
+from tests.sim.test_kernels import (
+    _assert_same_result,
+    _assert_same_state,
+    _future_coins,
+)
+
+CAP = 64
+
+POLICIES = {
+    "heatsink": lambda seed: repro.HeatSinkLRU.from_epsilon(CAP, 0.3, seed=seed),
+    "2-lru": lambda seed: repro.PLruCache(CAP, d=2, seed=seed),
+    "set-assoc": lambda seed: repro.SetAssociativeLRU(CAP, d=8, seed=seed),
+    "2-random": lambda seed: repro.DRandomCache(CAP, d=2, seed=seed),
+    "4-random-aware": lambda seed: repro.DRandomCache(
+        CAP, d=4, seed=seed, occupancy_aware=True
+    ),
+}
+
+SCANS = {
+    "heatsink": tl.scan_heatsink,
+    "2-lru": tl.scan_plru,
+    "set-assoc": tl.scan_plru,
+    "2-random": tl.scan_drandom,
+    "4-random-aware": tl.scan_drandom,
+}
+
+
+@contextlib.contextmanager
+def knobs(**overrides):
+    """Temporarily rebind tracelevel's module-level tuning knobs.
+
+    A plain context manager rather than ``monkeypatch`` so hypothesis
+    ``@given`` bodies can shrink the knobs per example without tripping
+    the function-scoped-fixture health check.
+    """
+    saved = {name: getattr(tl, name) for name in overrides}
+    try:
+        for name, value in overrides.items():
+            setattr(tl, name, value)
+        yield
+    finally:
+        for name, value in saved.items():
+            setattr(tl, name, value)
+
+
+def _assert_equivalent(ref_result, ker_result, p_ref, p_ker):
+    np.testing.assert_array_equal(
+        np.flatnonzero(~ref_result.hits), np.flatnonzero(~ker_result.hits)
+    )
+    _assert_same_result(ref_result, ker_result)
+    _assert_same_state(p_ref, p_ker)
+    np.testing.assert_array_equal(_future_coins(p_ref), _future_coins(p_ker))
+
+
+@st.composite
+def page_arrays(draw):
+    """Random traces spanning hit-heavy to pure-turnover regimes."""
+    universe = draw(st.integers(min_value=4, max_value=3 * CAP))
+    length = draw(st.integers(min_value=130, max_value=400))
+    pages = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=universe - 1),
+            min_size=length,
+            max_size=length,
+        )
+    )
+    return np.asarray(pages, dtype=np.int64)
+
+
+class TestScanProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        policy_name=st.sampled_from(sorted(POLICIES)),
+        seed=st.integers(min_value=0, max_value=2**16),
+        pages=page_arrays(),
+        probe=st.sampled_from([16, 64]),
+        chunk=st.sampled_from([16, 64]),
+        bail_frac=st.sampled_from([0.02, 0.3, 1.5]),
+        miss_threshold=st.sampled_from([0.0, 0.2, 1.0]),
+    )
+    def test_adaptive_matches_reference_under_any_knobs(
+        self, policy_name, seed, pages, probe, chunk, bail_frac, miss_threshold
+    ):
+        """Whatever route the driver takes — per-access veto, full scan,
+        immediate or mid-trace bail — the result is bit-equal."""
+        p_ref = POLICIES[policy_name](seed)
+        p_ker = POLICIES[policy_name](seed)
+        ref = p_ref.run(pages, fast=False)
+        with knobs(
+            PROBE=probe,
+            MIN_TRACE=2 * probe,
+            CHUNK=chunk,
+            BAIL_FRAC=bail_frac,
+            MISS_THRESHOLD=miss_threshold,
+        ):
+            ker = p_ker.run(pages, fast=True)
+        _assert_equivalent(ref, ker, p_ref, p_ker)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        policy_name=st.sampled_from(sorted(POLICIES)),
+        seed=st.integers(min_value=0, max_value=2**16),
+        pages=page_arrays(),
+        split_frac=st.floats(min_value=0.1, max_value=0.9),
+    )
+    def test_continuations_stitch_across_paths(
+        self, policy_name, seed, pages, split_frac
+    ):
+        """A scan half followed by a reference ``reset=False`` half (and
+        vice versa) equals one whole reference run."""
+        split = max(1, int(split_frac * pages.size))
+        p_ref = POLICIES[policy_name](seed)
+        whole = p_ref.run(pages, fast=False)
+        p_mix = POLICIES[policy_name](seed)
+        with knobs(PROBE=16, MIN_TRACE=32, CHUNK=32, MISS_THRESHOLD=1.0):
+            first = p_mix.run(pages[:split], fast=True)
+            second = p_mix.run(pages[split:], reset=False, fast=False)
+        np.testing.assert_array_equal(
+            whole.hits, np.concatenate([first.hits, second.hits])
+        )
+        _assert_same_state(p_ref, p_mix)
+        np.testing.assert_array_equal(_future_coins(p_ref), _future_coins(p_mix))
+
+
+class TestBailOut:
+    """The bail-out path: a scan that stops mid-trace must hand back
+    exact state so a per-access continuation completes the run."""
+
+    @pytest.mark.parametrize("policy_name", sorted(POLICIES))
+    def test_scan_bails_on_turnover_burst_with_exact_state(self, policy_name):
+        # hit-heavy prefix (resident working set) then a burst of fresh
+        # pages: the chunks inside the burst exceed any sane candidate
+        # budget, so the scan must stop strictly inside the trace
+        hot = repro.zipf_trace(CAP // 2, 512, alpha=1.0, seed=3)
+        hot_pages = np.asarray(hot.pages)
+        burst = np.arange(10_000, 10_256, dtype=np.int64)
+        pages = np.concatenate([hot_pages, burst])
+
+        p_ker = POLICIES[policy_name](7)
+        p_ref = POLICIES[policy_name](7)
+        p_ker.run(hot_pages, fast=False)
+        p_ref.run(hot_pages, fast=False)
+
+        with knobs(CHUNK=64, BAIL_FRAC=0.25):
+            hits, consumed = SCANS[policy_name](p_ker, pages)
+        assert 0 < consumed < pages.size, "burst should trigger a mid-trace bail"
+
+        rest = p_ker.run(pages[consumed:], reset=False, fast=False)
+        ref = p_ref.run(pages, reset=False, fast=False)
+        np.testing.assert_array_equal(ref.hits, np.concatenate([hits, rest.hits]))
+        _assert_same_state(p_ref, p_ker)
+        np.testing.assert_array_equal(_future_coins(p_ref), _future_coins(p_ker))
+
+    @pytest.mark.parametrize("policy_name", sorted(POLICIES))
+    def test_zero_budget_scan_consumes_nothing_and_changes_nothing(self, policy_name):
+        """``BAIL_FRAC=0`` refuses the first chunk containing any miss —
+        the degenerate bail must leave the policy untouched."""
+        pages = np.arange(200, dtype=np.int64)  # cold trace: all misses
+        p_ker = POLICIES[policy_name](5)
+        p_ref = POLICIES[policy_name](5)
+        with knobs(CHUNK=32, BAIL_FRAC=0.0):
+            hits, consumed = SCANS[policy_name](p_ker, pages)
+        assert consumed == 0 and hits.size == 0
+        _assert_same_state(p_ref, p_ker)
+        np.testing.assert_array_equal(_future_coins(p_ref), _future_coins(p_ker))
+
+
+class TestAdaptiveRouting:
+    def test_short_traces_bypass_the_probe(self):
+        """Below ``MIN_TRACE`` the driver is exactly the per-access kernel."""
+        trace = repro.zipf_trace(CAP, 2_000, alpha=1.0, seed=2)
+        assert len(trace) < tl.MIN_TRACE
+        p_ref = POLICIES["heatsink"](1)
+        p_ker = POLICIES["heatsink"](1)
+        ref = p_ref.run(trace, fast=False)
+        ker = p_ker.run(trace, fast=True)
+        _assert_equivalent(ref, ker, p_ref, p_ker)
+
+    def test_miss_heavy_probe_vetoes_the_scan(self):
+        """Above ``MISS_THRESHOLD`` the remainder runs per-access — still
+        bit-equal, just never entering the scan."""
+        pages = np.arange(4_000, dtype=np.int64)  # 100% turnover
+        p_ref = POLICIES["2-lru"](4)
+        p_ker = POLICIES["2-lru"](4)
+        ref = p_ref.run(pages, fast=False)
+        with knobs(PROBE=64, MIN_TRACE=128, MISS_THRESHOLD=0.15):
+            ker = p_ker.run(pages, fast=True)
+        _assert_equivalent(ref, ker, p_ref, p_ker)
+
+    def test_registered_kernels_are_the_adaptive_ones(self):
+        from repro.sim.kernels import kernel_for
+
+        for policy_name, expected in [
+            ("heatsink", "heatsink-v2"),
+            ("2-lru", "plru-v2"),
+            ("set-assoc", "plru-v2"),
+            ("2-random", "drandom-v2"),
+        ]:
+            kernel = kernel_for(POLICIES[policy_name](0))
+            assert kernel is not None and kernel.name == expected
