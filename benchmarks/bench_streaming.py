@@ -1,0 +1,211 @@
+"""Streaming engine benchmark: chunked runs vs in-memory kernel runs.
+
+Emits a machine-readable ``BENCH_streaming.json`` baseline and gates the
+three promises of the streaming trace engine::
+
+    python benchmarks/bench_streaming.py --json BENCH_streaming.json
+    python benchmarks/bench_streaming.py --check          # CI gate
+
+``--check`` exits non-zero unless, for every kernelized policy:
+
+1. **bit-identical** — the chunk-stitched streamed run produces exactly
+   the hits of one materialized ``run(pages, fast=True)`` call;
+2. **throughput** — streamed accesses/sec >= ``--threshold`` (default
+   0.9) x the in-memory kernel on the same workload: chunk stitching,
+   prefetch hand-off and per-chunk dispatch must cost <= 10%;
+3. **memory** — the streaming phase's peak-RSS *delta* stays under
+   ``--rss-limit-mb`` (default 256): O(chunk) buffers, never O(length).
+
+Measurement order matters for gate 3: all streamed timings run **before**
+the trace is ever materialized, so the RSS high-water mark observed at
+that point is the streaming footprint alone. Only then is the stream
+collected into an array for the in-memory comparison runs.
+
+The workload is warm Zipf (α=1.0 over 16n pages): regular misses keep
+every chunk on the per-access kernel path, which is the fair baseline —
+the hot-trace scan path is gated separately by ``bench_throughput.py``.
+It is generated once into a temporary ``.npt`` file and replayed through
+:class:`~repro.traces.npt.NptTraceStream`, so the timed streamed runs
+measure the engine (decode + prefetch + chunk stitching), not the
+synthetic generator's draw cost — exactly what a production replay of a
+stored trace pays. (Streaming a synthetic generator directly adds its
+per-access draw cost on top; ``repro-experiment simulate --zipf`` covers
+that path and the generator is benchmarked nowhere as a kernel.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import resource
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+import repro
+from repro.sim.engine import run_policy_stream
+from repro.sim.kernels import available_kernels
+from repro.traces.base import as_page_array
+from repro.traces.npt import NptTraceStream, write_npt
+from repro.traces.streaming import ZipfTraceStream
+
+CAPACITY = 1_024
+
+#: policies with registered kernels — the comparison set
+KERNEL_POLICIES = {
+    "heatsink": lambda: repro.HeatSinkLRU.from_epsilon(CAPACITY, 0.25, seed=1),
+    "2-lru": lambda: repro.PLruCache(CAPACITY, d=2, seed=1),
+    "2-random": lambda: repro.DRandomCache(CAPACITY, d=2, seed=1),
+    "set-assoc": lambda: repro.SetAssociativeLRU(CAPACITY, d=8, seed=1),
+}
+
+
+def _available_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def _max_rss_mb() -> float:
+    """Process peak RSS in MB (ru_maxrss is KB on Linux, bytes on macOS)."""
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return peak / 1024.0 if sys.platform != "darwin" else peak / (1024.0 * 1024.0)
+
+
+def make_stream(length: int, chunk: int) -> ZipfTraceStream:
+    return ZipfTraceStream(16 * CAPACITY, length, alpha=1.0, seed=1, chunk=chunk)
+
+
+def _best_seconds(run_once, repeats: int):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = run_once()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def run_suite(length: int, repeats: int, chunk: int) -> dict:
+    """Measure every kernelized policy streamed and in-memory; JSON-ready."""
+    rows: dict[str, dict] = {}
+    with tempfile.TemporaryDirectory(prefix="repro-bench-stream-") as tmp:
+        path = os.path.join(tmp, "workload.npt")
+        write_npt(make_stream(length, chunk), path, chunk=chunk)
+        stream = NptTraceStream(path, chunk=chunk)
+
+        # phase 1: streamed timings, before anything is materialized ----------
+        rss_before = _max_rss_mb()
+        stream_rows = {}
+        for name, factory in KERNEL_POLICIES.items():
+            seconds, row = _best_seconds(
+                lambda: run_policy_stream(factory(), stream, fast=True), repeats
+            )
+            stream_rows[name] = (seconds, row)
+        streaming_rss_mb = max(0.0, _max_rss_mb() - rss_before)
+
+        # phase 2: materialize once; in-memory baselines + bit-equality -------
+        pages = as_page_array(stream.materialize())
+        for name, factory in KERNEL_POLICIES.items():
+            stream_s, stream_row = stream_rows[name]
+            inmem_s, inmem = _best_seconds(
+                lambda: factory().run(pages, fast=True), repeats
+            )
+            streamed = run_policy_stream(factory(), stream, fast=True, keep_hits=True)
+            identical = bool(
+                np.array_equal(np.asarray(inmem.hits), streamed["hits"])
+            ) and streamed["misses"] == inmem.num_misses
+            rows[name] = {
+                "streaming_aps": length / stream_s,
+                "inmem_aps": length / inmem_s,
+                "streaming_vs_inmem": inmem_s / stream_s,
+                "chunks": stream_row["chunks"],
+                "miss_rate": inmem.miss_rate,
+                "identical": identical,
+            }
+
+    return {
+        "schema": 1,
+        "generated_unix": time.time(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpus": _available_cpus(),
+        "numpy": np.__version__,
+        "capacity": CAPACITY,
+        "trace_length": length,
+        "chunk": chunk,
+        "repeats": repeats,
+        "kernels": available_kernels(),
+        "streaming_rss_mb": streaming_rss_mb,
+        "results": rows,
+    }
+
+
+def check(report: dict, *, threshold: float = 0.9, rss_limit_mb: float = 256.0) -> bool:
+    """CI gates: bit-identity, throughput ratio, O(chunk) memory."""
+    ok = True
+    for name, row in report["results"].items():
+        flag = "" if row["identical"] else "  <-- NOT BIT-IDENTICAL"
+        if not row["identical"]:
+            ok = False
+        verdict = "OK" if row["streaming_vs_inmem"] >= threshold else "FAIL"
+        if row["streaming_vs_inmem"] < threshold:
+            ok = False
+        print(
+            f"{name:12s} streamed {row['streaming_aps']:>12,.0f} acc/s   "
+            f"in-memory {row['inmem_aps']:>12,.0f} acc/s   "
+            f"ratio {row['streaming_vs_inmem']:5.2f}x (>= {threshold:.2f}x {verdict})   "
+            f"miss {row['miss_rate']:.3f}{flag}"
+        )
+    rss = report["streaming_rss_mb"]
+    verdict = "OK" if rss <= rss_limit_mb else "FAIL"
+    print(
+        f"gate: streaming peak-RSS delta {rss:.1f} MB vs bound "
+        f"{rss_limit_mb:.0f} MB ({report['trace_length']:,} accesses, "
+        f"chunk {report['chunk']:,}) -> {verdict}"
+    )
+    return ok and rss <= rss_limit_mb
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--length", type=int, default=10_000_000, help="stream length")
+    parser.add_argument("--repeats", type=int, default=3, help="best-of repeats")
+    parser.add_argument(
+        "--chunk", type=int, default=1_000_000, help="accesses per stream chunk"
+    )
+    parser.add_argument(
+        "--json", nargs="?", const="BENCH_streaming.json", default=None,
+        metavar="PATH", help="write the JSON report (default path when bare)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero unless all three streaming gates hold",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.9,
+        help="streamed/in-memory throughput ratio gate",
+    )
+    parser.add_argument(
+        "--rss-limit-mb", type=float, default=256.0,
+        help="streaming-phase peak RSS delta bound, MB",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_suite(args.length, args.repeats, args.chunk)
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    passed = check(report, threshold=args.threshold, rss_limit_mb=args.rss_limit_mb)
+    return 0 if (passed or not args.check) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

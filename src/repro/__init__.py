@@ -107,6 +107,12 @@ from repro.traces import (
     uniform_trace,
     working_set_trace,
     zipf_trace,
+    TraceStream,
+    ZipfTraceStream,
+    UniformTraceStream,
+    open_trace_stream,
+    read_npt,
+    write_npt,
 )
 
 __all__ = [
@@ -189,4 +195,10 @@ __all__ = [
     "pointer_chase",
     "save_trace",
     "load_trace",
+    "TraceStream",
+    "ZipfTraceStream",
+    "UniformTraceStream",
+    "open_trace_stream",
+    "read_npt",
+    "write_npt",
 ]

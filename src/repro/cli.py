@@ -7,6 +7,9 @@ Usage::
     repro-experiment run T4-HEATSINK --scale small --seed 0
     repro-experiment run-all --scale smoke --out results/
     repro-experiment simulate --trace t.npz --policy lru --capacity 1024
+    repro-experiment simulate --zipf 16000000,100000000 --policy heatsink \
+        --capacity 65536 --fast on   # streamed: 10^8 accesses, O(chunk) RSS
+    repro-experiment convert t.csv t.npt   # chunked seekable binary trace
     repro-experiment mrc --trace t.npz --sizes 256,1024,4096 [--shards 0.1]
     repro-experiment serve --policy heatsink --capacity 1024 --port 7070
     repro-experiment loadgen --port 7070 --zipf 4096,200000,1.0
@@ -51,7 +54,25 @@ def build_parser() -> argparse.ArgumentParser:
     _add_run_args(all_p)
 
     sim_p = sub.add_parser("simulate", help="run one policy over a saved trace")
-    sim_p.add_argument("--trace", type=Path, required=True, help=".npz trace file")
+    sim_source = sim_p.add_mutually_exclusive_group(required=True)
+    sim_source.add_argument("--trace", type=Path, help=".npz trace file")
+    sim_source.add_argument(
+        "--trace-file", type=Path,
+        help="stream a trace file (.npt/.csv/.npz) at O(chunk) memory",
+    )
+    sim_source.add_argument(
+        "--zipf", metavar="PAGES,LENGTH[,ALPHA]",
+        help="stream a synthetic Zipf trace of any length without "
+        "materializing it, e.g. 16000000,100000000,1.0",
+    )
+    sim_source.add_argument(
+        "--uniform", metavar="PAGES,LENGTH",
+        help="stream a synthetic uniform trace, e.g. 4096,100000000",
+    )
+    sim_p.add_argument(
+        "--chunk", type=int, default=1_000_000,
+        help="accesses per streamed chunk (streamed sources only)",
+    )
     sim_p.add_argument("--policy", required=True, help="registered policy name")
     sim_p.add_argument("--capacity", type=int, required=True, help="cache slots")
     sim_p.add_argument("--seed", type=int, default=0)
@@ -81,6 +102,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     char_p.add_argument("--trace", type=Path, required=True, help=".npz trace file")
     char_p.add_argument("--windows", type=int, default=20)
+
+    conv_p = sub.add_parser(
+        "convert", help="convert a trace file to the chunked streaming .npt format"
+    )
+    conv_p.add_argument("input", type=Path, help="source trace (.npz/.csv/.npt)")
+    conv_p.add_argument("output", type=Path, help="destination .npt file")
+    conv_p.add_argument(
+        "--chunk", type=int, default=1_000_000, help="accesses per stored chunk"
+    )
 
     sub.add_parser(
         "policies", help="list registered policy names and constructor parameters"
@@ -217,6 +247,12 @@ def build_parser() -> argparse.ArgumentParser:
     source = load_p.add_mutually_exclusive_group(required=True)
     source.add_argument("--trace", type=Path, help=".npz trace file to replay")
     source.add_argument(
+        "--trace-file", type=Path,
+        help="stream a trace file (.npt/.csv/.npz) at O(chunk) client "
+        "memory — multi-hour replays never materialize "
+        "(pipeline mode with 1 connection only)",
+    )
+    source.add_argument(
         "--zipf", metavar="PAGES,LENGTH[,ALPHA]",
         help="generate a Zipf trace, e.g. 4096,200000,1.0",
     )
@@ -225,6 +261,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="generate a uniform trace, e.g. 4096,200000",
     )
     load_p.add_argument("--seed", type=int, default=0, help="synthetic-trace seed")
+    load_p.add_argument(
+        "--chunk", type=int, default=1_000_000,
+        help="accesses per streamed chunk (--trace-file only)",
+    )
     load_p.add_argument(
         "--mode", default="pipeline", choices=["pipeline", "workers"],
         help="pipeline = one ordered connection (exact replay); "
@@ -371,17 +411,89 @@ def _run_one(experiment: str, args: argparse.Namespace) -> None:
         print(f"wrote {path}")
 
 
+def _parse_stream_spec(spec: str, n_min: int, n_max: int, flag: str) -> list[float]:
+    from repro.errors import ConfigurationError
+
+    parts = [p.strip() for p in spec.split(",") if p.strip()]
+    if not n_min <= len(parts) <= n_max:
+        raise ConfigurationError(f"bad {flag} value: {spec!r}")
+    try:
+        return [float(p) for p in parts]
+    except ValueError:
+        raise ConfigurationError(f"bad {flag} value: {spec!r}") from None
+
+
+def _stream_from_args(args: argparse.Namespace):
+    """Build a TraceStream from --trace-file/--zipf/--uniform, or None."""
+    chunk = getattr(args, "chunk", 1_000_000)
+    if getattr(args, "trace_file", None) is not None:
+        from repro.traces.streaming import open_trace_stream
+
+        return open_trace_stream(args.trace_file, chunk=chunk)
+    if getattr(args, "zipf", None) is not None:
+        from repro.traces.streaming import ZipfTraceStream
+
+        parts = _parse_stream_spec(args.zipf, 2, 3, "--zipf")
+        alpha = parts[2] if len(parts) == 3 else 1.0
+        return ZipfTraceStream(
+            int(parts[0]), int(parts[1]), alpha=alpha, seed=args.seed, chunk=chunk
+        )
+    if getattr(args, "uniform", None) is not None:
+        from repro.traces.streaming import UniformTraceStream
+
+        parts = _parse_stream_spec(args.uniform, 2, 2, "--uniform")
+        return UniformTraceStream(int(parts[0]), int(parts[1]), seed=args.seed, chunk=chunk)
+    return None
+
+
+def _max_rss_mb() -> float | None:
+    try:
+        import resource
+
+        # ru_maxrss is KB on Linux, bytes on macOS
+        raw = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        return raw / 1024.0 if sys.platform != "darwin" else raw / (1024.0 * 1024.0)
+    except Exception:  # pragma: no cover - resource missing off-POSIX
+        return None
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.core.registry import make_policy
+    from repro.errors import ConfigurationError
     from repro.experiments.common import resolve_fast
-    from repro.traces.io import load_trace
 
-    trace = load_trace(args.trace)
+    stream = _stream_from_args(args)
     try:
         policy = make_policy(args.policy, args.capacity, seed=args.seed)
     except TypeError:
         # deterministic policies (lru, fifo, ...) take no seed argument
         policy = make_policy(args.policy, args.capacity)
+
+    if stream is not None:
+        if args.window:
+            raise ConfigurationError(
+                "--window needs per-access hits, which a streamed run does "
+                "not retain; use --trace with a materialized .npz instead"
+            )
+        from repro.sim.engine import run_policy_stream
+
+        row = run_policy_stream(policy, stream, fast=resolve_fast(args.fast))
+        print(f"trace    : {stream!r}")
+        print(f"policy   : {policy.name} (capacity {policy.capacity})")
+        print(f"accesses : {row['accesses']}  ({row['chunks']} chunks of ≤{stream.chunk})")
+        print(f"misses   : {row['misses']}  (rate {row['miss_rate']:.4f})")
+        print(
+            f"seconds  : {row['seconds']:.2f}  "
+            f"({row['accesses'] / max(row['seconds'], 1e-9):,.0f}/s)"
+        )
+        rss = _max_rss_mb()
+        if rss is not None:
+            print(f"peak RSS : {rss:,.0f} MB")
+        return 0
+
+    from repro.traces.io import load_trace
+
+    trace = load_trace(args.trace)
     start = time.perf_counter()
     result = policy.run(trace, fast=resolve_fast(args.fast))
     elapsed = time.perf_counter() - start
@@ -433,6 +545,21 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
     window = max(1, len(trace) // args.windows)
     curve = footprint_curve(trace, window=window)
     print(f"  footprint/window         [{sparkline(curve.astype(float), lo=0.0)}]")
+    return 0
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    from repro.traces.npt import NptTraceStream, write_npt
+    from repro.traces.streaming import open_trace_stream
+
+    stream = open_trace_stream(args.input, chunk=args.chunk)
+    path = write_npt(stream, args.output, chunk=args.chunk)
+    out = NptTraceStream(path)
+    size = path.stat().st_size
+    print(
+        f"wrote {path}: {out.length:,} accesses in {out.num_chunks} chunks "
+        f"({size / 1e6:,.1f} MB, {8.0 * size / max(out.length, 1):.2f} bits/access)"
+    )
     return 0
 
 
@@ -749,7 +876,11 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         except ValueError:
             raise ConfigurationError(f"bad {flag} value: {spec!r}") from None
 
-    if args.trace is not None:
+    if args.trace_file is not None:
+        from repro.traces.streaming import open_trace_stream
+
+        trace = open_trace_stream(args.trace_file, chunk=args.chunk)
+    elif args.trace is not None:
         from repro.traces.io import load_trace
 
         trace = load_trace(args.trace)
@@ -856,6 +987,8 @@ def main(argv: list[str] | None = None) -> int:
             # --fast on with a kernel-less policy: say which one, cleanly
             print(f"error: {exc}", file=sys.stderr)
             return 1
+    if args.command == "convert":
+        return _cmd_convert(args)
     if args.command == "mrc":
         return _cmd_mrc(args)
     if args.command == "characterize":

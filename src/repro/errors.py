@@ -27,6 +27,27 @@ class TraceError(ReproError, ValueError):
     or an empty trace passed where accesses are required."""
 
 
+class TraceFormatError(TraceError):
+    """A trace *file* is malformed: truncated ``.npt`` data, a corrupt
+    index footer, or an MSR CSV row that cannot be parsed.
+
+    Always carries enough context to find the bad byte: ``path`` (when
+    parsing a file rather than a buffer) and, for line-oriented formats,
+    the 1-based ``line`` number. Both are baked into the message, so a
+    bare ``str(exc)`` is actionable.
+    """
+
+    def __init__(self, message: str, *, path=None, line: "int | None" = None):
+        prefix = ""
+        if path is not None:
+            prefix += f"{path}: "
+        if line is not None:
+            prefix += f"line {line}: "
+        super().__init__(prefix + message)
+        self.path = path
+        self.line = line
+
+
 class SimulationError(ReproError, RuntimeError):
     """An internal invariant of the simulation state machine was violated.
 

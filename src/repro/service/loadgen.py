@@ -58,6 +58,7 @@ from repro.service.client import (
 from repro.service.faults import FaultPlan, running_proxy
 from repro.service.protocol import FRAME_NDJSON, FRAMES, MAX_BATCH_KEYS
 from repro.traces.base import Trace, as_page_array
+from repro.traces.streaming import TraceStream
 
 __all__ = ["LoadReport", "replay_trace", "run_replay"]
 
@@ -89,9 +90,11 @@ async def _report_progress(live: _LiveCounters, interval: float) -> None:
         await asyncio.sleep(interval)
         elapsed = time.perf_counter() - start
         rate = live.hits / live.ops if live.ops else 0.0
-        pct = 100.0 * live.ops / live.total if live.total else 100.0
+        # streams of unknown length replay with total == 0: no percentage
+        pct = f"{100.0 * live.ops / live.total:.1f}%" if live.total else "?"
+        total = live.total if live.total else "?"
         print(
-            f"  progress : {live.ops}/{live.total} ops ({pct:.1f}%), "
+            f"  progress : {live.ops}/{total} ops ({pct}), "
             f"hit rate {rate:.4f}, {live.errors} errors, "
             f"{live.ops / max(elapsed, 1e-9):,.0f}/s",
             flush=True,
@@ -207,7 +210,7 @@ class LoadReport:
 
 
 async def replay_trace(
-    trace: Trace | np.ndarray,
+    trace: "Trace | np.ndarray | TraceStream",
     *,
     host: str,
     port: int,
@@ -226,6 +229,12 @@ async def replay_trace(
 
     ``report_interval`` (seconds) prints a progress line that often while
     the replay runs; ``None``/``0`` disables it.
+
+    A :class:`~repro.traces.streaming.TraceStream` replays at O(chunk)
+    memory — multi-hour traces never materialize client-side. Streamed
+    replay is single-connection pipeline only (``mode="pipeline"``,
+    ``connections=1``): sharding would need the whole sequence up front,
+    and exact-order parity is the mode's reason to exist anyway.
     """
     if mode not in MODES:
         raise ConfigurationError(f"mode must be one of {MODES}, got {mode!r}")
@@ -246,7 +255,16 @@ async def replay_trace(
         raise ConfigurationError(
             f"report_interval must be non-negative, got {report_interval}"
         )
-    pages = as_page_array(trace).tolist()
+    pages: "list[int] | TraceStream"
+    if isinstance(trace, TraceStream):
+        if mode != "pipeline" or connections != 1:
+            raise ConfigurationError(
+                "streamed replay supports mode='pipeline' with connections=1 "
+                "only (a stream has no random access to shard)"
+            )
+        pages = trace
+    else:
+        pages = as_page_array(trace).tolist()
 
     if faults is not None:
         async with running_proxy(host, port, faults) as proxy:
@@ -265,8 +283,27 @@ async def replay_trace(
     )
 
 
+def _window_iter(pages: list[int], window: int):
+    """Ordered key windows over a materialized shard."""
+    for lo in range(0, len(pages), window):
+        yield pages[lo : lo + window]
+
+
+def _stream_windows(stream: TraceStream, window: int):
+    """Ordered key windows over a stream, O(chunk + window) memory."""
+    carry: list[int] = []
+    for chunk in stream.chunks():
+        part = carry + chunk.tolist() if carry else chunk.tolist()
+        full = len(part) - (len(part) % window)
+        for lo in range(0, full, window):
+            yield part[lo : lo + window]
+        carry = part[full:]
+    if carry:
+        yield carry
+
+
 async def _replay(
-    pages: list[int],
+    pages: "list[int] | TraceStream",
     host: str,
     port: int,
     *,
@@ -291,13 +328,24 @@ async def _replay(
     # frame carries `batch` keys, so the key window per round trip scales
     # with both.
     window = concurrency * batch
-    live = _LiveCounters(total=len(pages))
+    streamed = isinstance(pages, TraceStream)
+    if streamed:
+        live = _LiveCounters(total=pages.length or 0)
+    else:
+        live = _LiveCounters(total=len(pages))
     reporter: asyncio.Task | None = None
     if report_interval:
         reporter = asyncio.create_task(_report_progress(live, report_interval))
     start = time.perf_counter()
     try:
-        if mode == "pipeline":
+        if streamed:  # replay_trace already pinned pipeline/1-connection
+            counts = [
+                await _replay_shard(
+                    _stream_windows(pages, window), host, port, batch=batch,
+                    frame=frame, timeout=timeout, retry=retry, live=live,
+                )
+            ]
+        elif mode == "pipeline":
             shards = (
                 [pages]
                 if connections == 1
@@ -305,7 +353,7 @@ async def _replay(
             )
             counts = await asyncio.gather(
                 *(
-                    _replay_shard(shard, host, port, window=window, batch=batch,
+                    _replay_shard(_window_iter(shard, window), host, port, batch=batch,
                                   frame=frame, timeout=timeout, retry=retry, live=live)
                     for shard in shards
                     if shard
@@ -315,7 +363,7 @@ async def _replay(
             shards = [pages[i::concurrency] for i in range(concurrency)]
             counts = await asyncio.gather(
                 *(
-                    _replay_shard(shard, host, port, window=32 * batch, batch=batch,
+                    _replay_shard(_window_iter(shard, 32 * batch), host, port, batch=batch,
                                   frame=frame, timeout=timeout, retry=retry, live=live)
                     for shard in shards
                     if shard
@@ -371,24 +419,27 @@ async def _replay(
 
 
 async def _replay_shard(
-    pages: list[int],
+    windows,
     host: str,
     port: int,
     *,
-    window: int,
     batch: int = 1,
     frame: str = FRAME_NDJSON,
     timeout: float | None,
     retry: RetryPolicy | None,
     live: _LiveCounters | None = None,
 ) -> tuple[int, int, int, ClientStats | None, float]:
-    """Replay one ordered list of keys over one (logical) connection.
+    """Replay an iterable of ordered key windows over one (logical)
+    connection.
 
-    Returns ``(ops, hits, errors, client_stats, seconds)``. With a retry
-    policy, a window whose attempts are exhausted is charged to ``errors``
-    and the replay presses on — graceful degradation is the point, a
-    chaos run must never crash the generator. ``live`` (shared across
-    shards) feeds the progress reporter.
+    Consuming windows (not a materialized list) is what lets streamed
+    replay run at O(window) client memory — the same code path serves
+    list shards via :func:`_window_iter`. Returns ``(ops, hits, errors,
+    client_stats, seconds)``. With a retry policy, a window whose
+    attempts are exhausted is charged to ``errors`` and the replay
+    presses on — graceful degradation is the point, a chaos run must
+    never crash the generator. ``live`` (shared across shards) feeds the
+    progress reporter.
     """
     ops = hits = errors = 0
     start = time.perf_counter()
@@ -411,9 +462,9 @@ async def _replay_shard(
         async with await ServiceClient.connect(
             host, port, timeout=timeout, frame=frame
         ) as client:
-            for lo in range(0, len(pages), window):
+            for keys in windows:
                 o0, h0, e0 = ops, hits, errors
-                for response in await client.get_window(pages[lo : lo + window], batch=batch):
+                for response in await client.get_window(keys, batch=batch):
                     _count(response)
                 _sync_live(ops - o0, hits - h0, errors - e0)
         return ops, hits, errors, None, time.perf_counter() - start
@@ -421,8 +472,7 @@ async def _replay_shard(
     async with ResilientClient(
         host, port, retry=retry, timeout=timeout, frame=frame
     ) as client:
-        for lo in range(0, len(pages), window):
-            keys = pages[lo : lo + window]
+        for keys in windows:
             o0, h0, e0 = ops, hits, errors
             try:
                 responses = await client.get_window(keys, batch=batch)
@@ -446,6 +496,6 @@ async def _fetch_stats(
         return await client.stats()
 
 
-def run_replay(trace: Trace | np.ndarray, **kwargs: Any) -> LoadReport:
+def run_replay(trace: "Trace | np.ndarray | TraceStream", **kwargs: Any) -> LoadReport:
     """Synchronous wrapper: ``asyncio.run`` the replay (CLI entry point)."""
     return asyncio.run(replay_trace(trace, **kwargs))

@@ -38,10 +38,12 @@ from typing import Any
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.obs.metrics import Histogram
 from repro.rng import derive_seed
 from repro.service.client import DEFAULT_TIMEOUT, ServiceClient
 from repro.service.protocol import FRAME_NDJSON, FRAMES, Request, encode_request
 from repro.traces.base import Trace, as_page_array
+from repro.traces.streaming import TraceStream
 
 __all__ = ["SLOReport", "arrival_schedule", "open_loop_replay", "run_open_loop"]
 
@@ -82,6 +84,28 @@ def arrival_schedule(
     return out
 
 
+def _arrival_offsets(rate: float, burst: float, seed: int):
+    """Unbounded arrival offsets — the generator form of
+    :func:`arrival_schedule` for streams of unknown length.
+
+    Same seeded source and same draw sequence, so for a given seed this
+    yields the identical offsets ``arrival_schedule(n, ...)`` would
+    (exponential draws consume the bit stream per value, so drawing in
+    blocks matches one bulk draw).
+    """
+    rng = np.random.default_rng(derive_seed(seed, "open-loop"))
+    t = 0.0
+    if burst == 1.0:
+        while True:
+            offsets = t + np.cumsum(rng.exponential(1.0 / rate, size=4096))
+            t = float(offsets[-1])
+            yield from offsets.tolist()
+    while True:
+        t += float(rng.exponential(burst / rate))
+        for _ in range(int(rng.geometric(1.0 / burst))):
+            yield t
+
+
 def _percentile(sorted_values: list[float], q: float) -> float:
     """Exact nearest-rank percentile of an ascending list (0 when empty)."""
     if not sorted_values:
@@ -118,6 +142,9 @@ class SLOReport:
     lag_max_ms: float = 0.0
     lag_ok: bool = True
     server_stats: dict[str, Any] = field(default_factory=dict)
+    #: True for streamed runs: percentiles come from a log₂-bucketed
+    #: histogram (≤ 2× overestimates) instead of exact sorted latencies.
+    approx_percentiles: bool = False
 
     @property
     def achieved_rate(self) -> float:
@@ -147,6 +174,7 @@ class SLOReport:
             "lag_p99_ms": round(self.lag_p99_ms, 4),
             "lag_max_ms": round(self.lag_max_ms, 4),
             "lag_ok": self.lag_ok,
+            "approx_percentiles": self.approx_percentiles,
         }
 
     def summary(self) -> str:
@@ -173,7 +201,7 @@ class SLOReport:
 
 
 async def open_loop_replay(
-    trace: Trace | np.ndarray,
+    trace: "Trace | np.ndarray | TraceStream",
     *,
     host: str,
     port: int,
@@ -193,6 +221,11 @@ async def open_loop_replay(
     positional); sends never wait for completions, so queueing delay
     under overload lands in the measured latency instead of silently
     throttling the offered load.
+
+    A :class:`~repro.traces.streaming.TraceStream` runs the open loop at
+    O(chunk) memory: arrivals are generated incrementally and latencies
+    aggregate into bounded histograms instead of exact lists (the report
+    sets ``approx_percentiles``; SLO violation counts stay exact).
     """
     if connections < 1:
         raise ConfigurationError(f"connections must be >= 1, got {connections}")
@@ -200,6 +233,12 @@ async def open_loop_replay(
         raise ConfigurationError(f"unknown frame {frame!r}; expected one of {list(FRAMES)}")
     if slo_ms is not None and slo_ms <= 0:
         raise ConfigurationError(f"slo_ms must be > 0, got {slo_ms}")
+    if isinstance(trace, TraceStream):
+        return await _open_loop_stream(
+            trace, host=host, port=port, rate=rate, burst=burst,
+            connections=connections, frame=frame, slo_ms=slo_ms,
+            timeout=timeout, seed=seed, fetch_stats=fetch_stats,
+        )
     pages = as_page_array(trace).tolist()
     offsets = arrival_schedule(len(pages), rate, burst=burst, seed=seed).tolist()
 
@@ -311,6 +350,154 @@ async def _drive_connection(
         raise
 
 
-def run_open_loop(trace: Trace | np.ndarray, **kwargs: Any) -> SLOReport:
+async def _open_loop_stream(
+    stream: TraceStream,
+    *,
+    host: str,
+    port: int,
+    rate: float,
+    burst: float,
+    connections: int,
+    frame: str,
+    slo_ms: float | None,
+    timeout: float | None,
+    seed: int,
+    fetch_stats: bool,
+) -> SLOReport:
+    """Constant-memory open loop: a feeder task pulls keys off the stream
+    and fans them out to per-connection bounded queues; each connection
+    drains its queue on schedule. Latency/lag land in log₂ histograms
+    (O(1) memory), SLO violations are counted exactly per response.
+    """
+    clients = [
+        await ServiceClient.connect(host, port, timeout=timeout, frame=frame)
+        for _ in range(connections)
+    ]
+    # 30 buckets from 1 µs: overflow starts around 9 minutes of latency
+    lat_hist = Histogram(base=1e-6, num_buckets=30)
+    lag_hist = Histogram(base=1e-6, num_buckets=30)
+    counts = {"hits": 0, "errors": 0, "violations": 0}
+    slo_bound = slo_ms / 1e3 if slo_ms is not None else None
+    queues: list[asyncio.Queue] = [asyncio.Queue(maxsize=2048) for _ in range(connections)]
+
+    async def _feed() -> None:
+        offsets = _arrival_offsets(rate, burst, seed)
+        i = 0
+        for chunk in stream.chunks():
+            for key in chunk.tolist():
+                await queues[i % connections].put((next(offsets), key))
+                i += 1
+        for q in queues:
+            await q.put(None)
+
+    try:
+        start = time.perf_counter() + 0.01  # small lead so arrival 0 is not late
+        tasks = [asyncio.create_task(_feed())] + [
+            asyncio.create_task(
+                _drive_connection_queue(
+                    clients[c], queues[c], start, lat_hist, lag_hist, counts, slo_bound
+                )
+            )
+            for c in range(connections)
+        ]
+        try:
+            await asyncio.gather(*tasks)
+        except BaseException:
+            for task in tasks:
+                task.cancel()
+            raise
+        seconds = time.perf_counter() - start
+        server_stats: dict[str, Any] = {}
+        if fetch_stats:
+            server_stats = await clients[0].stats()
+    finally:
+        await asyncio.gather(*(c.close() for c in clients), return_exceptions=True)
+
+    lag_p99 = lag_hist.percentile(0.99)
+    lag_bound = (
+        MAX_LAG_FRACTION * slo_ms / 1e3 if slo_ms is not None else MAX_LAG_SECONDS
+    )
+    ops = lat_hist.count
+    return SLOReport(
+        ops=ops,
+        hits=counts["hits"],
+        errors=counts["errors"],
+        seconds=seconds,
+        rate=rate,
+        burst=burst,
+        connections=connections,
+        frame=frame,
+        p50_ms=lat_hist.percentile(0.50) * 1e3,
+        p90_ms=lat_hist.percentile(0.90) * 1e3,
+        p99_ms=lat_hist.percentile(0.99) * 1e3,
+        p999_ms=lat_hist.percentile(0.999) * 1e3,
+        max_ms=lat_hist.max * 1e3,
+        mean_ms=lat_hist.mean * 1e3,
+        slo_ms=slo_ms,
+        violations=counts["violations"],
+        violation_fraction=counts["violations"] / ops if ops else 0.0,
+        lag_p99_ms=lag_p99 * 1e3,
+        lag_max_ms=lag_hist.max * 1e3,
+        lag_ok=lag_p99 <= lag_bound,
+        server_stats=server_stats,
+        approx_percentiles=True,
+    )
+
+
+async def _drive_connection_queue(
+    client: ServiceClient,
+    feed: asyncio.Queue,
+    start: float,
+    lat_hist: Histogram,
+    lag_hist: Histogram,
+    counts: dict[str, int],
+    slo_bound: float | None,
+) -> None:
+    """Queue-fed variant of :func:`_drive_connection`.
+
+    The reader task pairs responses with scheduled offsets through a
+    second (unbounded-but-small) queue: the sender enqueues an offset
+    before each send and a sentinel at the end, so the reader reads
+    exactly one response per real entry — no total count needed up
+    front, no race on shutdown.
+    """
+    pending: asyncio.Queue = asyncio.Queue()
+
+    async def _read_all() -> None:
+        while True:
+            scheduled = await pending.get()
+            if scheduled is None:
+                return
+            response = await client._read_response()
+            latency = time.perf_counter() - (start + scheduled)
+            lat_hist.observe(latency)
+            if slo_bound is not None and latency > slo_bound:
+                counts["violations"] += 1
+            if not response.get("ok"):
+                counts["errors"] += 1
+            elif response.get("hit"):
+                counts["hits"] += 1
+
+    reader = asyncio.create_task(_read_all())
+    try:
+        while True:
+            item = await feed.get()
+            if item is None:
+                break
+            offset, key = item
+            delay = start + offset - time.perf_counter()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            lag_hist.observe(max(0.0, time.perf_counter() - (start + offset)))
+            pending.put_nowait(offset)
+            await client._send(encode_request(Request("GET", key=key), frame=client.frame))
+        pending.put_nowait(None)
+        await reader
+    except BaseException:
+        reader.cancel()
+        raise
+
+
+def run_open_loop(trace: "Trace | np.ndarray | TraceStream", **kwargs: Any) -> SLOReport:
     """Synchronous wrapper: ``asyncio.run`` the open-loop run (CLI entry)."""
     return asyncio.run(open_loop_replay(trace, **kwargs))

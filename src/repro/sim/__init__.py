@@ -10,14 +10,21 @@
   equivalent to the reference per-access loop (see docs/performance.md).
 """
 
-from repro.sim.engine import compare_policies, run_policy
+from repro.sim.engine import compare_policies, run_policy, run_policy_stream
 from repro.sim.kernels import available_kernels, kernel_for
 from repro.sim.results import ResultsTable
 from repro.sim.sweep import ParameterGrid, run_sweep
-from repro.sim.parallel import parallel_map, share_array, shared_trace, unlink_shared
+from repro.sim.parallel import (
+    parallel_map,
+    share_array,
+    shared_stream,
+    shared_trace,
+    unlink_shared,
+)
 
 __all__ = [
     "run_policy",
+    "run_policy_stream",
     "compare_policies",
     "ResultsTable",
     "ParameterGrid",
@@ -25,6 +32,7 @@ __all__ = [
     "parallel_map",
     "share_array",
     "shared_trace",
+    "shared_stream",
     "unlink_shared",
     "available_kernels",
     "kernel_for",

@@ -14,24 +14,27 @@ loop runs at full speed (``benchmarks/bench_obs.py`` guards the bound).
 
 from __future__ import annotations
 
+import contextlib
 import time
 from typing import Callable, Mapping
 
 import numpy as np
 
 from repro.analysis.metrics import warmup_split
+from repro.errors import ConfigurationError
 from repro.core.base import CachePolicy, SimResult
 from repro.obs import hooks as obs_hooks
 from repro.obs.hooks import TraceSink
 from repro.sim.results import ResultsTable
 from repro.traces.base import Trace, as_page_array
+from repro.traces.streaming import Prefetcher, TraceStream
 
-__all__ = ["run_policy", "compare_policies"]
+__all__ = ["run_policy", "run_policy_stream", "compare_policies"]
 
 
 def run_policy(
     policy: CachePolicy,
-    trace: Trace | np.ndarray,
+    trace: "Trace | np.ndarray | TraceStream",
     *,
     warmup_fraction: float = 0.25,
     trace_sink: TraceSink | None = None,
@@ -45,7 +48,18 @@ def run_policy(
     ``fast`` forwards to :meth:`CachePolicy.run` kernel dispatch
     (``None`` = auto); omitted from the call when ``None`` so policies
     with legacy ``run`` signatures keep working.
+
+    A :class:`~repro.traces.streaming.TraceStream` is dispatched to
+    :func:`run_policy_stream` — same row shape, constant memory.
     """
+    if isinstance(trace, TraceStream):
+        return run_policy_stream(
+            policy,
+            trace,
+            warmup_fraction=warmup_fraction,
+            trace_sink=trace_sink,
+            fast=fast,
+        )
     pages = as_page_array(trace)
     kwargs = {} if fast is None else {"fast": fast}
     start = time.perf_counter()
@@ -68,6 +82,113 @@ def run_policy(
     }
 
 
+def run_policy_stream(
+    policy: CachePolicy,
+    stream: TraceStream,
+    *,
+    warmup_fraction: float = 0.25,
+    trace_sink: TraceSink | None = None,
+    fast: bool | None = None,
+    keep_hits: bool = False,
+    prefetch: bool = True,
+) -> dict:
+    """Run one policy over a chunked stream at O(chunk) memory.
+
+    The policy is reset once, then each chunk continues the run via
+    ``policy.run(chunk, reset=False)`` — the kernels' continuation
+    contract makes the stitched result **bit-identical** to a single
+    materialized run: same hits, same post-run policy state, same
+    logical coin-stream position (``tests/sim/test_stream_engine.py``
+    asserts all three across every registered kernel).
+
+    ``prefetch`` decodes chunk N+1 on a background thread while the
+    kernel runs chunk N (:class:`~repro.traces.streaming.Prefetcher`).
+    Per-access hits are **not** retained unless ``keep_hits`` (10⁸
+    accesses of bools is 100 MB — the opposite of the point); without
+    them the warm-up/steady split prorates the boundary chunk's misses,
+    exact at chunk granularity. With ``keep_hits`` the row gains a
+    ``"hits"`` array and the split matches :func:`run_policy` exactly.
+    With ``trace_sink``, hooks force the reference loop and event
+    indices restart per chunk.
+    """
+    kwargs = {} if fast is None else {"fast": fast}
+    policy.reset()
+    source = iter(Prefetcher(stream)) if prefetch else stream.chunks()
+    counts: list[tuple[int, int]] = []
+    hit_parts: list[np.ndarray] = []
+    sink_scope = (
+        obs_hooks.capturing(trace_sink) if trace_sink is not None else contextlib.nullcontext()
+    )
+    start = time.perf_counter()
+    with sink_scope:
+        for chunk in source:
+            if chunk.size == 0:
+                continue
+            result = policy.run(chunk, reset=False, **kwargs)
+            counts.append((result.num_accesses, result.num_misses))
+            if keep_hits:
+                hit_parts.append(np.array(result.hits, dtype=bool))
+    elapsed = time.perf_counter() - start
+    accesses = sum(a for a, _ in counts)
+    misses = sum(m for _, m in counts)
+
+    if keep_hits:
+        hits = np.concatenate(hit_parts) if hit_parts else np.empty(0, dtype=bool)
+        warm_rate, steady_rate = warmup_split(
+            SimResult(hits, policy=policy.name, capacity=policy.capacity),
+            warmup_fraction,
+        )
+    else:
+        warm_rate, steady_rate = _prorated_split(counts, accesses, warmup_fraction)
+
+    row = {
+        "policy": policy.name,
+        "capacity": policy.capacity,
+        "accesses": accesses,
+        "misses": misses,
+        "miss_rate": misses / accesses if accesses else float("nan"),
+        "steady_miss_rate": steady_rate,
+        "warmup_miss_rate": warm_rate,
+        "seconds": elapsed,
+        "streamed": True,
+        "chunks": len(counts),
+        "trace": stream.name,
+    }
+    if keep_hits:
+        row["hits"] = hits
+    return row
+
+
+def _prorated_split(
+    counts: list[tuple[int, int]], total: int, warmup_fraction: float
+) -> tuple[float, float]:
+    """Warm-up/steady miss rates from per-chunk counts only.
+
+    Uses the same boundary as :func:`repro.analysis.metrics.warmup_split`
+    (``cut = int(total * fraction)``); the one chunk straddling the cut
+    contributes misses proportionally, since its per-access hits are gone.
+    """
+    if not 0.0 <= warmup_fraction < 1.0:
+        raise ConfigurationError(
+            f"warmup_fraction must be in [0,1), got {warmup_fraction}"
+        )
+    if total == 0:
+        return float("nan"), float("nan")
+    cut = int(total * warmup_fraction)
+    warm_misses = 0.0
+    seen = 0
+    for chunk_accesses, chunk_misses in counts:
+        if seen + chunk_accesses <= cut:
+            warm_misses += chunk_misses
+        elif seen < cut:
+            warm_misses += chunk_misses * (cut - seen) / chunk_accesses
+        seen += chunk_accesses
+    total_misses = sum(m for _, m in counts)
+    head = warm_misses / cut if cut else float("nan")
+    tail = (total_misses - warm_misses) / (total - cut) if total > cut else float("nan")
+    return head, tail
+
+
 def compare_policies(
     policies: Mapping[str, CachePolicy | Callable[[], CachePolicy]],
     trace: Trace | np.ndarray,
@@ -80,8 +201,9 @@ def compare_policies(
     Values may be policy instances or zero-argument factories (factories
     let callers defer construction, e.g. for policies whose parameters
     depend on the trace). ``fast`` forwards to each run's kernel dispatch.
+    Streams are accepted too (each policy re-iterates the stream).
     """
-    pages = as_page_array(trace)
+    pages = trace if isinstance(trace, TraceStream) else as_page_array(trace)
     table = ResultsTable()
     for label, entry in policies.items():
         policy = entry() if callable(entry) and not isinstance(entry, CachePolicy) else entry

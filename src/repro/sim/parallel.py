@@ -29,6 +29,7 @@ from typing import Callable, Iterable, Iterator, Sequence, TypeVar
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.traces.streaming import TraceStream
 
 __all__ = [
     "parallel_map",
@@ -37,6 +38,8 @@ __all__ = [
     "share_array",
     "unlink_shared",
     "shared_trace",
+    "SharedChunkStream",
+    "shared_stream",
 ]
 
 T = TypeVar("T")
@@ -185,3 +188,73 @@ def shared_trace(trace) -> Iterator[SharedArrayHandle]:
         yield handle
     finally:
         unlink_shared(handle)
+
+
+# -- shared chunk streams -----------------------------------------------------
+
+
+class SharedChunkStream(TraceStream):
+    """A :class:`~repro.traces.streaming.TraceStream` over a ring of
+    shared-memory segments.
+
+    Built by :func:`shared_stream` in the sweep parent: each chunk of the
+    source stream lives in its own segment, and this stream pickles as a
+    tuple of :class:`SharedArrayHandle` (a few dozen bytes per chunk), so
+    every worker of a pool replays the same chunk sequence zero-copy —
+    one segment ring instead of per-task trace pickles.
+    """
+
+    cheap_pickle = True
+
+    def __init__(
+        self,
+        handles: Sequence[SharedArrayHandle],
+        *,
+        name: str = "shared",
+        params: dict | None = None,
+        chunk: int | None = None,
+    ) -> None:
+        self._handles = tuple(handles)
+        self.name = name
+        self.params = dict(params or {})
+        self.length = sum(h.shape[0] for h in self._handles)
+        self.chunk = chunk or max((h.shape[0] for h in self._handles), default=1)
+
+    def chunks(self) -> Iterator[np.ndarray]:
+        for handle in self._handles:
+            yield handle.array()
+
+@contextmanager
+def shared_stream(stream, *, max_segments: int | None = None) -> Iterator[SharedChunkStream]:
+    """Scope a stream's chunks in shared memory for a sweep.
+
+    Materializes the source **into shared memory** (one segment per
+    chunk) — total footprint is the full trace once, system-wide, rather
+    than once per worker or once per task pickle. Intended for
+    array-backed streams; streams that pickle cheaply (synthetic, file
+    paths) should be shipped to workers directly instead —
+    :func:`repro.sim.sweep.run_sweep` makes exactly that choice.
+
+    ``max_segments`` guards against unbounded sources (a runaway CSV):
+    exceeding it raises :class:`~repro.errors.ConfigurationError`.
+    """
+    handles: list[SharedArrayHandle] = []
+    try:
+        for block in stream.chunks():
+            if max_segments is not None and len(handles) >= max_segments:
+                raise ConfigurationError(
+                    f"stream produced more than {max_segments} chunks; "
+                    "raise max_segments or use a seekable/cheap-pickle stream"
+                )
+            block = np.ascontiguousarray(block, dtype=np.int64)
+            if block.size:
+                handles.append(share_array(block))
+        yield SharedChunkStream(
+            handles,
+            name=getattr(stream, "name", "shared"),
+            params=dict(getattr(stream, "params", {}) or {}),
+            chunk=getattr(stream, "chunk", None),
+        )
+    finally:
+        for handle in handles:
+            unlink_shared(handle)

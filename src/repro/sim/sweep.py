@@ -86,11 +86,16 @@ def run_sweep(
         many workers (requires ``task`` to be picklable).
     trace:
         Optional fixed trace shared by every task (a
-        :class:`~repro.traces.base.Trace` or page array). The task is then
+        :class:`~repro.traces.base.Trace`, page array, or
+        :class:`~repro.traces.streaming.TraceStream`). The task is then
         called as ``task(params, seed, pages)``. Under a process pool the
         pages live in shared memory: each task tuple carries a tiny
         handle, workers attach once, and the trace is never re-pickled
-        per task. Results are identical to the serial path.
+        per task. A stream stays a stream: tasks receive a
+        ``TraceStream`` (feed it to ``run_policy``), shipped directly
+        when it pickles cheaply (synthetic/file-backed) or as a
+        shared-memory segment ring otherwise. Results are identical to
+        the serial path.
     """
     if repetitions <= 0:
         raise ConfigurationError(f"repetitions must be positive, got {repetitions}")
@@ -103,8 +108,13 @@ def run_sweep(
         for rep in range(repetitions):
             jobs.append((params, rep, seeds[i * repetitions + rep]))
 
+    from repro.traces.streaming import TraceStream
+
     pages = None
-    if trace is not None:
+    stream = None
+    if isinstance(trace, TraceStream):
+        stream = trace
+    elif trace is not None:
         from repro.traces.base import as_page_array
 
         pages = as_page_array(trace)
@@ -113,7 +123,22 @@ def run_sweep(
     if workers is not None and workers > 1:
         from repro.sim.parallel import parallel_map, shared_trace
 
-        if pages is not None:
+        if stream is not None and stream.cheap_pickle:
+            rows = parallel_map(
+                _run_one_job,
+                [(task, params, rep, s, stream) for params, rep, s in jobs],
+                workers=workers,
+            )
+        elif stream is not None:
+            from repro.sim.parallel import shared_stream
+
+            with shared_stream(stream) as ring:
+                rows = parallel_map(
+                    _run_one_job,
+                    [(task, params, rep, s, ring) for params, rep, s in jobs],
+                    workers=workers,
+                )
+        elif pages is not None:
             with shared_trace(pages) as handle:
                 rows = parallel_map(
                     _run_one_job,
@@ -131,7 +156,9 @@ def run_sweep(
     else:
         for params, rep, child_seed in jobs:
             job = (task, params, rep, child_seed)
-            if pages is not None:
+            if stream is not None:
+                job += (stream,)
+            elif pages is not None:
                 job += (pages,)
             table.append(**_run_one_job(job))
     return table
@@ -140,10 +167,12 @@ def run_sweep(
 def _run_one_job(job: tuple) -> dict:
     """Execute one (task, params, repetition, seed[, trace]) job.
 
-    Module-level for pickling. The optional fifth element is either the
-    page array itself (serial path) or a
+    Module-level for pickling. The optional fifth element is the page
+    array itself (serial path), a
     :class:`~repro.sim.parallel.SharedArrayHandle` (pool path) — workers
-    attach to the shared segment on first use and reuse the mapping.
+    attach to the shared segment on first use and reuse the mapping — or
+    a :class:`~repro.traces.streaming.TraceStream` (streamed sweeps),
+    which is handed to the task as-is.
     """
     task, params, rep, child_seed = job[:4]
     if len(job) == 5:

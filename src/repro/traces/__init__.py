@@ -11,7 +11,11 @@ to the paging problem of §1 of the paper. This package provides:
   stack-distance distribution;
 - :mod:`repro.traces.adversarial` — the constructive lower-bound sequence
   of Theorem 2;
-- :mod:`repro.traces.io` — persistence (npz / CSV / MSR-style).
+- :mod:`repro.traces.io` — persistence (npz / CSV / MSR-style);
+- :mod:`repro.traces.streaming` — chunked constant-memory
+  :class:`TraceStream` adapters, lazy remapping, prefetch;
+- :mod:`repro.traces.npt` — the compact chunked ``.npt`` binary format
+  with a seekable index footer.
 """
 
 from repro.traces.base import Trace, as_page_array, concat_traces, trace_stats
@@ -40,9 +44,23 @@ from repro.traces.sampling import shards_lru_mrc, spatial_sample
 from repro.traces.io import (
     load_trace,
     save_trace,
+    iter_msr_pages,
     read_msr_csv,
     write_msr_csv,
 )
+from repro.traces.streaming import (
+    ArrayTraceStream,
+    IncrementalRemapper,
+    MsrCsvStream,
+    Prefetcher,
+    RemappedStream,
+    TraceStream,
+    UniformTraceStream,
+    ZipfTraceStream,
+    as_trace_stream,
+    open_trace_stream,
+)
+from repro.traces.npt import NptTraceStream, NptWriter, read_npt, write_npt
 
 __all__ = [
     "Trace",
@@ -70,6 +88,21 @@ __all__ = [
     "shards_lru_mrc",
     "load_trace",
     "save_trace",
+    "iter_msr_pages",
     "read_msr_csv",
     "write_msr_csv",
+    "TraceStream",
+    "ArrayTraceStream",
+    "ZipfTraceStream",
+    "UniformTraceStream",
+    "MsrCsvStream",
+    "RemappedStream",
+    "IncrementalRemapper",
+    "Prefetcher",
+    "as_trace_stream",
+    "open_trace_stream",
+    "NptTraceStream",
+    "NptWriter",
+    "read_npt",
+    "write_npt",
 ]

@@ -18,6 +18,9 @@ from repro.errors import TraceError
 
 __all__ = ["Trace", "as_page_array", "concat_traces", "trace_stats"]
 
+#: elements converted per block when iterating a Trace element-wise
+_ITER_BLOCK = 65_536
+
 
 def _validate_pages(pages: np.ndarray) -> np.ndarray:
     if pages.ndim != 1:
@@ -68,7 +71,11 @@ class Trace:
         return int(self.pages.size)
 
     def __iter__(self) -> Iterator[int]:
-        return iter(self.pages.tolist())
+        # chunked .tolist(): iterating a multi-million-access trace must
+        # cost O(block) memory, not one Python int per element up front
+        pages = self.pages
+        for lo in range(0, pages.size, _ITER_BLOCK):
+            yield from pages[lo : lo + _ITER_BLOCK].tolist()
 
     def __getitem__(self, idx: int | slice) -> "int | Trace":
         if isinstance(idx, slice):

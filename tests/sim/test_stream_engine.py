@@ -1,0 +1,210 @@
+"""Streaming engine tests: chunk-stitched runs vs materialized runs.
+
+The contract of :func:`repro.sim.engine.run_policy_stream` is that
+feeding a stream chunk by chunk through ``policy.run(chunk, reset=False)``
+is *bit-identical* to one materialized run: same hits, same post-run
+policy state, same logical coin-stream position. This wall asserts all
+three for every registered kernel over three workload regimes (hot:
+working set fits; warm: Zipf around capacity; turnover: churn well past
+capacity) and three seeds, with a chunk size that never divides the
+trace length — every boundary is a mid-run continuation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import ConfigurationError
+from repro.sim.engine import _prorated_split, compare_policies, run_policy, run_policy_stream
+from repro.sim.kernels import available_kernels
+from repro.sim.sweep import ParameterGrid, run_sweep
+from repro.traces.streaming import ArrayTraceStream, ZipfTraceStream
+from tests.sim.test_kernels import _assert_same_state, _future_coins
+
+CAP = 256
+
+#: one factory per registered kernel class (asserted exhaustive below)
+KERNEL_POLICIES = {
+    "HeatSinkLRU": lambda seed: repro.HeatSinkLRU.from_epsilon(CAP, 0.3, seed=seed),
+    "PLruCache": lambda seed: repro.PLruCache(CAP, d=2, seed=seed),
+    "SetAssociativeLRU": lambda seed: repro.SetAssociativeLRU(CAP, d=8, seed=seed),
+    "DRandomCache": lambda seed: repro.DRandomCache(CAP, d=2, seed=seed),
+}
+
+#: length deliberately not a multiple of the chunk — boundaries mid-run
+LENGTH = 6_000
+CHUNK = 701
+
+STREAMS = {
+    "hot": lambda seed: ZipfTraceStream(CAP // 2, LENGTH, alpha=1.2, seed=seed, chunk=CHUNK),
+    "warm": lambda seed: ZipfTraceStream(4 * CAP, LENGTH, alpha=0.8, seed=seed, chunk=CHUNK),
+    "turnover": lambda seed: ZipfTraceStream(
+        32 * CAP, LENGTH, alpha=0.4, seed=seed, chunk=CHUNK
+    ),
+}
+
+SEEDS = [0, 1, 12345]
+
+
+def test_kernel_policy_table_is_exhaustive():
+    assert set(KERNEL_POLICIES) == set(available_kernels())
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("regime", sorted(STREAMS))
+@pytest.mark.parametrize("policy_name", sorted(KERNEL_POLICIES))
+def test_stream_bit_identical_to_materialized(policy_name, regime, seed):
+    stream = STREAMS[regime](seed)
+    trace = stream.materialize()
+
+    p_mat = KERNEL_POLICIES[policy_name](seed)
+    whole = p_mat.run(trace, fast=True)
+
+    p_str = KERNEL_POLICIES[policy_name](seed)
+    row = run_policy_stream(p_str, stream, fast=True, keep_hits=True)
+
+    np.testing.assert_array_equal(np.asarray(whole.hits), row["hits"])
+    assert row["misses"] == whole.num_misses
+    assert row["accesses"] == whole.num_accesses
+    _assert_same_state(p_mat, p_str)
+    np.testing.assert_array_equal(_future_coins(p_mat), _future_coins(p_str))
+
+
+def test_prefetch_off_matches_prefetch_on():
+    stream = STREAMS["warm"](7)
+    a = run_policy_stream(KERNEL_POLICIES["HeatSinkLRU"](7), stream, prefetch=True)
+    b = run_policy_stream(KERNEL_POLICIES["HeatSinkLRU"](7), stream, prefetch=False)
+    assert a["misses"] == b["misses"]
+    assert a["chunks"] == b["chunks"]
+
+
+def test_reference_loop_stream_matches_kernel_stream():
+    """Chunk stitching is a policy-level contract, not a kernel trick."""
+    stream = ZipfTraceStream(2 * CAP, 2_000, alpha=1.0, seed=4, chunk=333)
+    ker = run_policy_stream(KERNEL_POLICIES["PLruCache"](4), stream, fast=True, keep_hits=True)
+    ref = run_policy_stream(KERNEL_POLICIES["PLruCache"](4), stream, fast=False, keep_hits=True)
+    np.testing.assert_array_equal(ker["hits"], ref["hits"])
+
+
+class TestRunPolicyDispatch:
+    def test_stream_routes_to_streaming_engine(self):
+        stream = STREAMS["warm"](2)
+        row = run_policy(KERNEL_POLICIES["HeatSinkLRU"](2), stream)
+        assert row["streamed"] is True
+        assert row["chunks"] == -(-LENGTH // CHUNK)
+        assert row["trace"] == "zipf"
+        assert row["accesses"] == LENGTH
+
+    def test_row_matches_materialized_run(self):
+        stream = STREAMS["hot"](3)
+        streamed = run_policy(KERNEL_POLICIES["DRandomCache"](3), stream)
+        plain = run_policy(KERNEL_POLICIES["DRandomCache"](3), stream.materialize())
+        assert streamed["misses"] == plain["misses"]
+        assert streamed["miss_rate"] == plain["miss_rate"]
+
+    def test_keep_hits_split_matches_exact(self):
+        stream = STREAMS["warm"](5)
+        row = run_policy_stream(
+            KERNEL_POLICIES["SetAssociativeLRU"](5), stream, keep_hits=True
+        )
+        exact = run_policy(
+            KERNEL_POLICIES["SetAssociativeLRU"](5), stream.materialize()
+        )
+        assert row["steady_miss_rate"] == pytest.approx(exact["steady_miss_rate"])
+        assert row["warmup_miss_rate"] == pytest.approx(exact["warmup_miss_rate"])
+
+    def test_prorated_split_close_to_exact(self):
+        stream = STREAMS["warm"](6)
+        row = run_policy_stream(KERNEL_POLICIES["HeatSinkLRU"](6), stream)
+        exact = run_policy(KERNEL_POLICIES["HeatSinkLRU"](6), stream.materialize())
+        # only the chunk straddling the cut is approximated
+        assert row["steady_miss_rate"] == pytest.approx(
+            exact["steady_miss_rate"], abs=0.02
+        )
+
+    def test_empty_stream(self):
+        stream = ArrayTraceStream(np.empty(0, dtype=np.int64))
+        row = run_policy_stream(KERNEL_POLICIES["HeatSinkLRU"](0), stream)
+        assert row["accesses"] == 0
+        assert np.isnan(row["miss_rate"])
+
+
+class TestProratedSplit:
+    def test_aligned_boundary_is_exact(self):
+        # cut = 100 lands exactly on the first chunk boundary
+        counts = [(100, 80), (100, 20), (100, 10), (100, 10)]
+        warm, steady = _prorated_split(counts, 400, 0.25)
+        assert warm == pytest.approx(0.8)
+        assert steady == pytest.approx(40 / 300)
+
+    def test_straddling_chunk_prorated(self):
+        counts = [(100, 50)]
+        warm, steady = _prorated_split(counts, 100, 0.5)
+        assert warm == pytest.approx(0.5)
+        assert steady == pytest.approx(0.5)
+
+    def test_zero_warmup(self):
+        warm, steady = _prorated_split([(10, 5)], 10, 0.0)
+        assert np.isnan(warm)
+        assert steady == pytest.approx(0.5)
+
+    def test_empty(self):
+        warm, steady = _prorated_split([], 0, 0.25)
+        assert np.isnan(warm) and np.isnan(steady)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ConfigurationError):
+            _prorated_split([(10, 5)], 10, 1.0)
+
+
+# -- streamed sweeps -----------------------------------------------------------
+
+
+def _sweep_task(params: dict, seed, stream) -> dict:
+    policy = repro.HeatSinkLRU.from_epsilon(params["capacity"], 0.3, seed=123)
+    return run_policy(policy, stream, fast=True)
+
+
+class TestStreamedSweep:
+    GRID = ParameterGrid(capacity=[64, 256])
+
+    def _misses(self, table):
+        return sorted((r["capacity"], r["misses"]) for r in table)
+
+    def test_serial_stream_sweep(self):
+        stream = ZipfTraceStream(512, 3_000, alpha=1.0, seed=9, chunk=500)
+        table = run_sweep(_sweep_task, self.GRID, seed=0, trace=stream)
+        assert len(table) == 2
+        assert all(row["streamed"] for row in table)
+
+    def test_pool_matches_serial_cheap_pickle(self):
+        # synthetic stream: pickles as parameters, shipped straight to workers
+        stream = ZipfTraceStream(512, 3_000, alpha=1.0, seed=9, chunk=500)
+        serial = run_sweep(_sweep_task, self.GRID, seed=0, trace=stream)
+        pooled = run_sweep(_sweep_task, self.GRID, seed=0, trace=stream, workers=2)
+        assert self._misses(serial) == self._misses(pooled)
+
+    def test_pool_matches_serial_shared_ring(self):
+        # in-memory stream: crosses the pool boundary via shared-memory segments
+        stream = ArrayTraceStream(
+            repro.zipf_trace(512, 3_000, alpha=1.0, seed=9).pages, chunk=500
+        )
+        assert not stream.cheap_pickle
+        serial = run_sweep(_sweep_task, self.GRID, seed=0, trace=stream)
+        pooled = run_sweep(_sweep_task, self.GRID, seed=0, trace=stream, workers=2)
+        assert self._misses(serial) == self._misses(pooled)
+
+
+def test_compare_policies_accepts_stream():
+    stream = ZipfTraceStream(512, 2_000, alpha=1.0, seed=1, chunk=300)
+    table = compare_policies(
+        {
+            "heatsink": KERNEL_POLICIES["HeatSinkLRU"](0),
+            "2-lru": KERNEL_POLICIES["PLruCache"](0),
+        },
+        stream,
+    )
+    assert len(table) == 2
+    assert all(row["streamed"] and row["accesses"] == 2_000 for row in table)

@@ -7,9 +7,15 @@ import io
 import numpy as np
 import pytest
 
-from repro.errors import TraceError
+from repro.errors import TraceError, TraceFormatError
 from repro.traces.base import Trace
-from repro.traces.io import load_trace, read_msr_csv, save_trace, write_msr_csv
+from repro.traces.io import (
+    iter_msr_pages,
+    load_trace,
+    read_msr_csv,
+    save_trace,
+    write_msr_csv,
+)
 from repro.traces.synthetic import zipf_trace
 
 
@@ -99,3 +105,97 @@ class TestMsrCsv:
         write_msr_csv(Trace(np.array([0, 1], dtype=np.int64)), buf)
         buf.seek(0)
         assert list(read_msr_csv(buf)) == [0, 1]
+
+
+class TestMsrCsvHardening:
+    """Malformed-input behaviour: clear TraceFormatError, line numbers."""
+
+    ROWS = TestMsrCsv.HEADER_FREE_ROWS
+
+    def test_crlf_line_endings(self, tmp_path):
+        path = tmp_path / "crlf.csv"
+        path.write_bytes(self.ROWS.replace("\n", "\r\n").encode())
+        assert list(read_msr_csv(path, block_bytes=4096)) == [2, 3, 0, 1, 2, 3]
+
+    def test_trailing_commas_tolerated(self):
+        body = "\n".join(line + ",," for line in self.ROWS.splitlines()) + "\n"
+        t = read_msr_csv(io.StringIO(body), block_bytes=4096)
+        assert list(t) == [2, 3, 0, 1, 2, 3]
+
+    def test_blank_and_whitespace_lines(self):
+        body = "\n   \n" + self.ROWS + "\t\n"
+        assert len(read_msr_csv(io.StringIO(body), block_bytes=4096)) == 6
+
+    def test_non_integer_field_reports_line(self):
+        body = self.ROWS + "128,hm,1,Read,xyz,10,1\n"
+        with pytest.raises(TraceFormatError, match="line 4") as exc_info:
+            read_msr_csv(io.StringIO(body))
+        assert exc_info.value.line == 4
+        assert "xyz" in str(exc_info.value)
+
+    def test_short_row_reports_line(self):
+        with pytest.raises(TraceFormatError, match="line 2"):
+            read_msr_csv(io.StringIO("1,h,1,Read,0,10,1\n1,h,Read\n"))
+
+    def test_negative_field_reports_line(self):
+        with pytest.raises(TraceFormatError, match="line 1"):
+            read_msr_csv(io.StringIO("1,h,1,Read,-5,10,1\n"))
+
+    def test_empty_request_type(self):
+        with pytest.raises(TraceFormatError, match="request-type"):
+            read_msr_csv(io.StringIO("1,h,1, ,0,10,1\n"))
+
+    def test_path_in_message(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("1,h,1,Read,abc,10,1\n")
+        with pytest.raises(TraceFormatError, match="bad.csv"):
+            read_msr_csv(path)
+        try:
+            read_msr_csv(path)
+        except TraceFormatError as exc:
+            assert exc.path == path
+            assert exc.line == 1
+
+    def test_error_is_trace_error_subclass(self):
+        # callers catching the old TraceError keep working
+        assert issubclass(TraceFormatError, TraceError)
+
+
+class TestIterMsrPages:
+    """The incremental parser itself: chunk shapes and budgets."""
+
+    def _csv(self, n):
+        t = Trace(np.arange(n, dtype=np.int64) % 17)
+        buf = io.StringIO()
+        write_msr_csv(t, buf)
+        return buf
+
+    def test_chunk_sizes_bounded(self):
+        buf = self._csv(1000)
+        buf.seek(0)
+        chunks = list(iter_msr_pages(buf, chunk=64))
+        assert all(c.size == 64 for c in chunks[:-1])
+        assert sum(c.size for c in chunks) == 1000
+        assert all(c.dtype == np.int64 for c in chunks)
+
+    def test_matches_materializing_wrapper(self):
+        buf = self._csv(500)
+        buf.seek(0)
+        streamed = np.concatenate(list(iter_msr_pages(buf, chunk=33)))
+        buf.seek(0)
+        assert np.array_equal(streamed, read_msr_csv(buf).pages)
+
+    def test_max_accesses_mid_row(self):
+        # one request covering 4 blocks, budget cuts inside the expansion
+        body = "1,h,1,Read,0,16384,1\n"
+        out = np.concatenate(list(iter_msr_pages(io.StringIO(body), max_accesses=3)))
+        assert out.tolist() == [0, 1, 2]
+
+    def test_max_accesses_stops_reading(self):
+        body = "1,h,1,Read,0,4096,1\n" + "garbage-line-that-would-fail\n"
+        out = list(iter_msr_pages(io.StringIO(body), max_accesses=1))
+        assert np.concatenate(out).tolist() == [0]
+
+    def test_bad_chunk(self):
+        with pytest.raises(TraceError):
+            list(iter_msr_pages(io.StringIO(""), chunk=0))
